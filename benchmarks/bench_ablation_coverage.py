@@ -1,0 +1,65 @@
+"""Ablation: distance-guided vs coverage-augmented fitness.
+
+HDTest's fitness is pure reference distance (Sec. IV); TensorFuzz (the
+paper's ref. [26]) guides by coverage novelty instead.
+:class:`~repro.fuzz.coverage.CoverageGuidedFitness` blends both.  This
+bench compares iterations and success under the long-search ``rand``
+strategy, and reports how much of HV space the campaign actually
+explores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+
+from repro.fuzz import HDTest, HDTestConfig
+from repro.fuzz.coverage import CoverageGuidedFitness, CoverageMap
+
+N_IMAGES = 12
+
+
+@pytest.fixture(scope="module")
+def coverage_results(paper_model, fuzz_images):
+    config = HDTestConfig(iter_times=60)
+    distance = HDTest(paper_model, "rand", config=config, rng=67).fuzz(
+        fuzz_images[:N_IMAGES]
+    )
+    cov_map = CoverageMap(paper_model.dimension, n_bits=20, rng=67)
+    coverage = HDTest(
+        paper_model,
+        "rand",
+        config=config,
+        fitness=CoverageGuidedFitness(cov_map, novelty_bonus=0.5),
+        rng=67,
+    ).fuzz(fuzz_images[:N_IMAGES])
+    return {"distance": distance, "coverage": coverage, "map": cov_map}
+
+
+def test_distance_guided(benchmark, coverage_results):
+    result = run_once(benchmark, lambda: coverage_results["distance"])
+    print(f"\n[fitness=distance] iters={result.avg_iterations:.1f} "
+          f"success={result.success_rate:.2f}")
+    assert result.success_rate > 0.5
+
+
+def test_coverage_guided(benchmark, coverage_results):
+    result = run_once(benchmark, lambda: coverage_results["coverage"])
+    cov_map = coverage_results["map"]
+    print(f"\n[fitness=coverage] iters={result.avg_iterations:.1f} "
+          f"success={result.success_rate:.2f}; "
+          f"{cov_map.n_cells_visited} HV-space cells visited")
+    assert result.success_rate > 0.5
+    # The campaign must genuinely explore distinct regions of HV space.
+    assert cov_map.n_cells_visited > N_IMAGES
+
+
+def test_coverage_does_not_collapse_search(benchmark, coverage_results):
+    pair = run_once(benchmark, lambda: coverage_results)
+    distance, coverage = pair["distance"], pair["coverage"]
+    print(f"\n[coverage ablation] distance {distance.avg_iterations:.1f} vs "
+          f"coverage {coverage.avg_iterations:.1f} iterations")
+    # Novelty pressure may help or cost a little, but must stay in the
+    # same regime as the paper's fitness.
+    assert coverage.avg_iterations < 3.0 * max(distance.avg_iterations, 1.0)

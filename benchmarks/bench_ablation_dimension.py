@@ -1,0 +1,44 @@
+"""Ablation: hypervector dimension D.
+
+The paper runs at D = 10 000 (the HDC literature's default).  This
+sweep trains the same model at smaller D and fuzzes it, showing the
+robustness/capacity trade: lower D costs accuracy *and* makes the
+model easier to fool (fewer gauss iterations per adversarial).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import SEED, run_once
+
+from repro.fuzz import HDTest, HDTestConfig
+from repro.hdc import HDCClassifier, PixelEncoder
+
+N_TRAIN = 800
+N_IMAGES = 10
+
+
+@pytest.mark.parametrize("dimension", [2048, 4096, 10000])
+def test_dimension_sweep(benchmark, digit_data, dimension):
+    train, test = digit_data
+
+    def build_and_fuzz():
+        encoder = PixelEncoder(dimension=dimension, rng=SEED)
+        model = HDCClassifier(encoder, n_classes=10).fit(
+            train.images[:N_TRAIN], train.labels[:N_TRAIN]
+        )
+        accuracy = model.score(test.images, test.labels)
+        fuzzer = HDTest(
+            model, "gauss", config=HDTestConfig(iter_times=60), rng=43
+        )
+        result = fuzzer.fuzz(test.images[:N_IMAGES].astype(np.float64))
+        return accuracy, result
+
+    accuracy, result = run_once(benchmark, build_and_fuzz)
+    print(f"\n[ablation D={dimension}] accuracy={accuracy:.3f} "
+          f"fuzz success={result.success_rate:.2f} "
+          f"iters={result.avg_iterations:.2f}")
+    assert accuracy > 0.6
+    assert result.success_rate > 0.5

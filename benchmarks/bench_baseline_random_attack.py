@@ -1,0 +1,60 @@
+"""Baseline: single-shot random perturbation vs HDTest's guided loop.
+
+Sec. I motivates fuzzing over blind input generation: unguided random
+inputs can't cover meaningful corner cases.  This bench gives the
+blind attacker the same L2 budget and a comparable per-image query
+count and shows the gap that the mutation + fitness + survival loop
+creates.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.baselines import random_attack
+from repro.fuzz import HDTest, HDTestConfig, ImageConstraint
+
+N_IMAGES = 12
+BUDGET_L2 = 0.5
+
+
+def test_random_attack_baseline(benchmark, paper_model, fuzz_images):
+    def attack():
+        return random_attack(
+            paper_model,
+            fuzz_images[:N_IMAGES],
+            max_l2=BUDGET_L2,
+            attempts_per_input=30,
+            rng=61,
+        )
+
+    result = run_once(benchmark, attack)
+    print(f"\n[baseline] random attack (L2≤{BUDGET_L2}): "
+          f"success {result.n_success}/{result.n_inputs}")
+    assert result.n_inputs == N_IMAGES
+
+
+def test_hdtest_beats_random_attack(benchmark, paper_model, fuzz_images):
+    def both():
+        baseline = random_attack(
+            paper_model,
+            fuzz_images[:N_IMAGES],
+            max_l2=BUDGET_L2,
+            attempts_per_input=30,
+            rng=61,
+        )
+        fuzzer = HDTest(
+            paper_model,
+            "rand",
+            constraint=ImageConstraint(max_l2=BUDGET_L2),
+            config=HDTestConfig(iter_times=60),
+            rng=61,
+        )
+        guided = fuzzer.fuzz(fuzz_images[:N_IMAGES])
+        return baseline, guided
+
+    baseline, guided = run_once(benchmark, both)
+    print(f"\n[baseline vs HDTest] random {baseline.success_rate:.2f} vs "
+          f"HDTest {guided.success_rate:.2f} success rate at L2≤{BUDGET_L2}")
+    # The fuzzing loop must add real value over blind sampling.
+    assert guided.success_rate > baseline.success_rate

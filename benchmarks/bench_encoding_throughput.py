@@ -1,0 +1,75 @@
+"""Micro-benchmarks: image-encoding throughput (the fuzzer's hot path).
+
+Every fuzzing iteration encodes a batch of mutated seeds, so encoder
+throughput bounds HDTest's generation rate end to end.  These benches
+time the two algebraically-identical encoding paths (dense gather vs
+the sparse-background rewrite, see
+:mod:`repro.hdc.encoders.image`) and the similarity query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import PAPER_DIMENSION, SEED
+
+from repro.hdc import PixelEncoder
+from repro.hdc.similarity import cosine_matrix
+
+BATCH = 16
+
+
+@pytest.fixture(scope="module")
+def images(digit_data):
+    _, test = digit_data
+    return test.images[:BATCH].astype(np.float64)
+
+
+def test_encode_sparse_path(benchmark, images):
+    encoder = PixelEncoder(dimension=PAPER_DIMENSION, rng=SEED, sparse_background=True)
+    out = benchmark(lambda: encoder.encode_batch(images))
+    assert out.shape == (BATCH, PAPER_DIMENSION)
+
+
+def test_encode_dense_path(benchmark, images):
+    encoder = PixelEncoder(dimension=PAPER_DIMENSION, rng=SEED, sparse_background=False)
+    out = benchmark(lambda: encoder.encode_batch(images))
+    assert out.shape == (BATCH, PAPER_DIMENSION)
+
+
+def test_sparse_path_beats_dense(benchmark, digit_data):
+    """The sparse rewrite must actually pay for itself on digit data."""
+    import time
+
+    from conftest import run_once
+
+    _, test = digit_data
+    images = test.images[:32].astype(np.float64)
+    sparse = PixelEncoder(dimension=PAPER_DIMENSION, rng=SEED, sparse_background=True)
+    dense = PixelEncoder(dimension=PAPER_DIMENSION, rng=SEED, sparse_background=False)
+
+    def compare():
+        for enc in (sparse, dense):  # warm-up
+            enc.encode_batch(images[:2])
+        t0 = time.perf_counter()
+        a = sparse.encode_batch(images)
+        t1 = time.perf_counter()
+        b = dense.encode_batch(images)
+        t2 = time.perf_counter()
+        np.testing.assert_array_equal(a, b)
+        return t1 - t0, t2 - t1
+
+    sparse_time, dense_time = run_once(benchmark, compare)
+    print(f"\n[encoding] sparse {sparse_time:.3f}s vs dense {dense_time:.3f}s "
+          "for 32 images")
+    assert sparse_time < dense_time
+
+
+def test_similarity_query(benchmark, digit_data):
+    _, test = digit_data
+    encoder = PixelEncoder(dimension=PAPER_DIMENSION, rng=SEED)
+    queries = encoder.encode_batch(test.images[:BATCH].astype(np.float64))
+    references = encoder.encode_batch(test.images[BATCH : 2 * BATCH].astype(np.float64))[:10]
+    out = benchmark(lambda: cosine_matrix(queries, references))
+    assert out.shape == (BATCH, 10)

@@ -1,0 +1,51 @@
+"""Fig. 1: an adversarial image with a handful of mutated pixels.
+
+Generates one adversarial example, renders the original / mutated
+pixels / adversarial triptych, and persists the three panels as ``.pgm``
+files plus an ``.npz`` bundle under ``benchmarks/artifacts/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.analysis import adversarial_triptych, diff_mask, save_examples_npz, save_pgm
+from repro.fuzz import HDTest, HDTestConfig
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+def test_fig1_adversarial_example(benchmark, paper_model, fuzz_images):
+    fuzzer = HDTest(paper_model, "rand", config=HDTestConfig(iter_times=60), rng=1)
+
+    def find_one():
+        for image in fuzz_images:
+            outcome = fuzzer.fuzz_one(image)
+            if outcome.success:
+                return outcome.example
+        raise AssertionError("no adversarial found in the pool")
+
+    example = run_once(benchmark, find_one)
+
+    print("\n[Fig. 1] " + f"{example.reference_label} → {example.adversarial_label} "
+          f"in {example.iterations} iterations, "
+          f"{int(example.metrics['l0'])} pixels touched")
+    print(adversarial_triptych(example))
+
+    # The differential property Fig. 1 illustrates.
+    assert example.adversarial_label != example.reference_label
+    assert paper_model.predict_one(example.adversarial) == example.adversarial_label
+    # 'rand' mutates a small set of pixels (the paper's "(b)" panel):
+    # well under half the image, vs gauss's near-total footprint.
+    assert example.metrics["l0"] < 350
+
+    ARTIFACTS.mkdir(exist_ok=True)
+    save_pgm(ARTIFACTS / "fig1_original.pgm", example.original)
+    save_pgm(ARTIFACTS / "fig1_mutated_pixels.pgm",
+             diff_mask(example.original, example.adversarial))
+    save_pgm(ARTIFACTS / "fig1_adversarial.pgm", example.adversarial)
+    save_examples_npz(ARTIFACTS / "fig1_example.npz", [example])

@@ -1,0 +1,91 @@
+"""Figs. 4–6: sample adversarial images under gauss, rand, and shift.
+
+The paper shows, per strategy, a row of original images, the mutated
+pixels, and the generated adversarials.  This bench regenerates those
+galleries (3 samples per strategy), persists every panel to
+``benchmarks/artifacts/``, and checks each strategy's qualitative
+signature:
+
+* gauss (Fig. 4): perturbation spread over most of the image;
+* rand (Fig. 5): only a few isolated pixels mutated;
+* shift (Fig. 6): pixel *values* preserved, locations moved — the
+  paper shows no mutated-pixel panel for shift, and neither do we.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.analysis import adversarial_triptych, diff_mask, save_pgm
+from repro.fuzz import HDTest, HDTestConfig
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+N_SAMPLES = 3
+
+
+def _collect(model, images, strategy, n, rng):
+    fuzzer = HDTest(model, strategy, config=HDTestConfig(iter_times=60), rng=rng)
+    examples = []
+    for image in images:
+        outcome = fuzzer.fuzz_one(image)
+        if outcome.success:
+            examples.append(outcome.example)
+        if len(examples) == n:
+            break
+    return examples
+
+
+def _persist(examples, tag):
+    ARTIFACTS.mkdir(exist_ok=True)
+    for i, ex in enumerate(examples):
+        save_pgm(ARTIFACTS / f"{tag}_{i}_original.pgm", ex.original)
+        save_pgm(ARTIFACTS / f"{tag}_{i}_adversarial.pgm", ex.adversarial)
+        if tag != "fig6_shift":
+            save_pgm(
+                ARTIFACTS / f"{tag}_{i}_mutated_pixels.pgm",
+                diff_mask(ex.original, ex.adversarial),
+            )
+
+
+def test_fig4_gauss_samples(benchmark, paper_model, fuzz_images):
+    examples = run_once(
+        benchmark, lambda: _collect(paper_model, fuzz_images, "gauss", N_SAMPLES, 4)
+    )
+    assert len(examples) == N_SAMPLES
+    print(f"\n[Fig. 4] gauss sample:\n{adversarial_triptych(examples[0])}")
+    for ex in examples:
+        # Holographic mutation: most of the 784 pixels carry perturbation.
+        assert ex.metrics["l0"] > 400
+    _persist(examples, "fig4_gauss")
+
+
+def test_fig5_rand_samples(benchmark, paper_model, fuzz_images):
+    examples = run_once(
+        benchmark, lambda: _collect(paper_model, fuzz_images, "rand", N_SAMPLES, 5)
+    )
+    assert len(examples) == N_SAMPLES
+    print(f"\n[Fig. 5] rand sample:\n{adversarial_triptych(examples[0])}")
+    for ex in examples:
+        # Sparse mutation: well under half the image touched (gauss
+        # blankets >400 pixels), and the budgeted distance stays tiny.
+        assert ex.metrics["l0"] < 350
+        assert ex.metrics["l2"] < 1.0
+    _persist(examples, "fig5_rand")
+
+
+def test_fig6_shift_samples(benchmark, paper_model, fuzz_images):
+    examples = run_once(
+        benchmark, lambda: _collect(paper_model, fuzz_images, "shift", N_SAMPLES, 6)
+    )
+    assert len(examples) == N_SAMPLES
+    print(f"\n[Fig. 6] shift sample:\n{adversarial_triptych(examples[0])}")
+    for ex in examples:
+        # Shift invents no new grey values (modulo background fill).
+        original_values = set(np.round(np.asarray(ex.original).ravel(), 6)) | {0.0}
+        adv_values = set(np.round(np.asarray(ex.adversarial).ravel(), 6))
+        assert adv_values.issubset(original_values)
+    _persist(examples, "fig6_shift")

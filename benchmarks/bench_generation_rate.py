@@ -1,0 +1,35 @@
+"""Abstract / Sec. V-B throughput: adversarial images per minute.
+
+Paper: "On average, HDTest can generate around 400 adversarial inputs
+within one minute running on a commodity computer" (AMD Ryzen 5 3600).
+This bench measures the sustained generation rate on this machine with
+the same D = 10 000 model and extrapolates to the paper's two reporting
+conventions (images/minute and seconds per 1000 images).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.fuzz import generate_adversarial_set
+from repro.metrics.timing import per_minute, per_thousand
+
+PAPER_RATE_PER_MINUTE = 400.0
+N_GENERATE = 80
+
+
+def test_generation_rate(benchmark, paper_model, fuzz_images):
+    def generate():
+        return generate_adversarial_set(
+            paper_model, fuzz_images, N_GENERATE, strategy="gauss", rng=23
+        )
+
+    examples, elapsed = run_once(benchmark, generate)
+    rate = per_minute(elapsed, len(examples))
+    print(f"\n[throughput] {len(examples)} adversarials in {elapsed:.1f}s "
+          f"→ {rate:.0f}/minute (paper ≈{PAPER_RATE_PER_MINUTE:.0f}/minute), "
+          f"{per_thousand(elapsed, len(examples)):.0f}s per 1K "
+          f"(paper 100–228s)")
+    assert len(examples) == N_GENERATE
+    # Same order of magnitude as the paper's commodity-hardware rate.
+    assert rate > PAPER_RATE_PER_MINUTE / 10

@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Benches run at the paper's scale where it matters: hypervector
+dimension D = 10 000 and a training set large enough to put the model
+in the reported ≈90 % accuracy regime.  The model is trained once per
+session and shared by every bench.
+
+Run with:  pytest benchmarks/ --benchmark-only
+(add ``-s`` to see the paper-vs-measured tables each bench prints).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_digits
+from repro.hdc import HDCClassifier, PixelEncoder
+
+PAPER_DIMENSION = 10_000
+SEED = 42
+N_TRAIN = 1500
+N_TEST = 300
+
+
+@pytest.fixture(scope="session")
+def digit_data():
+    """Paper-scale train/test split (synthetic unless real MNIST found)."""
+    return load_digits(n_train=N_TRAIN, n_test=N_TEST, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def paper_model(digit_data):
+    """The Sec. III HDC model at the paper's D = 10 000."""
+    train, _ = digit_data
+    encoder = PixelEncoder(dimension=PAPER_DIMENSION, rng=SEED)
+    return HDCClassifier(encoder, n_classes=10).fit(train.images, train.labels)
+
+
+@pytest.fixture(scope="session")
+def fuzz_images(digit_data):
+    """Float64 image pool for fuzzing campaigns."""
+    _, test = digit_data
+    return test.images.astype(np.float64)
+
+
+def run_once(benchmark, fn):
+    """Record a single timed execution of *fn* (campaign-scale benches)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

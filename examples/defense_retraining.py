@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Defense case study — the paper's Sec. V-D / Fig. 8 pipeline.
+
+1. Train an HDC model.
+2. Run HDTest until a pool of adversarial images exists.
+3. Split the pool 50/50; retrain the model on the first half with
+   correct labels ("updating the reference HVs").
+4. Attack the retrained model with the unseen second half.
+
+The paper reports the attack success rate dropping by more than 20 %
+after retraining; this script prints the before/after rates plus the
+clean-accuracy cost.
+
+Run:  python examples/defense_retraining.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    HDCClassifier,
+    PixelEncoder,
+    generate_adversarial_set,
+    load_digits,
+    run_defense,
+)
+
+SEED = 2
+DIMENSION = 4096
+N_ADVERSARIAL = 120
+
+
+def main() -> None:
+    train, test = load_digits(n_train=1000, n_test=300, seed=SEED)
+    model = HDCClassifier(PixelEncoder(dimension=DIMENSION, rng=SEED), 10)
+    model.fit(train.images, train.labels)
+    print(f"clean accuracy before defense: {model.score(test.images, test.labels):.3f}")
+
+    print(f"\n(1) generating {N_ADVERSARIAL} adversarial images with HDTest…")
+    examples, elapsed = generate_adversarial_set(
+        model,
+        test.images.astype(np.float64),
+        N_ADVERSARIAL,
+        strategy="gauss",
+        true_labels=test.labels,
+        rng=SEED,
+    )
+    print(f"    done in {elapsed:.1f}s "
+          f"({len(examples) / elapsed * 60:.0f} images/minute)")
+
+    print("(2) retraining on half of them, (3) attacking with the other half…")
+    report, hardened = run_defense(
+        model,
+        examples,
+        retrain_fraction=0.5,
+        epochs=5,
+        clean_inputs=test.images,
+        clean_labels=test.labels,
+        rng=SEED,
+    )
+
+    print(f"""
+results (paper: success rate drops by more than 20 %):
+    attack success before retraining : {report.attack_rate_before:6.1%}
+    attack success after  retraining : {report.attack_rate_after:6.1%}
+    drop                             : {report.rate_drop:6.1%}
+    clean accuracy before / after    : {report.clean_accuracy_before:.3f} / {report.clean_accuracy_after:.3f}
+    retrain / attack subset sizes    : {report.n_retrain} / {report.n_attack}
+""")
+
+
+if __name__ == "__main__":
+    main()

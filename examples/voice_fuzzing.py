@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""HDTest on a third modality: VoiceHD-style feature-record classification.
+
+The paper cites VoiceHD (Imani et al., ICRC'17) — HDC over fixed-length
+acoustic feature vectors — among HDC's flagship applications, and claims
+(Sec. V-E) that HDTest transfers to any HDC model structure.  This
+script closes the loop on a synthetic VoiceHD-shaped task:
+
+* a record encoder (feature-ID ⊛ quantised-value, the VoiceHD recipe)
+  with the paper's *random* value codebook;
+* record-domain mutation strategies mirroring Table I
+  (``record_gauss``, ``record_rand``, ``record_band``, ``record_shift``);
+* the identical Alg. 1 loop with an L2 budget on the feature vector.
+
+It also reruns the key ablation in this domain: swapping the random
+value codebook for the ordinal *level* codebook hardens the model
+against exactly these small-perturbation attacks.
+
+Run:  python examples/voice_fuzzing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HDCClassifier, HDTest, RecordEncoder
+from repro.datasets import make_voice_dataset
+from repro.fuzz import HDTestConfig, RecordConstraint
+
+SEED = 6
+DIMENSION = 4096
+N_FEATURES = 64
+
+
+def build_model(level_encoding: str, train) -> HDCClassifier:
+    encoder = RecordEncoder(
+        N_FEATURES,
+        levels=32,
+        level_encoding=level_encoding,
+        dimension=DIMENSION,
+        rng=SEED,
+    )
+    return HDCClassifier(encoder, n_classes=6).fit(train.records, train.labels)
+
+
+def fuzz(model, records, strategy: str):
+    fuzzer = HDTest(
+        model,
+        strategy,
+        constraint=RecordConstraint(max_l2=1.0),
+        config=HDTestConfig(iter_times=40),
+        rng=SEED,
+    )
+    return fuzzer.fuzz(records)
+
+
+def main() -> None:
+    data = make_voice_dataset(40, n_classes=6, n_features=N_FEATURES, seed=SEED)
+    train, test = data.split(0.7, rng=SEED)
+    records = [test.records[i] for i in range(8)]
+
+    print("== paper-style model (random value codebook) ==")
+    model = build_model("random", train)
+    print(f"accuracy: {model.score(test.records, test.labels):.3f}")
+    for strategy in ("record_gauss", "record_rand", "record_band", "record_shift"):
+        result = fuzz(model, records, strategy)
+        print(f"  {strategy:13s} success={result.success_rate:.2f} "
+              f"avg iterations={result.avg_iterations:.1f}")
+
+    example = next(
+        e for s in ("record_gauss", "record_rand")
+        for e in fuzz(model, records, s).examples
+    )
+    delta = np.abs(np.asarray(example.adversarial) - np.asarray(example.original))
+    print(f"\nsample flip: class {example.reference_label} → "
+          f"{example.adversarial_label}, max feature change "
+          f"{delta.max():.3f}, features touched {(delta > 1e-12).sum()}")
+
+    print("\n== hardened model (ordinal level codebook) ==")
+    hardened = build_model("linear", train)
+    print(f"accuracy: {hardened.score(test.records, test.labels):.3f}")
+    for strategy in ("record_gauss", "record_rand"):
+        result = fuzz(hardened, records, strategy)
+        print(f"  {strategy:13s} success={result.success_rate:.2f} "
+              f"avg iterations={result.avg_iterations:.1f}")
+    print("\nordinal level encoding resists the small-perturbation attacks that")
+    print("break the paper's random value memory — the same ablation result as")
+    print("in the image domain (benchmarks/bench_ablation_value_memory.py).")
+
+
+if __name__ == "__main__":
+    main()

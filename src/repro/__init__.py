@@ -1,0 +1,112 @@
+"""HDTest reproduction: differential fuzz testing of HDC models.
+
+A from-scratch implementation of *HDTest: Differential Fuzz Testing of
+Brain-Inspired Hyperdimensional Computing* (Ma, Guo, Jiang, Jiao —
+DAC 2021), comprising:
+
+* :mod:`repro.hdc` — the hyperdimensional-computing substrate (spaces,
+  operations, item memories, encoders, associative memory, classifier);
+* :mod:`repro.datasets` — MNIST-shaped synthetic digits, real-MNIST IDX
+  I/O, and a synthetic language corpus;
+* :mod:`repro.fuzz` — the HDTest guided differential fuzzer (mutation
+  strategies, distance-guided fitness, constraints, oracle, campaigns);
+* :mod:`repro.defense` — the adversarial-retraining defense;
+* :mod:`repro.metrics` / :mod:`repro.analysis` — evaluation metrics and
+  table/figure reproduction.
+
+Quickstart
+----------
+>>> from repro import HDCClassifier, HDTest, PixelEncoder, load_digits
+>>> train, test = load_digits(n_train=300, n_test=30, seed=0)
+>>> model = HDCClassifier(PixelEncoder(dimension=2048, rng=0), 10)
+>>> _ = model.fit(train.images, train.labels)
+>>> campaign = HDTest(model, "gauss", rng=0).fuzz(test.images[:3])
+>>> campaign.n_inputs
+3
+"""
+
+from repro._version import __version__
+from repro.baselines import random_attack
+from repro.datasets import (
+    Dataset,
+    SyntheticDigitGenerator,
+    load_digits,
+    make_language_dataset,
+    make_voice_dataset,
+)
+from repro.defense import DefenseReport, attack_success_rate, run_defense
+from repro.errors import (
+    ConfigurationError,
+    ConstraintError,
+    DatasetError,
+    DimensionMismatchError,
+    EncodingError,
+    FuzzingError,
+    MutationError,
+    NotTrainedError,
+    ReproError,
+)
+from repro.fuzz import (
+    AdversarialExample,
+    CampaignResult,
+    HDTest,
+    HDTestConfig,
+    ImageConstraint,
+    compare_strategies,
+    create_strategy,
+    generate_adversarial_set,
+    strategy_names,
+)
+from repro.hdc import (
+    AssociativeMemory,
+    BinaryHDCClassifier,
+    BinaryPixelEncoder,
+    HDCClassifier,
+    ItemMemory,
+    LevelMemory,
+    NgramEncoder,
+    PermutationImageEncoder,
+    PixelEncoder,
+    RecordEncoder,
+)
+
+__all__ = [
+    "AdversarialExample",
+    "AssociativeMemory",
+    "BinaryHDCClassifier",
+    "BinaryPixelEncoder",
+    "CampaignResult",
+    "ConfigurationError",
+    "ConstraintError",
+    "Dataset",
+    "DatasetError",
+    "DefenseReport",
+    "DimensionMismatchError",
+    "EncodingError",
+    "FuzzingError",
+    "HDCClassifier",
+    "HDTest",
+    "HDTestConfig",
+    "ImageConstraint",
+    "ItemMemory",
+    "LevelMemory",
+    "MutationError",
+    "NgramEncoder",
+    "NotTrainedError",
+    "PermutationImageEncoder",
+    "PixelEncoder",
+    "RecordEncoder",
+    "ReproError",
+    "SyntheticDigitGenerator",
+    "attack_success_rate",
+    "compare_strategies",
+    "create_strategy",
+    "generate_adversarial_set",
+    "load_digits",
+    "make_language_dataset",
+    "make_voice_dataset",
+    "random_attack",
+    "run_defense",
+    "strategy_names",
+    "__version__",
+]

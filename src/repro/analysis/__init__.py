@@ -1,0 +1,71 @@
+"""Analysis and reporting: tables, per-class series, ASCII figures."""
+
+from repro.analysis.confusion import (
+    class_confusability,
+    dominant_flips,
+    flip_matrix,
+    flip_table,
+)
+from repro.analysis.experiments import (
+    ExperimentSuiteResult,
+    render_report,
+    run_experiment_suite,
+)
+from repro.analysis.figures import (
+    adversarial_triptych,
+    ascii_bar_chart,
+    ascii_image,
+    diff_mask,
+    save_examples_npz,
+    save_pgm,
+)
+from repro.analysis.per_class import (
+    PerClassSeries,
+    hardest_classes,
+    per_class_series,
+    per_class_table,
+)
+from repro.analysis.report import (
+    defense_markdown,
+    markdown_table,
+    per_class_markdown,
+    table2_markdown,
+)
+from repro.analysis.tables import PAPER_TABLE2, format_table, table2
+from repro.analysis.vulnerability import (
+    VulnerableCase,
+    margin_iteration_correlation,
+    rank_by_margin,
+    vulnerable_cases,
+)
+
+__all__ = [
+    "ExperimentSuiteResult",
+    "PAPER_TABLE2",
+    "PerClassSeries",
+    "VulnerableCase",
+    "adversarial_triptych",
+    "ascii_bar_chart",
+    "ascii_image",
+    "class_confusability",
+    "defense_markdown",
+    "diff_mask",
+    "dominant_flips",
+    "flip_matrix",
+    "flip_table",
+    "format_table",
+    "hardest_classes",
+    "margin_iteration_correlation",
+    "markdown_table",
+    "per_class_markdown",
+    "per_class_series",
+    "per_class_table",
+    "rank_by_margin",
+    "render_report",
+    "run_experiment_suite",
+    "save_examples_npz",
+    "save_pgm",
+    "table2",
+    "table2_markdown",
+    "vulnerable_cases",
+]

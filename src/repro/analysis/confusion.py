@@ -1,0 +1,89 @@
+"""Adversarial flip (confusion) analysis.
+
+The paper repeatedly reasons about *which* classes flip into which:
+Fig. 1's "8" becomes a "3"; Sec. V-C explains class "1"'s difficulty by
+its visual dissimilarity from everything but "7", and class "9"'s ease
+by its similarity to "8" and "3".  This module tabulates exactly those
+flip patterns from a campaign: a reference-label × adversarial-label
+matrix, the dominant flip per class, and the similarity structure of
+the associative memory that explains them.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+from repro.fuzz.results import AdversarialExample, CampaignResult
+from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.similarity import cosine_matrix
+
+__all__ = [
+    "flip_matrix",
+    "dominant_flips",
+    "flip_table",
+    "class_confusability",
+]
+
+
+def _examples_of(results) -> list[AdversarialExample]:
+    if isinstance(results, CampaignResult):
+        return results.examples
+    if isinstance(results, Mapping):
+        return [e for r in results.values() for e in r.examples]
+    return [e for r in results for e in r.examples]
+
+
+def flip_matrix(results, n_classes: int = 10) -> np.ndarray:
+    """Count matrix ``M[ref, adv]`` of adversarial label flips.
+
+    Accepts a single campaign, a mapping of campaigns, or a sequence —
+    examples are pooled.
+    """
+    if n_classes < 2:
+        raise ConfigurationError(f"n_classes must be >= 2, got {n_classes}")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for example in _examples_of(results):
+        ref, adv = example.reference_label, example.adversarial_label
+        if not (0 <= ref < n_classes and 0 <= adv < n_classes):
+            raise ConfigurationError(
+                f"labels ({ref}, {adv}) out of range for {n_classes} classes"
+            )
+        matrix[ref, adv] += 1
+    if np.trace(matrix) != 0:
+        raise ConfigurationError("flip matrix has diagonal entries — not adversarial")
+    return matrix
+
+
+def dominant_flips(matrix: np.ndarray) -> dict[int, Optional[int]]:
+    """Most common adversarial target per reference class (None if unseen)."""
+    out: dict[int, Optional[int]] = {}
+    for ref in range(matrix.shape[0]):
+        row = matrix[ref]
+        out[ref] = int(row.argmax()) if row.sum() > 0 else None
+    return out
+
+
+def flip_table(matrix: np.ndarray) -> str:
+    """The flip matrix as a monospace table (rows = reference labels)."""
+    n = matrix.shape[0]
+    headers = ["ref\\adv"] + [str(c) for c in range(n)] + ["total"]
+    rows = []
+    for ref in range(n):
+        rows.append([str(ref)] + [int(v) for v in matrix[ref]] + [int(matrix[ref].sum())])
+    return format_table(headers, rows, title="Adversarial flips (reference → adversarial)")
+
+
+def class_confusability(am: AssociativeMemory) -> np.ndarray:
+    """Pairwise cosine similarity between the AM's class hypervectors.
+
+    The paper's explanation of per-class difficulty is exactly this
+    matrix: classes whose reference HVs sit close together flip into
+    each other easily.  The diagonal is masked to NaN.
+    """
+    sims = cosine_matrix(am.class_hvs, am.class_hvs)
+    np.fill_diagonal(sims, np.nan)
+    return sims

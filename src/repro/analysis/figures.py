@@ -1,0 +1,151 @@
+"""Figure rendering without a plotting stack.
+
+Reproduces the paper's qualitative figures as terminal/file artifacts:
+
+* Figs. 1 and 4–6 (original image / mutated pixels / adversarial
+  image triptychs) → ASCII art via :func:`ascii_image` /
+  :func:`adversarial_triptych`, and portable grey-map files via
+  :func:`save_pgm` for external viewers.
+* Fig. 7 (per-class bars) → :func:`ascii_bar_chart`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fuzz.results import AdversarialExample
+
+__all__ = [
+    "ascii_image",
+    "diff_mask",
+    "adversarial_triptych",
+    "ascii_bar_chart",
+    "save_pgm",
+    "save_examples_npz",
+]
+
+#: Ten-step grey ramp used for ASCII rendering.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_image(image: np.ndarray, *, downsample: int = 1) -> str:
+    """Render a grey-scale image as ASCII art (dark background).
+
+    Parameters
+    ----------
+    downsample:
+        Keep every *downsample*-th row/column (rows additionally halved
+        because terminal cells are ~2× taller than wide).
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"image must be 2-D, got shape {arr.shape}")
+    if downsample < 1:
+        raise ConfigurationError(f"downsample must be >= 1, got {downsample}")
+    arr = arr[:: 2 * downsample, ::downsample]
+    idx = np.clip((arr / 255.0 * (len(_RAMP) - 1)).round().astype(int), 0, len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[i] for i in row) for row in idx)
+
+
+def diff_mask(original: np.ndarray, mutated: np.ndarray, *, tol: float = 0.5) -> np.ndarray:
+    """Binary image marking pixels changed by more than *tol* grey levels.
+
+    This is the "(b) the pixels mutated" panel of Figs. 1 and 4–5.
+    """
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(mutated, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ConfigurationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return (np.abs(b - a) > tol).astype(np.uint8) * 255
+
+
+def adversarial_triptych(example: AdversarialExample) -> str:
+    """Fig. 1-style panel: original | mutated pixels | adversarial.
+
+    Renders the three images side by side with the reference and
+    adversarial labels in the header.
+    """
+    original = np.asarray(example.original, dtype=np.float64)
+    adversarial = np.asarray(example.adversarial, dtype=np.float64)
+    panels = [
+        (f"original → {example.reference_label}", ascii_image(original)),
+        ("mutated pixels", ascii_image(diff_mask(original, adversarial))),
+        (f"adversarial → {example.adversarial_label}", ascii_image(adversarial)),
+    ]
+    blocks = []
+    width = original.shape[1]
+    for caption, art in panels:
+        lines = [caption.center(width)[:width].ljust(width)]
+        lines += [line.ljust(width) for line in art.splitlines()]
+        blocks.append(lines)
+    height = max(len(b) for b in blocks)
+    for b in blocks:
+        b += [" " * width] * (height - len(b))
+    return "\n".join(" | ".join(b[r] for b in blocks) for r in range(height))
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: Optional[str] = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal ASCII bar chart (used for the Fig. 7 series).
+
+    NaN values render as empty bars labelled ``n/a``.
+    """
+    if len(labels) != len(values):
+        raise ConfigurationError(f"{len(labels)} labels for {len(values)} values")
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    vals = np.asarray(values, dtype=np.float64)
+    finite = vals[np.isfinite(vals)]
+    vmax = float(finite.max()) if finite.size else 1.0
+    vmax = vmax if vmax > 0 else 1.0
+    label_w = max((len(str(l)) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, vals):
+        if np.isfinite(value):
+            bar = "█" * max(1, int(round(value / vmax * width))) if value > 0 else ""
+            lines.append(f"{str(label).rjust(label_w)} |{bar.ljust(width)} {fmt.format(value)}")
+        else:
+            lines.append(f"{str(label).rjust(label_w)} |{' ' * width} n/a")
+    return "\n".join(lines)
+
+
+def save_pgm(path: Union[str, Path], image: np.ndarray) -> None:
+    """Write a grey-scale image as a binary PGM (P5) file.
+
+    PGM needs no imaging library and opens in any viewer; the benches
+    use it to persist the Figs. 1/4–6 sample images.
+    """
+    arr = np.asarray(image)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"image must be 2-D, got shape {arr.shape}")
+    arr = np.clip(arr, 0, 255).astype(np.uint8)
+    header = f"P5\n{arr.shape[1]} {arr.shape[0]}\n255\n".encode("ascii")
+    with open(Path(path), "wb") as handle:
+        handle.write(header + arr.tobytes())
+
+
+def save_examples_npz(path: Union[str, Path], examples: Sequence[AdversarialExample]) -> None:
+    """Persist image adversarial examples (originals, adversarials, labels)."""
+    if not examples:
+        raise ConfigurationError("examples is empty")
+    originals = np.stack([np.asarray(e.original) for e in examples])
+    adversarials = np.stack([np.asarray(e.adversarial) for e in examples])
+    np.savez_compressed(
+        Path(path),
+        originals=originals,
+        adversarials=adversarials,
+        reference_labels=np.asarray([e.reference_label for e in examples]),
+        adversarial_labels=np.asarray([e.adversarial_label for e in examples]),
+        iterations=np.asarray([e.iterations for e in examples]),
+        strategies=np.asarray([e.strategy for e in examples]),
+    )

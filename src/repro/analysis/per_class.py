@@ -1,0 +1,89 @@
+"""Per-class analysis (Sec. V-C, Fig. 7).
+
+Fig. 7 plots, per digit class, the average normalized L1/L2 distance
+and the average fuzzing iterations needed to generate an adversarial.
+:func:`per_class_table` assembles that data from one or more campaign
+results, and :func:`hardest_classes` ranks classes by iteration count —
+the paper observes class "1" is drastically harder (all other digits
+except "7" are visually dissimilar from "1") while "9" is easy (it
+resembles "8" and "3").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+from repro.fuzz.results import CampaignResult
+
+__all__ = ["PerClassSeries", "per_class_series", "per_class_table", "hardest_classes"]
+
+
+@dataclass(frozen=True)
+class PerClassSeries:
+    """Fig. 7's three series over class indices 0..n_classes-1."""
+
+    l1: np.ndarray
+    l2: np.ndarray
+    iterations: np.ndarray
+
+    @property
+    def n_classes(self) -> int:
+        return self.l1.shape[0]
+
+    def as_rows(self) -> list[list[float]]:
+        """Rows ``[class, l1, l2, iterations]`` for table rendering."""
+        return [
+            [c, float(self.l1[c]), float(self.l2[c]), float(self.iterations[c])]
+            for c in range(self.n_classes)
+        ]
+
+
+def per_class_series(
+    results: CampaignResult | Sequence[CampaignResult] | Mapping[str, CampaignResult],
+    n_classes: int = 10,
+) -> PerClassSeries:
+    """Pool one or more campaigns into Fig. 7's per-class series.
+
+    When several campaigns are given (e.g. all four Table II
+    strategies), outcomes are pooled before grouping, matching the
+    figure's strategy-agnostic presentation.
+    """
+    if isinstance(results, CampaignResult):
+        campaigns = [results]
+    elif isinstance(results, Mapping):
+        campaigns = list(results.values())
+    else:
+        campaigns = list(results)
+    if not campaigns:
+        raise ConfigurationError("no campaign results given")
+    pooled = CampaignResult(
+        strategy="pooled",
+        outcomes=[o for c in campaigns for o in c.outcomes],
+        elapsed_seconds=sum(c.elapsed_seconds for c in campaigns),
+    )
+    data = pooled.per_class(n_classes)
+    return PerClassSeries(l1=data["l1"], l2=data["l2"], iterations=data["iterations"])
+
+
+def per_class_table(series: PerClassSeries) -> str:
+    """Fig. 7's data as a monospace table."""
+    return format_table(
+        ["Class", "Avg L1", "Avg L2", "Avg #Iter"],
+        series.as_rows(),
+        title="Fig. 7 — per-class distances and fuzzing iterations",
+    )
+
+
+def hardest_classes(series: PerClassSeries) -> list[int]:
+    """Class indices sorted hardest-first (by average iterations).
+
+    NaN classes (no outcomes) sort last.
+    """
+    iters = series.iterations
+    order = np.argsort(np.where(np.isnan(iters), -np.inf, iters))[::-1]
+    return [int(c) for c in order]

@@ -1,0 +1,76 @@
+"""Markdown experiment-report emitters.
+
+Builds the paper-vs-measured sections EXPERIMENTS.md records, from the
+same objects the benches produce — so documentation and benchmarks can
+never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.per_class import PerClassSeries
+from repro.analysis.tables import PAPER_TABLE2
+from repro.defense.retrain import DefenseReport
+from repro.errors import ConfigurationError
+from repro.fuzz.results import CampaignResult
+
+__all__ = ["markdown_table", "table2_markdown", "per_class_markdown", "defense_markdown"]
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    if not headers:
+        raise ConfigurationError("headers is empty")
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return "—" if np.isnan(cell) else f"{cell:.3g}"
+        return str(cell)
+
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(f"row has {len(row)} cells for {len(headers)} headers")
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def table2_markdown(results: Mapping[str, CampaignResult]) -> str:
+    """Table II paper-vs-measured as markdown."""
+    headers = ["Strategy", "L1 (paper)", "L1 (ours)", "L2 (paper)", "L2 (ours)",
+               "#Iter (paper)", "#Iter (ours)", "s/1K (paper)", "s/1K (ours)"]
+    rows = []
+    for name, result in results.items():
+        paper = PAPER_TABLE2.get(name, {})
+        rows.append(
+            [
+                name,
+                paper.get("l1", float("nan")),
+                result.avg_l1,
+                paper.get("l2", float("nan")),
+                result.avg_l2,
+                paper.get("iterations", float("nan")),
+                result.avg_iterations,
+                paper.get("time_per_1k", float("nan")),
+                result.time_per_1k,
+            ]
+        )
+    return markdown_table(headers, rows)
+
+
+def per_class_markdown(series: PerClassSeries) -> str:
+    """Fig. 7 data as markdown."""
+    headers = ["Class", "Avg L1", "Avg L2", "Avg #Iter"]
+    return markdown_table(headers, series.as_rows())
+
+
+def defense_markdown(report: DefenseReport) -> str:
+    """Sec. V-D defense outcome as markdown."""
+    headers = ["Metric", "Value"]
+    summary = report.summary()
+    rows = [[k, v] for k, v in summary.items()]
+    return markdown_table(headers, rows)

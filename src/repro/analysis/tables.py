@@ -1,0 +1,114 @@
+"""Plain-text table rendering — Table II and friends.
+
+No plotting stack exists offline, so evaluation artifacts are emitted
+as aligned monospace tables (and the figures as ASCII art /
+``.pgm``/``.npz`` files, see :mod:`repro.analysis.figures`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fuzz.results import CampaignResult
+
+__all__ = ["format_table", "table2", "PAPER_TABLE2"]
+
+#: The paper's Table II, for side-by-side reporting.
+PAPER_TABLE2: dict[str, dict[str, float]] = {
+    "gauss": {"l1": 2.91, "l2": 0.38, "iterations": 1.46, "time_per_1k": 173.0},
+    "rand": {"l1": 0.58, "l2": 0.09, "iterations": 12.18, "time_per_1k": 228.3},
+    "row_col_rand": {"l1": 9.45, "l2": 0.65, "iterations": 7.94, "time_per_1k": 114.2},
+    "shift": {"l1": 10.19, "l2": 0.68, "iterations": 4.25, "time_per_1k": 88.4},
+}
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "—"
+        if value == 0 or 0.01 <= abs(value) < 10000:
+            return f"{value:.2f}".rstrip("0").rstrip(".") if value % 1 else f"{value:g}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table with a header rule."""
+    if not headers:
+        raise ConfigurationError("headers is empty")
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[c])), *(len(r[c]) for r in str_rows)) if str_rows else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def table2(
+    results: Mapping[str, CampaignResult],
+    *,
+    include_paper: bool = True,
+) -> str:
+    """Render campaign results as the paper's Table II layout.
+
+    One column per strategy; rows are normalized L1/L2, average fuzzing
+    iterations, and (extrapolated) seconds per 1000 generated images.
+    With ``include_paper=True`` each measured row is followed by the
+    paper's reported row for side-by-side comparison.
+    """
+    if not results:
+        raise ConfigurationError("results is empty")
+    strategies = list(results)
+    headers = ["Metric"] + strategies
+
+    def measured(metric: str) -> list[Any]:
+        values = []
+        for name in strategies:
+            r = results[name]
+            values.append(
+                {
+                    "l1": r.avg_l1,
+                    "l2": r.avg_l2,
+                    "iterations": r.avg_iterations,
+                    "time_per_1k": r.time_per_1k,
+                    "success_rate": r.success_rate,
+                }[metric]
+            )
+        return values
+
+    def paper(metric: str) -> list[Any]:
+        return [PAPER_TABLE2.get(name, {}).get(metric, float("nan")) for name in strategies]
+
+    rows: list[list[Any]] = []
+    for metric, label in (
+        ("l1", "Avg. Norm. Dist. L1"),
+        ("l2", "Avg. Norm. Dist. L2"),
+        ("iterations", "Avg. #Iter."),
+        ("time_per_1k", "Time Per-1K Gen. Img. (s)"),
+    ):
+        rows.append([label] + measured(metric))
+        if include_paper:
+            rows.append([f"  (paper)"] + paper(metric))
+    rows.append(["Success rate"] + measured("success_rate"))
+    return format_table(headers, rows, title="Table II — mutation strategy comparison")

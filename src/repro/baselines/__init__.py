@@ -1,0 +1,5 @@
+"""Baselines HDTest is compared against (random sampling, unguided modes)."""
+
+from repro.baselines.random_attack import RandomAttackResult, random_attack
+
+__all__ = ["RandomAttackResult", "random_attack"]

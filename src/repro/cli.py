@@ -1,0 +1,217 @@
+"""``hdtest`` command-line interface.
+
+Subcommands mirror the paper's workflow:
+
+* ``hdtest train`` — train the Sec. III HDC model on (synthetic or
+  real) MNIST digits and save it to a ``.npz`` file.
+* ``hdtest fuzz`` — run Alg. 1 over test images with one or more
+  Table I strategies and print the Table II-style summary.
+* ``hdtest defend`` — run the Sec. V-D retraining defense end to end.
+* ``hdtest strategies`` — list registered mutation strategies.
+
+Every subcommand takes ``--seed`` and is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro._version import __version__
+from repro.analysis.figures import adversarial_triptych
+from repro.analysis.per_class import per_class_series, per_class_table
+from repro.analysis.tables import table2
+from repro.datasets.loaders import load_digits
+from repro.defense.retrain import run_defense
+from repro.fuzz.campaign import compare_strategies, generate_adversarial_set
+from repro.fuzz.fuzzer import HDTestConfig
+from repro.fuzz.mutations import strategy_names
+from repro.hdc.encoders.image import PixelEncoder
+from repro.hdc.model import HDCClassifier
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="hdtest",
+        description="Differential fuzz testing of HDC models (DAC'21 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"hdtest {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train an HDC digit classifier")
+    train.add_argument("--out", type=Path, required=True, help="output model .npz path")
+    train.add_argument("--n-train", type=int, default=2000)
+    train.add_argument("--n-test", type=int, default=400)
+    train.add_argument("--dimension", type=int, default=10000)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--data-dir", type=Path, default=None,
+                       help="directory with real MNIST IDX files (optional)")
+
+    fuzz = sub.add_parser("fuzz", help="fuzz a trained model (Table II workflow)")
+    fuzz.add_argument("--model", type=Path, required=True, help="model .npz from `train`")
+    fuzz.add_argument("--strategies", nargs="+", default=["gauss"],
+                      help=f"one or more of: {', '.join(strategy_names('image'))}")
+    fuzz.add_argument("--n-images", type=int, default=50)
+    fuzz.add_argument("--iter-times", type=int, default=50)
+    fuzz.add_argument("--top-n", type=int, default=3)
+    fuzz.add_argument("--children", type=int, default=8)
+    fuzz.add_argument("--unguided", action="store_true",
+                      help="disable distance-guided seed survival")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--per-class", action="store_true", help="print Fig. 7 table")
+    fuzz.add_argument("--show-example", action="store_true",
+                      help="render one adversarial triptych as ASCII")
+    fuzz.add_argument("--data-dir", type=Path, default=None)
+
+    defend = sub.add_parser("defend", help="retraining defense (Sec. V-D)")
+    defend.add_argument("--model", type=Path, required=True)
+    defend.add_argument("--n-adversarial", type=int, default=200)
+    defend.add_argument("--strategy", default="gauss")
+    defend.add_argument("--seed", type=int, default=0)
+    defend.add_argument("--data-dir", type=Path, default=None)
+
+    report = sub.add_parser(
+        "report", help="run the full scaled-down evaluation suite → markdown"
+    )
+    report.add_argument("--model", type=Path, required=True)
+    report.add_argument("--out", type=Path, default=None,
+                        help="write markdown here (default: stdout)")
+    report.add_argument("--n-fuzz", type=int, default=20)
+    report.add_argument("--n-adversarial", type=int, default=60)
+    report.add_argument("--n-images", type=int, default=200,
+                        help="size of the labeled test pool")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--data-dir", type=Path, default=None)
+
+    sub.add_parser("strategies", help="list registered mutation strategies")
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    train_set, test_set = load_digits(
+        n_train=args.n_train, n_test=args.n_test, seed=args.seed, data_dir=args.data_dir
+    )
+    encoder = PixelEncoder(dimension=args.dimension, rng=args.seed)
+    model = HDCClassifier(encoder, n_classes=10).fit(train_set.images, train_set.labels)
+    accuracy = model.score(test_set.images, test_set.labels)
+    model.save(args.out)
+    print(f"trained on {len(train_set)} {train_set.name} images "
+          f"(D={args.dimension}); test accuracy {accuracy:.3f}")
+    print(f"model saved to {args.out}")
+    return 0
+
+
+def _load_model_and_images(args: argparse.Namespace, n_images: int):
+    model = HDCClassifier.load(args.model)
+    _, test_set = load_digits(
+        n_train=1, n_test=max(n_images, 1), seed=args.seed + 1, data_dir=args.data_dir
+    )
+    return model, test_set
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    model, test_set = _load_model_and_images(args, args.n_images)
+    config = HDTestConfig(
+        iter_times=args.iter_times,
+        top_n=args.top_n,
+        children_per_seed=args.children,
+        guided=not args.unguided,
+    )
+    results = compare_strategies(
+        model,
+        test_set.images[: args.n_images].astype(np.float64),
+        args.strategies,
+        config=config,
+        rng=args.seed,
+    )
+    print(table2(results))
+    if args.per_class:
+        series = per_class_series(results, n_classes=model.n_classes)
+        print()
+        print(per_class_table(series))
+    if args.show_example:
+        for result in results.values():
+            if result.examples:
+                print()
+                print(adversarial_triptych(result.examples[0]))
+                break
+    return 0
+
+
+def _cmd_defend(args: argparse.Namespace) -> int:
+    model, test_set = _load_model_and_images(args, 200)
+    examples, elapsed = generate_adversarial_set(
+        model,
+        test_set.images.astype(np.float64),
+        args.n_adversarial,
+        strategy=args.strategy,
+        true_labels=test_set.labels,
+        rng=args.seed,
+    )
+    report, _ = run_defense(
+        model,
+        examples,
+        clean_inputs=test_set.images,
+        clean_labels=test_set.labels,
+        rng=args.seed,
+    )
+    print(f"generated {len(examples)} adversarial images in {elapsed:.1f}s "
+          f"({args.strategy})")
+    for key, value in report.summary().items():
+        print(f"  {key:24s} {value:.3f}" if isinstance(value, float) else
+              f"  {key:24s} {value}")
+    verdict = "PASS" if report.rate_drop > 0.2 else "below paper's >20% drop"
+    print(f"attack-rate drop {report.rate_drop * 100:.1f}% — {verdict}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import render_report, run_experiment_suite
+
+    model, test_set = _load_model_and_images(args, args.n_images)
+    suite = run_experiment_suite(
+        model,
+        test_set.images,
+        test_set.labels,
+        n_fuzz=args.n_fuzz,
+        n_adversarial=args.n_adversarial,
+        rng=args.seed,
+    )
+    markdown = render_report(suite)
+    if args.out is None:
+        print(markdown)
+    else:
+        args.out.write_text(markdown)
+        print(f"report written to {args.out}")
+    return 0
+
+
+def _cmd_strategies(_: argparse.Namespace) -> int:
+    for domain in ("image", "text", "record"):
+        print(f"{domain}: {', '.join(strategy_names(domain))}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "train": _cmd_train,
+        "fuzz": _cmd_fuzz,
+        "defend": _cmd_defend,
+        "report": _cmd_report,
+        "strategies": _cmd_strategies,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Datasets: synthetic MNIST substitute, real-MNIST IDX I/O, text corpus."""
+
+from repro.datasets.idx import MNIST_FILES, read_idx, write_idx
+from repro.datasets.loaders import Dataset, find_mnist_dir, load_digits, save_mnist_dir
+from repro.datasets.synthetic_mnist import (
+    DIGIT_NAMES,
+    DigitStyle,
+    SyntheticDigitGenerator,
+    glyph_strokes,
+)
+from repro.datasets.text import LanguageModel, TextDataset, make_language_dataset
+from repro.datasets.voice import RecordDataset, make_voice_dataset
+
+__all__ = [
+    "DIGIT_NAMES",
+    "Dataset",
+    "DigitStyle",
+    "LanguageModel",
+    "MNIST_FILES",
+    "RecordDataset",
+    "SyntheticDigitGenerator",
+    "TextDataset",
+    "make_voice_dataset",
+    "find_mnist_dir",
+    "glyph_strokes",
+    "load_digits",
+    "make_language_dataset",
+    "read_idx",
+    "save_mnist_dir",
+    "write_idx",
+]

@@ -1,0 +1,109 @@
+"""Reader/writer for the IDX binary format used by real MNIST.
+
+If genuine MNIST files (``train-images-idx3-ubyte`` etc., optionally
+gzipped) are placed on disk, :func:`repro.datasets.loaders.load_digits`
+uses them instead of the synthetic generator — making the reproduction
+bit-compatible with the paper's dataset when the files are available.
+
+Format reference (LeCun et al.): big-endian magic ``0x00 0x00 <dtype>
+<ndim>`` followed by ``ndim`` big-endian uint32 dimension sizes, then
+row-major data.  Only the unsigned-byte dtype (0x08) used by MNIST is
+required, but the common numeric dtypes are supported for completeness.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = ["read_idx", "write_idx", "MNIST_FILES"]
+
+#: Standard MNIST file names (stem → (images, labels) pair membership).
+MNIST_FILES = {
+    "train_images": "train-images-idx3-ubyte",
+    "train_labels": "train-labels-idx1-ubyte",
+    "test_images": "t10k-images-idx3-ubyte",
+    "test_labels": "t10k-labels-idx1-ubyte",
+}
+
+_DTYPE_CODES = {
+    0x08: np.dtype(np.uint8),
+    0x09: np.dtype(np.int8),
+    0x0B: np.dtype(">i2"),
+    0x0C: np.dtype(">i4"),
+    0x0D: np.dtype(">f4"),
+    0x0E: np.dtype(">f8"),
+}
+_CODE_FOR_KIND = {
+    np.dtype(np.uint8): 0x08,
+    np.dtype(np.int8): 0x09,
+    np.dtype(np.int16): 0x0B,
+    np.dtype(np.int32): 0x0C,
+    np.dtype(np.float32): 0x0D,
+    np.dtype(np.float64): 0x0E,
+}
+
+
+def _open_maybe_gzip(path: Path, mode: str):
+    """Open *path*, transparently un-gzipping if the magic bytes say so."""
+    if "r" in mode:
+        with open(path, "rb") as handle:
+            magic = handle.read(2)
+        if magic == b"\x1f\x8b":
+            return gzip.open(path, mode)
+    elif path.suffix == ".gz":
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def read_idx(path: Union[str, Path]) -> np.ndarray:
+    """Read an IDX file (gzipped or plain) into a numpy array."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"IDX file not found: {path}")
+    with _open_maybe_gzip(path, "rb") as handle:
+        header = handle.read(4)
+        if len(header) != 4 or header[0] != 0 or header[1] != 0:
+            raise DatasetError(f"{path} is not an IDX file (bad magic {header!r})")
+        dtype_code, ndim = header[2], header[3]
+        dtype = _DTYPE_CODES.get(dtype_code)
+        if dtype is None:
+            raise DatasetError(f"{path}: unsupported IDX dtype code 0x{dtype_code:02x}")
+        dims_raw = handle.read(4 * ndim)
+        if len(dims_raw) != 4 * ndim:
+            raise DatasetError(f"{path}: truncated IDX dimension header")
+        dims = struct.unpack(f">{ndim}I", dims_raw)
+        count = int(np.prod(dims)) if dims else 1
+        payload = handle.read()
+    expected = count * dtype.itemsize
+    if len(payload) < expected:
+        raise DatasetError(
+            f"{path}: truncated IDX payload ({len(payload)} bytes, expected {expected})"
+        )
+    data = np.frombuffer(payload[:expected], dtype=dtype).reshape(dims)
+    # Normalise to native byte order for downstream numpy code.
+    return data.astype(data.dtype.newbyteorder("="), copy=False)
+
+
+def write_idx(path: Union[str, Path], array: np.ndarray) -> None:
+    """Write *array* as an IDX file (gzipped when *path* ends in .gz)."""
+    path = Path(path)
+    arr = np.ascontiguousarray(array)
+    code = _CODE_FOR_KIND.get(np.dtype(arr.dtype.type))
+    if code is None:
+        raise DatasetError(f"dtype {arr.dtype} is not representable in IDX")
+    if arr.ndim > 255:
+        raise DatasetError("IDX supports at most 255 dimensions")
+    header = bytes([0, 0, code, arr.ndim]) + struct.pack(
+        f">{arr.ndim}I", *arr.shape
+    )
+    big_endian = arr.astype(arr.dtype.newbyteorder(">"), copy=False)
+    with _open_maybe_gzip(path, "wb") as handle:
+        handle.write(header)
+        handle.write(big_endian.tobytes())

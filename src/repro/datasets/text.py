@@ -1,0 +1,154 @@
+"""Synthetic language-identification corpus.
+
+Supports the second HDTest modality (Sec. V-E: "HDTest can be
+naturally extended to other HDC model structures").  Each synthetic
+"language" is a first-order Markov chain over the lower-case alphabet
+with its own randomly-drawn but heavily-peaked transition structure, so
+character n-gram statistics — exactly what
+:class:`~repro.hdc.encoders.ngram.NgramEncoder` captures — separate the
+classes, while single characters do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DatasetError
+from repro.hdc.encoders.ngram import DEFAULT_ALPHABET
+from repro.utils.rng import RngLike, ensure_rng, spawn
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LanguageModel", "TextDataset", "make_language_dataset"]
+
+
+@dataclass(frozen=True)
+class TextDataset:
+    """Labelled text samples.
+
+    Attributes
+    ----------
+    texts:
+        Tuple of strings.
+    labels:
+        ``(n,)`` int64 class labels, aligned with *texts*.
+    language_names:
+        Name per class index.
+    """
+
+    texts: tuple[str, ...]
+    labels: np.ndarray
+    language_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=np.int64)
+        if labels.ndim != 1 or labels.shape[0] != len(self.texts):
+            raise DatasetError(
+                f"labels shape {labels.shape} does not match {len(self.texts)} texts"
+            )
+        object.__setattr__(self, "labels", labels)
+
+    def __len__(self) -> int:
+        return len(self.texts)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.language_names)
+
+    def split(self, fraction: float, *, rng: RngLike = None) -> tuple["TextDataset", "TextDataset"]:
+        """Random split into (``fraction``, ``1-fraction``) parts."""
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1), got {fraction}")
+        perm = ensure_rng(rng).permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        first, second = perm[:cut], perm[cut:]
+        return (
+            TextDataset(
+                tuple(self.texts[i] for i in first), self.labels[first], self.language_names
+            ),
+            TextDataset(
+                tuple(self.texts[i] for i in second), self.labels[second], self.language_names
+            ),
+        )
+
+
+class LanguageModel:
+    """A first-order Markov character model with a peaked transition matrix.
+
+    Parameters
+    ----------
+    alphabet:
+        Characters the model emits.
+    concentration:
+        Dirichlet concentration of each row of the transition matrix;
+        *smaller* values make rows spikier, i.e. languages more
+        distinctive.
+    rng:
+        Seed/generator fixing the language's identity.
+    """
+
+    def __init__(
+        self,
+        alphabet: str = DEFAULT_ALPHABET,
+        *,
+        concentration: float = 0.08,
+        rng: RngLike = None,
+    ) -> None:
+        if len(alphabet) < 2:
+            raise ConfigurationError("alphabet needs at least two characters")
+        if concentration <= 0:
+            raise ConfigurationError(f"concentration must be positive, got {concentration}")
+        self._alphabet = alphabet
+        generator = ensure_rng(rng)
+        k = len(alphabet)
+        self._initial = generator.dirichlet(np.full(k, 0.5))
+        self._transitions = generator.dirichlet(np.full(k, concentration), size=k)
+
+    @property
+    def alphabet(self) -> str:
+        return self._alphabet
+
+    @property
+    def transitions(self) -> np.ndarray:
+        """Read-only ``(k, k)`` transition matrix."""
+        view = self._transitions.view()
+        view.flags.writeable = False
+        return view
+
+    def sample(self, length: int, *, rng: RngLike = None) -> str:
+        """Draw one string of *length* characters."""
+        length = check_positive_int(length, "length")
+        generator = ensure_rng(rng)
+        k = len(self._alphabet)
+        out = np.empty(length, dtype=np.int64)
+        out[0] = generator.choice(k, p=self._initial)
+        for i in range(1, length):
+            out[i] = generator.choice(k, p=self._transitions[out[i - 1]])
+        return "".join(self._alphabet[i] for i in out)
+
+
+def make_language_dataset(
+    n_per_class: int = 50,
+    *,
+    n_languages: int = 4,
+    length: int = 120,
+    alphabet: str = DEFAULT_ALPHABET,
+    seed: int = 0,
+) -> TextDataset:
+    """Generate a labelled corpus of ``n_languages`` synthetic languages."""
+    n_per_class = check_positive_int(n_per_class, "n_per_class")
+    n_languages = check_positive_int(n_languages, "n_languages")
+    root = ensure_rng(seed)
+    model_rngs = spawn(root, n_languages)
+    sample_rng = ensure_rng(root)
+    texts: list[str] = []
+    labels: list[int] = []
+    for cls in range(n_languages):
+        model = LanguageModel(alphabet, rng=model_rngs[cls])
+        for _ in range(n_per_class):
+            texts.append(model.sample(length, rng=sample_rng))
+            labels.append(cls)
+    names = tuple(f"lang-{chr(ord('a') + i)}" for i in range(n_languages))
+    return TextDataset(tuple(texts), np.asarray(labels, dtype=np.int64), names)

@@ -1,0 +1,142 @@
+"""Synthetic VoiceHD-style feature dataset.
+
+The paper cites VoiceHD (Imani et al., ICRC'17) — HDC speech
+recognition over fixed-length acoustic feature vectors — as a flagship
+HDC application.  Real ISOLET-style audio features are not available
+offline, so this module synthesises the same *shape* of problem: each
+class is a smooth spectral prototype (a random mixture of bumps over
+the feature axis) and samples are prototypes plus correlated noise and
+random gain, normalised to [0, 1].
+
+The resulting records train a
+:class:`~repro.hdc.encoders.record.RecordEncoder` classifier to high
+accuracy, giving HDTest its third modality (after images and text)
+for the Sec. V-E generality claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DatasetError
+from repro.utils.rng import RngLike, ensure_rng, spawn
+from repro.utils.validation import check_positive_int
+
+__all__ = ["RecordDataset", "make_voice_dataset"]
+
+
+@dataclass(frozen=True)
+class RecordDataset:
+    """Labelled fixed-length feature records in [0, 1].
+
+    Attributes
+    ----------
+    records:
+        ``(n, n_features)`` float64 array.
+    labels:
+        ``(n,)`` int64 class labels.
+    """
+
+    records: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        records = np.asarray(self.records, dtype=np.float64)
+        if records.ndim != 2:
+            raise DatasetError(f"records must be (n, F), got shape {records.shape}")
+        if records.min() < 0.0 or records.max() > 1.0:
+            raise DatasetError("record values must lie in [0, 1]")
+        labels = np.asarray(self.labels, dtype=np.int64)
+        if labels.shape != (records.shape[0],):
+            raise DatasetError(
+                f"labels shape {labels.shape} does not match {records.shape[0]} records"
+            )
+        object.__setattr__(self, "records", records)
+        object.__setattr__(self, "labels", labels)
+
+    def __len__(self) -> int:
+        return self.records.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.records.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    def split(self, fraction: float, *, rng: RngLike = None) -> tuple["RecordDataset", "RecordDataset"]:
+        """Random split into (``fraction``, ``1-fraction``) parts."""
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1), got {fraction}")
+        perm = ensure_rng(rng).permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        first, second = perm[:cut], perm[cut:]
+        return (
+            RecordDataset(self.records[first], self.labels[first]),
+            RecordDataset(self.records[second], self.labels[second]),
+        )
+
+
+def _prototype(n_features: int, generator: np.random.Generator) -> np.ndarray:
+    """A smooth spectral prototype: a few Gaussian bumps over the axis."""
+    axis = np.linspace(0.0, 1.0, n_features)
+    n_bumps = int(generator.integers(2, 5))
+    proto = np.zeros(n_features)
+    for _ in range(n_bumps):
+        centre = generator.uniform(0.1, 0.9)
+        width = generator.uniform(0.03, 0.12)
+        height = generator.uniform(0.4, 1.0)
+        proto += height * np.exp(-0.5 * ((axis - centre) / width) ** 2)
+    peak = proto.max()
+    return proto / peak if peak > 0 else proto
+
+
+def make_voice_dataset(
+    n_per_class: int = 40,
+    *,
+    n_classes: int = 6,
+    n_features: int = 64,
+    noise_scale: float = 0.06,
+    seed: int = 0,
+) -> RecordDataset:
+    """Generate a VoiceHD-shaped record dataset.
+
+    Parameters
+    ----------
+    n_per_class:
+        Samples per class.
+    n_classes:
+        Number of classes (each gets an independent prototype).
+    n_features:
+        Record length (VoiceHD's ISOLET uses 617; 64 keeps demos fast).
+    noise_scale:
+        Std-dev of the smoothed additive noise; larger = harder task.
+    """
+    n_per_class = check_positive_int(n_per_class, "n_per_class")
+    n_classes = check_positive_int(n_classes, "n_classes")
+    n_features = check_positive_int(n_features, "n_features")
+    if noise_scale < 0:
+        raise ConfigurationError(f"noise_scale must be >= 0, got {noise_scale}")
+    root = ensure_rng(seed)
+    proto_rngs = spawn(root, n_classes)
+    sample_rng = ensure_rng(root)
+
+    records = np.empty((n_classes * n_per_class, n_features))
+    labels = np.empty(n_classes * n_per_class, dtype=np.int64)
+    row = 0
+    for cls in range(n_classes):
+        proto = _prototype(n_features, proto_rngs[cls])
+        for _ in range(n_per_class):
+            gain = sample_rng.uniform(0.85, 1.0)
+            raw_noise = sample_rng.normal(0.0, noise_scale, size=n_features)
+            # Neighbouring features co-vary (spectra are smooth): box-smooth.
+            kernel = np.ones(5) / 5.0
+            noise = np.convolve(raw_noise, kernel, mode="same")
+            records[row] = np.clip(gain * proto + noise, 0.0, 1.0)
+            labels[row] = cls
+            row += 1
+    perm = sample_rng.permutation(records.shape[0])
+    return RecordDataset(records[perm], labels[perm])

@@ -1,0 +1,5 @@
+"""Adversarial-retraining defense (Sec. V-D case study)."""
+
+from repro.defense.retrain import DefenseReport, attack_success_rate, run_defense
+
+__all__ = ["DefenseReport", "attack_success_rate", "run_defense"]

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one base class.  Subclasses
+exist per subsystem so tests (and users) can assert on precise failure
+modes instead of string-matching messages.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DimensionMismatchError",
+    "EncodingError",
+    "NotTrainedError",
+    "DatasetError",
+    "MutationError",
+    "ConstraintError",
+    "FuzzingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter was supplied to a constructor or function."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Two hypervectors (or HV batches) have incompatible dimensions."""
+
+
+class EncodingError(ReproError, ValueError):
+    """An input cannot be encoded (wrong shape, dtype, or value range)."""
+
+
+class NotTrainedError(ReproError, RuntimeError):
+    """A model was queried before :meth:`fit` (or training) completed."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset is malformed, empty, or inconsistent with its labels."""
+
+
+class MutationError(ReproError, ValueError):
+    """A mutation strategy received invalid parameters or inputs."""
+
+
+class ConstraintError(ReproError, ValueError):
+    """A perturbation constraint was configured inconsistently."""
+
+
+class FuzzingError(ReproError, RuntimeError):
+    """The fuzzing loop reached an unrecoverable state."""

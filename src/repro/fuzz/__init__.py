@@ -1,0 +1,93 @@
+"""HDTest: guided differential fuzz testing of HDC models (Sec. IV)."""
+
+from repro.fuzz.campaign import (
+    TABLE2_STRATEGIES,
+    compare_strategies,
+    generate_adversarial_set,
+)
+from repro.fuzz.constraints import (
+    Constraint,
+    ImageConstraint,
+    NullConstraint,
+    RecordConstraint,
+    TextConstraint,
+)
+from repro.fuzz.coverage import CoverageGuidedFitness, CoverageMap
+from repro.fuzz.fitness import (
+    DistanceGuidedFitness,
+    FitnessFunction,
+    MarginFitness,
+    RandomFitness,
+)
+from repro.fuzz.fuzzer import HDTest, HDTestConfig
+from repro.fuzz.mutations import (
+    CharSubstitution,
+    CharTransposition,
+    ColRandom,
+    GaussianNoise,
+    JointStrategy,
+    MutationStrategy,
+    RandomNoise,
+    RecordBandNoise,
+    RecordGaussianNoise,
+    RecordRandomNoise,
+    RecordShift,
+    RowColRandom,
+    RowRandom,
+    Shift,
+    create_strategy,
+    strategy_names,
+)
+from repro.fuzz.oracle import DifferentialOracle, TargetedOracle
+from repro.fuzz.serialization import (
+    campaign_to_dict,
+    load_campaigns_json,
+    save_campaigns_json,
+)
+from repro.fuzz.results import AdversarialExample, CampaignResult, InputOutcome
+from repro.fuzz.seeds import Seed, SeedPool
+
+__all__ = [
+    "AdversarialExample",
+    "CampaignResult",
+    "CharSubstitution",
+    "CharTransposition",
+    "ColRandom",
+    "Constraint",
+    "CoverageGuidedFitness",
+    "CoverageMap",
+    "DifferentialOracle",
+    "DistanceGuidedFitness",
+    "FitnessFunction",
+    "GaussianNoise",
+    "HDTest",
+    "HDTestConfig",
+    "ImageConstraint",
+    "InputOutcome",
+    "JointStrategy",
+    "MarginFitness",
+    "MutationStrategy",
+    "NullConstraint",
+    "RandomFitness",
+    "RandomNoise",
+    "RecordBandNoise",
+    "RecordConstraint",
+    "RecordGaussianNoise",
+    "RecordRandomNoise",
+    "RecordShift",
+    "RowColRandom",
+    "RowRandom",
+    "Seed",
+    "SeedPool",
+    "Shift",
+    "TABLE2_STRATEGIES",
+    "TargetedOracle",
+    "TextConstraint",
+    "campaign_to_dict",
+    "compare_strategies",
+    "create_strategy",
+    "generate_adversarial_set",
+    "load_campaigns_json",
+    "save_campaigns_json",
+    "strategy_names",
+]

@@ -1,0 +1,134 @@
+"""Campaign runners: multi-strategy comparisons and fixed-count generation.
+
+Two workflows from the paper's evaluation:
+
+* :func:`compare_strategies` — one :class:`~repro.fuzz.results.CampaignResult`
+  per strategy over the same input set (Table II, Fig. 7).
+* :func:`generate_adversarial_set` — keep fuzzing (cycling through a
+  pool of inputs) until exactly *n* adversarial examples exist, with
+  ground-truth labels attached; this is the "generate 1000 adversarial
+  images" step of the defense case study (Sec. V-D) and of the
+  time-per-1K measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FuzzingError
+from repro.fuzz.constraints import Constraint
+from repro.fuzz.fuzzer import HDTest, HDTestConfig
+from repro.fuzz.mutations import MutationStrategy
+from repro.fuzz.results import AdversarialExample, CampaignResult
+from repro.hdc.model import HDCClassifier
+from repro.metrics.timing import Stopwatch
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["compare_strategies", "generate_adversarial_set"]
+
+#: The four strategies Table II evaluates.
+TABLE2_STRATEGIES = ("gauss", "rand", "row_col_rand", "shift")
+
+
+def compare_strategies(
+    model: HDCClassifier,
+    inputs: Sequence[Any],
+    strategies: Iterable[Union[str, MutationStrategy]] = TABLE2_STRATEGIES,
+    *,
+    config: Optional[HDTestConfig] = None,
+    constraint: Optional[Constraint] = None,
+    rng: RngLike = None,
+) -> dict[str, CampaignResult]:
+    """Fuzz the same inputs under each strategy (Table II's experiment).
+
+    Each strategy gets an independent child generator derived from
+    *rng*, so results are reproducible yet decorrelated.
+    """
+    generator = ensure_rng(rng)
+    results: dict[str, CampaignResult] = {}
+    for strategy in strategies:
+        fuzzer = HDTest(
+            model,
+            strategy,
+            config=config,
+            constraint=constraint,
+            rng=generator,
+        )
+        result = fuzzer.fuzz(inputs)
+        if result.strategy in results:
+            raise ConfigurationError(f"duplicate strategy {result.strategy!r}")
+        results[result.strategy] = result
+    return results
+
+
+def generate_adversarial_set(
+    model: HDCClassifier,
+    inputs: Sequence[Any],
+    n_target: int,
+    *,
+    strategy: Union[str, MutationStrategy] = "gauss",
+    true_labels: Optional[Sequence[int]] = None,
+    config: Optional[HDTestConfig] = None,
+    constraint: Optional[Constraint] = None,
+    rng: RngLike = None,
+    max_attempts_factor: int = 20,
+) -> tuple[list[AdversarialExample], float]:
+    """Fuzz until *n_target* adversarial examples are collected.
+
+    Inputs are visited in order and recycled (with fresh mutation
+    randomness) as many times as needed; a hard cap of
+    ``max_attempts_factor * n_target`` attempts guards against a model
+    too robust for the chosen strategy/budget.
+
+    Parameters
+    ----------
+    true_labels:
+        Optional ground-truth labels aligned with *inputs*; attached to
+        each example so the defense can retrain "with correct labels".
+
+    Returns
+    -------
+    (examples, elapsed_seconds):
+        Exactly *n_target* examples and the wall-clock spent.
+    """
+    n_target = check_positive_int(n_target, "n_target")
+    if len(inputs) == 0:
+        raise ConfigurationError("inputs is empty")
+    if true_labels is not None and len(true_labels) != len(inputs):
+        raise ConfigurationError(
+            f"{len(true_labels)} true_labels for {len(inputs)} inputs"
+        )
+    generator = ensure_rng(rng)
+    fuzzer = HDTest(model, strategy, config=config, constraint=constraint, rng=generator)
+
+    examples: list[AdversarialExample] = []
+    attempts = 0
+    max_attempts = max_attempts_factor * n_target
+    with Stopwatch() as sw:
+        while len(examples) < n_target:
+            index = attempts % len(inputs)
+            outcome = fuzzer.fuzz_one(inputs[index])
+            attempts += 1
+            if outcome.success:
+                example = outcome.example
+                if true_labels is not None:
+                    example = AdversarialExample(
+                        original=example.original,
+                        adversarial=example.adversarial,
+                        reference_label=example.reference_label,
+                        adversarial_label=example.adversarial_label,
+                        iterations=example.iterations,
+                        metrics=example.metrics,
+                        strategy=example.strategy,
+                        true_label=int(true_labels[index]),
+                    )
+                examples.append(example)
+            if attempts >= max_attempts:
+                raise FuzzingError(
+                    f"only {len(examples)}/{n_target} adversarials after "
+                    f"{attempts} attempts — raise the budget or weaken the model"
+                )
+    return examples, sw.elapsed

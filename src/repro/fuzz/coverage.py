@@ -1,0 +1,172 @@
+"""Coverage tracking in hypervector space (TensorFuzz-style extension).
+
+The paper positions HDTest against coverage-guided fuzzers — AFL for
+software, TensorFuzz (its ref. [26]) for DNNs, which treats an input as
+novel when its activation vector is far from every previously seen one
+(approximate nearest neighbour).  HDC gives that idea an unusually
+clean home: the query hypervector *is* the model's internal
+representation, so coverage can be measured directly in HV space.
+
+:class:`CoverageMap` discretises HV space with random-hyperplane
+signatures (SimHash-style LSH): a query HV is projected onto ``n_bits``
+fixed random hyperplanes and the sign pattern is its *cell*.  A seed
+covers new behaviour when it lands in an unseen cell.
+
+:class:`CoverageGuidedFitness` mixes the paper's distance-guided score
+with a novelty bonus for cell-new seeds, giving HDTest an optional
+coverage-guided mode that is benchmarked against the paper's pure
+distance guidance in ``benchmarks/bench_ablation_coverage.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.fuzz.fitness import DistanceGuidedFitness, FitnessFunction
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CoverageMap", "CoverageGuidedFitness"]
+
+
+class CoverageMap:
+    """Random-hyperplane (SimHash) coverage cells over hypervectors.
+
+    Parameters
+    ----------
+    dimension:
+        Hypervector dimensionality of incoming queries.
+    n_bits:
+        Number of hyperplanes = bits per cell signature.  ``2**n_bits``
+        cells partition HV space; 16–24 bits is a practical range (the
+        map stores only *visited* cells, never the full lattice).
+    rng:
+        Seed/generator fixing the hyperplanes.
+    """
+
+    def __init__(self, dimension: int, n_bits: int = 16, *, rng: RngLike = None) -> None:
+        self._dimension = check_positive_int(dimension, "dimension")
+        self._n_bits = check_positive_int(n_bits, "n_bits")
+        if self._n_bits > 63:
+            raise ConfigurationError(f"n_bits must be <= 63, got {n_bits}")
+        generator = ensure_rng(rng)
+        # Gaussian hyperplanes: sign(H @ hv) is the classic SimHash.
+        self._hyperplanes = generator.normal(size=(self._n_bits, self._dimension))
+        self._weights = (1 << np.arange(self._n_bits, dtype=np.uint64))
+        self._visited: set[int] = set()
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def n_bits(self) -> int:
+        """Bits per cell signature."""
+        return self._n_bits
+
+    @property
+    def n_cells_visited(self) -> int:
+        """Number of distinct cells seen so far."""
+        return len(self._visited)
+
+    @property
+    def total_cells(self) -> int:
+        """Size of the cell lattice (``2**n_bits``)."""
+        return 1 << self._n_bits
+
+    def coverage_fraction(self) -> float:
+        """Visited cells / total cells (tiny by design for large maps)."""
+        return self.n_cells_visited / self.total_cells
+
+    # -- operations ------------------------------------------------------
+    def signatures(self, query_hvs: np.ndarray) -> np.ndarray:
+        """Cell id (uint64) per query HV."""
+        arr = np.asarray(query_hvs, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self._dimension:
+            raise DimensionMismatchError(
+                f"queries must be (n, {self._dimension}), got shape {arr.shape}"
+            )
+        projections = arr @ self._hyperplanes.T  # (n, n_bits)
+        bits = (projections >= 0).astype(np.uint64)
+        return bits @ self._weights
+
+    def observe(self, query_hvs: np.ndarray) -> np.ndarray:
+        """Record queries; returns a boolean mask of *newly covered* ones.
+
+        A True entry means that query landed in a cell never seen before
+        this call (duplicates within the same batch count once — the
+        first occurrence is the novel one).
+        """
+        sigs = self.signatures(query_hvs)
+        novel = np.zeros(sigs.shape[0], dtype=bool)
+        for i, sig in enumerate(sigs):
+            key = int(sig)
+            if key not in self._visited:
+                self._visited.add(key)
+                novel[i] = True
+        return novel
+
+    def is_covered(self, query_hvs: np.ndarray) -> np.ndarray:
+        """Boolean mask: which queries fall in already-visited cells."""
+        sigs = self.signatures(query_hvs)
+        return np.asarray([int(s) in self._visited for s in sigs], dtype=bool)
+
+    def reset(self) -> None:
+        """Forget all visited cells (hyperplanes are kept)."""
+        self._visited.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"CoverageMap(n_bits={self._n_bits}, "
+            f"visited={self.n_cells_visited}/{self.total_cells})"
+        )
+
+
+class CoverageGuidedFitness(FitnessFunction):
+    """Distance-guided fitness plus a novelty bonus for new cells.
+
+    ``score = (1 − Cosim(AM[y], HDC(seed))) + novelty_bonus·[new cell]``
+
+    With ``novelty_bonus = 0`` this degrades exactly to the paper's
+    fitness; large bonuses approach pure coverage-guided fuzzing.
+
+    Parameters
+    ----------
+    coverage:
+        The (stateful) coverage map; shared across inputs if the caller
+        wants campaign-wide coverage, or fresh per input for per-seed
+        novelty.
+    novelty_bonus:
+        Additive score for seeds that land in unvisited cells.  The
+    distance term lies in [0, 2], so a bonus of ~0.5 makes novelty
+    decisive only between seeds of similar distance.
+    """
+
+    guided = True
+
+    def __init__(self, coverage: CoverageMap, novelty_bonus: float = 0.5) -> None:
+        if novelty_bonus < 0:
+            raise ConfigurationError(
+                f"novelty_bonus must be >= 0, got {novelty_bonus}"
+            )
+        self._coverage = coverage
+        self._novelty_bonus = float(novelty_bonus)
+        self._distance = DistanceGuidedFitness()
+
+    @property
+    def coverage(self) -> CoverageMap:
+        """The underlying coverage map (inspect ``n_cells_visited``)."""
+        return self._coverage
+
+    def scores(self, reference_hv: np.ndarray, query_hvs: np.ndarray) -> np.ndarray:
+        base = self._distance.scores(reference_hv, query_hvs)
+        novel = self._coverage.observe(query_hvs)
+        return base + self._novelty_bonus * novel.astype(np.float64)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoverageGuidedFitness(novelty_bonus={self._novelty_bonus}, "
+            f"coverage={self._coverage!r})"
+        )

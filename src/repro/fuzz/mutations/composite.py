@@ -1,0 +1,78 @@
+"""Composite strategy: apply several Table I strategies jointly.
+
+The paper notes its strategies "can be used independently or jointly";
+:class:`JointStrategy` implements the joint case by splitting each batch
+of children across member strategies (weighted round-robin), so one
+fuzzing run explores several mutation families at once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MutationError
+from repro.fuzz.mutations.base import MutationStrategy
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["JointStrategy"]
+
+
+class JointStrategy(MutationStrategy):
+    """Distribute children across member strategies.
+
+    Parameters
+    ----------
+    strategies:
+        Member strategies; must share one domain.
+    weights:
+        Optional relative share of children per member (defaults to
+        uniform).  Shares are realised by sampling, so every member can
+        contribute to every batch in expectation.
+    """
+
+    name = "joint"
+
+    def __init__(
+        self,
+        strategies: Sequence[MutationStrategy],
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not strategies:
+            raise MutationError("JointStrategy needs at least one member strategy")
+        domains = {s.domain for s in strategies}
+        if len(domains) != 1:
+            raise MutationError(f"member strategies span multiple domains: {sorted(domains)}")
+        self.domain = domains.pop()  # instance attr shadows the class tag
+        self.strategies = list(strategies)
+        if weights is None:
+            weights = [1.0] * len(self.strategies)
+        if len(weights) != len(self.strategies):
+            raise MutationError(
+                f"{len(weights)} weights for {len(self.strategies)} strategies"
+            )
+        w = np.asarray(weights, dtype=np.float64)
+        if (w < 0).any() or w.sum() <= 0:
+            raise MutationError("weights must be non-negative and sum to > 0")
+        self._probs = w / w.sum()
+
+    def params(self) -> dict:
+        return {
+            "strategies": [s.name for s in self.strategies],
+            "weights": self._probs.tolist(),
+        }
+
+    def mutate(self, item, n: int, *, rng: RngLike = None):
+        n = check_positive_int(n, "n")
+        generator = ensure_rng(rng)
+        choices = generator.choice(len(self.strategies), size=n, p=self._probs)
+        pieces = []
+        for strat_idx, count in zip(*np.unique(choices, return_counts=True)):
+            pieces.append(
+                self.strategies[int(strat_idx)].mutate(item, int(count), rng=generator)
+            )
+        if self.domain == "text":
+            return [child for piece in pieces for child in piece]
+        return np.concatenate(pieces, axis=0)

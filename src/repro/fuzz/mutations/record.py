@@ -1,0 +1,162 @@
+"""Mutation strategies for fixed-length feature records (third modality).
+
+The record analogues of Table I's image strategies, used to fuzz
+VoiceHD-style models (:mod:`repro.datasets.voice` +
+:class:`~repro.hdc.encoders.record.RecordEncoder`):
+
+* ``record_gauss`` — Gaussian noise over the whole record (gauss);
+* ``record_rand`` — uniform noise on a few random features (rand);
+* ``record_band`` — noise over one contiguous feature band (the
+  spectral cousin of row/col rand);
+* ``record_shift`` — shift the record along the feature axis (shift).
+
+Records are 1-D float arrays; the valid range is configurable (``[0,1]``
+for the synthetic voice data) and children are clipped into it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MutationError
+from repro.fuzz.mutations.base import MutationStrategy, register_strategy
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_float, check_positive_int
+
+__all__ = ["RecordGaussianNoise", "RecordRandomNoise", "RecordBandNoise", "RecordShift"]
+
+
+def _check_record(item) -> np.ndarray:
+    arr = np.asarray(item, dtype=np.float64)
+    if arr.ndim != 1:
+        raise MutationError(f"record must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise MutationError("record is empty")
+    return arr
+
+
+class _RecordStrategy(MutationStrategy):
+    domain = "record"
+
+    def __init__(self, value_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        low, high = float(value_range[0]), float(value_range[1])
+        if not low < high:
+            raise MutationError(f"value_range must satisfy low < high, got {value_range}")
+        self.value_range = (low, high)
+
+    def _clip(self, children: np.ndarray) -> np.ndarray:
+        return np.clip(children, *self.value_range)
+
+
+@register_strategy
+class RecordGaussianNoise(_RecordStrategy):
+    """``record_gauss``: i.i.d. Gaussian noise over every feature."""
+
+    name = "record_gauss"
+
+    def __init__(self, sigma: float = 0.05, value_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        super().__init__(value_range)
+        self.sigma = check_positive_float(sigma, "sigma")
+
+    def mutate(self, item, n: int, *, rng: RngLike = None) -> np.ndarray:
+        n = check_positive_int(n, "n")
+        record = _check_record(item)
+        generator = ensure_rng(rng)
+        noise = generator.normal(0.0, self.sigma, size=(n, record.size))
+        return self._clip(record[None] + noise)
+
+
+@register_strategy
+class RecordRandomNoise(_RecordStrategy):
+    """``record_rand``: uniform noise on a few random features."""
+
+    name = "record_rand"
+
+    def __init__(
+        self,
+        amplitude: float = 0.2,
+        features_per_step: int = 4,
+        value_range: tuple[float, float] = (0.0, 1.0),
+    ) -> None:
+        super().__init__(value_range)
+        self.amplitude = check_positive_float(amplitude, "amplitude")
+        self.features_per_step = check_positive_int(features_per_step, "features_per_step")
+
+    def mutate(self, item, n: int, *, rng: RngLike = None) -> np.ndarray:
+        n = check_positive_int(n, "n")
+        record = _check_record(item)
+        if self.features_per_step > record.size:
+            raise MutationError(
+                f"features_per_step={self.features_per_step} exceeds record "
+                f"length {record.size}"
+            )
+        generator = ensure_rng(rng)
+        out = np.repeat(record[None], n, axis=0)
+        for child in range(n):
+            idx = generator.choice(record.size, size=self.features_per_step, replace=False)
+            out[child, idx] += generator.uniform(
+                -self.amplitude, self.amplitude, size=idx.size
+            )
+        return self._clip(out)
+
+
+@register_strategy
+class RecordBandNoise(_RecordStrategy):
+    """``record_band``: noise over one contiguous feature band."""
+
+    name = "record_band"
+
+    def __init__(
+        self,
+        amplitude: float = 0.1,
+        band_width: int = 8,
+        value_range: tuple[float, float] = (0.0, 1.0),
+    ) -> None:
+        super().__init__(value_range)
+        self.amplitude = check_positive_float(amplitude, "amplitude")
+        self.band_width = check_positive_int(band_width, "band_width")
+
+    def mutate(self, item, n: int, *, rng: RngLike = None) -> np.ndarray:
+        n = check_positive_int(n, "n")
+        record = _check_record(item)
+        width = min(self.band_width, record.size)
+        generator = ensure_rng(rng)
+        out = np.repeat(record[None], n, axis=0)
+        for child in range(n):
+            start = int(generator.integers(0, record.size - width + 1))
+            out[child, start : start + width] += generator.uniform(
+                -self.amplitude, self.amplitude, size=width
+            )
+        return self._clip(out)
+
+
+@register_strategy
+class RecordShift(_RecordStrategy):
+    """``record_shift``: translate the record along the feature axis.
+
+    Vacated features take the range minimum (silence), mirroring the
+    image shift's zero fill.
+    """
+
+    name = "record_shift"
+
+    def __init__(self, max_step: int = 1, value_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        super().__init__(value_range)
+        self.max_step = check_positive_int(max_step, "max_step")
+
+    def mutate(self, item, n: int, *, rng: RngLike = None) -> np.ndarray:
+        n = check_positive_int(n, "n")
+        record = _check_record(item)
+        generator = ensure_rng(rng)
+        fill = self.value_range[0]
+        out = np.empty((n, record.size))
+        for child in range(n):
+            step = int(generator.integers(1, self.max_step + 1))
+            delta = step if generator.integers(0, 2) else -step
+            shifted = np.roll(record, delta)
+            if delta > 0:
+                shifted[:delta] = fill
+            else:
+                shifted[delta:] = fill
+            out[child] = shifted
+        return out

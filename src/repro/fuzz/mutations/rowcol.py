@@ -1,0 +1,81 @@
+"""Row/column strategies: ``row_rand``, ``col_rand`` and their union.
+
+Table I defines ``row rand`` ("randomly mutate all pixels in one single
+row") and ``col rand``; Table II evaluates them jointly as
+``row & col rand``.  All three are registered: the joint strategy picks
+a row or a column per child with equal probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fuzz.mutations.base import (
+    MutationStrategy,
+    _mutate_image_common,
+    register_strategy,
+)
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_float, check_positive_int
+
+__all__ = ["RowRandom", "ColRandom", "RowColRandom"]
+
+
+class _LineRandom(MutationStrategy):
+    """Shared implementation: uniform noise over one full row/column."""
+
+    def __init__(self, amplitude: float = 30.0) -> None:
+        #: noise is uniform in [-amplitude, +amplitude] grey levels.
+        self.amplitude = check_positive_float(amplitude, "amplitude")
+
+    def _axis_for_child(self, generator: np.random.Generator) -> int:
+        raise NotImplementedError
+
+    def mutate(self, item, n: int, *, rng: RngLike = None) -> np.ndarray:
+        n = check_positive_int(n, "n")
+        image = _mutate_image_common(item)
+        h, w = image.shape
+        generator = ensure_rng(rng)
+        out = np.repeat(image[None], n, axis=0)
+        for child in range(n):
+            axis = self._axis_for_child(generator)
+            if axis == 0:  # mutate one row
+                row = generator.integers(0, h)
+                out[child, row, :] += generator.uniform(-self.amplitude, self.amplitude, size=w)
+            else:  # mutate one column
+                col = generator.integers(0, w)
+                out[child, :, col] += generator.uniform(-self.amplitude, self.amplitude, size=h)
+        return np.clip(out, 0.0, 255.0)
+
+
+@register_strategy
+class RowRandom(_LineRandom):
+    """``row_rand``: randomly mutate all pixels in one single row."""
+
+    name = "row_rand"
+    domain = "image"
+
+    def _axis_for_child(self, generator: np.random.Generator) -> int:
+        return 0
+
+
+@register_strategy
+class ColRandom(_LineRandom):
+    """``col_rand``: randomly mutate all pixels in one single column."""
+
+    name = "col_rand"
+    domain = "image"
+
+    def _axis_for_child(self, generator: np.random.Generator) -> int:
+        return 1
+
+
+@register_strategy
+class RowColRandom(_LineRandom):
+    """``row_col_rand``: Table II's joint "row & col rand" strategy."""
+
+    name = "row_col_rand"
+    domain = "image"
+
+    def _axis_for_child(self, generator: np.random.Generator) -> int:
+        return int(generator.integers(0, 2))

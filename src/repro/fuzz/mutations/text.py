@@ -1,0 +1,96 @@
+"""Text-domain mutation strategies.
+
+Sec. V-E claims HDTest "can be naturally extended to other HDC model
+structures because it considers a general greybox assumption with only
+HV distance information".  These strategies realise that claim for the
+n-gram language classifier: the same Alg. 1 loop, fitness, and oracle
+run unchanged — only the mutation domain differs.
+
+All strategies preserve string length (substitution / transposition),
+so perturbation size is simply the Hamming distance in characters,
+which :class:`~repro.fuzz.constraints.TextConstraint` budgets.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro.errors import MutationError
+from repro.fuzz.mutations.base import MutationStrategy, register_strategy
+from repro.hdc.encoders.ngram import DEFAULT_ALPHABET
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CharSubstitution", "CharTransposition"]
+
+
+def _check_text(item) -> str:
+    if not isinstance(item, str):
+        raise MutationError(f"text strategies require str inputs, got {type(item).__name__}")
+    if not item:
+        raise MutationError("cannot mutate an empty string")
+    return item
+
+
+@register_strategy
+class CharSubstitution(MutationStrategy):
+    """``char_sub``: replace a few characters with random alphabet members.
+
+    Parameters
+    ----------
+    chars_per_step:
+        Number of (distinct) positions substituted per child.
+    alphabet:
+        Replacement alphabet; defaults to the n-gram encoder's.
+    """
+
+    name = "char_sub"
+    domain = "text"
+
+    def __init__(self, chars_per_step: int = 4, alphabet: str = DEFAULT_ALPHABET) -> None:
+        self.chars_per_step = check_positive_int(chars_per_step, "chars_per_step")
+        if not alphabet:
+            raise MutationError("alphabet must be non-empty")
+        self.alphabet = alphabet
+
+    def mutate(self, item, n: int, *, rng: RngLike = None) -> list[str]:
+        n = check_positive_int(n, "n")
+        text = _check_text(item)
+        generator = ensure_rng(rng)
+        k = min(self.chars_per_step, len(text))
+        children = []
+        for _ in range(n):
+            chars = list(text)
+            positions = generator.choice(len(text), size=k, replace=False)
+            for pos in positions:
+                chars[pos] = self.alphabet[generator.integers(0, len(self.alphabet))]
+            children.append("".join(chars))
+        return children
+
+
+@register_strategy
+class CharTransposition(MutationStrategy):
+    """``char_swap``: swap a few adjacent character pairs (typo model)."""
+
+    name = "char_swap"
+    domain = "text"
+
+    def __init__(self, swaps_per_step: int = 1) -> None:
+        self.swaps_per_step = check_positive_int(swaps_per_step, "swaps_per_step")
+
+    def mutate(self, item, n: int, *, rng: RngLike = None) -> list[str]:
+        n = check_positive_int(n, "n")
+        text = _check_text(item)
+        if len(text) < 2:
+            raise MutationError("transposition requires at least two characters")
+        generator = ensure_rng(rng)
+        children = []
+        for _ in range(n):
+            chars = list(text)
+            for _ in range(self.swaps_per_step):
+                pos = int(generator.integers(0, len(chars) - 1))
+                chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+            children.append("".join(chars))
+        return children

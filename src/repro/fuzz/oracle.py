@@ -1,0 +1,59 @@
+"""Differential oracle (Sec. IV; McKeeman-style differential testing).
+
+HDTest never needs ground-truth labels: the model's own prediction on
+the *original* input is the reference, and any mutated input the model
+labels differently is — by construction — mispredicted on at least one
+of the two (they are visually the same class for in-budget
+perturbations).  ``DifferentialOracle`` encapsulates that discrepancy
+check; ``TargetedOracle`` is the extension where only flips *to a
+chosen class* count (adversarial-attack style).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DifferentialOracle", "TargetedOracle"]
+
+
+class DifferentialOracle:
+    """Flags label discrepancies between reference and query predictions."""
+
+    def discrepancies(self, reference_label: int, query_labels: np.ndarray) -> np.ndarray:
+        """Boolean mask: which query labels differ from the reference."""
+        labels = np.asarray(query_labels)
+        return labels != int(reference_label)
+
+    def is_adversarial(self, reference_label: int, query_label: int) -> bool:
+        """Single-candidate form of :meth:`discrepancies`."""
+        return int(query_label) != int(reference_label)
+
+    def __repr__(self) -> str:
+        return "DifferentialOracle()"
+
+
+class TargetedOracle(DifferentialOracle):
+    """Only flips landing on *target_label* count as successes.
+
+    An extension of the paper's untargeted oracle, useful for studying
+    directed attacks (e.g. "turn any 8 into a 3", Fig. 1's flip).
+    """
+
+    def __init__(self, target_label: int) -> None:
+        if target_label < 0:
+            raise ConfigurationError(f"target_label must be >= 0, got {target_label}")
+        self.target_label = int(target_label)
+
+    def discrepancies(self, reference_label: int, query_labels: np.ndarray) -> np.ndarray:
+        labels = np.asarray(query_labels)
+        if self.target_label == int(reference_label):
+            # A flip to the reference class is impossible by definition.
+            return np.zeros(labels.shape, dtype=bool)
+        return labels == self.target_label
+
+    def __repr__(self) -> str:
+        return f"TargetedOracle(target_label={self.target_label})"

@@ -1,0 +1,197 @@
+"""Result records for fuzzing runs and campaign-level aggregation.
+
+These carry exactly the quantities the paper's evaluation reports:
+per-success L1/L2 (Table II rows 1–2), iteration counts averaged over
+*all* processed inputs (Table II row 3, ``#total iterations / #images``),
+wall-clock extrapolated to 1000 generated images (row 4), and per-class
+groupings (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.stats import group_means
+from repro.metrics.timing import per_minute, per_thousand
+
+__all__ = ["AdversarialExample", "InputOutcome", "CampaignResult"]
+
+
+@dataclass(frozen=True)
+class AdversarialExample:
+    """A successful adversarial input with its provenance.
+
+    Attributes
+    ----------
+    original:
+        The unmodified input (image array or string).
+    adversarial:
+        The mutated input that flipped the prediction.
+    reference_label:
+        The model's prediction on *original* (the differential
+        reference — not a ground-truth label).
+    adversarial_label:
+        The model's (different) prediction on *adversarial*.
+    iterations:
+        Fuzzing iterations consumed to find it.
+    metrics:
+        Perturbation measurements from the active constraint
+        (``l1``/``l2``/``linf``/``l0`` for images, ``edits`` for text).
+    strategy:
+        Name of the mutation strategy that produced it.
+    true_label:
+        Optional ground-truth label, when the caller knows it (the
+        defense retrains with correct labels, Sec. V-D).
+    """
+
+    original: Any
+    adversarial: Any
+    reference_label: int
+    adversarial_label: int
+    iterations: int
+    metrics: dict[str, float]
+    strategy: str
+    true_label: Optional[int] = None
+
+    @property
+    def l1(self) -> float:
+        """Normalized L1 distance (NaN for non-image domains)."""
+        return self.metrics.get("l1", float("nan"))
+
+    @property
+    def l2(self) -> float:
+        """Normalized L2 distance (NaN for non-image domains)."""
+        return self.metrics.get("l2", float("nan"))
+
+
+@dataclass(frozen=True)
+class InputOutcome:
+    """What happened to one original input (success or exhaustion)."""
+
+    success: bool
+    iterations: int
+    reference_label: int
+    example: Optional[AdversarialExample] = None
+
+    def __post_init__(self) -> None:
+        if self.success and self.example is None:
+            raise ConfigurationError("successful outcome requires an example")
+        if not self.success and self.example is not None:
+            raise ConfigurationError("failed outcome cannot carry an example")
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcomes of fuzzing a set of inputs with one strategy."""
+
+    strategy: str
+    outcomes: list[InputOutcome]
+    elapsed_seconds: float
+    guided: bool = True
+
+    # -- counts ------------------------------------------------------------
+    @property
+    def n_inputs(self) -> int:
+        """Number of original inputs processed."""
+        return len(self.outcomes)
+
+    @property
+    def n_success(self) -> int:
+        """Number of adversarial examples found."""
+        return sum(1 for o in self.outcomes if o.success)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of inputs for which an adversarial was found."""
+        return self.n_success / self.n_inputs if self.outcomes else float("nan")
+
+    @property
+    def examples(self) -> list[AdversarialExample]:
+        """All adversarial examples, in input order."""
+        return [o.example for o in self.outcomes if o.example is not None]
+
+    # -- Table II metrics -------------------------------------------------
+    @property
+    def avg_iterations(self) -> float:
+        """``#total iterations / #images`` over *all* inputs (Sec. V-A)."""
+        if not self.outcomes:
+            return float("nan")
+        return float(np.mean([o.iterations for o in self.outcomes]))
+
+    @property
+    def avg_l1(self) -> float:
+        """Mean normalized L1 over successful adversarials."""
+        values = [e.l1 for e in self.examples]
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def avg_l2(self) -> float:
+        """Mean normalized L2 over successful adversarials."""
+        values = [e.l2 for e in self.examples]
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def time_per_1k(self) -> float:
+        """Extrapolated seconds per 1000 generated adversarials (row 4)."""
+        if self.n_success == 0:
+            return float("nan")
+        return per_thousand(self.elapsed_seconds, self.n_success)
+
+    @property
+    def images_per_minute(self) -> float:
+        """Extrapolated generation rate (the abstract's ≈400/minute)."""
+        if self.elapsed_seconds <= 0:
+            return float("nan")
+        return per_minute(self.elapsed_seconds, self.n_success)
+
+    # -- Fig. 7 per-class analysis ---------------------------------------
+    def per_class(self, n_classes: int) -> dict[str, np.ndarray]:
+        """Per-reference-class means of L1, L2 and iterations.
+
+        Classes are the model's reference labels (its predictions on the
+        original inputs), matching the paper's labeling-free setting.
+        Iterations average over all inputs of the class; distances over
+        its successes.  Empty classes yield NaN.
+        """
+        if n_classes < 1:
+            raise ConfigurationError(f"n_classes must be >= 1, got {n_classes}")
+        it_vals = [float(o.iterations) for o in self.outcomes]
+        it_groups = [o.reference_label for o in self.outcomes]
+        ex = self.examples
+        return {
+            "iterations": group_means(it_vals, it_groups, n_groups=n_classes),
+            "l1": group_means(
+                [e.l1 for e in ex], [e.reference_label for e in ex], n_groups=n_classes
+            ),
+            "l2": group_means(
+                [e.l2 for e in ex], [e.reference_label for e in ex], n_groups=n_classes
+            ),
+        }
+
+    # -- reporting ---------------------------------------------------------
+    def summary(self) -> dict[str, float]:
+        """The Table II row for this strategy, as a dict."""
+        return {
+            "strategy": self.strategy,
+            "guided": self.guided,
+            "n_inputs": self.n_inputs,
+            "n_success": self.n_success,
+            "success_rate": self.success_rate,
+            "avg_l1": self.avg_l1,
+            "avg_l2": self.avg_l2,
+            "avg_iterations": self.avg_iterations,
+            "elapsed_seconds": self.elapsed_seconds,
+            "time_per_1k": self.time_per_1k,
+            "images_per_minute": self.images_per_minute,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignResult(strategy={self.strategy!r}, n={self.n_inputs}, "
+            f"success={self.n_success}, avg_iter={self.avg_iterations:.2f}, "
+            f"elapsed={self.elapsed_seconds:.1f}s)"
+        )

@@ -1,0 +1,111 @@
+"""Seed pool: the survivors that fuel the next fuzzing iteration.
+
+Alg. 1, Line 14: "Continue fuzzing using only the fittest seeds" —
+"during the mutation process, only the top-N fittest seeds can survive
+(in our experiments, N = 3)".  :class:`SeedPool` holds the current
+survivors with their fitness scores and performs that top-N selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generic, Iterator, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import FuzzingError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Seed", "SeedPool"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Seed(Generic[T]):
+    """One candidate input with its fitness and lineage depth.
+
+    Attributes
+    ----------
+    data:
+        The input itself (image array or string).
+    fitness:
+        Score assigned by the fitness function (higher survives).
+    generation:
+        Fuzzing iteration at which this seed was created (0 = the
+        original input).
+    """
+
+    data: T
+    fitness: float
+    generation: int = 0
+
+
+class SeedPool(Generic[T]):
+    """Keeps the top-N fittest seeds across fuzzing iterations.
+
+    Parameters
+    ----------
+    top_n:
+        Pool capacity (the paper's N = 3).
+    """
+
+    def __init__(self, top_n: int = 3) -> None:
+        self._top_n = check_positive_int(top_n, "top_n")
+        self._seeds: list[Seed[T]] = []
+
+    @property
+    def top_n(self) -> int:
+        """Pool capacity."""
+        return self._top_n
+
+    @property
+    def seeds(self) -> list[Seed[T]]:
+        """Current survivors, fittest first (copy)."""
+        return list(self._seeds)
+
+    def __len__(self) -> int:
+        return len(self._seeds)
+
+    def __iter__(self) -> Iterator[Seed[T]]:
+        return iter(self._seeds)
+
+    def reset(self, original: T) -> None:
+        """Restart the pool from the original input (generation 0).
+
+        The original gets fitness -inf so any scored child displaces it.
+        """
+        self._seeds = [Seed(original, float("-inf"), 0)]
+
+    def update(
+        self,
+        candidates: Sequence[T],
+        fitnesses: Sequence[float],
+        *,
+        generation: int,
+    ) -> None:
+        """Replace pool contents with the top-N of *candidates*.
+
+        Matches Alg. 1: survivors are chosen among the new children (the
+        pool is not mixed with previous generations — each iteration's
+        children fully replace their parents).
+        """
+        scores = np.asarray(fitnesses, dtype=np.float64)
+        if len(candidates) != scores.shape[0]:
+            raise FuzzingError(
+                f"{len(candidates)} candidates but {scores.shape[0]} fitness scores"
+            )
+        if len(candidates) == 0:
+            # Nothing survived the constraint this round; keep current
+            # seeds so the next iteration can try different mutations.
+            return
+        order = np.argsort(-scores, kind="stable")[: self._top_n]
+        self._seeds = [
+            Seed(candidates[int(i)], float(scores[int(i)]), generation) for i in order
+        ]
+
+    def best(self) -> Seed[T]:
+        """The fittest current seed."""
+        if not self._seeds:
+            raise FuzzingError("seed pool is empty — call reset() first")
+        return self._seeds[0]

@@ -1,0 +1,79 @@
+"""Hyperdimensional-computing core: spaces, operations, memories, models.
+
+This subpackage is a from-scratch implementation of the HDC model
+family described in Sec. III of the paper (and of the binary/dense
+variants it cites), sufficient to train the paper's MNIST classifier
+and to expose the grey-box surface HDTest fuzzes.
+"""
+
+from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.binary_model import (
+    BinaryAssociativeMemory,
+    BinaryHDCClassifier,
+    BinaryPixelEncoder,
+)
+from repro.hdc.faults import accuracy_under_faults, flip_components, inject_am_faults
+from repro.hdc.encoders import (
+    DEFAULT_ALPHABET,
+    Encoder,
+    NgramEncoder,
+    PermutationImageEncoder,
+    PixelEncoder,
+    RecordEncoder,
+)
+from repro.hdc.item_memory import ItemMemory, LevelMemory
+from repro.hdc.model import HDCClassifier
+from repro.hdc.ops import (
+    bind,
+    bind_xor,
+    bipolarize,
+    bundle,
+    bundle_majority,
+    bundle_many,
+    invert,
+    permute,
+)
+from repro.hdc.similarity import (
+    cosine,
+    cosine_matrix,
+    dot,
+    hamming_distance,
+    hamming_similarity,
+)
+from repro.hdc.spaces import DEFAULT_DIMENSION, BinarySpace, BipolarSpace, Space
+
+__all__ = [
+    "AssociativeMemory",
+    "BinaryAssociativeMemory",
+    "BinaryHDCClassifier",
+    "BinaryPixelEncoder",
+    "BinarySpace",
+    "BipolarSpace",
+    "DEFAULT_ALPHABET",
+    "DEFAULT_DIMENSION",
+    "Encoder",
+    "HDCClassifier",
+    "ItemMemory",
+    "LevelMemory",
+    "NgramEncoder",
+    "PermutationImageEncoder",
+    "PixelEncoder",
+    "RecordEncoder",
+    "Space",
+    "accuracy_under_faults",
+    "bind",
+    "bind_xor",
+    "bipolarize",
+    "bundle",
+    "bundle_majority",
+    "bundle_many",
+    "cosine",
+    "cosine_matrix",
+    "dot",
+    "flip_components",
+    "hamming_distance",
+    "hamming_similarity",
+    "inject_am_faults",
+    "invert",
+    "permute",
+]

@@ -1,0 +1,196 @@
+"""Associative memory (AM): one class hypervector per label (Sec. III-B).
+
+Training sums every training image's HV into its class accumulator and
+re-bipolarises (Eq. 1).  Querying computes cosine similarity between a
+query HV and every (bipolarised) class HV and predicts the arg-max
+(Sec. III-C).
+
+The AM keeps its integer *accumulators* alongside the bipolar class HVs
+so it supports the paper's defense case study (Sec. V-D): retraining
+"updates the reference HVs" by adding further HVs into the accumulators
+(optionally subtracting from a wrongly-predicted class), then
+re-bipolarising.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError, NotTrainedError
+from repro.hdc.similarity import cosine_matrix
+from repro.utils.validation import check_labels, check_positive_int
+
+__all__ = ["AssociativeMemory"]
+
+
+class AssociativeMemory:
+    """Per-class hypervector store with accumulate / bipolarise / query.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes (rows).
+    dimension:
+        Hypervector dimensionality.
+    bipolar:
+        If True (paper behaviour) queries run against bipolarised class
+        HVs; if False, against the raw integer accumulators (a common
+        HDC variant, kept for ablations).
+    """
+
+    def __init__(self, n_classes: int, dimension: int, *, bipolar: bool = True) -> None:
+        self._n_classes = check_positive_int(n_classes, "n_classes")
+        self._dimension = check_positive_int(dimension, "dimension")
+        self._bipolar = bool(bipolar)
+        self._accumulators = np.zeros((self._n_classes, self._dimension), dtype=np.int64)
+        self._counts = np.zeros(self._n_classes, dtype=np.int64)
+        self._class_hvs_cache: Optional[np.ndarray] = None
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        """Number of classes."""
+        return self._n_classes
+
+    @property
+    def dimension(self) -> int:
+        """Hypervector dimensionality."""
+        return self._dimension
+
+    @property
+    def bipolar(self) -> bool:
+        """Whether queries use bipolarised class HVs."""
+        return self._bipolar
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Number of HVs accumulated into each class (read-only copy)."""
+        return self._counts.copy()
+
+    @property
+    def accumulators(self) -> np.ndarray:
+        """Read-only view of the raw ``(n_classes, D)`` accumulators."""
+        view = self._accumulators.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def is_trained(self) -> bool:
+        """True once at least one HV has been added to every class."""
+        return bool((self._counts > 0).all())
+
+    # -- updates ---------------------------------------------------------
+    def add(self, hvs: np.ndarray, labels: np.ndarray) -> None:
+        """Accumulate hypervectors *hvs* into the classes in *labels*."""
+        hvs, labels = self._check_update(hvs, labels)
+        np.add.at(self._accumulators, labels, hvs.astype(np.int64, copy=False))
+        np.add.at(self._counts, labels, 1)
+        self._class_hvs_cache = None
+
+    def subtract(self, hvs: np.ndarray, labels: np.ndarray) -> None:
+        """Subtract hypervectors from classes (perceptron-style update).
+
+        Used by adaptive retraining: a misclassified sample's HV is
+        added to its true class and subtracted from the wrong one, so
+        the decision moves in one pass.  Counts are not decremented —
+        they track *additions* for introspection, not a norm.
+        """
+        hvs, labels = self._check_update(hvs, labels)
+        np.subtract.at(self._accumulators, labels, hvs.astype(np.int64, copy=False))
+        self._class_hvs_cache = None
+
+    def _check_update(self, hvs: np.ndarray, labels) -> tuple[np.ndarray, np.ndarray]:
+        arr = np.asarray(hvs)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self._dimension:
+            raise DimensionMismatchError(
+                f"hvs must be (n, {self._dimension}), got shape {arr.shape}"
+            )
+        labels_arr = check_labels(labels, arr.shape[0])
+        if labels_arr.size and labels_arr.max() >= self._n_classes:
+            raise ConfigurationError(
+                f"label {labels_arr.max()} out of range for {self._n_classes} classes"
+            )
+        return arr, labels_arr
+
+    # -- reference vectors -------------------------------------------------
+    @property
+    def class_hvs(self) -> np.ndarray:
+        """The reference hypervectors used for querying.
+
+        Bipolarised accumulators when ``bipolar=True`` (zero components
+        map to +1, deterministically — see
+        :meth:`repro.hdc.encoders.image.PixelEncoder.encode_batch` for
+        why determinism is required), raw accumulators otherwise.
+        """
+        if self._class_hvs_cache is None:
+            if self._bipolar:
+                self._class_hvs_cache = np.where(self._accumulators >= 0, 1, -1).astype(np.int8)
+            else:
+                self._class_hvs_cache = self._accumulators.copy()
+        return self._class_hvs_cache
+
+    def reference_hv(self, label: int) -> np.ndarray:
+        """The reference HV for one class (``AM[label]`` in the paper)."""
+        if not 0 <= label < self._n_classes:
+            raise ConfigurationError(f"label {label} out of range [0, {self._n_classes})")
+        return self.class_hvs[label]
+
+    # -- queries -----------------------------------------------------------
+    def similarities(self, queries: np.ndarray) -> np.ndarray:
+        """Cosine similarity of each query to every class HV → ``(n, C)``."""
+        self._require_trained()
+        return cosine_matrix(queries, self.class_hvs)
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """Arg-max-similarity class for each query HV → ``(n,)`` int64."""
+        return self.similarities(queries).argmax(axis=1).astype(np.int64)
+
+    def margins(self, queries: np.ndarray) -> np.ndarray:
+        """Top-1 minus top-2 similarity per query — a confidence proxy.
+
+        Low margins flag the "vulnerable cases" of Sec. V-B: inputs the
+        fuzzer flips with very few mutations.
+        """
+        sims = self.similarities(queries)
+        if sims.shape[1] < 2:
+            return np.zeros(sims.shape[0])
+        part = np.partition(sims, -2, axis=1)
+        return part[:, -1] - part[:, -2]
+
+    def _require_trained(self) -> None:
+        if not (self._counts > 0).any():
+            raise NotTrainedError("associative memory has no trained classes yet")
+
+    # -- persistence ---------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Arrays needed to reconstruct this AM exactly."""
+        return {
+            "accumulators": self._accumulators.copy(),
+            "counts": self._counts.copy(),
+            "bipolar": np.asarray(self._bipolar),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, np.ndarray]) -> "AssociativeMemory":
+        """Inverse of :meth:`state_dict`."""
+        acc = np.asarray(state["accumulators"], dtype=np.int64)
+        if acc.ndim != 2:
+            raise ConfigurationError(f"accumulators must be 2-D, got shape {acc.shape}")
+        am = cls(acc.shape[0], acc.shape[1], bipolar=bool(np.asarray(state["bipolar"])))
+        am._accumulators = acc
+        am._counts = np.asarray(state["counts"], dtype=np.int64)
+        return am
+
+    def copy(self) -> "AssociativeMemory":
+        """Deep copy (used by the defense to retrain without clobbering)."""
+        return AssociativeMemory.from_state_dict(self.state_dict())
+
+    def __repr__(self) -> str:
+        return (
+            f"AssociativeMemory(n_classes={self._n_classes}, dimension={self._dimension}, "
+            f"bipolar={self._bipolar}, trained={self.is_trained})"
+        )

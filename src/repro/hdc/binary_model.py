@@ -1,0 +1,322 @@
+"""Dense-binary HDC classifier — the Rahimi-style {0,1} model family.
+
+Much of the HDC literature the paper builds on (its refs. [2], [14],
+[18]) uses *dense binary* hypervectors: components in {0, 1}, XOR for
+binding, majority vote for bundling, and Hamming distance for the
+associative-memory query.  This module provides that family so HDTest
+can fuzz it too — another concrete instance of the Sec. V-E claim that
+only HV distance information is needed.
+
+The pieces mirror the bipolar stack:
+
+* :class:`BinaryPixelEncoder` — position XOR value encoding with
+  majority-vote bundling;
+* :class:`BinaryAssociativeMemory` — per-class bit-count accumulators,
+  majority-quantised class HVs, (1 − Hamming) similarity query.
+
+Both plug into :class:`~repro.hdc.model.HDCClassifier` unchanged
+(cosine on centred binary HVs is monotone in Hamming distance, but the
+binary AM keeps the literature's exact formulation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError, NotTrainedError
+from repro.hdc.encoders.base import Encoder
+from repro.hdc.item_memory import ItemMemory
+from repro.hdc.spaces import DEFAULT_DIMENSION, BinarySpace
+from repro.utils.rng import RngLike, ensure_rng, spawn
+from repro.utils.validation import as_image_batch, check_labels, check_positive_int
+
+__all__ = ["BinaryPixelEncoder", "BinaryAssociativeMemory", "BinaryHDCClassifier"]
+
+
+class BinaryPixelEncoder(Encoder):
+    """Position-XOR-value image encoder over dense-binary hypervectors.
+
+    Encoding: pixel HV = ``pos_p XOR val_{q(x_p)}``; image HV =
+    bit-wise majority over all pixel HVs (ties resolved to 1 for
+    determinism, mirroring the bipolar encoder's zero policy).
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int] = (28, 28),
+        *,
+        levels: int = 256,
+        dimension: int = DEFAULT_DIMENSION,
+        rng: RngLike = None,
+    ) -> None:
+        if len(shape) != 2:
+            raise ConfigurationError(f"shape must be (H, W), got {shape}")
+        self._shape = (check_positive_int(shape[0], "H"), check_positive_int(shape[1], "W"))
+        self._levels = check_positive_int(levels, "levels")
+        self._space = BinarySpace(dimension)
+        pos_rng, val_rng = spawn(ensure_rng(rng), 2)
+        n_pixels = self._shape[0] * self._shape[1]
+        self._position_memory = ItemMemory(n_pixels, self._space, rng=pos_rng)
+        self._value_memory = ItemMemory(self._levels, self._space, rng=val_rng)
+        self._majority_threshold = n_pixels / 2.0
+
+    @property
+    def dimension(self) -> int:
+        return self._space.dimension
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Expected image shape ``(H, W)``."""
+        return self._shape
+
+    @property
+    def position_memory(self) -> ItemMemory:
+        """Per-pixel binary position codebook."""
+        return self._position_memory
+
+    @property
+    def value_memory(self) -> ItemMemory:
+        """Per-grey-level binary value codebook."""
+        return self._value_memory
+
+    def quantize(self, images: np.ndarray) -> np.ndarray:
+        """Map grey values to level indices."""
+        arr = as_image_batch(images, shape=self._shape)
+        return np.rint(arr * ((self._levels - 1) / 255.0)).astype(np.int64)
+
+    def encode(self, item: np.ndarray) -> np.ndarray:
+        arr = np.asarray(item)
+        return self.encode_batch(arr[None] if arr.ndim == 2 else arr)[0]
+
+    def encode_batch(self, items: np.ndarray) -> np.ndarray:
+        levels = self.quantize(items)
+        n = levels.shape[0]
+        flat = levels.reshape(n, -1)
+        pos = self._position_memory.vectors
+        val = self._value_memory.vectors
+        out = np.empty((n, self.dimension), dtype=np.int8)
+        for i in range(n):
+            pixel_hvs = np.bitwise_xor(pos, val[flat[i]])  # (P, D) in {0,1}
+            ones = pixel_hvs.sum(axis=0, dtype=np.int64)
+            out[i] = (ones >= self._majority_threshold).astype(np.int8)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"BinaryPixelEncoder(shape={self._shape}, levels={self._levels}, "
+            f"dimension={self.dimension})"
+        )
+
+
+class BinaryAssociativeMemory:
+    """Per-class bit-count accumulators with Hamming-similarity queries.
+
+    The binary counterpart of
+    :class:`~repro.hdc.associative_memory.AssociativeMemory`, exposing
+    the same surface the classifier and fuzzer rely on (``add``,
+    ``class_hvs``, ``similarities``, ``predict``, ``reference_hv``,
+    ``margins``, ``state_dict`` …), so it drops into
+    :class:`~repro.hdc.model.HDCClassifier` as-is.
+    """
+
+    def __init__(self, n_classes: int, dimension: int) -> None:
+        self._n_classes = check_positive_int(n_classes, "n_classes")
+        self._dimension = check_positive_int(dimension, "dimension")
+        # ones[c, d] counts 1-bits added to class c at component d.
+        self._ones = np.zeros((self._n_classes, self._dimension), dtype=np.int64)
+        self._counts = np.zeros(self._n_classes, dtype=np.int64)
+        self._cache: Optional[np.ndarray] = None
+
+    @property
+    def n_classes(self) -> int:
+        return self._n_classes
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    @property
+    def bipolar(self) -> bool:
+        """Interface parity with the bipolar AM (binary = not bipolar)."""
+        return False
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts.copy()
+
+    @property
+    def is_trained(self) -> bool:
+        return bool((self._counts > 0).all())
+
+    def add(self, hvs: np.ndarray, labels) -> None:
+        """Accumulate binary HVs into their class bit counters."""
+        arr = np.asarray(hvs)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self._dimension:
+            raise DimensionMismatchError(
+                f"hvs must be (n, {self._dimension}), got shape {arr.shape}"
+            )
+        if not np.isin(arr, (0, 1)).all():
+            raise ConfigurationError("binary AM requires {0,1} hypervectors")
+        labels_arr = check_labels(labels, arr.shape[0])
+        if labels_arr.size and labels_arr.max() >= self._n_classes:
+            raise ConfigurationError(
+                f"label {labels_arr.max()} out of range for {self._n_classes} classes"
+            )
+        np.add.at(self._ones, labels_arr, arr.astype(np.int64))
+        np.add.at(self._counts, labels_arr, 1)
+        self._cache = None
+
+    def subtract(self, hvs: np.ndarray, labels) -> None:
+        """Perceptron-style removal (clamped at zero bit counts)."""
+        arr = np.asarray(hvs)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        labels_arr = check_labels(labels, arr.shape[0])
+        np.subtract.at(self._ones, labels_arr, arr.astype(np.int64))
+        np.maximum(self._ones, 0, out=self._ones)
+        self._cache = None
+
+    @property
+    def class_hvs(self) -> np.ndarray:
+        """Majority-quantised class hypervectors (ties → 1)."""
+        if self._cache is None:
+            threshold = np.maximum(self._counts, 1)[:, None] / 2.0
+            self._cache = (self._ones >= threshold).astype(np.int8)
+        return self._cache
+
+    def reference_hv(self, label: int) -> np.ndarray:
+        if not 0 <= label < self._n_classes:
+            raise ConfigurationError(f"label {label} out of range")
+        return self.class_hvs[label]
+
+    def similarities(self, queries: np.ndarray) -> np.ndarray:
+        """``1 − normalized Hamming distance`` to each class → (n, C)."""
+        self._require_trained()
+        arr = np.asarray(queries)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.shape[1] != self._dimension:
+            raise DimensionMismatchError(
+                f"queries must be (n, {self._dimension}), got shape {arr.shape}"
+            )
+        refs = self.class_hvs
+        # Hamming distance via XOR popcount, vectorised: both in {0,1}.
+        diff = arr[:, None, :] != refs[None, :, :]
+        return 1.0 - diff.mean(axis=2)
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        return self.similarities(queries).argmax(axis=1).astype(np.int64)
+
+    def margins(self, queries: np.ndarray) -> np.ndarray:
+        sims = self.similarities(queries)
+        if sims.shape[1] < 2:
+            return np.zeros(sims.shape[0])
+        part = np.partition(sims, -2, axis=1)
+        return part[:, -1] - part[:, -2]
+
+    def _require_trained(self) -> None:
+        if not (self._counts > 0).any():
+            raise NotTrainedError("binary associative memory has no trained classes")
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"ones": self._ones.copy(), "counts": self._counts.copy()}
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, np.ndarray]) -> "BinaryAssociativeMemory":
+        ones = np.asarray(state["ones"], dtype=np.int64)
+        am = cls(ones.shape[0], ones.shape[1])
+        am._ones = ones
+        am._counts = np.asarray(state["counts"], dtype=np.int64)
+        return am
+
+    def copy(self) -> "BinaryAssociativeMemory":
+        return BinaryAssociativeMemory.from_state_dict(self.state_dict())
+
+    def __repr__(self) -> str:
+        return (
+            f"BinaryAssociativeMemory(n_classes={self._n_classes}, "
+            f"dimension={self._dimension}, trained={self.is_trained})"
+        )
+
+
+class BinaryHDCClassifier:
+    """Thin classifier facade over the binary encoder + AM pair.
+
+    API-compatible with :class:`~repro.hdc.model.HDCClassifier` for
+    everything the fuzzer touches (``predict_hv``, ``encode_batch``,
+    ``reference_hv``, ``is_trained``); kept separate because the binary
+    AM's update semantics differ (bit counters, not signed sums).
+    """
+
+    def __init__(self, encoder: Encoder, n_classes: int) -> None:
+        if not isinstance(encoder, Encoder):
+            raise ConfigurationError(
+                f"encoder must be an Encoder, got {type(encoder).__name__}"
+            )
+        self._encoder = encoder
+        self._n_classes = check_positive_int(n_classes, "n_classes")
+        self._am = BinaryAssociativeMemory(n_classes, encoder.dimension)
+
+    @property
+    def encoder(self) -> Encoder:
+        return self._encoder
+
+    @property
+    def associative_memory(self) -> BinaryAssociativeMemory:
+        return self._am
+
+    @property
+    def n_classes(self) -> int:
+        return self._n_classes
+
+    @property
+    def dimension(self) -> int:
+        return self._encoder.dimension
+
+    @property
+    def is_trained(self) -> bool:
+        return self._am.is_trained
+
+    def encode(self, item) -> np.ndarray:
+        return self._encoder.encode(item)
+
+    def encode_batch(self, items) -> np.ndarray:
+        return self._encoder.encode_batch(items)
+
+    def fit(self, inputs, labels) -> "BinaryHDCClassifier":
+        hvs = self._encoder.encode_batch(inputs)
+        self._am.add(hvs, check_labels(labels, hvs.shape[0]))
+        return self
+
+    def predict(self, inputs) -> np.ndarray:
+        return self._am.predict(self._encoder.encode_batch(inputs))
+
+    def predict_one(self, item) -> int:
+        return int(self._am.predict(self._encoder.encode(item)[None])[0])
+
+    def predict_hv(self, hvs: np.ndarray) -> np.ndarray:
+        return self._am.predict(hvs)
+
+    def similarities(self, inputs) -> np.ndarray:
+        return self._am.similarities(self._encoder.encode_batch(inputs))
+
+    def margins(self, inputs) -> np.ndarray:
+        return self._am.margins(self._encoder.encode_batch(inputs))
+
+    def score(self, inputs, labels) -> float:
+        predictions = self.predict(inputs)
+        labels_arr = check_labels(labels, predictions.shape[0])
+        return float(np.mean(predictions == labels_arr))
+
+    def reference_hv(self, label: int) -> np.ndarray:
+        return self._am.reference_hv(label)
+
+    def __repr__(self) -> str:
+        return (
+            f"BinaryHDCClassifier(encoder={self._encoder!r}, "
+            f"n_classes={self._n_classes}, trained={self.is_trained})"
+        )

@@ -1,0 +1,16 @@
+"""Encoders from raw inputs to hypervectors."""
+
+from repro.hdc.encoders.base import Encoder
+from repro.hdc.encoders.image import PixelEncoder
+from repro.hdc.encoders.ngram import DEFAULT_ALPHABET, NgramEncoder
+from repro.hdc.encoders.permutation import PermutationImageEncoder
+from repro.hdc.encoders.record import RecordEncoder
+
+__all__ = [
+    "DEFAULT_ALPHABET",
+    "Encoder",
+    "NgramEncoder",
+    "PermutationImageEncoder",
+    "PixelEncoder",
+    "RecordEncoder",
+]

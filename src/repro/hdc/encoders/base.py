@@ -1,0 +1,41 @@
+"""Encoder interface.
+
+An encoder maps raw inputs (images, feature records, strings, …) to
+bipolar hypervectors.  The fuzzer and the classifier only rely on this
+interface, which is what makes HDTest "naturally extendable to other
+HDC model structures" (Sec. V-E): plugging in a different encoder is the
+whole port.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["Encoder"]
+
+
+class Encoder(ABC):
+    """Maps raw inputs to bipolar hypervectors of a fixed dimension."""
+
+    @property
+    @abstractmethod
+    def dimension(self) -> int:
+        """Dimensionality of produced hypervectors."""
+
+    @abstractmethod
+    def encode(self, item: Any) -> np.ndarray:
+        """Encode a single input into a bipolar ``(D,)`` int8 hypervector."""
+
+    def encode_batch(self, items: Sequence[Any]) -> np.ndarray:
+        """Encode a batch of inputs into an ``(n, D)`` int8 stack.
+
+        The default implementation loops over :meth:`encode`; subclasses
+        with vectorisable inputs (images) override it.
+        """
+        encoded = [self.encode(item) for item in items]
+        if not encoded:
+            return np.empty((0, self.dimension), dtype=np.int8)
+        return np.stack(encoded).astype(np.int8, copy=False)

@@ -1,0 +1,96 @@
+"""Hardware-fault injection for HDC models.
+
+The paper's related work (Sec. II) notes that prior HDC studies examined
+"robustness … with regard to hardware failures such [as] memory
+errors" — HDC's celebrated tolerance to bit flips in the associative
+memory — while HDTest targets *algorithmic* robustness.  This module
+supplies the hardware half so both robustness axes can be measured in
+one framework:
+
+* :func:`flip_components` — i.i.d. sign flips on bipolar HVs (the
+  standard memory-error model);
+* :func:`inject_am_faults` — a faulted copy of an associative memory;
+* :func:`accuracy_under_faults` — accuracy sweep over fault rates,
+  reproducing the graceful-degradation curve of the HDC literature
+  (``benchmarks/bench_fault_tolerance.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.model import HDCClassifier
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["flip_components", "inject_am_faults", "accuracy_under_faults"]
+
+
+def flip_components(
+    hvs: np.ndarray, rate: float, *, rng: RngLike = None
+) -> np.ndarray:
+    """Flip each bipolar component independently with probability *rate*.
+
+    Returns a new array; the input is untouched.  Values must be ±1.
+    """
+    rate = check_probability(rate, "rate")
+    arr = np.asarray(hvs)
+    if not np.isin(arr, (-1, 1)).all():
+        raise ConfigurationError("flip_components expects bipolar (±1) hypervectors")
+    out = arr.copy()
+    if rate == 0.0:
+        return out
+    generator = ensure_rng(rng)
+    mask = generator.random(size=out.shape) < rate
+    out[mask] = -out[mask]
+    return out
+
+
+def inject_am_faults(
+    am: AssociativeMemory, rate: float, *, rng: RngLike = None
+) -> AssociativeMemory:
+    """Return a copy of *am* whose stored class HVs carry bit flips.
+
+    The fault model matches the in-memory-computing literature the
+    paper cites ([17]–[19]): the *quantised* class hypervectors sitting
+    in associative memory take i.i.d. sign flips at *rate*.  The
+    returned memory holds the faulted HVs as its accumulators (their
+    bipolarisation is themselves), leaving the original untouched.
+    """
+    if not am.bipolar:
+        raise ConfigurationError("fault injection requires a bipolar associative memory")
+    faulted_hvs = flip_components(am.class_hvs, rate, rng=rng)
+    state = am.state_dict()
+    state["accumulators"] = faulted_hvs.astype(np.int64)
+    return AssociativeMemory.from_state_dict(state)
+
+
+def accuracy_under_faults(
+    model: HDCClassifier,
+    images: np.ndarray,
+    labels: np.ndarray,
+    rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4),
+    *,
+    rng: RngLike = None,
+) -> dict[float, float]:
+    """Model accuracy at each AM bit-flip rate.
+
+    Encodes *images* once and re-queries faulted copies of the
+    associative memory, so the sweep costs one encoding pass plus one
+    cheap similarity query per rate.
+    """
+    if len(rates) == 0:
+        raise ConfigurationError("rates is empty")
+    generator = ensure_rng(rng)
+    query_hvs = model.encode_batch(images)
+    labels_arr = np.asarray(labels)
+    out: dict[float, float] = {}
+    for rate in rates:
+        faulted = inject_am_faults(model.associative_memory, float(rate), rng=generator)
+        predictions = faulted.predict(query_hvs)
+        out[float(rate)] = float(np.mean(predictions == labels_arr))
+    return out

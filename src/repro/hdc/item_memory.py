@@ -1,0 +1,168 @@
+"""Item memories: codebooks mapping discrete symbols to hypervectors.
+
+The paper's encoder uses two of these (Sec. III-A step 2):
+
+* a *position memory* with one random HV per pixel index (784 for
+  MNIST), and
+* a *value memory* with one random HV per grey level.
+
+Both are instances of :class:`ItemMemory` — i.i.d. random codebooks.
+:class:`LevelMemory` additionally offers the *linear level* construction
+common in the wider HDC literature (consecutive levels differ in a
+small, monotone set of flipped components, so similarity decays
+linearly with level distance).  The paper generates its value memory
+randomly, so `ItemMemory` is the default everywhere; `LevelMemory`
+exists for the ablation bench that shows how the choice changes the
+fuzzer's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.hdc.spaces import BipolarSpace, Space
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ItemMemory", "LevelMemory"]
+
+
+class ItemMemory:
+    """A fixed codebook of i.i.d. random hypervectors.
+
+    Parameters
+    ----------
+    size:
+        Number of items (rows).
+    space:
+        Hypervector space to draw from; defaults to a
+        :class:`~repro.hdc.spaces.BipolarSpace` of the paper's dimension.
+    rng:
+        Seed or generator for reproducible codebooks.
+
+    Notes
+    -----
+    Lookups are plain row indexing, and :meth:`lookup` accepts arrays of
+    indices, returning a gathered ``(..., D)`` array — this is what makes
+    whole-image encoding a single vectorised gather.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        space: Optional[Space] = None,
+        *,
+        rng: RngLike = None,
+    ) -> None:
+        self._space = space if space is not None else BipolarSpace()
+        self._size = check_positive_int(size, "size")
+        self._vectors = self._space.random(self._size, rng=ensure_rng(rng))
+
+    @classmethod
+    def from_vectors(cls, vectors: np.ndarray, space: Optional[Space] = None) -> "ItemMemory":
+        """Wrap an existing ``(n, D)`` codebook (e.g. loaded from disk)."""
+        arr = np.asarray(vectors)
+        if arr.ndim != 2:
+            raise DimensionMismatchError(f"vectors must be (n, D), got shape {arr.shape}")
+        if space is None:
+            space = BipolarSpace(arr.shape[1])
+        space.check_member(arr, name="vectors")
+        mem = cls.__new__(cls)
+        mem._space = space
+        mem._size = arr.shape[0]
+        mem._vectors = arr.astype(np.int8, copy=True)
+        return mem
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of stored items."""
+        return self._size
+
+    @property
+    def dimension(self) -> int:
+        """Hypervector dimension."""
+        return self._space.dimension
+
+    @property
+    def space(self) -> Space:
+        """The space the codebook was drawn from."""
+        return self._space
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Read-only view of the full ``(size, D)`` codebook."""
+        view = self._vectors.view()
+        view.flags.writeable = False
+        return view
+
+    # -- lookup ------------------------------------------------------------
+    def lookup(self, index) -> np.ndarray:
+        """Return the HV(s) for *index* (an int or an integer array).
+
+        Integer-array indices gather: ``lookup(image_pixels)`` with a
+        ``(784,)`` index array returns a ``(784, D)`` stack.
+        """
+        idx = np.asarray(index)
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise ConfigurationError(f"index must be integer(s), got dtype {idx.dtype}")
+        if idx.size and (idx.min() < 0 or idx.max() >= self._size):
+            raise ConfigurationError(
+                f"index out of range [0, {self._size}): [{idx.min()}, {idx.max()}]"
+            )
+        return self._vectors[idx]
+
+    def __getitem__(self, index) -> np.ndarray:
+        return self.lookup(index)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(size={self._size}, dimension={self.dimension})"
+
+
+class LevelMemory(ItemMemory):
+    """Codebook whose rows interpolate from a random base hypervector.
+
+    Level ``0`` is a random bipolar HV; level ``k`` flips the first
+    ``k/(size-1) · D/2`` components of the base (in a fixed random
+    order).  Cosine similarity therefore decays linearly,
+    ``cos(level_0, level_k) = 1 − k/(size−1)``, reaching exactly
+    (pseudo-)orthogonality between the two extreme levels — the ordinal
+    "level hypervector" encoding of the HDC literature, offered as an
+    ablation against the paper's fully-random value memory.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        space: Optional[Space] = None,
+        *,
+        rng: RngLike = None,
+    ) -> None:
+        space = space if space is not None else BipolarSpace()
+        if not isinstance(space, BipolarSpace):
+            raise ConfigurationError("LevelMemory currently supports bipolar spaces only")
+        size = check_positive_int(size, "size")
+        generator = ensure_rng(rng)
+        low = space.random(rng=generator)
+        vectors = np.empty((size, space.dimension), dtype=np.int8)
+        vectors[0] = low
+        if size > 1:
+            # Flip components in a fixed random order; the top level
+            # flips exactly half the dimensions so the two extremes are
+            # orthogonal and cos(level_0, level_k) = 1 - k/(size-1).
+            flip_order = generator.permutation(space.dimension)
+            for level in range(1, size):
+                n_flips = round(level / (size - 1) * space.dimension / 2)
+                row = low.copy()
+                flips = flip_order[:n_flips]
+                row[flips] = -row[flips]
+                vectors[level] = row
+        self._space = space
+        self._size = size
+        self._vectors = vectors

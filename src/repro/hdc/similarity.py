@@ -1,0 +1,104 @@
+"""Similarity measures between hypervectors.
+
+The paper's model predicts with cosine similarity (Sec. III-C) and the
+fuzzer's fitness is ``1 - cosine`` (Sec. IV), so :func:`cosine` and its
+batched form :func:`cosine_matrix` are the hot paths.  Hamming and dot
+similarities are included for binary models and diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+
+__all__ = [
+    "cosine",
+    "cosine_matrix",
+    "dot",
+    "hamming_similarity",
+    "hamming_distance",
+]
+
+
+def _as_2d(x: np.ndarray) -> tuple[np.ndarray, bool]:
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 1:
+        return arr[None, :], True
+    if arr.ndim == 2:
+        return arr, False
+    raise DimensionMismatchError(f"expected 1-D or 2-D array, got ndim={arr.ndim}")
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two hypervectors.
+
+    ``Cosim(a, b) = a·b / (||a|| ||b||)`` — Sec. III-C.  A zero vector
+    has similarity 0 to everything (rather than NaN), which keeps the
+    fuzzer's fitness finite for degenerate seeds (e.g. an all-black
+    image whose accumulator could be tiny).
+    """
+    av = np.asarray(a, dtype=np.float64).ravel()
+    bv = np.asarray(b, dtype=np.float64).ravel()
+    if av.shape != bv.shape:
+        raise DimensionMismatchError(f"shapes {av.shape} and {bv.shape} differ")
+    na = np.linalg.norm(av)
+    nb = np.linalg.norm(bv)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(av @ bv / (na * nb))
+
+
+def cosine_matrix(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities.
+
+    Parameters
+    ----------
+    queries:
+        ``(n, D)`` (or ``(D,)``) query hypervectors.
+    references:
+        ``(m, D)`` (or ``(D,)``) reference hypervectors (e.g. the
+        associative memory's class HVs).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, m)`` float64 matrix; rows for queries, columns for
+        references.  Zero-norm rows/columns produce zero similarity.
+    """
+    q, _ = _as_2d(queries)
+    r, _ = _as_2d(references)
+    if q.shape[1] != r.shape[1]:
+        raise DimensionMismatchError(
+            f"queries have dimension {q.shape[1]}, references {r.shape[1]}"
+        )
+    qn = np.linalg.norm(q, axis=1)
+    rn = np.linalg.norm(r, axis=1)
+    denom = np.outer(qn, rn)
+    sims = q @ r.T
+    np.divide(sims, denom, out=sims, where=denom > 0)
+    sims[denom == 0] = 0.0
+    return sims
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> float:
+    """Raw inner product (useful for integer accumulators)."""
+    av = np.asarray(a, dtype=np.float64).ravel()
+    bv = np.asarray(b, dtype=np.float64).ravel()
+    if av.shape != bv.shape:
+        raise DimensionMismatchError(f"shapes {av.shape} and {bv.shape} differ")
+    return float(av @ bv)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Normalised Hamming distance: fraction of differing components."""
+    av = np.asarray(a).ravel()
+    bv = np.asarray(b).ravel()
+    if av.shape != bv.shape:
+        raise DimensionMismatchError(f"shapes {av.shape} and {bv.shape} differ")
+    return float(np.mean(av != bv))
+
+
+def hamming_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """``1 - hamming_distance`` — fraction of matching components."""
+    return 1.0 - hamming_distance(a, b)

@@ -1,0 +1,64 @@
+"""Aggregation helpers used by campaign results and per-class analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SummaryStats", "summarize", "group_means"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary of a sample (mean/std/min/max/count)."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.2g} (n={self.count})"
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Summary statistics for a possibly-empty sample (NaNs if empty)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return SummaryStats(float("nan"), float("nan"), float("nan"), float("nan"), 0)
+    return SummaryStats(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )
+
+
+def group_means(
+    values: Sequence[float], groups: Sequence[int], *, n_groups: Optional[int] = None
+) -> np.ndarray:
+    """Mean of *values* within each integer group (NaN for empty groups).
+
+    Used for the per-class analysis of Fig. 7: values are L1/L2/iteration
+    counts, groups are digit classes.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    grp = np.asarray(groups, dtype=np.int64)
+    if vals.shape != grp.shape:
+        raise ConfigurationError(
+            f"values and groups must align, got shapes {vals.shape} vs {grp.shape}"
+        )
+    if n_groups is None:
+        n_groups = int(grp.max()) + 1 if grp.size else 0
+    out = np.full(n_groups, np.nan)
+    for g in range(n_groups):
+        mask = grp == g
+        if mask.any():
+            out[g] = vals[mask].mean()
+    return out

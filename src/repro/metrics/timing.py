@@ -1,0 +1,59 @@
+"""Wall-clock helpers for the paper's throughput metrics.
+
+Sec. V-A reports "execution time to successfully generate 1000
+adversarial images"; the abstract quotes "around 400 adversarial inputs
+within one minute".  :class:`Stopwatch` measures elapsed time and
+:func:`per_thousand` / :func:`per_minute` extrapolate a measured run to
+those two reporting conventions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Stopwatch", "per_thousand", "per_minute"]
+
+
+class Stopwatch:
+    """A context-manager stopwatch: ``with Stopwatch() as sw: ...``."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds (live while running, frozen after exit)."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+
+def per_thousand(elapsed_seconds: float, n_generated: int) -> float:
+    """Extrapolated seconds to generate 1000 items at the measured rate."""
+    if n_generated <= 0:
+        raise ConfigurationError(f"n_generated must be positive, got {n_generated}")
+    if elapsed_seconds < 0:
+        raise ConfigurationError(f"elapsed_seconds must be >= 0, got {elapsed_seconds}")
+    return elapsed_seconds / n_generated * 1000.0
+
+
+def per_minute(elapsed_seconds: float, n_generated: int) -> float:
+    """Extrapolated items generated per minute at the measured rate."""
+    if n_generated < 0:
+        raise ConfigurationError(f"n_generated must be >= 0, got {n_generated}")
+    if elapsed_seconds <= 0:
+        raise ConfigurationError(f"elapsed_seconds must be > 0, got {elapsed_seconds}")
+    return n_generated / elapsed_seconds * 60.0

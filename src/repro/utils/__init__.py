@@ -1,0 +1,31 @@
+"""Shared utilities: deterministic RNG plumbing and argument validation."""
+
+from repro.utils.rng import RngLike, SeedSequenceFactory, derive_seed, ensure_rng, spawn
+from repro.utils.validation import (
+    as_image_batch,
+    as_single_image,
+    check_in_choices,
+    check_labels,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    check_same_shape,
+)
+
+__all__ = [
+    "RngLike",
+    "SeedSequenceFactory",
+    "derive_seed",
+    "ensure_rng",
+    "spawn",
+    "as_image_batch",
+    "as_single_image",
+    "check_in_choices",
+    "check_labels",
+    "check_non_negative_int",
+    "check_positive_float",
+    "check_positive_int",
+    "check_probability",
+    "check_same_shape",
+]

@@ -1,0 +1,72 @@
+"""Tests for the one-call experiment suite and its markdown report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentSuiteResult,
+    render_report,
+    run_experiment_suite,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def suite_result(trained_model, digit_data):
+    _, test = digit_data
+    return run_experiment_suite(
+        trained_model,
+        test.images,
+        test.labels,
+        n_fuzz=6,
+        n_adversarial=12,
+        rng=0,
+    )
+
+
+class TestRunExperimentSuite:
+    def test_all_sections_present(self, suite_result):
+        assert 0.0 <= suite_result.accuracy <= 1.0
+        assert set(suite_result.table2) == {"gauss", "rand", "row_col_rand", "shift"}
+        assert suite_result.per_class.n_classes == 10
+        assert suite_result.guided.guided and not suite_result.unguided.guided
+        assert suite_result.defense.n_retrain + suite_result.defense.n_attack == 12
+        assert suite_result.images_per_minute > 0
+
+    def test_guided_speedup_computable(self, suite_result):
+        assert -2.0 < suite_result.guided_speedup <= 1.0
+
+    def test_too_few_images_rejected(self, trained_model, digit_data):
+        _, test = digit_data
+        with pytest.raises(ConfigurationError):
+            run_experiment_suite(
+                trained_model, test.images[:3], test.labels[:3], n_fuzz=10
+            )
+
+
+class TestRenderReport:
+    def test_contains_every_section(self, suite_result):
+        report = render_report(suite_result)
+        for heading in (
+            "# HDTest experiment report",
+            "## Model accuracy",
+            "## Table II",
+            "## Fig. 7",
+            "## Guided vs unguided",
+            "## Defense case study",
+            "## Throughput",
+        ):
+            assert heading in report
+
+    def test_quotes_paper_values(self, suite_result):
+        report = render_report(suite_result)
+        assert "≈0.90" in report
+        assert ">20 %" in report
+        assert "≈400" in report
+
+    def test_valid_markdown_tables(self, suite_result):
+        report = render_report(suite_result)
+        # Every table row line must balance pipes.
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")

@@ -1,0 +1,170 @@
+"""Tests for ASCII figures, PGM export, and per-class analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    adversarial_triptych,
+    ascii_bar_chart,
+    ascii_image,
+    diff_mask,
+    save_examples_npz,
+    save_pgm,
+)
+from repro.analysis.per_class import (
+    hardest_classes,
+    per_class_series,
+    per_class_table,
+)
+from repro.errors import ConfigurationError
+from repro.fuzz.results import AdversarialExample, CampaignResult, InputOutcome
+
+
+def _example(cls=0, iters=2):
+    img = np.zeros((28, 28))
+    adv = img.copy()
+    adv[5, 5] = 200.0
+    return AdversarialExample(
+        original=img, adversarial=adv, reference_label=cls,
+        adversarial_label=(cls + 1) % 10, iterations=iters,
+        metrics={"l1": 0.8, "l2": 0.8, "linf": 0.8, "l0": 1.0},
+        strategy="gauss",
+    )
+
+
+def _campaign(classes=(0, 1, 1)):
+    outcomes = [
+        InputOutcome(True, 2 + i, c, _example(c, 2 + i)) for i, c in enumerate(classes)
+    ]
+    return CampaignResult("gauss", outcomes, elapsed_seconds=1.0)
+
+
+class TestAsciiImage:
+    def test_dimensions_halved_vertically(self):
+        art = ascii_image(np.zeros((28, 28)))
+        lines = art.splitlines()
+        assert len(lines) == 14
+        assert all(len(l) == 28 for l in lines)
+
+    def test_intensity_mapping(self):
+        art = ascii_image(np.array([[0.0, 255.0]]))
+        assert art[0] == " " and art[1] == "@"
+
+    def test_downsample(self):
+        art = ascii_image(np.zeros((28, 28)), downsample=2)
+        assert len(art.splitlines()) == 7
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ascii_image(np.zeros((2, 2, 2)))
+        with pytest.raises(ConfigurationError):
+            ascii_image(np.zeros((4, 4)), downsample=0)
+
+
+class TestDiffMaskAndTriptych:
+    def test_diff_mask_marks_changes(self):
+        a = np.zeros((4, 4))
+        b = a.copy()
+        b[1, 2] = 10.0
+        mask = diff_mask(a, b)
+        assert mask[1, 2] == 255
+        assert mask.sum() == 255
+
+    def test_diff_mask_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            diff_mask(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_triptych_contains_labels_and_panels(self):
+        out = adversarial_triptych(_example(cls=3))
+        assert "original → 3" in out
+        assert "mutated pixels" in out
+        assert "adversarial → 4" in out
+        assert " | " in out
+
+
+class TestBarChart:
+    def test_rows_and_values(self):
+        out = ascii_bar_chart(["a", "b"], [1.0, 2.0])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "2.00" in lines[1]
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_nan_rendered(self):
+        out = ascii_bar_chart(["a"], [float("nan")])
+        assert "n/a" in out
+
+    def test_title(self):
+        out = ascii_bar_chart(["a"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_all_zero_values(self):
+        out = ascii_bar_chart(["a"], [0.0])
+        assert "0.00" in out
+
+
+class TestPersistence:
+    def test_save_pgm_roundtrip_header(self, tmp_path):
+        img = np.random.default_rng(0).integers(0, 256, size=(8, 6)).astype(np.uint8)
+        path = tmp_path / "img.pgm"
+        save_pgm(path, img)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n6 8\n255\n")
+        payload = raw.split(b"255\n", 1)[1]
+        np.testing.assert_array_equal(
+            np.frombuffer(payload, dtype=np.uint8).reshape(8, 6), img
+        )
+
+    def test_save_pgm_rejects_3d(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_pgm(tmp_path / "x.pgm", np.zeros((2, 2, 2)))
+
+    def test_save_examples_npz(self, tmp_path):
+        path = tmp_path / "adv.npz"
+        save_examples_npz(path, [_example(0), _example(1)])
+        with np.load(path, allow_pickle=False) as data:
+            assert data["originals"].shape == (2, 28, 28)
+            assert data["adversarials"].shape == (2, 28, 28)
+            np.testing.assert_array_equal(data["reference_labels"], [0, 1])
+            assert data["strategies"].shape == (2,)
+
+    def test_save_examples_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_examples_npz(tmp_path / "x.npz", [])
+
+
+class TestPerClass:
+    def test_series_from_single_campaign(self):
+        series = per_class_series(_campaign(classes=(0, 1, 1)), n_classes=10)
+        assert series.n_classes == 10
+        assert series.iterations[0] == pytest.approx(2.0)
+        assert series.iterations[1] == pytest.approx(3.5)
+        assert np.isnan(series.iterations[5])
+
+    def test_series_pools_multiple_campaigns(self):
+        results = {"a": _campaign((0,)), "b": _campaign((0,))}
+        series = per_class_series(results, n_classes=10)
+        assert series.iterations[0] == pytest.approx(2.0)
+
+    def test_series_from_sequence(self):
+        series = per_class_series([_campaign((2,))], n_classes=5)
+        assert series.iterations[2] == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            per_class_series([], n_classes=10)
+
+    def test_table_rendering(self):
+        series = per_class_series(_campaign(), n_classes=3)
+        out = per_class_table(series)
+        assert "Class" in out and "Avg #Iter" in out
+
+    def test_hardest_classes_orders_by_iterations(self):
+        series = per_class_series(_campaign(classes=(0, 1, 1, 1)), n_classes=3)
+        ranking = hardest_classes(series)
+        assert ranking[0] == 1  # saw iters 3,4,5 → mean 4 > class 0's 2
+        assert ranking[-1] == 2  # NaN class sorts last

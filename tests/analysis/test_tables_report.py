@@ -1,0 +1,110 @@
+"""Tests for table rendering and markdown report emitters."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    defense_markdown,
+    markdown_table,
+    per_class_markdown,
+    table2_markdown,
+)
+from repro.analysis.tables import PAPER_TABLE2, format_table, table2
+from repro.defense.retrain import DefenseReport
+from repro.errors import ConfigurationError
+from repro.fuzz.results import AdversarialExample, CampaignResult, InputOutcome
+
+
+def _campaign(strategy="gauss", l1=2.0, l2=0.3, iters=2):
+    img = np.zeros((4, 4))
+    ex = AdversarialExample(
+        original=img, adversarial=img + 1, reference_label=0,
+        adversarial_label=1, iterations=iters,
+        metrics={"l1": l1, "l2": l2, "linf": 0.1, "l0": 4.0},
+        strategy=strategy,
+    )
+    outcome = InputOutcome(True, iters, 0, ex)
+    return CampaignResult(strategy, [outcome], elapsed_seconds=1.0)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["A", "Metric"], [["x", 1.5], ["longer", 2.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("A")
+        assert set(lines[1]) == {"-"}
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        out = format_table(["A"], [["x"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["A"], [[float("nan")]])
+        assert "—" in out
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["A", "B"], [["only-one"]])
+
+
+class TestTable2:
+    def test_contains_all_metrics_and_strategies(self):
+        results = {"gauss": _campaign("gauss"), "shift": _campaign("shift")}
+        out = table2(results)
+        for token in ("gauss", "shift", "L1", "L2", "Avg. #Iter.", "Per-1K"):
+            assert token in out
+
+    def test_paper_rows_included_by_default(self):
+        out = table2({"gauss": _campaign("gauss")})
+        assert "(paper)" in out
+        assert "2.91" in out  # paper's gauss L1
+
+    def test_paper_rows_omittable(self):
+        out = table2({"gauss": _campaign("gauss")}, include_paper=False)
+        assert "(paper)" not in out
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table2({})
+
+    def test_paper_constants_sane(self):
+        assert PAPER_TABLE2["rand"]["l1"] < PAPER_TABLE2["gauss"]["l1"]
+        assert PAPER_TABLE2["shift"]["time_per_1k"] < PAPER_TABLE2["rand"]["time_per_1k"]
+
+
+class TestMarkdown:
+    def test_markdown_table_structure(self):
+        out = markdown_table(["A", "B"], [[1.0, "x"]])
+        lines = out.splitlines()
+        assert lines[0] == "| A | B |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | x |"
+
+    def test_markdown_nan_dash(self):
+        assert "—" in markdown_table(["A"], [[float("nan")]])
+
+    def test_markdown_ragged_rejected(self):
+        with pytest.raises(ConfigurationError):
+            markdown_table(["A", "B"], [["x"]])
+
+    def test_table2_markdown(self):
+        out = table2_markdown({"gauss": _campaign("gauss")})
+        assert "| gauss |" in out
+        assert "2.91" in out
+
+    def test_per_class_markdown(self):
+        from repro.analysis.per_class import per_class_series
+
+        series = per_class_series(_campaign(), n_classes=3)
+        out = per_class_markdown(series)
+        assert out.count("\n") == 4  # header + rule + 3 classes
+
+    def test_defense_markdown(self):
+        out = defense_markdown(DefenseReport(1.0, 0.6, 5, 5))
+        assert "attack_rate_before" in out
+        assert "0.4" in out  # rate drop

@@ -1,0 +1,96 @@
+"""Tests for the synthetic language corpus."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.text import LanguageModel, TextDataset, make_language_dataset
+from repro.errors import ConfigurationError, DatasetError
+
+
+class TestLanguageModel:
+    def test_sample_length_and_alphabet(self):
+        model = LanguageModel(rng=0)
+        text = model.sample(50, rng=1)
+        assert len(text) == 50
+        assert set(text).issubset(set(model.alphabet))
+
+    def test_deterministic(self):
+        model = LanguageModel(rng=0)
+        assert model.sample(30, rng=5) == model.sample(30, rng=5)
+
+    def test_transition_rows_are_distributions(self):
+        model = LanguageModel(rng=2)
+        rows = model.transitions.sum(axis=1)
+        np.testing.assert_allclose(rows, 1.0, atol=1e-9)
+
+    def test_transitions_read_only(self):
+        model = LanguageModel(rng=0)
+        with pytest.raises(ValueError):
+            model.transitions[0, 0] = 1.0
+
+    def test_different_seeds_give_different_languages(self):
+        a = LanguageModel(rng=0).transitions
+        b = LanguageModel(rng=1).transitions
+        assert not np.allclose(a, b)
+
+    def test_short_alphabet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LanguageModel(alphabet="a")
+
+    def test_bad_concentration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LanguageModel(concentration=0.0)
+
+
+class TestMakeLanguageDataset:
+    def test_sizes_and_labels(self):
+        data = make_language_dataset(10, n_languages=3, length=40, seed=0)
+        assert len(data) == 30
+        assert data.n_classes == 3
+        assert set(data.labels.tolist()) == {0, 1, 2}
+
+    def test_deterministic(self):
+        a = make_language_dataset(5, n_languages=2, length=30, seed=7)
+        b = make_language_dataset(5, n_languages=2, length=30, seed=7)
+        assert a.texts == b.texts
+
+    def test_text_lengths(self):
+        data = make_language_dataset(4, n_languages=2, length=25, seed=0)
+        assert all(len(t) == 25 for t in data.texts)
+
+    def test_language_names(self):
+        data = make_language_dataset(2, n_languages=3, seed=0)
+        assert data.language_names == ("lang-a", "lang-b", "lang-c")
+
+    def test_languages_statistically_distinct(self):
+        # Character-bigram distributions should separate the classes.
+        data = make_language_dataset(20, n_languages=2, length=200, seed=1)
+        alphabet = sorted(set("".join(data.texts)))
+        index = {c: i for i, c in enumerate(alphabet)}
+
+        def bigram_hist(text):
+            hist = np.zeros((len(alphabet), len(alphabet)))
+            for a, b in zip(text, text[1:]):
+                hist[index[a], index[b]] += 1
+            return hist.ravel() / max(hist.sum(), 1)
+
+        h0 = np.mean([bigram_hist(t) for t, l in zip(data.texts, data.labels) if l == 0], axis=0)
+        h1 = np.mean([bigram_hist(t) for t, l in zip(data.texts, data.labels) if l == 1], axis=0)
+        assert np.abs(h0 - h1).sum() > 0.5
+
+
+class TestTextDataset:
+    def test_split(self):
+        data = make_language_dataset(10, n_languages=2, seed=0)
+        a, b = data.split(0.5, rng=0)
+        assert len(a) + len(b) == len(data)
+        assert set(a.texts).isdisjoint(set(b.texts)) or len(set(data.texts)) < len(data)
+
+    def test_split_invalid_fraction(self):
+        data = make_language_dataset(4, n_languages=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            data.split(0.0)
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            TextDataset(("a", "b"), np.array([0]), ("x",))

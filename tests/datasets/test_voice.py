@@ -1,0 +1,71 @@
+"""Tests for the synthetic VoiceHD-style record dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.voice import RecordDataset, make_voice_dataset
+from repro.errors import ConfigurationError, DatasetError
+
+
+class TestMakeVoiceDataset:
+    def test_shapes_and_ranges(self):
+        data = make_voice_dataset(10, n_classes=4, n_features=32, seed=0)
+        assert len(data) == 40
+        assert data.n_features == 32
+        assert data.n_classes == 4
+        assert data.records.min() >= 0.0 and data.records.max() <= 1.0
+
+    def test_deterministic(self):
+        a = make_voice_dataset(5, n_classes=2, n_features=16, seed=3)
+        b = make_voice_dataset(5, n_classes=2, n_features=16, seed=3)
+        np.testing.assert_array_equal(a.records, b.records)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_classes_balanced(self):
+        data = make_voice_dataset(7, n_classes=3, seed=0)
+        counts = np.bincount(data.labels)
+        assert (counts == 7).all()
+
+    def test_classes_separable_by_centroid(self):
+        data = make_voice_dataset(30, n_classes=4, n_features=48, seed=1)
+        centroids = np.stack(
+            [data.records[data.labels == c].mean(axis=0) for c in range(4)]
+        )
+        dists = ((data.records[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        accuracy = (dists.argmin(axis=1) == data.labels).mean()
+        assert accuracy > 0.9
+
+    def test_smoothness_of_samples(self):
+        # Spectra should be smooth: adjacent-feature diffs are small
+        # relative to the overall dynamic range.
+        data = make_voice_dataset(5, n_classes=2, n_features=64, seed=2)
+        diffs = np.abs(np.diff(data.records, axis=1)).mean()
+        assert diffs < 0.15
+
+    def test_invalid_noise_scale(self):
+        with pytest.raises(ConfigurationError):
+            make_voice_dataset(2, noise_scale=-0.1)
+
+
+class TestRecordDataset:
+    def test_split(self):
+        data = make_voice_dataset(10, n_classes=2, seed=0)
+        a, b = data.split(0.5, rng=0)
+        assert len(a) + len(b) == len(data)
+
+    def test_split_invalid_fraction(self):
+        data = make_voice_dataset(4, n_classes=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            data.split(1.5)
+
+    def test_out_of_range_records_rejected(self):
+        with pytest.raises(DatasetError):
+            RecordDataset(np.full((2, 4), 1.5), np.array([0, 1]))
+
+    def test_label_shape_checked(self):
+        with pytest.raises(DatasetError):
+            RecordDataset(np.zeros((2, 4)), np.array([0]))
+
+    def test_rank_checked(self):
+        with pytest.raises(DatasetError):
+            RecordDataset(np.zeros(4), np.array([0]))

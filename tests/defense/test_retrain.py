@@ -1,0 +1,104 @@
+"""Tests for the retraining defense (Sec. V-D / Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.defense.retrain import DefenseReport, attack_success_rate, run_defense
+from repro.errors import ConfigurationError
+from repro.fuzz.campaign import generate_adversarial_set
+from repro.fuzz.results import AdversarialExample
+
+
+@pytest.fixture(scope="module")
+def adversarial_examples(trained_model, digit_data):
+    _, test = digit_data
+    examples, _ = generate_adversarial_set(
+        trained_model,
+        test.images.astype(np.float64),
+        40,
+        strategy="gauss",
+        true_labels=test.labels,
+        rng=3,
+    )
+    return examples
+
+
+class TestAttackSuccessRate:
+    def test_fresh_adversarials_fool_generator_model(
+        self, trained_model, adversarial_examples
+    ):
+        rate = attack_success_rate(trained_model, adversarial_examples)
+        # Adversarials were minted against this very model; when the
+        # true label equals the reference label the attack succeeds by
+        # construction, so the rate should be near 1.
+        assert rate > 0.8
+
+    def test_empty_examples_rejected(self, trained_model):
+        with pytest.raises(ConfigurationError):
+            attack_success_rate(trained_model, [])
+
+
+class TestRunDefense:
+    def test_report_structure_and_rate_drop(
+        self, trained_model, adversarial_examples, digit_data
+    ):
+        _, test = digit_data
+        report, hardened = run_defense(
+            trained_model,
+            adversarial_examples,
+            clean_inputs=test.images,
+            clean_labels=test.labels,
+            rng=0,
+        )
+        assert report.n_retrain + report.n_attack == len(adversarial_examples)
+        assert 0.0 <= report.attack_rate_after <= report.attack_rate_before <= 1.0
+        assert report.rate_drop >= 0.0
+        # Retraining must not destroy the model (paper keeps using it).
+        assert report.clean_accuracy_after > report.clean_accuracy_before - 0.15
+
+    def test_retraining_reduces_attack_rate(self, trained_model, adversarial_examples):
+        report, _ = run_defense(trained_model, adversarial_examples, rng=1)
+        assert report.rate_drop > 0.05
+
+    def test_original_model_untouched(self, trained_model, adversarial_examples):
+        before = trained_model.associative_memory.accumulators.copy()
+        run_defense(trained_model, adversarial_examples, rng=2)
+        np.testing.assert_array_equal(
+            trained_model.associative_memory.accumulators, before
+        )
+
+    def test_split_fraction_controls_sizes(self, trained_model, adversarial_examples):
+        report, _ = run_defense(
+            trained_model, adversarial_examples, retrain_fraction=0.25, rng=0
+        )
+        assert report.n_retrain == round(0.25 * len(adversarial_examples))
+
+    def test_additive_mode_runs(self, trained_model, adversarial_examples):
+        report, _ = run_defense(
+            trained_model, adversarial_examples, mode="additive", rng=0
+        )
+        assert 0.0 <= report.attack_rate_after <= 1.0
+
+    def test_invalid_fraction_rejected(self, trained_model, adversarial_examples):
+        with pytest.raises(ConfigurationError):
+            run_defense(trained_model, adversarial_examples, retrain_fraction=1.0)
+
+    def test_too_few_examples_rejected(self, trained_model, adversarial_examples):
+        with pytest.raises(ConfigurationError):
+            run_defense(trained_model, adversarial_examples[:1])
+
+    def test_summary_keys(self):
+        report = DefenseReport(1.0, 0.7, 10, 10)
+        summary = report.summary()
+        assert summary["rate_drop"] == pytest.approx(0.3)
+        assert "attack_rate_before" in summary
+
+    def test_uses_reference_label_without_ground_truth(self, trained_model, test_images):
+        from repro.fuzz.fuzzer import HDTest
+
+        result = HDTest(trained_model, "gauss", rng=9).fuzz(test_images[:6])
+        examples = result.examples
+        if len(examples) < 2:
+            pytest.skip("not enough adversarials")
+        report, _ = run_defense(trained_model, examples, rng=0)
+        assert report.attack_rate_before > 0.9  # reference label == prediction

@@ -1,0 +1,87 @@
+"""Tests for campaign runners (Table II / defense workflows)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, FuzzingError
+from repro.fuzz.campaign import compare_strategies, generate_adversarial_set
+from repro.fuzz.constraints import ImageConstraint
+from repro.fuzz.fuzzer import HDTestConfig
+
+
+class TestCompareStrategies:
+    def test_result_per_strategy(self, trained_model, test_images):
+        results = compare_strategies(
+            trained_model, test_images[:4], ("gauss", "shift"), rng=0
+        )
+        assert set(results) == {"gauss", "shift"}
+        for result in results.values():
+            assert result.n_inputs == 4
+
+    def test_deterministic_given_seed(self, trained_model, test_images):
+        a = compare_strategies(trained_model, test_images[:3], ("gauss",), rng=5)
+        b = compare_strategies(trained_model, test_images[:3], ("gauss",), rng=5)
+        assert a["gauss"].avg_iterations == b["gauss"].avg_iterations
+        assert a["gauss"].avg_l2 == b["gauss"].avg_l2
+
+    def test_config_passed_through(self, trained_model, test_images):
+        cfg = HDTestConfig(iter_times=1, children_per_seed=2)
+        results = compare_strategies(
+            trained_model, test_images[:3], ("gauss",), config=cfg, rng=0
+        )
+        assert results["gauss"].avg_iterations <= 1.0
+
+    def test_duplicate_strategy_rejected(self, trained_model, test_images):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            compare_strategies(trained_model, test_images[:2], ("gauss", "gauss"), rng=0)
+
+
+class TestGenerateAdversarialSet:
+    def test_exact_count(self, trained_model, test_images):
+        examples, elapsed = generate_adversarial_set(
+            trained_model, test_images[:10], 5, strategy="gauss", rng=0
+        )
+        assert len(examples) == 5
+        assert elapsed > 0
+
+    def test_recycles_inputs_when_needed(self, trained_model, test_images):
+        examples, _ = generate_adversarial_set(
+            trained_model, test_images[:2], 6, strategy="gauss", rng=1
+        )
+        assert len(examples) == 6
+
+    def test_true_labels_attached(self, trained_model, digit_data, test_images):
+        _, test = digit_data
+        examples, _ = generate_adversarial_set(
+            trained_model,
+            test_images[:10],
+            4,
+            strategy="gauss",
+            true_labels=test.labels[:10],
+            rng=2,
+        )
+        assert all(e.true_label is not None for e in examples)
+
+    def test_true_labels_length_mismatch(self, trained_model, test_images):
+        with pytest.raises(ConfigurationError):
+            generate_adversarial_set(
+                trained_model, test_images[:5], 2, true_labels=[0, 1], rng=0
+            )
+
+    def test_empty_inputs_rejected(self, trained_model):
+        with pytest.raises(ConfigurationError):
+            generate_adversarial_set(trained_model, [], 2, rng=0)
+
+    def test_attempt_cap_raises(self, trained_model, test_images):
+        # An impossible budget means no adversarial is ever found.
+        with pytest.raises(FuzzingError, match="attempts"):
+            generate_adversarial_set(
+                trained_model,
+                test_images[:2],
+                3,
+                strategy="gauss",
+                constraint=ImageConstraint(max_l2=1e-12),
+                config=HDTestConfig(iter_times=1),
+                max_attempts_factor=2,
+                rng=0,
+            )

@@ -1,0 +1,102 @@
+"""Edge-case and invariant tests for the fuzzing loop.
+
+These complement tests/fuzz/test_fuzzer.py with scenarios at the
+boundaries of Alg. 1's behaviour: degenerate inputs, budget corner
+cases, and cross-run invariants the paper's metrics rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fuzz import (
+    HDTest,
+    HDTestConfig,
+    ImageConstraint,
+    NullConstraint,
+    compare_strategies,
+)
+from repro.fuzz.mutations.noise import GaussianNoise
+
+
+class TestDegenerateInputs:
+    def test_all_black_image_fuzzes(self, trained_model):
+        # An all-zero image still encodes (background-only) and can be
+        # mutated; the loop must not crash on it.
+        outcome = HDTest(trained_model, "gauss", rng=0).fuzz_one(np.zeros((28, 28)))
+        assert outcome.iterations >= 1
+
+    def test_all_white_image_fuzzes(self, trained_model):
+        outcome = HDTest(trained_model, "gauss", rng=1).fuzz_one(
+            np.full((28, 28), 255.0)
+        )
+        assert outcome.iterations >= 1
+
+    def test_uint8_input_accepted(self, trained_model, digit_data):
+        _, test = digit_data
+        outcome = HDTest(trained_model, "gauss", rng=2).fuzz_one(test.images[0])
+        assert outcome.reference_label == trained_model.predict_one(test.images[0])
+
+
+class TestBudgetCorners:
+    def test_one_iteration_budget(self, trained_model, test_images):
+        cfg = HDTestConfig(iter_times=1)
+        outcome = HDTest(trained_model, "gauss", config=cfg, rng=3).fuzz_one(
+            test_images[0]
+        )
+        assert outcome.iterations == 1
+
+    def test_single_child_per_seed(self, trained_model, test_images):
+        cfg = HDTestConfig(children_per_seed=1, top_n=1, iter_times=10)
+        outcome = HDTest(trained_model, "gauss", config=cfg, rng=4).fuzz_one(
+            test_images[1]
+        )
+        assert 1 <= outcome.iterations <= 10
+
+    def test_huge_budget_equivalent_to_null(self, trained_model, test_images):
+        generous = HDTest(
+            trained_model, "gauss", constraint=ImageConstraint(max_l2=1e6), rng=5
+        ).fuzz_one(test_images[2])
+        unconstrained = HDTest(
+            trained_model, "gauss", constraint=NullConstraint(), rng=5
+        ).fuzz_one(test_images[2])
+        assert generous.success == unconstrained.success
+        assert generous.iterations == unconstrained.iterations
+
+
+class TestMetricInvariants:
+    def test_iterations_never_exceed_budget(self, trained_model, test_images):
+        cfg = HDTestConfig(iter_times=7)
+        result = HDTest(trained_model, "rand", config=cfg, rng=6).fuzz(test_images[:5])
+        assert all(o.iterations <= 7 for o in result.outcomes)
+
+    def test_success_iterations_match_examples(self, trained_model, test_images):
+        result = HDTest(trained_model, "gauss", rng=7).fuzz(test_images[:5])
+        for outcome in result.outcomes:
+            if outcome.success:
+                assert outcome.example.iterations == outcome.iterations
+
+    def test_elapsed_accumulates_across_inputs(self, trained_model, test_images):
+        one = HDTest(trained_model, "gauss", rng=8).fuzz(test_images[:1])
+        many = HDTest(trained_model, "gauss", rng=8).fuzz(test_images[:4])
+        assert many.elapsed_seconds > one.elapsed_seconds * 0.5
+
+    def test_reference_labels_are_model_predictions(self, trained_model, test_images):
+        result = HDTest(trained_model, "gauss", rng=9).fuzz(test_images[:4])
+        predictions = trained_model.predict(test_images[:4])
+        np.testing.assert_array_equal(
+            [o.reference_label for o in result.outcomes], predictions
+        )
+
+
+class TestStrategyStateIsolation:
+    def test_strategy_instance_reusable_across_fuzzers(self, trained_model, test_images):
+        strategy = GaussianNoise(sigma=2.5)
+        a = HDTest(trained_model, strategy, rng=10).fuzz_one(test_images[0])
+        b = HDTest(trained_model, strategy, rng=10).fuzz_one(test_images[0])
+        assert a.success == b.success
+        assert a.iterations == b.iterations
+
+    def test_compare_strategies_does_not_mutate_inputs(self, trained_model, test_images):
+        pool = test_images[:3].copy()
+        compare_strategies(trained_model, pool, ("gauss", "shift"), rng=11)
+        np.testing.assert_array_equal(pool, test_images[:3])

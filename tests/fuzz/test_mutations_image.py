@@ -1,0 +1,167 @@
+"""Tests for the image mutation strategies (Table I semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MutationError
+from repro.fuzz.mutations.noise import GaussianNoise, RandomNoise
+from repro.fuzz.mutations.rowcol import ColRandom, RowColRandom, RowRandom
+from repro.fuzz.mutations.shift import Shift
+
+
+@pytest.fixture()
+def image():
+    return np.random.default_rng(0).uniform(30, 220, size=(28, 28))
+
+
+class TestGaussianNoise:
+    def test_shape(self, image):
+        out = GaussianNoise().mutate(image, 5, rng=0)
+        assert out.shape == (5, 28, 28)
+
+    def test_original_untouched(self, image):
+        before = image.copy()
+        GaussianNoise().mutate(image, 3, rng=0)
+        np.testing.assert_array_equal(image, before)
+
+    def test_values_clipped(self):
+        bright = np.full((8, 8), 254.0)
+        out = GaussianNoise(sigma=50.0).mutate(bright, 10, rng=0)
+        assert out.max() <= 255.0 and out.min() >= 0.0
+
+    def test_touches_most_pixels(self, image):
+        out = GaussianNoise(sigma=5.0).mutate(image, 1, rng=0)
+        changed = (np.abs(out[0] - image) > 1e-9).mean()
+        assert changed > 0.95
+
+    def test_deterministic(self, image):
+        a = GaussianNoise().mutate(image, 2, rng=7)
+        b = GaussianNoise().mutate(image, 2, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_children_differ(self, image):
+        out = GaussianNoise().mutate(image, 2, rng=0)
+        assert not np.array_equal(out[0], out[1])
+
+    def test_sigma_validated(self):
+        with pytest.raises(Exception):
+            GaussianNoise(sigma=-1.0)
+
+    def test_rejects_batch_input(self):
+        with pytest.raises(MutationError):
+            GaussianNoise().mutate(np.zeros((2, 4, 4)), 1, rng=0)
+
+
+class TestRandomNoise:
+    def test_touches_exactly_k_pixels(self, image):
+        strat = RandomNoise(amplitude=50.0, pixels_per_step=5)
+        out = strat.mutate(image, 4, rng=0)
+        for child in out:
+            changed = int((np.abs(child - image) > 1e-9).sum())
+            assert changed <= 5  # clipping can mask a change, never add one
+
+    def test_sparse_relative_to_gauss(self, image):
+        rand_child = RandomNoise(pixels_per_step=8).mutate(image, 1, rng=0)[0]
+        gauss_child = GaussianNoise().mutate(image, 1, rng=0)[0]
+        rand_changed = (np.abs(rand_child - image) > 1e-9).sum()
+        gauss_changed = (np.abs(gauss_child - image) > 1e-9).sum()
+        assert rand_changed < gauss_changed / 10
+
+    def test_amplitude_bounds_change(self, image):
+        out = RandomNoise(amplitude=3.0, pixels_per_step=10).mutate(image, 3, rng=1)
+        assert np.abs(out - image[None]).max() <= 3.0 + 1e-9
+
+    def test_pixels_per_step_exceeding_image_rejected(self):
+        strat = RandomNoise(pixels_per_step=100)
+        with pytest.raises(MutationError, match="exceeds"):
+            strat.mutate(np.zeros((8, 8)), 1, rng=0)
+
+    def test_deterministic(self, image):
+        a = RandomNoise().mutate(image, 3, rng=9)
+        b = RandomNoise().mutate(image, 3, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRowCol:
+    def test_row_rand_touches_single_row(self, image):
+        out = RowRandom(amplitude=40.0).mutate(image, 3, rng=0)
+        for child in out:
+            changed_rows = np.unique(np.nonzero(np.abs(child - image) > 1e-9)[0])
+            assert len(changed_rows) == 1
+
+    def test_col_rand_touches_single_col(self, image):
+        out = ColRandom(amplitude=40.0).mutate(image, 3, rng=0)
+        for child in out:
+            changed_cols = np.unique(np.nonzero(np.abs(child - image) > 1e-9)[1])
+            assert len(changed_cols) == 1
+
+    def test_row_col_rand_mixes_axes(self, image):
+        out = RowColRandom(amplitude=40.0).mutate(image, 32, rng=0)
+        row_hits = 0
+        col_hits = 0
+        for child in out:
+            rows = np.unique(np.nonzero(np.abs(child - image) > 1e-9)[0])
+            cols = np.unique(np.nonzero(np.abs(child - image) > 1e-9)[1])
+            if len(rows) == 1:
+                row_hits += 1
+            if len(cols) == 1:
+                col_hits += 1
+        assert row_hits > 0 and col_hits > 0
+
+    def test_clipped(self):
+        dark = np.zeros((8, 8))
+        out = RowRandom(amplitude=100.0).mutate(dark, 5, rng=0)
+        assert out.min() >= 0.0
+
+
+class TestShift:
+    def test_shift_moves_content(self):
+        img = np.zeros((8, 8))
+        img[4, 4] = 200.0
+        out = Shift().mutate(img, 16, rng=0)
+        for child in out:
+            assert child.sum() in (0.0, 200.0)  # moved or slid out
+            if child.sum() > 0:
+                r, c = np.nonzero(child)
+                assert (abs(int(r[0]) - 4) + abs(int(c[0]) - 4)) == 1
+
+    def test_fill_mode_zeroes_vacated_edge(self):
+        img = np.full((4, 4), 100.0)
+        child = Shift(mode="fill").shift_once(img, axis=1, delta=1)
+        np.testing.assert_array_equal(child[:, 0], np.zeros(4))
+        np.testing.assert_array_equal(child[:, 1:], np.full((4, 3), 100.0))
+
+    def test_wrap_mode_preserves_mass(self):
+        img = np.random.default_rng(0).uniform(0, 255, size=(8, 8))
+        child = Shift(mode="wrap").shift_once(img, axis=0, delta=3)
+        assert child.sum() == pytest.approx(img.sum())
+
+    def test_negative_delta(self):
+        img = np.zeros((4, 4))
+        img[0, 0] = 50.0
+        child = Shift(mode="fill").shift_once(img, axis=0, delta=-1)
+        assert child.sum() == 0.0  # slid off the top
+
+    def test_pixel_values_never_invented(self):
+        img = np.random.default_rng(1).uniform(0, 255, size=(8, 8))
+        out = Shift().mutate(img, 8, rng=0)
+        original_values = set(np.round(img.ravel(), 6)) | {0.0}
+        for child in out:
+            assert set(np.round(child.ravel(), 6)).issubset(original_values)
+
+    def test_max_step_respected(self):
+        img = np.zeros((9, 9))
+        img[4, 4] = 10.0
+        out = Shift(max_step=3).mutate(img, 20, rng=0)
+        for child in out:
+            if child.sum() > 0:
+                r, c = np.nonzero(child)
+                assert abs(int(r[0]) - 4) <= 3 and abs(int(c[0]) - 4) <= 3
+
+    def test_invalid_axis(self):
+        with pytest.raises(MutationError):
+            Shift().shift_once(np.zeros((4, 4)), axis=2, delta=1)
+
+    def test_invalid_mode(self):
+        with pytest.raises(Exception):
+            Shift(mode="extend")

@@ -1,0 +1,65 @@
+"""Tests for the mutation-strategy registry and base contracts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MutationError
+from repro.fuzz.mutations import (
+    MutationStrategy,
+    create_strategy,
+    get_strategy_class,
+    register_strategy,
+    strategy_names,
+)
+from repro.fuzz.mutations.noise import GaussianNoise
+
+
+class TestRegistry:
+    def test_paper_strategies_registered(self):
+        names = strategy_names()
+        for expected in ("gauss", "rand", "row_rand", "col_rand", "row_col_rand", "shift"):
+            assert expected in names
+
+    def test_domain_filter(self):
+        assert "gauss" in strategy_names("image")
+        assert "gauss" not in strategy_names("text")
+        assert "char_sub" in strategy_names("text")
+
+    def test_create_by_name(self):
+        strat = create_strategy("gauss", sigma=1.0)
+        assert isinstance(strat, GaussianNoise)
+        assert strat.sigma == 1.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(MutationError, match="unknown"):
+            create_strategy("nonexistent")
+
+    def test_get_strategy_class(self):
+        assert get_strategy_class("gauss") is GaussianNoise
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(MutationError, match="already registered"):
+
+            @register_strategy
+            class Duplicate(MutationStrategy):
+                name = "gauss"
+
+                def mutate(self, item, n, *, rng=None):
+                    return item
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MutationError, match="non-empty"):
+
+            @register_strategy
+            class Nameless(MutationStrategy):
+                def mutate(self, item, n, *, rng=None):
+                    return item
+
+
+class TestBaseContract:
+    def test_params_reflect_configuration(self):
+        strat = GaussianNoise(sigma=3.5)
+        assert strat.params() == {"sigma": 3.5}
+
+    def test_repr_includes_params(self):
+        assert "sigma=3.5" in repr(GaussianNoise(sigma=3.5))

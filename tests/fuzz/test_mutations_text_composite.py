@@ -1,0 +1,123 @@
+"""Tests for text mutations and the joint (composite) strategy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MutationError
+from repro.fuzz.mutations.composite import JointStrategy
+from repro.fuzz.mutations.noise import GaussianNoise, RandomNoise
+from repro.fuzz.mutations.text import CharSubstitution, CharTransposition
+
+
+class TestCharSubstitution:
+    def test_produces_n_children(self):
+        out = CharSubstitution().mutate("hello world", 5, rng=0)
+        assert len(out) == 5
+        assert all(isinstance(c, str) for c in out)
+
+    def test_length_preserved(self):
+        out = CharSubstitution(chars_per_step=3).mutate("abcdefgh", 4, rng=0)
+        assert all(len(c) == 8 for c in out)
+
+    def test_at_most_k_positions_changed(self):
+        text = "abcdefghijklmnop"
+        out = CharSubstitution(chars_per_step=2).mutate(text, 10, rng=0)
+        for child in out:
+            diffs = sum(a != b for a, b in zip(text, child))
+            assert diffs <= 2
+
+    def test_replacements_from_alphabet(self):
+        out = CharSubstitution(alphabet="xyz").mutate("aaaa", 10, rng=0)
+        for child in out:
+            assert set(child).issubset(set("axyz"))
+
+    def test_chars_per_step_capped_at_length(self):
+        out = CharSubstitution(chars_per_step=50).mutate("abc", 2, rng=0)
+        assert all(len(c) == 3 for c in out)
+
+    def test_deterministic(self):
+        a = CharSubstitution().mutate("hello there", 3, rng=4)
+        b = CharSubstitution().mutate("hello there", 3, rng=4)
+        assert a == b
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(MutationError):
+            CharSubstitution().mutate("", 1, rng=0)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(MutationError):
+            CharSubstitution().mutate(123, 1, rng=0)
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(MutationError):
+            CharSubstitution(alphabet="")
+
+
+class TestCharTransposition:
+    def test_multiset_preserved(self):
+        text = "abcdefg"
+        out = CharTransposition(swaps_per_step=2).mutate(text, 5, rng=0)
+        for child in out:
+            assert sorted(child) == sorted(text)
+
+    def test_adjacent_swap_only(self):
+        text = "abcd"
+        out = CharTransposition(swaps_per_step=1).mutate(text, 20, rng=0)
+        for child in out:
+            diffs = [i for i, (a, b) in enumerate(zip(text, child)) if a != b]
+            assert len(diffs) in (0, 2)
+            if diffs:
+                assert diffs[1] == diffs[0] + 1
+
+    def test_too_short_rejected(self):
+        with pytest.raises(MutationError):
+            CharTransposition().mutate("a", 1, rng=0)
+
+
+class TestJointStrategy:
+    def test_combines_image_strategies(self):
+        joint = JointStrategy([GaussianNoise(), RandomNoise()])
+        image = np.random.default_rng(0).uniform(0, 255, size=(8, 8))
+        out = joint.mutate(image, 10, rng=0)
+        assert out.shape == (10, 8, 8)
+
+    def test_combines_text_strategies(self):
+        joint = JointStrategy([CharSubstitution(), CharTransposition()])
+        out = joint.mutate("hello world", 6, rng=0)
+        assert len(out) == 6
+
+    def test_domain_set_from_members(self):
+        assert JointStrategy([GaussianNoise()]).domain == "image"
+        assert JointStrategy([CharSubstitution()]).domain == "text"
+
+    def test_mixed_domains_rejected(self):
+        with pytest.raises(MutationError, match="domains"):
+            JointStrategy([GaussianNoise(), CharSubstitution()])
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(MutationError):
+            JointStrategy([])
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(MutationError):
+            JointStrategy([GaussianNoise()], weights=[0.5, 0.5])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(MutationError):
+            JointStrategy([GaussianNoise(), RandomNoise()], weights=[-1.0, 2.0])
+
+    def test_zero_weight_member_never_selected(self):
+        image = np.random.default_rng(0).uniform(50, 200, size=(8, 8))
+        joint = JointStrategy(
+            [GaussianNoise(sigma=5.0), RandomNoise(pixels_per_step=1)],
+            weights=[0.0, 1.0],
+        )
+        out = joint.mutate(image, 20, rng=0)
+        for child in out:
+            # RandomNoise touches ≤1 pixel; gauss would touch nearly all.
+            assert (np.abs(child - image) > 1e-9).sum() <= 1
+
+    def test_params_lists_members(self):
+        joint = JointStrategy([GaussianNoise(), RandomNoise()])
+        params = joint.params()
+        assert params["strategies"] == ["gauss", "rand"]

@@ -1,0 +1,140 @@
+"""Tests for result records and campaign aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fuzz.results import AdversarialExample, CampaignResult, InputOutcome
+
+
+def _example(ref=1, adv=2, iters=3, l1=1.0, l2=0.1, cls=None):
+    img = np.zeros((4, 4))
+    return AdversarialExample(
+        original=img,
+        adversarial=img + 1,
+        reference_label=ref if cls is None else cls,
+        adversarial_label=adv,
+        iterations=iters,
+        metrics={"l1": l1, "l2": l2, "linf": 0.1, "l0": 4.0},
+        strategy="gauss",
+    )
+
+
+def _success(iters=3, ref=1, **kw):
+    ex = _example(ref=ref, iters=iters, **kw)
+    return InputOutcome(
+        success=True,
+        iterations=iters,
+        reference_label=ex.reference_label,
+        example=ex,
+    )
+
+
+def _failure(iters=30, ref=0):
+    return InputOutcome(success=False, iterations=iters, reference_label=ref)
+
+
+class TestInputOutcome:
+    def test_success_requires_example(self):
+        with pytest.raises(ConfigurationError):
+            InputOutcome(success=True, iterations=1, reference_label=0)
+
+    def test_failure_rejects_example(self):
+        with pytest.raises(ConfigurationError):
+            InputOutcome(
+                success=False, iterations=1, reference_label=0, example=_example()
+            )
+
+
+class TestAdversarialExample:
+    def test_l1_l2_properties(self):
+        ex = _example(l1=2.5, l2=0.3)
+        assert ex.l1 == 2.5
+        assert ex.l2 == 0.3
+
+    def test_missing_metrics_are_nan(self):
+        ex = AdversarialExample(
+            original="txt", adversarial="tyt", reference_label=0,
+            adversarial_label=1, iterations=1, metrics={"edits": 1.0},
+            strategy="char_sub",
+        )
+        assert np.isnan(ex.l1) and np.isnan(ex.l2)
+
+
+class TestCampaignResult:
+    def _result(self):
+        outcomes = [
+            _success(iters=2, l1=1.0, l2=0.1),
+            _success(iters=4, l1=3.0, l2=0.3),
+            _failure(iters=30),
+        ]
+        return CampaignResult("gauss", outcomes, elapsed_seconds=6.0)
+
+    def test_counts(self):
+        r = self._result()
+        assert r.n_inputs == 3
+        assert r.n_success == 2
+        assert r.success_rate == pytest.approx(2 / 3)
+
+    def test_avg_iterations_includes_failures(self):
+        # Paper: #total iterations / #images.
+        r = self._result()
+        assert r.avg_iterations == pytest.approx((2 + 4 + 30) / 3)
+
+    def test_distances_over_successes_only(self):
+        r = self._result()
+        assert r.avg_l1 == pytest.approx(2.0)
+        assert r.avg_l2 == pytest.approx(0.2)
+
+    def test_time_per_1k_extrapolates(self):
+        r = self._result()
+        assert r.time_per_1k == pytest.approx(6.0 / 2 * 1000)
+
+    def test_images_per_minute(self):
+        r = self._result()
+        assert r.images_per_minute == pytest.approx(2 / 6.0 * 60)
+
+    def test_empty_campaign_gives_nans(self):
+        r = CampaignResult("gauss", [], elapsed_seconds=0.0)
+        assert np.isnan(r.success_rate)
+        assert np.isnan(r.avg_l1)
+        assert np.isnan(r.time_per_1k)
+
+    def test_all_failures(self):
+        r = CampaignResult("gauss", [_failure(), _failure()], elapsed_seconds=1.0)
+        assert r.n_success == 0
+        assert np.isnan(r.avg_l1)
+        assert np.isnan(r.time_per_1k)
+
+    def test_examples_in_order(self):
+        r = self._result()
+        assert len(r.examples) == 2
+        assert r.examples[0].iterations == 2
+
+    def test_per_class_grouping(self):
+        outcomes = [
+            _success(iters=2, cls=0),
+            _success(iters=6, cls=0),
+            _success(iters=10, cls=3),
+            _failure(iters=30, ref=5),
+        ]
+        r = CampaignResult("gauss", outcomes, elapsed_seconds=1.0)
+        data = r.per_class(10)
+        assert data["iterations"][0] == pytest.approx(4.0)
+        assert data["iterations"][3] == pytest.approx(10.0)
+        assert data["iterations"][5] == pytest.approx(30.0)
+        assert np.isnan(data["iterations"][1])
+        assert np.isnan(data["l1"][5])  # failure contributes no distance
+
+    def test_per_class_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            self._result().per_class(0)
+
+    def test_summary_keys(self):
+        summary = self._result().summary()
+        for key in ("strategy", "avg_l1", "avg_l2", "avg_iterations",
+                    "time_per_1k", "success_rate", "images_per_minute"):
+            assert key in summary
+
+    def test_repr(self):
+        assert "gauss" in repr(self._result())

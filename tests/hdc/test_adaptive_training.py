@@ -1,0 +1,60 @@
+"""Tests for adaptive (retraining-style) model fitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hdc import HDCClassifier, PixelEncoder
+
+DIM = 1024
+
+
+class TestFitAdaptive:
+    def test_history_starts_with_one_shot_accuracy(self, digit_data):
+        train, _ = digit_data
+        model = HDCClassifier(PixelEncoder(dimension=DIM, rng=0), 10)
+        history = model.fit_adaptive(
+            train.images[:200], train.labels[:200], epochs=3
+        )
+        assert len(history) >= 1
+        assert all(0.0 <= acc <= 1.0 for acc in history)
+
+    def test_adaptive_epochs_improve_training_accuracy(self, digit_data):
+        train, _ = digit_data
+        one_shot = HDCClassifier(PixelEncoder(dimension=DIM, rng=1), 10)
+        one_shot.fit(train.images[:300], train.labels[:300])
+        base = one_shot.score(train.images[:300], train.labels[:300])
+
+        adaptive = HDCClassifier(PixelEncoder(dimension=DIM, rng=1), 10)
+        history = adaptive.fit_adaptive(
+            train.images[:300], train.labels[:300], epochs=8
+        )
+        assert history[-1] >= base - 1e-9
+        assert max(history) >= history[0]
+
+    def test_generalization_not_destroyed(self, digit_data):
+        train, test = digit_data
+        model = HDCClassifier(PixelEncoder(dimension=DIM, rng=2), 10)
+        model.fit_adaptive(train.images[:300], train.labels[:300], epochs=5)
+        assert model.score(test.images, test.labels) > 0.5
+
+    def test_early_stop_on_perfect_fit(self, digit_data):
+        # A trivially separable two-image problem converges instantly.
+        train, _ = digit_data
+        model = HDCClassifier(PixelEncoder(dimension=DIM, rng=3), 10)
+        history = model.fit_adaptive(
+            train.images[:2], train.labels[:2], epochs=50
+        )
+        assert len(history) < 10
+
+    def test_invalid_epochs(self, digit_data):
+        train, _ = digit_data
+        model = HDCClassifier(PixelEncoder(dimension=DIM, rng=4), 10)
+        with pytest.raises(ConfigurationError):
+            model.fit_adaptive(train.images[:5], train.labels[:5], epochs=0)
+
+    def test_label_range_checked(self, digit_data):
+        train, _ = digit_data
+        model = HDCClassifier(PixelEncoder(dimension=DIM, rng=5), n_classes=5)
+        with pytest.raises(ConfigurationError):
+            model.fit_adaptive(train.images[:5], train.labels[:5] + 6)

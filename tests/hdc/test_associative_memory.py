@@ -1,0 +1,143 @@
+"""Tests for the associative memory (Sec. III-B/C)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionMismatchError, NotTrainedError
+from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.spaces import BipolarSpace
+
+DIM = 512
+SPACE = BipolarSpace(DIM)
+
+
+@pytest.fixture()
+def am():
+    return AssociativeMemory(3, DIM)
+
+
+def _train_simple(am, rng=0):
+    """Three well-separated classes from bundled noisy prototypes."""
+    generator = np.random.default_rng(rng)
+    prototypes = SPACE.random(3, rng=generator)
+    for label in range(3):
+        noisy = np.repeat(prototypes[label][None], 20, axis=0).copy()
+        flips = generator.random(noisy.shape) < 0.1
+        noisy[flips] = -noisy[flips]
+        am.add(noisy, np.full(20, label))
+    return prototypes
+
+
+class TestUpdates:
+    def test_add_accumulates(self, am):
+        hv = SPACE.random(rng=0)
+        am.add(hv, [1])
+        am.add(hv, [1])
+        np.testing.assert_array_equal(am.accumulators[1], 2 * hv.astype(np.int64))
+        assert am.counts[1] == 2
+
+    def test_single_vector_promoted(self, am):
+        am.add(SPACE.random(rng=1), [0])
+        assert am.counts[0] == 1
+
+    def test_subtract_reverses_add(self, am):
+        hv = SPACE.random(rng=2)
+        am.add(hv, [2])
+        am.subtract(hv, [2])
+        np.testing.assert_array_equal(am.accumulators[2], np.zeros(DIM))
+
+    def test_label_out_of_range(self, am):
+        with pytest.raises(ConfigurationError):
+            am.add(SPACE.random(rng=0), [3])
+
+    def test_dimension_mismatch(self, am):
+        with pytest.raises(DimensionMismatchError):
+            am.add(np.ones((1, DIM + 1), dtype=np.int8), [0])
+
+    def test_label_count_mismatch(self, am):
+        with pytest.raises(ConfigurationError):
+            am.add(SPACE.random(2, rng=0), [0])
+
+    def test_is_trained_requires_all_classes(self, am):
+        assert not am.is_trained
+        am.add(SPACE.random(rng=0), [0])
+        assert not am.is_trained
+        am.add(SPACE.random(2, rng=1), [1, 2])
+        assert am.is_trained
+
+
+class TestQueries:
+    def test_untrained_query_raises(self, am):
+        with pytest.raises(NotTrainedError):
+            am.predict(SPACE.random(rng=0))
+
+    def test_predict_recovers_prototype_classes(self, am):
+        prototypes = _train_simple(am)
+        predictions = am.predict(prototypes)
+        np.testing.assert_array_equal(predictions, [0, 1, 2])
+
+    def test_similarities_shape_and_range(self, am):
+        _train_simple(am)
+        sims = am.similarities(SPACE.random(5, rng=1))
+        assert sims.shape == (5, 3)
+        assert (np.abs(sims) <= 1.0 + 1e-12).all()
+
+    def test_class_hvs_bipolar_by_default(self, am):
+        _train_simple(am)
+        assert set(np.unique(am.class_hvs)).issubset({-1, 1})
+
+    def test_non_bipolar_mode_keeps_accumulators(self):
+        am = AssociativeMemory(2, DIM, bipolar=False)
+        hv = SPACE.random(rng=3)
+        am.add(hv, [0])
+        am.add(SPACE.random(rng=4), [1])
+        np.testing.assert_array_equal(am.class_hvs[0], hv.astype(np.int64))
+
+    def test_margins_high_for_prototypes(self, am):
+        prototypes = _train_simple(am)
+        margins = am.margins(prototypes)
+        assert (margins > 0.3).all()
+
+    def test_margins_low_for_random_queries(self, am):
+        _train_simple(am)
+        margins = am.margins(SPACE.random(10, rng=5))
+        assert margins.mean() < 0.2
+
+    def test_reference_hv_matches_class_hvs(self, am):
+        _train_simple(am)
+        np.testing.assert_array_equal(am.reference_hv(1), am.class_hvs[1])
+
+    def test_reference_hv_out_of_range(self, am):
+        with pytest.raises(ConfigurationError):
+            am.reference_hv(5)
+
+    def test_cache_invalidated_on_update(self, am):
+        _train_simple(am)
+        before = am.class_hvs.copy()
+        strong = np.repeat(-before[0][None], 50, axis=0)
+        am.add(strong, np.zeros(50, dtype=int))
+        assert not np.array_equal(am.class_hvs[0], before[0])
+
+
+class TestPersistence:
+    def test_state_dict_roundtrip(self, am):
+        _train_simple(am)
+        rebuilt = AssociativeMemory.from_state_dict(am.state_dict())
+        np.testing.assert_array_equal(rebuilt.accumulators, am.accumulators)
+        np.testing.assert_array_equal(rebuilt.class_hvs, am.class_hvs)
+        assert rebuilt.bipolar == am.bipolar
+
+    def test_copy_is_independent(self, am):
+        _train_simple(am)
+        clone = am.copy()
+        clone.add(SPACE.random(rng=9), [0])
+        assert clone.counts[0] == am.counts[0] + 1
+
+    def test_from_state_dict_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            AssociativeMemory.from_state_dict(
+                {"accumulators": np.zeros(4), "counts": np.zeros(1), "bipolar": True}
+            )
+
+    def test_repr(self, am):
+        assert "AssociativeMemory" in repr(am)

@@ -1,0 +1,103 @@
+"""Tests for the permutation-based image encoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.hdc.encoders.permutation import PermutationImageEncoder
+from repro.hdc.item_memory import ItemMemory
+from repro.hdc.ops import permute
+from repro.hdc.similarity import cosine
+from repro.hdc.spaces import BipolarSpace
+
+DIM = 1024
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return PermutationImageEncoder(shape=(8, 8), levels=16, dimension=DIM, rng=0)
+
+
+def _image(seed=0, shape=(8, 8)):
+    return np.random.default_rng(seed).integers(0, 256, size=shape).astype(np.float64)
+
+
+class TestConstruction:
+    def test_single_value_codebook_only(self, encoder):
+        assert encoder.value_memory.size == 16
+        assert not hasattr(encoder, "position_memory")
+
+    def test_dimension_must_cover_pixels(self):
+        with pytest.raises(ConfigurationError, match="dimension"):
+            PermutationImageEncoder(shape=(28, 28), dimension=512)
+
+    def test_value_memory_size_checked(self):
+        vm = ItemMemory(8, BipolarSpace(DIM), rng=0)
+        with pytest.raises(ConfigurationError):
+            PermutationImageEncoder(shape=(4, 4), levels=16, dimension=DIM, value_memory=vm)
+
+    def test_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            PermutationImageEncoder(shape=(4,))  # type: ignore[arg-type]
+
+
+class TestEncoding:
+    def test_shape_and_alphabet(self, encoder):
+        hv = encoder.encode(_image())
+        assert hv.shape == (DIM,)
+        assert set(np.unique(hv)).issubset({-1, 1})
+
+    def test_deterministic(self, encoder):
+        img = _image(seed=3)
+        np.testing.assert_array_equal(encoder.encode(img), encoder.encode(img))
+
+    def test_matches_manual_permutation_sum(self):
+        enc = PermutationImageEncoder(shape=(2, 2), levels=4, dimension=64, rng=5)
+        img = np.array([[0.0, 85.0], [170.0, 255.0]])
+        levels = [0, 1, 2, 3]
+        acc = np.zeros(64, dtype=np.int64)
+        for p, level in enumerate(levels):
+            acc += permute(enc.value_memory[level].astype(np.int64), p)
+        expected = np.where(acc >= 0, 1, -1)
+        np.testing.assert_array_equal(enc.encode(img), expected)
+
+    def test_spatial_sensitivity(self, encoder):
+        # The same pixel values at different positions must encode
+        # differently (that is what the permutation provides).
+        img_a = np.zeros((8, 8))
+        img_a[0, 0] = 255.0
+        img_b = np.zeros((8, 8))
+        img_b[7, 7] = 255.0
+        sim = cosine(encoder.encode(img_a), encoder.encode(img_b))
+        assert sim < 0.9
+
+    def test_similar_images_similar_hvs(self, encoder):
+        img = _image(seed=4)
+        tweaked = img.copy()
+        tweaked[0, 0] = 255.0 - tweaked[0, 0]
+        assert cosine(encoder.encode(img), encoder.encode(tweaked)) > 0.8
+
+    def test_batch(self, encoder):
+        out = encoder.encode_batch(np.stack([_image(seed=i) for i in range(3)]))
+        assert out.shape == (3, DIM)
+
+    def test_wrong_shape_rejected(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.encode(np.zeros((5, 5)))
+
+
+class TestModelIntegration:
+    def test_trains_and_fuzzes(self, digit_data):
+        from repro.fuzz import HDTest, HDTestConfig
+        from repro.hdc import HDCClassifier
+
+        train, test = digit_data
+        enc = PermutationImageEncoder(dimension=1024, rng=7)
+        model = HDCClassifier(enc, n_classes=10).fit(
+            train.images[:300], train.labels[:300]
+        )
+        assert model.score(test.images[:60], test.labels[:60]) > 0.4
+        result = HDTest(
+            model, "gauss", config=HDTestConfig(iter_times=20), rng=8
+        ).fuzz(test.images[:3].astype(np.float64))
+        assert result.n_inputs == 3

@@ -1,0 +1,104 @@
+"""Tests for hardware-fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.faults import accuracy_under_faults, flip_components, inject_am_faults
+from repro.hdc.spaces import BipolarSpace
+
+SPACE = BipolarSpace(4096)
+
+
+class TestFlipComponents:
+    def test_zero_rate_is_identity(self):
+        hv = SPACE.random(rng=0)
+        np.testing.assert_array_equal(flip_components(hv, 0.0, rng=1), hv)
+
+    def test_rate_one_negates(self):
+        hv = SPACE.random(rng=0)
+        np.testing.assert_array_equal(flip_components(hv, 1.0, rng=1), -hv)
+
+    def test_flip_fraction_near_rate(self):
+        hv = SPACE.random(rng=2)
+        flipped = flip_components(hv, 0.2, rng=3)
+        fraction = float((flipped != hv).mean())
+        assert 0.15 < fraction < 0.25
+
+    def test_original_untouched(self):
+        hv = SPACE.random(rng=4)
+        snap = hv.copy()
+        flip_components(hv, 0.5, rng=5)
+        np.testing.assert_array_equal(hv, snap)
+
+    def test_batch_support(self):
+        batch = SPACE.random(3, rng=6)
+        out = flip_components(batch, 0.1, rng=7)
+        assert out.shape == batch.shape
+
+    def test_rejects_non_bipolar(self):
+        with pytest.raises(ConfigurationError):
+            flip_components(np.zeros(8, dtype=np.int8), 0.1)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            flip_components(SPACE.random(rng=0), 1.5)
+
+    def test_deterministic(self):
+        hv = SPACE.random(rng=8)
+        a = flip_components(hv, 0.3, rng=9)
+        b = flip_components(hv, 0.3, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestInjectAmFaults:
+    def _trained_am(self):
+        am = AssociativeMemory(3, SPACE.dimension)
+        am.add(SPACE.random(3, rng=0), [0, 1, 2])
+        return am
+
+    def test_returns_copy_with_flips(self):
+        am = self._trained_am()
+        faulted = inject_am_faults(am, 0.2, rng=1)
+        assert faulted is not am
+        assert (faulted.class_hvs != am.class_hvs).mean() > 0.1
+
+    def test_original_untouched(self):
+        am = self._trained_am()
+        before = am.class_hvs.copy()
+        inject_am_faults(am, 0.5, rng=2)
+        np.testing.assert_array_equal(am.class_hvs, before)
+
+    def test_zero_rate_preserves_predictions(self):
+        am = self._trained_am()
+        queries = SPACE.random(5, rng=3)
+        faulted = inject_am_faults(am, 0.0, rng=4)
+        np.testing.assert_array_equal(faulted.predict(queries), am.predict(queries))
+
+    def test_rejects_non_bipolar_am(self):
+        am = AssociativeMemory(2, 64, bipolar=False)
+        am.add(BipolarSpace(64).random(2, rng=0), [0, 1])
+        with pytest.raises(ConfigurationError):
+            inject_am_faults(am, 0.1)
+
+
+class TestAccuracyUnderFaults:
+    def test_sweep_on_real_model(self, trained_model, digit_data):
+        _, test = digit_data
+        curve = accuracy_under_faults(
+            trained_model, test.images[:60], test.labels[:60],
+            rates=(0.0, 0.1, 0.45), rng=0,
+        )
+        assert set(curve) == {0.0, 0.1, 0.45}
+        # Clean accuracy matches score(); light faults degrade gracefully.
+        assert curve[0.0] == pytest.approx(
+            trained_model.score(test.images[:60], test.labels[:60])
+        )
+        assert curve[0.1] > curve[0.0] - 0.15
+        assert curve[0.45] <= curve[0.0]
+
+    def test_empty_rates_rejected(self, trained_model, digit_data):
+        _, test = digit_data
+        with pytest.raises(ConfigurationError):
+            accuracy_under_faults(trained_model, test.images[:5], test.labels[:5], rates=())

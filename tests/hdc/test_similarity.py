@@ -1,0 +1,113 @@
+"""Tests for similarity measures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError
+from repro.hdc.similarity import (
+    cosine,
+    cosine_matrix,
+    dot,
+    hamming_distance,
+    hamming_similarity,
+)
+from repro.hdc.spaces import BipolarSpace
+
+SPACE = BipolarSpace(2048)
+
+
+class TestCosine:
+    def test_self_similarity_is_one(self):
+        hv = SPACE.random(rng=0)
+        assert cosine(hv, hv) == pytest.approx(1.0)
+
+    def test_negation_is_minus_one(self):
+        hv = SPACE.random(rng=1)
+        assert cosine(hv, -hv) == pytest.approx(-1.0)
+
+    def test_random_pair_near_zero(self):
+        a = SPACE.random(rng=2)
+        b = SPACE.random(rng=3)
+        assert abs(cosine(a, b)) < 5 / np.sqrt(SPACE.dimension)
+
+    def test_zero_vector_gives_zero(self):
+        hv = SPACE.random(rng=4)
+        assert cosine(np.zeros(SPACE.dimension), hv) == 0.0
+
+    def test_scale_invariant(self):
+        a = SPACE.random(rng=5).astype(np.float64)
+        b = SPACE.random(rng=6).astype(np.float64)
+        assert cosine(3.5 * a, b) == pytest.approx(cosine(a, b))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            cosine(np.ones(4), np.ones(5))
+
+    def test_known_value(self):
+        assert cosine([1, 0], [1, 1]) == pytest.approx(1 / np.sqrt(2))
+
+
+class TestCosineMatrix:
+    def test_matches_scalar_cosine(self):
+        queries = SPACE.random(3, rng=7)
+        refs = SPACE.random(4, rng=8)
+        mat = cosine_matrix(queries, refs)
+        assert mat.shape == (3, 4)
+        for i in range(3):
+            for j in range(4):
+                assert mat[i, j] == pytest.approx(cosine(queries[i], refs[j]))
+
+    def test_1d_inputs_promoted(self):
+        q = SPACE.random(rng=9)
+        r = SPACE.random(rng=10)
+        assert cosine_matrix(q, r).shape == (1, 1)
+
+    def test_zero_rows_produce_zero(self):
+        refs = SPACE.random(2, rng=11)
+        queries = np.zeros((1, SPACE.dimension))
+        np.testing.assert_array_equal(cosine_matrix(queries, refs), np.zeros((1, 2)))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            cosine_matrix(np.ones((2, 4)), np.ones((2, 5)))
+
+    def test_3d_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            cosine_matrix(np.ones((1, 2, 4)), np.ones((2, 4)))
+
+    def test_values_in_unit_interval(self):
+        mat = cosine_matrix(SPACE.random(5, rng=12), SPACE.random(5, rng=13))
+        assert (mat <= 1.0 + 1e-12).all() and (mat >= -1.0 - 1e-12).all()
+
+
+class TestDotAndHamming:
+    def test_dot_known(self):
+        assert dot([1, 2, 3], [4, 5, 6]) == pytest.approx(32.0)
+
+    def test_dot_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            dot(np.ones(3), np.ones(4))
+
+    def test_hamming_identical(self):
+        hv = SPACE.random(rng=14)
+        assert hamming_distance(hv, hv) == 0.0
+        assert hamming_similarity(hv, hv) == 1.0
+
+    def test_hamming_opposite(self):
+        hv = SPACE.random(rng=15)
+        assert hamming_distance(hv, -hv) == 1.0
+
+    def test_hamming_known_fraction(self):
+        a = np.array([1, 1, 1, 1])
+        b = np.array([1, 1, -1, -1])
+        assert hamming_distance(a, b) == pytest.approx(0.5)
+
+    def test_hamming_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            hamming_distance(np.ones(3), np.ones(4))
+
+    def test_bipolar_cosine_hamming_relation(self):
+        # For bipolar HVs: cosine = 1 - 2 * hamming_distance.
+        a = SPACE.random(rng=16)
+        b = SPACE.random(rng=17)
+        assert cosine(a, b) == pytest.approx(1 - 2 * hamming_distance(a, b))

@@ -1,0 +1,77 @@
+"""Tests for hypervector spaces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.hdc.spaces import DEFAULT_DIMENSION, BinarySpace, BipolarSpace
+
+
+class TestBipolarSpace:
+    def test_default_dimension_matches_paper(self):
+        assert BipolarSpace().dimension == DEFAULT_DIMENSION == 10_000
+
+    def test_single_vector_shape_and_dtype(self):
+        hv = BipolarSpace(256).random(rng=0)
+        assert hv.shape == (256,)
+        assert hv.dtype == np.int8
+
+    def test_batch_shape(self):
+        batch = BipolarSpace(128).random(5, rng=0)
+        assert batch.shape == (5, 128)
+
+    def test_alphabet_respected(self):
+        hv = BipolarSpace(512).random(rng=1)
+        assert set(np.unique(hv)).issubset({-1, 1})
+
+    def test_components_roughly_balanced(self):
+        hv = BipolarSpace(10_000).random(rng=2)
+        # i.i.d. ±1: mean within 5 sigma of zero (sigma = 1/sqrt(D)).
+        assert abs(float(hv.mean())) < 5 / np.sqrt(10_000)
+
+    def test_deterministic_given_seed(self):
+        a = BipolarSpace(64).random(3, rng=9)
+        b = BipolarSpace(64).random(3, rng=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ConfigurationError):
+            BipolarSpace(0)
+
+    def test_check_member_accepts_valid(self):
+        space = BipolarSpace(32)
+        space.check_member(space.random(rng=0))
+
+    def test_check_member_rejects_wrong_dimension(self):
+        with pytest.raises(DimensionMismatchError):
+            BipolarSpace(32).check_member(np.ones(33, dtype=np.int8))
+
+    def test_check_member_rejects_wrong_alphabet(self):
+        with pytest.raises(ConfigurationError):
+            BipolarSpace(4).check_member(np.array([0, 1, -1, 1], dtype=np.int8))
+
+    def test_check_member_rejects_3d(self):
+        with pytest.raises(DimensionMismatchError):
+            BipolarSpace(4).check_member(np.ones((2, 2, 4), dtype=np.int8))
+
+    def test_equality_and_hash(self):
+        assert BipolarSpace(64) == BipolarSpace(64)
+        assert BipolarSpace(64) != BipolarSpace(128)
+        assert BipolarSpace(64) != BinarySpace(64)
+        assert hash(BipolarSpace(64)) == hash(BipolarSpace(64))
+
+    def test_repr_mentions_dimension(self):
+        assert "64" in repr(BipolarSpace(64))
+
+
+class TestBinarySpace:
+    def test_alphabet(self):
+        hv = BinarySpace(512).random(rng=0)
+        assert set(np.unique(hv)).issubset({0, 1})
+
+    def test_batch(self):
+        assert BinarySpace(16).random(4, rng=0).shape == (4, 16)
+
+    def test_check_member_rejects_bipolar(self):
+        with pytest.raises(ConfigurationError):
+            BinarySpace(4).check_member(np.array([-1, 1, 1, -1], dtype=np.int8))

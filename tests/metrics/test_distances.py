@@ -1,0 +1,83 @@
+"""Tests for normalized perturbation distances (Sec. V-A definitions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError
+from repro.metrics.distances import (
+    l0_pixels,
+    normalized_l1,
+    normalized_l2,
+    normalized_linf,
+    perturbation_metrics,
+)
+
+
+class TestKnownValues:
+    def test_identical_images_zero(self):
+        img = np.full((28, 28), 100.0)
+        assert normalized_l1(img, img) == 0.0
+        assert normalized_l2(img, img) == 0.0
+        assert normalized_linf(img, img) == 0.0
+        assert l0_pixels(img, img) == 0
+
+    def test_single_pixel_full_swing(self):
+        a = np.zeros((28, 28))
+        b = a.copy()
+        b[3, 4] = 255.0
+        assert normalized_l1(a, b) == pytest.approx(1.0)
+        assert normalized_l2(a, b) == pytest.approx(1.0)
+        assert normalized_linf(a, b) == pytest.approx(1.0)
+        assert l0_pixels(a, b) == 1
+
+    def test_two_half_swings(self):
+        a = np.zeros((4, 4))
+        b = a.copy()
+        b[0, 0] = 127.5
+        b[1, 1] = 127.5
+        assert normalized_l1(a, b) == pytest.approx(1.0)
+        assert normalized_l2(a, b) == pytest.approx(np.sqrt(0.5))
+        assert normalized_linf(a, b) == pytest.approx(0.5)
+        assert l0_pixels(a, b) == 2
+
+    def test_l1_upper_bounds_l2(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0, 255, size=(28, 28))
+        b = rng.uniform(0, 255, size=(28, 28))
+        assert normalized_l1(a, b) >= normalized_l2(a, b)
+
+    def test_l2_upper_bounds_linf(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(0, 255, size=(8, 8))
+        b = rng.uniform(0, 255, size=(8, 8))
+        assert normalized_l2(a, b) >= normalized_linf(a, b)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(0, 255, size=(8, 8))
+        b = rng.uniform(0, 255, size=(8, 8))
+        assert normalized_l1(a, b) == normalized_l1(b, a)
+        assert normalized_l2(a, b) == normalized_l2(b, a)
+
+    def test_l0_tolerance(self):
+        a = np.zeros((4, 4))
+        b = a.copy()
+        b[0, 0] = 0.4  # below default tol of 0.5 grey levels
+        b[0, 1] = 2.0
+        assert l0_pixels(a, b) == 1
+        assert l0_pixels(a, b, tol=0.1) == 2
+
+
+class TestPerturbationMetrics:
+    def test_all_keys_present(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 10.0)
+        metrics = perturbation_metrics(a, b)
+        assert set(metrics) == {"l1", "l2", "linf", "l0"}
+        assert metrics["l0"] == 16.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            normalized_l1(np.zeros((4, 4)), np.zeros((5, 5)))
+        with pytest.raises(DimensionMismatchError):
+            l0_pixels(np.zeros((4, 4)), np.zeros((5, 5)))

@@ -1,0 +1,58 @@
+"""Tests for the random-attack baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomAttackResult, random_attack
+from repro.errors import ConfigurationError
+from repro.metrics.distances import normalized_l2
+
+
+class TestRandomAttackResult:
+    def test_success_rate(self):
+        assert RandomAttackResult(10, 3, 5).success_rate == pytest.approx(0.3)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(RandomAttackResult(0, 0, 5).success_rate)
+
+
+class TestRandomAttack:
+    def test_runs_and_reports(self, trained_model, test_images):
+        result = random_attack(
+            trained_model, test_images[:5], max_l2=1.0, attempts_per_input=3, rng=0
+        )
+        assert result.n_inputs == 5
+        assert 0 <= result.n_success <= 5
+        assert result.attempts_per_input == 3
+
+    def test_tiny_budget_rarely_succeeds(self, trained_model, test_images):
+        result = random_attack(
+            trained_model, test_images[:5], max_l2=0.005, attempts_per_input=3, rng=1
+        )
+        # A perturbation of ~1 grey level spread over the whole image
+        # moves almost no quantised pixel, so flips are essentially
+        # impossible.
+        assert result.n_success <= 1
+
+    def test_respects_budget(self, trained_model, test_images):
+        # Re-implement one attempt to confirm the scaling stays in budget.
+        image = test_images[0]
+        rng = np.random.default_rng(0)
+        noise = rng.normal(size=image.shape)
+        perturbed = np.clip(
+            image + noise / np.linalg.norm(noise) * 0.7 * 255.0, 0, 255
+        )
+        assert normalized_l2(image, perturbed) <= 0.7 + 1e-9
+
+    def test_deterministic(self, trained_model, test_images):
+        a = random_attack(trained_model, test_images[:4], attempts_per_input=2, rng=7)
+        b = random_attack(trained_model, test_images[:4], attempts_per_input=2, rng=7)
+        assert a.n_success == b.n_success
+
+    def test_invalid_budget(self, trained_model, test_images):
+        with pytest.raises(ConfigurationError):
+            random_attack(trained_model, test_images[:1], max_l2=0.0)
+
+    def test_invalid_attempts(self, trained_model, test_images):
+        with pytest.raises(ConfigurationError):
+            random_attack(trained_model, test_images[:1], attempts_per_input=0)

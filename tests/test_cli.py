@@ -1,0 +1,110 @@
+"""Tests for the ``hdtest`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_args(self):
+        args = build_parser().parse_args(
+            ["train", "--out", "m.npz", "--n-train", "10", "--dimension", "512"]
+        )
+        assert args.command == "train"
+        assert args.n_train == 10
+        assert args.dimension == 512
+
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz", "--model", "m.npz"])
+        assert args.strategies == ["gauss"]
+        assert args.top_n == 3
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "hdtest" in capsys.readouterr().out
+
+
+class TestStrategiesCommand:
+    def test_lists_domains(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "image:" in out and "text:" in out and "record:" in out
+        assert "gauss" in out and "char_sub" in out and "record_gauss" in out
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.npz"
+        code = main(
+            [
+                "train",
+                "--out", str(path),
+                "--n-train", "300",
+                "--n-test", "60",
+                "--dimension", "1024",
+                "--seed", "7",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_train_reports_accuracy(self, model_path, capsys):
+        assert model_path.exists()
+
+    def test_fuzz_prints_table2(self, model_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--model", str(model_path),
+                "--strategies", "gauss",
+                "--n-images", "5",
+                "--seed", "0",
+                "--per-class",
+                "--show-example",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "gauss" in out
+        assert "Fig. 7" in out
+
+    def test_defend_prints_report(self, model_path, capsys):
+        code = main(
+            [
+                "defend",
+                "--model", str(model_path),
+                "--n-adversarial", "20",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attack_rate_before" in out
+        assert "attack-rate drop" in out
+
+    def test_report_writes_markdown(self, model_path, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--model", str(model_path),
+                "--out", str(out_path),
+                "--n-fuzz", "4",
+                "--n-adversarial", "8",
+                "--n-images", "60",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        report = out_path.read_text()
+        assert "# HDTest experiment report" in report
+        assert "## Table II" in report

@@ -1,0 +1,47 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConstraintError,
+    DatasetError,
+    DimensionMismatchError,
+    EncodingError,
+    FuzzingError,
+    MutationError,
+    NotTrainedError,
+    ReproError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    ConstraintError,
+    DatasetError,
+    DimensionMismatchError,
+    EncodingError,
+    FuzzingError,
+    MutationError,
+    NotTrainedError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_value_like_errors_are_value_errors():
+    for exc in (ConfigurationError, DimensionMismatchError, EncodingError,
+                DatasetError, MutationError, ConstraintError):
+        assert issubclass(exc, ValueError)
+
+
+def test_runtime_like_errors_are_runtime_errors():
+    assert issubclass(NotTrainedError, RuntimeError)
+    assert issubclass(FuzzingError, RuntimeError)
+
+
+def test_catching_base_catches_subclasses():
+    with pytest.raises(ReproError):
+        raise EncodingError("bad image")

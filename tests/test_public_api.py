@@ -1,0 +1,79 @@
+"""Release-quality checks on the public API surface.
+
+Every name exported through ``__all__`` must resolve and carry a
+docstring; the package-level quickstart doctest must hold.  These tests
+catch export drift that unit tests (which import concrete modules)
+never would.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.hdc",
+    "repro.hdc.encoders",
+    "repro.datasets",
+    "repro.fuzz",
+    "repro.fuzz.mutations",
+    "repro.defense",
+    "repro.metrics",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} is exported but missing"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+    assert not undocumented, f"{module_name}: undocumented exports {undocumented}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert (module.__doc__ or "").strip(), f"{module_name} has no module docstring"
+
+
+def test_all_lists_sorted_reasonably():
+    # Keep __all__ deduplicated everywhere (sortedness is style; dupes are bugs).
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        assert len(set(module.__all__)) == len(module.__all__), (
+            f"{module_name}.__all__ contains duplicates"
+        )
+
+
+def test_version_is_pep440_like():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(p.isdigit() for p in parts[:2])
+
+
+def test_package_quickstart_doctest():
+    """The quickstart in repro's module docstring must actually run."""
+    import doctest
+
+    import repro
+
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
