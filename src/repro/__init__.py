@@ -48,11 +48,16 @@ from repro.errors import (
 )
 from repro.fuzz import (
     AdversarialExample,
+    BatchedExecutor,
+    BatchedHDTest,
     CampaignResult,
     HDTest,
     HDTestConfig,
     ImageConstraint,
+    ProcessExecutor,
+    SerialExecutor,
     compare_strategies,
+    create_executor,
     create_strategy,
     generate_adversarial_set,
     strategy_names,
@@ -73,6 +78,8 @@ from repro.hdc import (
 __all__ = [
     "AdversarialExample",
     "AssociativeMemory",
+    "BatchedExecutor",
+    "BatchedHDTest",
     "BinaryHDCClassifier",
     "BinaryPixelEncoder",
     "CampaignResult",
@@ -95,11 +102,14 @@ __all__ = [
     "NotTrainedError",
     "PermutationImageEncoder",
     "PixelEncoder",
+    "ProcessExecutor",
     "RecordEncoder",
     "ReproError",
+    "SerialExecutor",
     "SyntheticDigitGenerator",
     "attack_success_rate",
     "compare_strategies",
+    "create_executor",
     "create_strategy",
     "generate_adversarial_set",
     "load_digits",

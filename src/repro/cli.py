@@ -28,6 +28,7 @@ from repro.analysis.tables import table2
 from repro.datasets.loaders import load_digits
 from repro.defense.retrain import run_defense
 from repro.fuzz.campaign import compare_strategies, generate_adversarial_set
+from repro.fuzz.executor import create_executor, executor_names
 from repro.fuzz.fuzzer import HDTestConfig
 from repro.fuzz.mutations import strategy_names
 from repro.hdc.encoders.image import PixelEncoder
@@ -64,6 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--children", type=int, default=8)
     fuzz.add_argument("--unguided", action="store_true",
                       help="disable distance-guided seed survival")
+    _add_executor_flags(fuzz)
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--per-class", action="store_true", help="print Fig. 7 table")
     fuzz.add_argument("--show-example", action="store_true",
@@ -74,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     defend.add_argument("--model", type=Path, required=True)
     defend.add_argument("--n-adversarial", type=int, default=200)
     defend.add_argument("--strategy", default="gauss")
+    _add_executor_flags(defend)
     defend.add_argument("--seed", type=int, default=0)
     defend.add_argument("--data-dir", type=Path, default=None)
 
@@ -92,6 +95,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("strategies", help="list registered mutation strategies")
     return parser
+
+
+def _add_executor_flags(command: argparse.ArgumentParser) -> None:
+    """Campaign-scheduling flags shared by fuzz/defend."""
+    command.add_argument(
+        "--executor", choices=executor_names(), default="serial",
+        help="campaign schedule: paper-literal serial loop, lock-step "
+             "batched engine, or a process pool (default: serial)",
+    )
+    command.add_argument(
+        "--batch-size", type=int, default=None,
+        help="inputs fuzzed in lock-step per chunk "
+             "(batched/process executors; default 64)",
+    )
+    command.add_argument(
+        "--workers", type=int, default=None,
+        help="process count for --executor process (default: all cores)",
+    )
+
+
+def _executor_from_args(args: argparse.Namespace):
+    """None for the historical serial path, else a configured executor.
+
+    Explicitly-set sizing flags that the chosen executor cannot honour
+    (e.g. ``--workers`` with ``--executor batched``) are rejected by
+    :func:`~repro.fuzz.executor.create_executor` rather than silently
+    ignored — including for the serial executor.
+    """
+    if args.executor == "serial" and args.batch_size is None and args.workers is None:
+        return None
+    return create_executor(
+        args.executor, batch_size=args.batch_size, n_workers=args.workers
+    )
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -117,6 +153,7 @@ def _load_model_and_images(args: argparse.Namespace, n_images: int):
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    executor = _executor_from_args(args)  # reject bad flag combos before loading
     model, test_set = _load_model_and_images(args, args.n_images)
     config = HDTestConfig(
         iter_times=args.iter_times,
@@ -130,6 +167,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         args.strategies,
         config=config,
         rng=args.seed,
+        executor=executor,
     )
     print(table2(results))
     if args.per_class:
@@ -146,6 +184,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_defend(args: argparse.Namespace) -> int:
+    executor = _executor_from_args(args)  # reject bad flag combos before loading
     model, test_set = _load_model_and_images(args, 200)
     examples, elapsed = generate_adversarial_set(
         model,
@@ -154,6 +193,7 @@ def _cmd_defend(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         true_labels=test_set.labels,
         rng=args.seed,
+        executor=executor,
     )
     report, _ = run_defense(
         model,

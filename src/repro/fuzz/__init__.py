@@ -1,9 +1,18 @@
 """HDTest: guided differential fuzz testing of HDC models (Sec. IV)."""
 
+from repro.fuzz.batch import BatchedHDTest
 from repro.fuzz.campaign import (
     TABLE2_STRATEGIES,
     compare_strategies,
     generate_adversarial_set,
+)
+from repro.fuzz.executor import (
+    BatchedExecutor,
+    CampaignExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    create_executor,
+    executor_names,
 )
 from repro.fuzz.constraints import (
     Constraint,
@@ -45,10 +54,13 @@ from repro.fuzz.serialization import (
     save_campaigns_json,
 )
 from repro.fuzz.results import AdversarialExample, CampaignResult, InputOutcome
-from repro.fuzz.seeds import Seed, SeedPool
+from repro.fuzz.seeds import Seed, SeedPool, SeedPoolBatch
 
 __all__ = [
     "AdversarialExample",
+    "BatchedExecutor",
+    "BatchedHDTest",
+    "CampaignExecutor",
     "CampaignResult",
     "CharSubstitution",
     "CharTransposition",
@@ -68,6 +80,7 @@ __all__ = [
     "MarginFitness",
     "MutationStrategy",
     "NullConstraint",
+    "ProcessExecutor",
     "RandomFitness",
     "RandomNoise",
     "RecordBandNoise",
@@ -79,13 +92,17 @@ __all__ = [
     "RowRandom",
     "Seed",
     "SeedPool",
+    "SeedPoolBatch",
+    "SerialExecutor",
     "Shift",
     "TABLE2_STRATEGIES",
     "TargetedOracle",
     "TextConstraint",
     "campaign_to_dict",
     "compare_strategies",
+    "create_executor",
     "create_strategy",
+    "executor_names",
     "generate_adversarial_set",
     "load_campaigns_json",
     "save_campaigns_json",

@@ -1,0 +1,409 @@
+"""Batched fuzzing engine: Alg. 1 in lock-step across inputs.
+
+:class:`BatchedHDTest` runs the paper's per-input loop over *all*
+active inputs simultaneously.  Each iteration mutates every input's
+surviving seeds, then performs **one fused encode and one fused
+predict** covering every input's children, instead of one small
+model call per input per iteration.  Inputs retire from the batch the
+moment their differential oracle flips; per-input iteration counts are
+exactly those of the sequential loop.
+
+Semantics are unchanged — only the schedule is.  Under the *shared RNG
+discipline* (one child generator per input, derived with
+:func:`repro.utils.rng.spawn`), every per-input outcome is identical to
+running :meth:`repro.fuzz.fuzzer.HDTest.fuzz_one` on that input with
+its generator::
+
+    generators = spawn(seed, len(inputs))
+    BatchedHDTest(model, "gauss").fuzz_outcomes(inputs, generators=generators)
+    ==  [HDTest(model, "gauss").fuzz_one(x, rng=g)
+         for x, g in zip(inputs, generators)]
+
+(property-tested in ``tests/fuzz/test_batch.py``).
+
+Two encode paths are used, picked automatically:
+
+* **incremental (delta)** — when the model's encoder exposes
+  ``quantize``/``accumulate_batch``/``accumulate_delta`` (the pixel
+  encoder does), children are encoded from their *parent seed's*
+  accumulator, touching only the pixels the mutation changed.  The
+  integer algebra is exact, so hypervectors are bit-identical to a full
+  encode at a fraction of the work.
+* **direct** — any other encoder: the iteration's cache-missing
+  children of every input are stacked into a single ``encode_batch``
+  call.
+
+Both paths dedupe through per-input bounded LRU caches keyed by child
+bytes — each input gets a share of ``HDTestConfig.cache_max_entries``
+(floored at 32 entries) so the aggregate memory bound is independent of
+how many inputs are in flight.  This is what makes discrete strategies
+such as ``shift`` nearly free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FuzzingError
+from repro.fuzz.fuzzer import HDTest
+from repro.fuzz.results import CampaignResult, InputOutcome
+from repro.fuzz.seeds import SeedPoolBatch
+from repro.metrics.timing import Stopwatch
+from repro.utils.cache import LRUCache, resolve_with_cache
+from repro.utils.rng import RngLike, ensure_rng, spawn
+
+__all__ = ["BatchedHDTest"]
+
+#: Duck-typed surface an encoder must expose for the incremental path.
+#: hvs_from_accumulators is part of it so the accumulator→hypervector
+#: rule (Eq. 1 tie-breaking) stays owned by the encoder.
+_DELTA_ENCODER_API = (
+    "quantize",
+    "accumulate_batch",
+    "accumulate_delta",
+    "hvs_from_accumulators",
+)
+
+
+class _PerInputCaches:
+    """Lazily-built per-input dedupe caches sharing one capacity policy."""
+
+    __slots__ = ("capacity", "_caches")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._caches: dict[int, LRUCache[bytes, np.ndarray]] = {}
+
+    def get(self, index: int) -> LRUCache[bytes, np.ndarray]:
+        cache = self._caches.get(index)
+        if cache is None:
+            cache = self._caches[index] = LRUCache(self.capacity)
+        return cache
+
+
+class _ActiveInput:
+    """Book-keeping for one not-yet-retired input of the lock-step batch."""
+
+    __slots__ = ("index", "original", "reference_label", "reference_hv", "generator")
+
+    def __init__(self, index, original, reference_label, reference_hv, generator):
+        self.index = index
+        self.original = original
+        self.reference_label = reference_label
+        self.reference_hv = reference_hv
+        self.generator = generator
+
+
+class BatchedHDTest(HDTest):
+    """Lock-step batched variant of :class:`~repro.fuzz.fuzzer.HDTest`.
+
+    Accepts the same constructor arguments.  Only array-valued inputs
+    (images, records) can be batched — text fuzzing stays on the
+    sequential engine.
+
+    Examples
+    --------
+    >>> from repro.datasets import load_digits
+    >>> from repro.hdc import PixelEncoder, HDCClassifier
+    >>> from repro.fuzz import BatchedHDTest
+    >>> train, test = load_digits(n_train=300, n_test=20, seed=3)
+    >>> model = HDCClassifier(PixelEncoder(dimension=2048, rng=3), 10)
+    >>> _ = model.fit(train.images, train.labels)
+    >>> result = BatchedHDTest(model, "gauss", rng=0).fuzz(test.images[:5])
+    >>> result.n_inputs
+    5
+    """
+
+    # -- campaign entry points ---------------------------------------------
+    def fuzz(self, inputs: Sequence[Any], *, rng: RngLike = None) -> CampaignResult:
+        """Fuzz every input in lock-step; aggregated :class:`CampaignResult`.
+
+        Note the RNG discipline differs from the sequential
+        :meth:`HDTest.fuzz` (which threads one generator through inputs
+        sequentially): here each input gets an independent child
+        generator spawned from *rng*, so outcomes match per-input
+        :meth:`HDTest.fuzz_one` calls under the same spawning.
+        """
+        with Stopwatch() as sw:
+            outcomes = self.fuzz_outcomes(inputs, rng=rng)
+        return CampaignResult(
+            strategy=self._strategy.name,
+            outcomes=outcomes,
+            elapsed_seconds=sw.elapsed,
+            guided=self._fitness.guided,
+            executor="batched",
+        )
+
+    def fuzz_outcomes(
+        self,
+        inputs: Sequence[Any],
+        *,
+        rng: RngLike = None,
+        generators: Optional[Sequence[np.random.Generator]] = None,
+    ) -> list[InputOutcome]:
+        """Run Alg. 1 on all inputs at once; one outcome per input.
+
+        Parameters
+        ----------
+        inputs:
+            Array-valued inputs of identical shape.
+        rng:
+            Root randomness; per-input child generators are spawned from
+            it (ignored when *generators* is given).
+        generators:
+            Explicit per-input child generators — the executors use this
+            to keep outcomes invariant to chunking.
+        """
+        n = len(inputs)
+        if n == 0:
+            return []
+        if generators is None:
+            root = ensure_rng(rng) if rng is not None else self._rng
+            generators = spawn(root, n)
+        elif len(generators) != n:
+            raise ConfigurationError(
+                f"{len(generators)} generators for {n} inputs"
+            )
+        originals = self._stack_inputs(inputs)
+        cfg = self._config
+
+        # One fused encode + predict for every reference label (Alg. 1
+        # line 1, "y = HDC(t)", across the whole batch).
+        delta_encoder = self._delta_encoder()
+        if delta_encoder is not None:
+            # Accumulators are bounded by the pixel count, so int16
+            # storage is exact for paper-sized images and widens
+            # automatically for larger encoder shapes.
+            acc_dtype = (
+                np.int16
+                if originals[0].size <= np.iinfo(np.int16).max
+                else np.int32
+            )
+            ref_accs = delta_encoder.accumulate_batch(originals)
+            ref_hvs_q = delta_encoder.hvs_from_accumulators(ref_accs)
+            pool = SeedPoolBatch(
+                originals,
+                cfg.top_n,
+                accumulators=ref_accs.astype(acc_dtype),
+                levels=self._quantize(delta_encoder, originals),
+            )
+        else:
+            ref_hvs_q = self._model.encode_batch(originals)
+            pool = SeedPoolBatch(originals, cfg.top_n)
+        reference_labels = self._model.predict_hv(ref_hvs_q)
+
+        active = [
+            _ActiveInput(
+                i,
+                inputs[i],
+                int(reference_labels[i]),
+                self._model.reference_hv(int(reference_labels[i])),
+                generators[i],
+            )
+            for i in range(n)
+        ]
+        outcomes: list[Optional[InputOutcome]] = [None] * n
+        # One dedupe cache per input (lazily built), mirroring the
+        # sequential engine: per-input working sets never evict each
+        # other.  Unlike the sequential loop, many caches are live at
+        # once, so each gets a share of cfg.cache_max_entries — floored
+        # at 32 entries, plenty for the discrete working sets that
+        # actually hit — keeping the aggregate bound independent of the
+        # chunk size.
+        per_input_capacity = min(
+            cfg.cache_max_entries, max(32, cfg.cache_max_entries // n)
+        )
+        caches = _PerInputCaches(per_input_capacity)
+
+        for iteration in range(1, cfg.iter_times + 1):
+            if not active:
+                break
+            plans = self._mutation_plans(active, pool)
+            if plans:
+                if delta_encoder is not None:
+                    encoded = self._encode_plans_delta(delta_encoder, plans, pool, caches)
+                else:
+                    encoded = self._encode_plans_direct(plans, caches)
+                # One fused prediction over every input's children.
+                all_labels = self._model.predict_hv(
+                    np.concatenate([e[0] for e in encoded], axis=0)
+                )
+                retired: set[int] = set()
+                offset = 0
+                for (state, children, _), (hvs, accs, levels) in zip(plans, encoded):
+                    labels = all_labels[offset : offset + len(children)]
+                    offset += len(children)
+                    flips = self._oracle.discrepancies(state.reference_label, labels)
+                    if flips.any():
+                        example = self._pick_success(
+                            state.original, children, labels, flips,
+                            state.reference_label, iteration,
+                        )
+                        outcomes[state.index] = InputOutcome(
+                            success=True,
+                            iterations=iteration,
+                            reference_label=state.reference_label,
+                            example=example,
+                        )
+                        retired.add(state.index)
+                        continue
+                    scores = self._fitness.scores(state.reference_hv, hvs)
+                    pool.update(
+                        state.index, children, scores,
+                        generation=iteration, accumulators=accs, levels=levels,
+                    )
+                if retired:
+                    active = [s for s in active if s.index not in retired]
+
+        for state in active:
+            outcomes[state.index] = InputOutcome(
+                success=False,
+                iterations=cfg.iter_times,
+                reference_label=state.reference_label,
+            )
+        return outcomes  # type: ignore[return-value]
+
+    # -- lock-step internals -----------------------------------------------
+    def _stack_inputs(self, inputs: Sequence[Any]) -> np.ndarray:
+        arrays = []
+        for item in inputs:
+            if not isinstance(item, np.ndarray):
+                raise ConfigurationError(
+                    "BatchedHDTest requires array inputs (images/records); "
+                    f"got {type(item).__name__} — use HDTest for text domains"
+                )
+            arrays.append(np.asarray(item, dtype=np.float64))
+        try:
+            return np.stack(arrays)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"inputs must share one shape to batch: {exc}"
+            ) from None
+
+    def _delta_encoder(self):
+        """The model's encoder, when it supports incremental encoding."""
+        encoder = getattr(self._model, "encoder", None)
+        if encoder is not None and all(
+            callable(getattr(encoder, name, None)) for name in _DELTA_ENCODER_API
+        ):
+            return encoder
+        return None
+
+    @staticmethod
+    def _quantize(encoder, batch: np.ndarray) -> np.ndarray:
+        """Quantised levels of *batch*, flattened per item, compact dtype."""
+        dtype = (
+            np.int16
+            if getattr(encoder, "levels", 256) <= np.iinfo(np.int16).max
+            else np.int64
+        )
+        return encoder.quantize(batch).reshape(batch.shape[0], -1).astype(dtype)
+
+    def _mutation_plans(self, active, pool: SeedPoolBatch):
+        """Mutate + clip + budget-filter each active input's seeds.
+
+        Returns ``(state, children, parent_ids)`` triples for inputs
+        with at least one in-budget child; inputs whose children all
+        blew the budget simply sit the iteration out (their seeds are
+        retained and the iteration still counts, exactly as in the
+        sequential loop).
+        """
+        cfg = self._config
+        plans = []
+        for state in active:
+            batches = [
+                self._strategy.mutate(seed, cfg.children_per_seed, rng=state.generator)
+                for seed in pool.seeds(state.index)
+            ]
+            if not isinstance(batches[0], np.ndarray):
+                raise FuzzingError(
+                    f"strategy {self._strategy.name!r} produces non-array children; "
+                    "the batched engine supports array domains only"
+                )
+            children = np.concatenate(batches, axis=0)
+            children = self._constraint.clip(children)
+            keep = self._constraint.accept(state.original, children)
+            if not keep.any():
+                continue
+            # Derived from actual batch lengths, not children_per_seed,
+            # so a strategy returning an off-count batch cannot silently
+            # pair children with the wrong parent.
+            parent_ids = np.repeat(
+                np.arange(len(batches)), [len(batch) for batch in batches]
+            )[keep]
+            plans.append((state, children[keep], parent_ids))
+        return plans
+
+    def _encode_plans_delta(self, encoder, plans, pool: SeedPoolBatch, caches):
+        """Incremental path: children encoded from parent accumulators.
+
+        Cache entries hold compact integer accumulators (they are
+        exact — the bipolar hypervector is a deterministic function of
+        them), so a hit skips even the delta work.
+        """
+        dedupe = self._config.dedupe
+        encoded = []
+        for state, children, parent_ids in plans:
+            levels = self._quantize(encoder, children)
+            parent_accs_all = pool.accumulators(state.index)
+
+            def delta_missing(positions: list[int]) -> np.ndarray:
+                parent_levels = pool.levels(state.index)[parent_ids[positions]]
+                parent_accs = parent_accs_all[parent_ids[positions]]
+                return encoder.accumulate_delta(
+                    levels[positions], parent_levels, parent_accs
+                ).astype(parent_accs_all.dtype)
+
+            if dedupe:
+                keys = [self._child_key(children[j]) for j in range(len(children))]
+                cache = caches.get(state.index)
+                accs = np.stack(resolve_with_cache(cache, keys, delta_missing))
+            else:
+                accs = delta_missing(list(range(len(children))))
+            hvs = encoder.hvs_from_accumulators(accs)
+            encoded.append((hvs, accs, levels))
+        return encoded
+
+    def _encode_plans_direct(self, plans, caches):
+        """Fallback path: one fused ``encode_batch`` for all cache misses.
+
+        Misses from every plan are flattened into one stack so the whole
+        iteration still costs a single model call, while lookups and
+        insertions stay in each input's own cache (the same pinning
+        discipline as :func:`repro.utils.cache.resolve_with_cache`,
+        spread across cache domains).
+        """
+        if not self._config.dedupe:
+            all_children = np.concatenate([children for _, children, _ in plans])
+            all_hvs = self._model.encode_batch(all_children)
+            encoded, offset = [], 0
+            for _, children, _ in plans:
+                encoded.append((all_hvs[offset : offset + len(children)], None, None))
+                offset += len(children)
+            return encoded
+        resolved = []  # (keys, local, cache) per plan
+        to_encode: list[np.ndarray] = []
+        slots: list[tuple[int, bytes]] = []  # (plan position, key) per miss
+        for p, (state, children, _) in enumerate(plans):
+            cache = caches.get(state.index)
+            keys = [self._child_key(children[j]) for j in range(len(children))]
+            local: dict[bytes, Optional[np.ndarray]] = {}
+            for j, key in enumerate(keys):
+                if key not in local:
+                    local[key] = cache.get(key)
+                    if local[key] is None:
+                        to_encode.append(children[j])
+                        slots.append((p, key))
+            resolved.append((keys, local, cache))
+        if to_encode:
+            fresh = self._model.encode_batch(np.stack(to_encode))
+            for (p, key), hv in zip(slots, fresh):
+                _, local, cache = resolved[p]
+                local[key] = hv
+                cache.put(key, hv)
+        return [
+            (np.stack([local[key] for key in keys]), None, None)
+            for keys, local, _ in resolved
+        ]

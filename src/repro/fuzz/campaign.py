@@ -9,28 +9,52 @@ Two workflows from the paper's evaluation:
   ground-truth labels attached; this is the "generate 1000 adversarial
   images" step of the defense case study (Sec. V-D) and of the
   time-per-1K measurements.
+
+Both accept an ``executor`` (name or
+:class:`~repro.fuzz.executor.CampaignExecutor`) selecting how the
+campaign is scheduled: the paper-literal serial loop, the lock-step
+batched engine, or a process pool.  ``None`` keeps the historical
+serial *scheduling* (input-at-a-time ``HDTest``); note that
+:func:`compare_strategies` now derives an independent generator per
+strategy even on that path — the decorrelation its docstring always
+promised — so its per-strategy streams intentionally differ from the
+pre-fix implementation that shared one generator.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError, FuzzingError
 from repro.fuzz.constraints import Constraint
+from repro.fuzz.executor import CampaignExecutor, create_executor
 from repro.fuzz.fuzzer import HDTest, HDTestConfig
-from repro.fuzz.mutations import MutationStrategy
+from repro.fuzz.mutations import MutationStrategy, create_strategy
 from repro.fuzz.results import AdversarialExample, CampaignResult
 from repro.hdc.model import HDCClassifier
 from repro.metrics.timing import Stopwatch
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, spawn
 from repro.utils.validation import check_positive_int
 
 __all__ = ["compare_strategies", "generate_adversarial_set"]
 
 #: The four strategies Table II evaluates.
 TABLE2_STRATEGIES = ("gauss", "rand", "row_col_rand", "shift")
+
+ExecutorLike = Union[None, str, CampaignExecutor]
+
+
+def _resolve_executor(executor: ExecutorLike) -> Optional[CampaignExecutor]:
+    if executor is None or isinstance(executor, CampaignExecutor):
+        return executor
+    if isinstance(executor, str):
+        return create_executor(executor)
+    raise ConfigurationError(
+        f"executor must be a name or CampaignExecutor, got {type(executor).__name__}"
+    )
 
 
 def compare_strategies(
@@ -41,26 +65,51 @@ def compare_strategies(
     config: Optional[HDTestConfig] = None,
     constraint: Optional[Constraint] = None,
     rng: RngLike = None,
+    executor: ExecutorLike = None,
 ) -> dict[str, CampaignResult]:
     """Fuzz the same inputs under each strategy (Table II's experiment).
 
     Each strategy gets an independent child generator derived from
-    *rng*, so results are reproducible yet decorrelated.
+    *rng* with :func:`repro.utils.rng.spawn`, assigned by the
+    strategy's *name* (rank in sorted order) — so results are
+    reproducible, decorrelated across strategies, and invariant to the
+    order in which strategies are listed.
+
+    Parameters
+    ----------
+    executor:
+        How to schedule each per-strategy campaign: ``None`` (the
+        historical serial loop), an executor name (``"serial"``,
+        ``"batched"``, ``"process"``), or a pre-built
+        :class:`~repro.fuzz.executor.CampaignExecutor`.
     """
     generator = ensure_rng(rng)
+    exec_obj = _resolve_executor(executor)
+    strategy_objs = [
+        strategy if isinstance(strategy, MutationStrategy) else create_strategy(strategy)
+        for strategy in strategies
+    ]
+    names = [strategy.name for strategy in strategy_objs]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ConfigurationError(f"duplicate strategy {sorted(duplicates)[0]!r}")
+    # One child generator per strategy, bound to the strategy *name* so
+    # listing order cannot re-pair names with streams.
+    children = spawn(generator, len(names))
+    rank = {name: position for position, name in enumerate(sorted(names))}
     results: dict[str, CampaignResult] = {}
-    for strategy in strategies:
-        fuzzer = HDTest(
-            model,
-            strategy,
-            config=config,
-            constraint=constraint,
-            rng=generator,
-        )
-        result = fuzzer.fuzz(inputs)
-        if result.strategy in results:
-            raise ConfigurationError(f"duplicate strategy {result.strategy!r}")
-        results[result.strategy] = result
+    for strategy in strategy_objs:
+        strategy_rng = children[rank[strategy.name]]
+        if exec_obj is None:
+            fuzzer = HDTest(
+                model, strategy, config=config, constraint=constraint, rng=strategy_rng
+            )
+            results[strategy.name] = fuzzer.fuzz(inputs)
+        else:
+            results[strategy.name] = exec_obj.run(
+                model, strategy, inputs,
+                config=config, constraint=constraint, rng=strategy_rng,
+            )
     return results
 
 
@@ -75,6 +124,7 @@ def generate_adversarial_set(
     constraint: Optional[Constraint] = None,
     rng: RngLike = None,
     max_attempts_factor: int = 20,
+    executor: ExecutorLike = None,
 ) -> tuple[list[AdversarialExample], float]:
     """Fuzz until *n_target* adversarial examples are collected.
 
@@ -88,6 +138,11 @@ def generate_adversarial_set(
     true_labels:
         Optional ground-truth labels aligned with *inputs*; attached to
         each example so the defense can retrain "with correct labels".
+    executor:
+        ``None`` reproduces the historical input-at-a-time loop; an
+        executor name or instance processes the cycled input pool in
+        waves (preserving visit order), which is how the batched and
+        process engines reach their throughput.
 
     Returns
     -------
@@ -102,31 +157,86 @@ def generate_adversarial_set(
             f"{len(true_labels)} true_labels for {len(inputs)} inputs"
         )
     generator = ensure_rng(rng)
-    fuzzer = HDTest(model, strategy, config=config, constraint=constraint, rng=generator)
+    exec_obj = _resolve_executor(executor)
+    max_attempts = max_attempts_factor * n_target
 
+    if exec_obj is not None:
+        return _generate_with_executor(
+            exec_obj, model, inputs, n_target,
+            strategy=strategy, true_labels=true_labels, config=config,
+            constraint=constraint, generator=generator, max_attempts=max_attempts,
+        )
+
+    fuzzer = HDTest(model, strategy, config=config, constraint=constraint, rng=generator)
     examples: list[AdversarialExample] = []
     attempts = 0
-    max_attempts = max_attempts_factor * n_target
     with Stopwatch() as sw:
         while len(examples) < n_target:
             index = attempts % len(inputs)
             outcome = fuzzer.fuzz_one(inputs[index])
             attempts += 1
             if outcome.success:
-                example = outcome.example
-                if true_labels is not None:
-                    example = AdversarialExample(
-                        original=example.original,
-                        adversarial=example.adversarial,
-                        reference_label=example.reference_label,
-                        adversarial_label=example.adversarial_label,
-                        iterations=example.iterations,
-                        metrics=example.metrics,
-                        strategy=example.strategy,
-                        true_label=int(true_labels[index]),
+                examples.append(
+                    _with_true_label(outcome.example, true_labels, index)
+                )
+            if len(examples) < n_target and attempts >= max_attempts:
+                raise FuzzingError(
+                    f"only {len(examples)}/{n_target} adversarials after "
+                    f"{attempts} attempts — raise the budget or weaken the model"
+                )
+    return examples, sw.elapsed
+
+
+def _with_true_label(
+    example: AdversarialExample,
+    true_labels: Optional[Sequence[int]],
+    index: int,
+) -> AdversarialExample:
+    if true_labels is None:
+        return example
+    return replace(example, true_label=int(true_labels[index]))
+
+
+def _generate_with_executor(
+    exec_obj: CampaignExecutor,
+    model: HDCClassifier,
+    inputs: Sequence[Any],
+    n_target: int,
+    *,
+    strategy,
+    true_labels,
+    config,
+    constraint,
+    generator: np.random.Generator,
+    max_attempts: int,
+) -> tuple[list[AdversarialExample], float]:
+    """Wave-mode generation: fuzz the cycled pool in executor-sized gulps."""
+    examples: list[AdversarialExample] = []
+    attempts = 0
+    with Stopwatch() as sw:
+        while len(examples) < n_target:
+            remaining = n_target - len(examples)
+            # Enough inputs to plausibly cover the deficit without
+            # overshooting the whole pool or the attempt cap.
+            wave_size = min(
+                len(inputs), max_attempts - attempts, max(2 * remaining, 16)
+            )
+            indices = [(attempts + j) % len(inputs) for j in range(wave_size)]
+            result = exec_obj.run(
+                model, strategy, [inputs[i] for i in indices],
+                config=config, constraint=constraint, rng=generator,
+            )
+            attempts += wave_size
+            for position, outcome in enumerate(result.outcomes):
+                if outcome.success:
+                    examples.append(
+                        _with_true_label(
+                            outcome.example, true_labels, indices[position]
+                        )
                     )
-                examples.append(example)
-            if attempts >= max_attempts:
+                    if len(examples) == n_target:
+                        break
+            if len(examples) < n_target and attempts >= max_attempts:
                 raise FuzzingError(
                     f"only {len(examples)}/{n_target} adversarials after "
                     f"{attempts} attempts — raise the budget or weaken the model"

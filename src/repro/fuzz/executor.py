@@ -1,0 +1,306 @@
+"""Pluggable campaign executors: how a fuzzing campaign is scheduled.
+
+The fuzzing *algorithm* (Alg. 1) is fixed; how its per-input runs are
+scheduled across the hardware is not.  A :class:`CampaignExecutor`
+turns ``(model, strategy, inputs)`` into a
+:class:`~repro.fuzz.results.CampaignResult`:
+
+* :class:`SerialExecutor` — the paper-literal loop, one input at a time
+  (exactly :meth:`repro.fuzz.fuzzer.HDTest.fuzz`);
+* :class:`BatchedExecutor` — the lock-step vectorized engine
+  (:class:`repro.fuzz.batch.BatchedHDTest`) over chunks of
+  ``batch_size`` inputs;
+* :class:`ProcessExecutor` — multiprocessing over contiguous input
+  shards: the model is broadcast to each worker once, every input gets
+  a deterministic seed derived in the parent, and each shard runs the
+  batched engine.
+
+RNG discipline: batched and process executors derive one 63-bit seed
+per *input* from the root generator (the same stream
+:func:`repro.utils.rng.spawn` draws).  With the default deterministic
+(guided) fitness their per-input outcomes are identical to each other
+and to sequential :meth:`~repro.fuzz.fuzzer.HDTest.fuzz_one` calls
+under per-input spawned generators — invariant to ``batch_size`` and
+``n_workers``.  The serial executor instead threads one generator
+through inputs sequentially, preserving the seed implementation's
+exact streams.
+
+The *unguided* baseline (``HDTestConfig(guided=False)``) draws its
+random survival scores from one stream shared across the whole batch,
+so its outcomes are reproducible for a fixed seed **and fixed
+scheduling parameters**, but not invariant to ``batch_size`` /
+``n_workers`` and not equal across executors — random survival has no
+per-input stream to pin.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fuzz.batch import BatchedHDTest
+from repro.fuzz.constraints import Constraint
+from repro.fuzz.fitness import FitnessFunction
+from repro.fuzz.fuzzer import HDTest, HDTestConfig
+from repro.fuzz.mutations import MutationStrategy
+from repro.fuzz.oracle import DifferentialOracle
+from repro.fuzz.results import CampaignResult, InputOutcome
+from repro.metrics.timing import Stopwatch
+from repro.utils.rng import RngLike, derive_seeds, ensure_rng, spawn
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "CampaignExecutor",
+    "SerialExecutor",
+    "BatchedExecutor",
+    "ProcessExecutor",
+    "create_executor",
+    "executor_names",
+]
+
+
+class CampaignExecutor(ABC):
+    """Strategy object scheduling one fuzzing campaign over its inputs."""
+
+    #: Registry key and the value recorded on produced results.
+    name: ClassVar[str] = ""
+
+    @abstractmethod
+    def run(
+        self,
+        model: Any,
+        strategy: Union[str, MutationStrategy],
+        inputs: Sequence[Any],
+        *,
+        config: Optional[HDTestConfig] = None,
+        constraint: Optional[Constraint] = None,
+        fitness: Optional[FitnessFunction] = None,
+        oracle: Optional[DifferentialOracle] = None,
+        rng: RngLike = None,
+    ) -> CampaignResult:
+        """Fuzz *inputs* and return the aggregated campaign result."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(CampaignExecutor):
+    """One input at a time — the paper-literal schedule."""
+
+    name = "serial"
+
+    def run(self, model, strategy, inputs, *, config=None, constraint=None,
+            fitness=None, oracle=None, rng: RngLike = None) -> CampaignResult:
+        fuzzer = HDTest(
+            model, strategy,
+            config=config, constraint=constraint,
+            fitness=fitness, oracle=oracle, rng=rng,
+        )
+        result = fuzzer.fuzz(inputs)
+        result.executor = self.name
+        return result
+
+
+class BatchedExecutor(CampaignExecutor):
+    """Lock-step vectorized schedule over chunks of *batch_size* inputs.
+
+    Per-input child generators are spawned once for the whole campaign
+    and sliced per chunk, so guided-mode outcomes are invariant to
+    ``batch_size`` (see the module docstring for the unguided caveat).
+    """
+
+    def __init__(self, batch_size: int = 64) -> None:
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+
+    name = "batched"
+
+    def run(self, model, strategy, inputs, *, config=None, constraint=None,
+            fitness=None, oracle=None, rng: RngLike = None) -> CampaignResult:
+        fuzzer = BatchedHDTest(
+            model, strategy,
+            config=config, constraint=constraint,
+            fitness=fitness, oracle=oracle, rng=rng,
+        )
+        generators = spawn(rng, len(inputs))
+        outcomes: list[InputOutcome] = []
+        with Stopwatch() as sw:
+            for lo in range(0, len(inputs), self.batch_size):
+                hi = min(lo + self.batch_size, len(inputs))
+                outcomes.extend(
+                    fuzzer.fuzz_outcomes(
+                        inputs[lo:hi], generators=generators[lo:hi]
+                    )
+                )
+        return CampaignResult(
+            strategy=fuzzer.strategy.name,
+            outcomes=outcomes,
+            elapsed_seconds=sw.elapsed,
+            guided=fuzzer._fitness.guided,  # noqa: SLF001 - same-module family
+            executor=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return f"BatchedExecutor(batch_size={self.batch_size})"
+
+
+# -- process pool plumbing (module-level for picklability) -----------------
+_WORKER: dict[str, Any] = {}
+
+
+def _process_worker_init(model, strategy, config, constraint, fitness, oracle,
+                         batch_size) -> None:
+    """Pool initializer: broadcast the campaign spec to this worker once."""
+    _WORKER.update(
+        model=model, strategy=strategy, config=config, constraint=constraint,
+        fitness=fitness, oracle=oracle, batch_size=batch_size,
+    )
+
+
+def _process_worker_run(
+    shard: tuple[list[Any], list[int], int]
+) -> list[InputOutcome]:
+    """Fuzz one contiguous input shard with its per-input seeds.
+
+    The engine is (re)built per shard with the shard's own seed so that
+    any stochastic component constructed inside it (the unguided
+    baseline's ``RandomFitness``) is derived from the campaign's root
+    generator, not from per-worker OS entropy — a fixed seed reproduces
+    the campaign.
+    """
+    inputs, seeds, shard_seed = shard
+    fuzzer = BatchedHDTest(
+        _WORKER["model"], _WORKER["strategy"],
+        config=_WORKER["config"], constraint=_WORKER["constraint"],
+        fitness=_WORKER["fitness"], oracle=_WORKER["oracle"], rng=shard_seed,
+    )
+    batch_size: int = _WORKER["batch_size"]
+    generators = [np.random.default_rng(int(s)) for s in seeds]
+    outcomes: list[InputOutcome] = []
+    for lo in range(0, len(inputs), batch_size):
+        hi = min(lo + batch_size, len(inputs))
+        outcomes.extend(
+            fuzzer.fuzz_outcomes(inputs[lo:hi], generators=generators[lo:hi])
+        )
+    return outcomes
+
+
+class ProcessExecutor(CampaignExecutor):
+    """Multiprocessing over contiguous input shards.
+
+    The trained model (with its codebooks) is broadcast to each worker
+    once via the pool initializer; workers run the batched engine on
+    their shard.  Every input's seed is derived in the parent from the
+    root generator, so guided-mode results equal
+    :class:`BatchedExecutor`'s for the same *rng* regardless of
+    ``n_workers`` (unguided runs are reproducible per seed and worker
+    count, but not executor-invariant — see the module docstring).
+
+    Parameters
+    ----------
+    n_workers:
+        Worker process count; defaults to ``os.cpu_count()``.
+    batch_size:
+        Lock-step chunk size inside each worker.
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers: Optional[int] = None, batch_size: int = 64) -> None:
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        self.n_workers = check_positive_int(n_workers, "n_workers")
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+
+    def run(self, model, strategy, inputs, *, config=None, constraint=None,
+            fitness=None, oracle=None, rng: RngLike = None) -> CampaignResult:
+        import multiprocessing as mp
+
+        # Validate the spec (and resolve the strategy name) up front, in
+        # the parent, where errors are debuggable.
+        probe = BatchedHDTest(
+            model, strategy,
+            config=config, constraint=constraint, fitness=fitness, oracle=oracle,
+        )
+        root = ensure_rng(rng)
+        seeds = derive_seeds(root, len(inputs))
+        n_shards = min(self.n_workers, max(len(inputs), 1))
+        # Drawn *after* the per-input seeds so the per-input stream stays
+        # byte-identical to BatchedExecutor's for the same root.
+        shard_seeds = derive_seeds(root, n_shards)
+        shards = []
+        bounds = np.linspace(0, len(inputs), n_shards + 1, dtype=int)
+        for shard_id, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+            if hi > lo:
+                shards.append(
+                    (
+                        list(inputs[lo:hi]),
+                        [int(s) for s in seeds[lo:hi]],
+                        int(shard_seeds[shard_id]),
+                    )
+                )
+        outcomes: list[InputOutcome] = []
+        with Stopwatch() as sw:
+            if shards:
+                ctx = mp.get_context()
+                with ctx.Pool(
+                    processes=min(self.n_workers, len(shards)),
+                    initializer=_process_worker_init,
+                    initargs=(model, probe.strategy, config, constraint,
+                              fitness, oracle, self.batch_size),
+                ) as pool:
+                    for shard_outcomes in pool.map(_process_worker_run, shards):
+                        outcomes.extend(shard_outcomes)
+        return CampaignResult(
+            strategy=probe.strategy.name,
+            outcomes=outcomes,
+            elapsed_seconds=sw.elapsed,
+            guided=probe._fitness.guided,  # noqa: SLF001 - same-module family
+            executor=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(n_workers={self.n_workers}, batch_size={self.batch_size})"
+
+
+_EXECUTORS: dict[str, type[CampaignExecutor]] = {
+    cls.name: cls for cls in (SerialExecutor, BatchedExecutor, ProcessExecutor)
+}
+
+
+def executor_names() -> list[str]:
+    """Registered executor names (CLI choices)."""
+    return sorted(_EXECUTORS)
+
+
+def create_executor(name: str, **params: Any) -> CampaignExecutor:
+    """Instantiate the executor registered under *name* with *params*.
+
+    Callers may pass one uniform ``batch_size``/``n_workers`` bundle:
+    ``None`` always means *unset* — the executor's own default applies —
+    while an explicit value for a knob the chosen executor cannot honour
+    (e.g. ``n_workers`` with the batched executor) raises instead of
+    being silently ignored.
+    """
+    try:
+        cls = _EXECUTORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown executor {name!r}; available: {executor_names()}"
+        ) from None
+    applicable = {
+        SerialExecutor: (),
+        BatchedExecutor: ("batch_size",),
+        ProcessExecutor: ("batch_size", "n_workers"),
+    }[cls]
+    for key in list(params):
+        if params[key] is None:
+            del params[key]
+        elif key not in applicable:
+            raise ConfigurationError(
+                f"{key}={params[key]!r} does not apply to the {name!r} executor"
+            )
+    return cls(**params)

@@ -37,6 +37,7 @@ from repro.fuzz.results import AdversarialExample, CampaignResult, InputOutcome
 from repro.fuzz.seeds import SeedPool
 from repro.hdc.model import HDCClassifier
 from repro.metrics.timing import Stopwatch
+from repro.utils.cache import LRUCache, resolve_with_cache
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -67,6 +68,14 @@ class HDTestConfig:
         iterations, which is what makes shift the cheapest strategy per
         generated image (Table II's "only changes the pixel locations,
         or more exactly, indices" remark).
+    cache_max_entries:
+        Capacity of the dedupe cache (least-recently-used eviction).
+        Continuous strategies such as ``gauss`` produce children that
+        essentially never repeat, so an unbounded cache would hold every
+        child of the run — thousands of D-dimensional vectors per input.
+        The default (512) comfortably covers the working sets that
+        actually hit (discrete strategies collapse onto a few dozen
+        distinct children) while capping memory at a few megabytes.
     """
 
     iter_times: int = 50
@@ -74,11 +83,13 @@ class HDTestConfig:
     children_per_seed: int = 8
     guided: bool = True
     dedupe: bool = True
+    cache_max_entries: int = 512
 
     def __post_init__(self) -> None:
         check_positive_int(self.iter_times, "iter_times")
         check_positive_int(self.top_n, "top_n")
         check_positive_int(self.children_per_seed, "children_per_seed")
+        check_positive_int(self.cache_max_entries, "cache_max_entries")
 
 
 class HDTest:
@@ -212,7 +223,7 @@ class HDTest:
 
         pool: SeedPool = SeedPool(cfg.top_n)
         pool.reset(original)
-        encode_cache: dict[bytes, np.ndarray] = {}
+        encode_cache: LRUCache[bytes, np.ndarray] = LRUCache(cfg.cache_max_entries)
 
         for iteration in range(1, cfg.iter_times + 1):
             children = self._expand(pool, generator)
@@ -263,30 +274,26 @@ class HDTest:
         )
 
     # -- internals -----------------------------------------------------
+    @staticmethod
+    def _child_key(child) -> bytes:
+        """Dedupe-cache key of one child (raw bytes of its content)."""
+        return child.tobytes() if isinstance(child, np.ndarray) else child.encode("utf-8")
+
     def _encode_children(
-        self, children, cache: dict[bytes, np.ndarray]
+        self, children, cache: LRUCache[bytes, np.ndarray]
     ) -> np.ndarray:
         """Encode children, memoising per-distinct-input within one run."""
         if not self._config.dedupe:
             return self._model.encode_batch(children)
-        keys = [
-            child.tobytes() if isinstance(child, np.ndarray) else child.encode("utf-8")
-            for child in children
-        ]
-        missing_positions: dict[bytes, int] = {}
-        to_encode = []
-        for pos, key in enumerate(keys):
-            if key not in cache and key not in missing_positions:
-                missing_positions[key] = pos
-                to_encode.append(children[pos])
-        if to_encode:
+
+        def encode_missing(positions: list[int]) -> np.ndarray:
+            missing = [children[p] for p in positions]
             if isinstance(children, np.ndarray):
-                fresh = self._model.encode_batch(np.stack(to_encode))
-            else:
-                fresh = self._model.encode_batch(to_encode)
-            for key, hv in zip(missing_positions, fresh):
-                cache[key] = hv
-        return np.stack([cache[key] for key in keys])
+                missing = np.stack(missing)
+            return self._model.encode_batch(missing)
+
+        keys = [self._child_key(child) for child in children]
+        return np.stack(resolve_with_cache(cache, keys, encode_missing))
 
     def _expand(self, pool: SeedPool, generator: np.random.Generator):
         """Mutate every surviving seed into children (one flat batch)."""

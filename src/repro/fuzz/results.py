@@ -86,12 +86,18 @@ class InputOutcome:
 
 @dataclass
 class CampaignResult:
-    """Aggregated outcomes of fuzzing a set of inputs with one strategy."""
+    """Aggregated outcomes of fuzzing a set of inputs with one strategy.
+
+    ``executor`` records which campaign executor produced the result
+    (``"serial"``, ``"batched"``, ``"process"``); ``None`` means a direct
+    :meth:`~repro.fuzz.fuzzer.HDTest.fuzz` call.
+    """
 
     strategy: str
     outcomes: list[InputOutcome]
     elapsed_seconds: float
     guided: bool = True
+    executor: Optional[str] = None
 
     # -- counts ------------------------------------------------------------
     @property
@@ -178,6 +184,7 @@ class CampaignResult:
         return {
             "strategy": self.strategy,
             "guided": self.guided,
+            "executor": self.executor,
             "n_inputs": self.n_inputs,
             "n_success": self.n_success,
             "success_rate": self.success_rate,

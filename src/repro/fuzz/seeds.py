@@ -16,7 +16,7 @@ import numpy as np
 from repro.errors import FuzzingError
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Seed", "SeedPool"]
+__all__ = ["Seed", "SeedPool", "SeedPoolBatch"]
 
 T = TypeVar("T")
 
@@ -109,3 +109,149 @@ class SeedPool(Generic[T]):
         if not self._seeds:
             raise FuzzingError("seed pool is empty — call reset() first")
         return self._seeds[0]
+
+
+class SeedPoolBatch:
+    """Per-input top-N seed pools held as stacked arrays.
+
+    The batched engine (:class:`repro.fuzz.batch.BatchedHDTest`) runs
+    Alg. 1 in lock-step over many inputs; this is the array-of-pools it
+    iterates.  Semantically each row *i* behaves exactly like a
+    :class:`SeedPool` — survivors are the top-N fittest children of the
+    latest generation, fittest first, selected with the same stable
+    sort — but storage is one ``(n_inputs, top_n, …)`` block per field
+    instead of *n* object pools, and each seed can carry *side arrays*
+    (its integer accumulator and quantised levels) that the incremental
+    encoder reuses when the seed becomes a parent.
+
+    Parameters
+    ----------
+    originals:
+        ``(n_inputs, …)`` stacked original inputs (generation 0).
+    top_n:
+        Pool capacity per input (the paper's N = 3).
+    accumulators:
+        Optional ``(n_inputs, D)`` integer accumulators of the
+        originals, kept per surviving seed for delta encoding.
+    levels:
+        Optional ``(n_inputs, P)`` quantised levels of the originals,
+        idem.
+    """
+
+    def __init__(
+        self,
+        originals: np.ndarray,
+        top_n: int = 3,
+        *,
+        accumulators: np.ndarray | None = None,
+        levels: np.ndarray | None = None,
+    ) -> None:
+        self._top_n = check_positive_int(top_n, "top_n")
+        originals = np.asarray(originals)
+        if originals.ndim < 2:
+            raise FuzzingError(
+                f"originals must be a stacked (n_inputs, …) batch, got {originals.shape}"
+            )
+        n = originals.shape[0]
+        self._data = np.zeros((n, self._top_n) + originals.shape[1:], originals.dtype)
+        self._data[:, 0] = originals
+        self._fitness = np.full((n, self._top_n), -np.inf)
+        self._generations = np.zeros((n, self._top_n), dtype=np.int64)
+        self._counts = np.ones(n, dtype=np.int64)
+        self._accs = self._side_block(accumulators, n, "accumulators")
+        self._levels = self._side_block(levels, n, "levels")
+
+    def _side_block(self, values, n: int, name: str) -> np.ndarray | None:
+        if values is None:
+            return None
+        values = np.asarray(values)
+        if values.ndim != 2 or values.shape[0] != n:
+            raise FuzzingError(f"{name} must be (n_inputs, width), got {values.shape}")
+        block = np.zeros((n, self._top_n, values.shape[1]), dtype=values.dtype)
+        block[:, 0] = values
+        return block
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def n_inputs(self) -> int:
+        """Number of pooled inputs (rows)."""
+        return int(self._data.shape[0])
+
+    @property
+    def top_n(self) -> int:
+        """Pool capacity per input."""
+        return self._top_n
+
+    def count(self, i: int) -> int:
+        """Number of live seeds for input *i*."""
+        return int(self._counts[i])
+
+    def seeds(self, i: int) -> np.ndarray:
+        """Live seed data of input *i*, fittest first (array view)."""
+        return self._data[i, : self._counts[i]]
+
+    def fitness(self, i: int) -> np.ndarray:
+        """Fitness of input *i*'s live seeds, fittest first."""
+        return self._fitness[i, : self._counts[i]]
+
+    def generations(self, i: int) -> np.ndarray:
+        """Creation generation of input *i*'s live seeds."""
+        return self._generations[i, : self._counts[i]]
+
+    def accumulators(self, i: int) -> np.ndarray:
+        """Stored accumulators of input *i*'s live seeds."""
+        if self._accs is None:
+            raise FuzzingError("pool was built without accumulator side arrays")
+        return self._accs[i, : self._counts[i]]
+
+    def levels(self, i: int) -> np.ndarray:
+        """Stored quantised levels of input *i*'s live seeds."""
+        if self._levels is None:
+            raise FuzzingError("pool was built without level side arrays")
+        return self._levels[i, : self._counts[i]]
+
+    # -- Alg. 1 survival -------------------------------------------------
+    def update(
+        self,
+        i: int,
+        children: np.ndarray,
+        scores: np.ndarray,
+        *,
+        generation: int,
+        accumulators: np.ndarray | None = None,
+        levels: np.ndarray | None = None,
+    ) -> None:
+        """Replace input *i*'s pool with the top-N of *children*.
+
+        Selection matches :meth:`SeedPool.update` exactly (stable
+        descending sort, children fully replace parents); an empty
+        candidate set keeps the current seeds, mirroring the sequential
+        loop's "nothing survived the constraint" path.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if len(children) != scores.shape[0]:
+            raise FuzzingError(
+                f"{len(children)} candidates but {scores.shape[0]} fitness scores"
+            )
+        if len(children) == 0:
+            return
+        order = np.argsort(-scores, kind="stable")[: self._top_n]
+        k = order.shape[0]
+        self._data[i, :k] = children[order]
+        self._fitness[i, :k] = scores[order]
+        self._generations[i, :k] = generation
+        self._counts[i] = k
+        if self._accs is not None:
+            if accumulators is None:
+                raise FuzzingError("pool stores accumulators; update must supply them")
+            self._accs[i, :k] = accumulators[order]
+        if self._levels is not None:
+            if levels is None:
+                raise FuzzingError("pool stores levels; update must supply them")
+            self._levels[i, :k] = levels[order]
+
+    def __repr__(self) -> str:
+        return (
+            f"SeedPoolBatch(n_inputs={self.n_inputs}, top_n={self._top_n}, "
+            f"delta={'on' if self._accs is not None else 'off'})"
+        )

@@ -156,9 +156,16 @@ class PixelEncoder(Encoder):
         zeros are rare enough (<1 % of components) that this choice is
         immaterial to accuracy.
         """
-        accumulators = self.accumulate_batch(items)
-        out = np.where(accumulators >= 0, 1, -1).astype(np.int8)
-        return out
+        return self.hvs_from_accumulators(self.accumulate_batch(items))
+
+    def hvs_from_accumulators(self, accumulators: np.ndarray) -> np.ndarray:
+        """Eq. 1 binarization of raw accumulators (``encode_batch``'s rule).
+
+        Exposed so incremental encoders of hypervectors (the batched
+        fuzzing engine) apply exactly this tie-breaking, rather than
+        re-implementing it.
+        """
+        return np.where(np.asarray(accumulators) >= 0, 1, -1).astype(np.int8)
 
     def accumulate_batch(self, items: np.ndarray) -> np.ndarray:
         """Return raw integer accumulators ``(n, D)`` (pre-Eq.-1 sums)."""
@@ -169,6 +176,78 @@ class PixelEncoder(Encoder):
         if self._sparse_background:
             return self._accumulate_sparse(flat)
         return self._accumulate_dense(flat)
+
+    def accumulate_delta(
+        self,
+        level_batch: np.ndarray,
+        parent_levels: np.ndarray,
+        parent_accumulators: np.ndarray,
+    ) -> np.ndarray:
+        """Accumulators of children given their parents' accumulators.
+
+        The fuzzing loop encodes *mutants of known seeds*, and a mutant
+        shares most quantised pixel levels with its parent.  Since the
+        accumulator is a plain sum over pixels, the child's accumulator
+        is the parent's plus a correction over only the *changed*
+        pixels::
+
+            acc(child) = acc(parent) + Σ_{p: c_p ≠ s_p} pos_p ⊛ (val[c_p] − val[s_p])
+
+        The algebra is exact in integers, so the result is bit-identical
+        to :meth:`accumulate_batch` on the children — at a fraction of
+        the work when few levels change (``rand`` flips ~8 pixels of
+        784; even ``gauss`` leaves ~half the levels untouched).
+
+        Parameters
+        ----------
+        level_batch:
+            ``(n, H*W)`` quantised child levels (see :meth:`quantize`).
+        parent_levels:
+            ``(n, H*W)`` quantised levels of each child's parent.
+        parent_accumulators:
+            ``(n, D)`` integer accumulators of the parents.
+
+        Returns
+        -------
+        ``(n, D)`` int64 accumulators, elementwise equal to
+        ``accumulate_batch`` applied to the children directly.
+        """
+        levels = np.asarray(level_batch)
+        parents = np.asarray(parent_levels)
+        if levels.shape != parents.shape or levels.ndim != 2:
+            raise EncodingError(
+                f"level_batch {levels.shape} and parent_levels {parents.shape} "
+                "must both be (n, H*W)"
+            )
+        n_pixels = self._shape[0] * self._shape[1]
+        if levels.shape[1] != n_pixels:
+            raise EncodingError(
+                f"level rows have {levels.shape[1]} pixels, expected {n_pixels}"
+            )
+        accs = np.asarray(parent_accumulators)
+        if accs.shape != (levels.shape[0], self.dimension):
+            raise EncodingError(
+                f"parent_accumulators {accs.shape} must be "
+                f"(n={levels.shape[0]}, D={self.dimension})"
+            )
+        pos = self._position_memory.vectors
+        val = self._value_memory.vectors
+        out = accs.astype(np.int64, copy=True)
+        # |each correction term| <= 2, so int16 partial sums are exact up
+        # to 16383 changed pixels; larger encoder shapes fall back to a
+        # wider accumulator rather than silently wrapping.
+        int16_safe = np.iinfo(np.int16).max // 2
+        for i in range(levels.shape[0]):
+            changed = np.flatnonzero(levels[i] != parents[i])
+            if changed.size == 0:
+                continue
+            # val entries are ±1, so the difference fits int8 ({-2, 0, 2})
+            # and so does the product with the ±1 position rows.
+            dval = val[levels[i, changed]] - val[parents[i, changed]]
+            np.multiply(pos[changed], dval, out=dval)
+            sum_dtype = np.int16 if changed.size <= int16_safe else np.int64
+            out[i] += dval.sum(axis=0, dtype=sum_dtype)
+        return out
 
     # -- internals -----------------------------------------------------
     def _accumulate_dense(self, flat_levels: np.ndarray) -> np.ndarray:

@@ -1,6 +1,14 @@
-"""Shared utilities: deterministic RNG plumbing and argument validation."""
+"""Shared utilities: RNG plumbing, argument validation, and caching."""
 
-from repro.utils.rng import RngLike, SeedSequenceFactory, derive_seed, ensure_rng, spawn
+from repro.utils.cache import LRUCache
+from repro.utils.rng import (
+    RngLike,
+    SeedSequenceFactory,
+    derive_seed,
+    derive_seeds,
+    ensure_rng,
+    spawn,
+)
 from repro.utils.validation import (
     as_image_batch,
     as_single_image,
@@ -14,9 +22,11 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "LRUCache",
     "RngLike",
     "SeedSequenceFactory",
     "derive_seed",
+    "derive_seeds",
     "ensure_rng",
     "spawn",
     "as_image_batch",

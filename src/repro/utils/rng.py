@@ -16,7 +16,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["RngLike", "ensure_rng", "spawn", "derive_seed", "SeedSequenceFactory"]
+__all__ = [
+    "RngLike",
+    "ensure_rng",
+    "spawn",
+    "derive_seed",
+    "derive_seeds",
+    "SeedSequenceFactory",
+]
 
 #: Anything acceptable as a randomness source.
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
@@ -47,13 +54,22 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     )
 
 
+def derive_seeds(rng: RngLike, n: int) -> np.ndarray:
+    """Draw *n* 63-bit child seeds from *rng* (the stream :func:`spawn` uses).
+
+    Exposed separately so schedulers that must ship plain integers to
+    subprocesses draw from the *same* stream as :func:`spawn` — a
+    generator built from ``derive_seeds(rng, n)[i]`` equals
+    ``spawn(rng, n)[i]``.
+    """
+    if n < 0:
+        raise ConfigurationError(f"cannot derive a negative number of seeds ({n})")
+    return ensure_rng(rng).integers(0, 2**63 - 1, size=n, dtype=np.int64)
+
+
 def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
     """Derive *n* statistically independent child generators from *rng*."""
-    if n < 0:
-        raise ConfigurationError(f"cannot spawn a negative number of generators ({n})")
-    generator = ensure_rng(rng)
-    seeds = generator.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(int(s)) for s in derive_seeds(rng, n)]
 
 
 def derive_seed(rng: RngLike) -> int:

@@ -35,6 +35,41 @@ class TestCompareStrategies:
         with pytest.raises(ConfigurationError, match="duplicate"):
             compare_strategies(trained_model, test_images[:2], ("gauss", "gauss"), rng=0)
 
+    def test_duplicate_rejected_before_fuzzing(self, trained_model, test_images):
+        # The check must fire up front, not after an expensive campaign.
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            compare_strategies(
+                trained_model, test_images[:2], ("shift", "gauss", "shift"), rng=0
+            )
+
+    def test_per_strategy_results_invariant_to_ordering(
+        self, trained_model, test_images
+    ):
+        """Regression: each strategy draws from its *own* child generator.
+
+        The docstring always promised independent generators per
+        strategy, but one shared generator used to couple them: any
+        reordering changed every campaign.  Results must now depend only
+        on (root seed, strategy name).
+        """
+        cfg = HDTestConfig(iter_times=4)
+        forward = compare_strategies(
+            trained_model, test_images[:4], ("gauss", "rand", "shift"),
+            config=cfg, rng=77,
+        )
+        reversed_ = compare_strategies(
+            trained_model, test_images[:4], ("shift", "rand", "gauss"),
+            config=cfg, rng=77,
+        )
+        for name in ("gauss", "rand", "shift"):
+            a, b = forward[name], reversed_[name]
+            assert [o.iterations for o in a.outcomes] == [
+                o.iterations for o in b.outcomes
+            ]
+            assert [o.success for o in a.outcomes] == [o.success for o in b.outcomes]
+            for ea, eb in zip(a.examples, b.examples):
+                np.testing.assert_array_equal(ea.adversarial, eb.adversarial)
+
 
 class TestGenerateAdversarialSet:
     def test_exact_count(self, trained_model, test_images):
@@ -71,6 +106,19 @@ class TestGenerateAdversarialSet:
     def test_empty_inputs_rejected(self, trained_model):
         with pytest.raises(ConfigurationError):
             generate_adversarial_set(trained_model, [], 2, rng=0)
+
+    def test_target_met_on_final_allowed_attempt(self, trained_model, test_images):
+        """Regression: the cap must not fire once the target is reached.
+
+        With max_attempts_factor=1 every attempt must succeed; reaching
+        n_target on exactly the max_attempts-th attempt is a completed
+        campaign, not a failure.
+        """
+        examples, _ = generate_adversarial_set(
+            trained_model, test_images[:5], 3, strategy="gauss",
+            max_attempts_factor=1, rng=0,
+        )
+        assert len(examples) == 3
 
     def test_attempt_cap_raises(self, trained_model, test_images):
         # An impossible budget means no adversarial is ever found.

@@ -1,0 +1,202 @@
+"""Tests for the pluggable campaign executors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fuzz import (
+    BatchedExecutor,
+    HDTest,
+    HDTestConfig,
+    ProcessExecutor,
+    SerialExecutor,
+    compare_strategies,
+    create_executor,
+    executor_names,
+    generate_adversarial_set,
+)
+
+CFG = HDTestConfig(iter_times=6)
+
+
+def _outcome_key(result):
+    return [
+        (o.success, o.iterations, o.reference_label,
+         None if o.example is None else o.example.adversarial_label)
+        for o in result.outcomes
+    ]
+
+
+class TestRegistry:
+    def test_names(self):
+        assert executor_names() == ["batched", "process", "serial"]
+
+    def test_create_each(self):
+        assert isinstance(create_executor("serial"), SerialExecutor)
+        assert isinstance(create_executor("batched", batch_size=8), BatchedExecutor)
+        executor = create_executor("process", batch_size=8, n_workers=2)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.n_workers == 2
+
+    def test_unset_sizing_params_tolerated(self):
+        # The CLI passes one uniform bundle; None means "not requested".
+        assert isinstance(
+            create_executor("serial", batch_size=None, n_workers=None), SerialExecutor
+        )
+        assert isinstance(
+            create_executor("batched", batch_size=8, n_workers=None), BatchedExecutor
+        )
+
+    def test_inapplicable_explicit_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not apply"):
+            create_executor("batched", n_workers=8)
+        with pytest.raises(ConfigurationError, match="does not apply"):
+            create_executor("serial", batch_size=8)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            create_executor("gpu")
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchedExecutor(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(n_workers=0)
+
+
+class TestSerialExecutor:
+    def test_matches_direct_fuzz(self, trained_model, test_images):
+        inputs = list(test_images[:4])
+        direct = HDTest(trained_model, "gauss", config=CFG, rng=8).fuzz(inputs)
+        via_executor = SerialExecutor().run(
+            trained_model, "gauss", inputs, config=CFG, rng=8
+        )
+        assert _outcome_key(direct) == _outcome_key(via_executor)
+        assert via_executor.executor == "serial"
+
+
+class TestBatchedExecutor:
+    def test_batch_size_invariance(self, trained_model, test_images):
+        inputs = list(test_images[:7])
+        small = BatchedExecutor(batch_size=2).run(
+            trained_model, "rand", inputs, config=CFG, rng=17
+        )
+        large = BatchedExecutor(batch_size=64).run(
+            trained_model, "rand", inputs, config=CFG, rng=17
+        )
+        assert _outcome_key(small) == _outcome_key(large)
+        assert small.executor == "batched"
+
+    def test_matches_sequential_fuzz_one_under_spawn(self, trained_model, test_images):
+        from repro.utils.rng import spawn
+
+        inputs = list(test_images[:5])
+        generators = spawn(55, len(inputs))
+        sequential = [
+            HDTest(trained_model, "gauss", config=CFG).fuzz_one(x, rng=g)
+            for x, g in zip(inputs, generators)
+        ]
+        result = BatchedExecutor(batch_size=3).run(
+            trained_model, "gauss", inputs, config=CFG, rng=55
+        )
+        assert _outcome_key(result) == [
+            (o.success, o.iterations, o.reference_label,
+             None if o.example is None else o.example.adversarial_label)
+            for o in sequential
+        ]
+
+
+class TestProcessExecutor:
+    def test_matches_batched(self, trained_model, test_images):
+        inputs = list(test_images[:6])
+        batched = BatchedExecutor(batch_size=4).run(
+            trained_model, "rand", inputs, config=CFG, rng=23
+        )
+        process = ProcessExecutor(n_workers=2, batch_size=4).run(
+            trained_model, "rand", inputs, config=CFG, rng=23
+        )
+        assert _outcome_key(batched) == _outcome_key(process)
+        assert process.executor == "process"
+
+    def test_unguided_reproducible_per_seed(self, trained_model, test_images):
+        """Regression: worker RandomFitness must derive from the root seed.
+
+        Workers used to build their engine without any rng, seeding the
+        unguided baseline from per-worker OS entropy — two runs with the
+        same seed disagreed.
+        """
+        inputs = list(test_images[:4])
+        cfg = HDTestConfig(iter_times=4, guided=False)
+        executor = ProcessExecutor(n_workers=2, batch_size=2)
+        first = executor.run(trained_model, "rand", inputs, config=cfg, rng=31)
+        second = executor.run(trained_model, "rand", inputs, config=cfg, rng=31)
+        assert _outcome_key(first) == _outcome_key(second)
+
+    def test_more_workers_than_inputs(self, trained_model, test_images):
+        inputs = list(test_images[:2])
+        result = ProcessExecutor(n_workers=4, batch_size=8).run(
+            trained_model, "gauss", inputs, config=CFG, rng=2
+        )
+        assert result.n_inputs == 2
+
+
+class TestCampaignWiring:
+    def test_compare_strategies_accepts_executor_name(self, trained_model, test_images):
+        results = compare_strategies(
+            trained_model, test_images[:3], ("gauss",),
+            config=CFG, rng=0, executor="batched",
+        )
+        assert results["gauss"].executor == "batched"
+        assert results["gauss"].n_inputs == 3
+
+    def test_compare_strategies_executor_instance(self, trained_model, test_images):
+        results = compare_strategies(
+            trained_model, test_images[:3], ("gauss", "shift"),
+            config=CFG, rng=0, executor=BatchedExecutor(batch_size=2),
+        )
+        assert set(results) == {"gauss", "shift"}
+
+    def test_compare_strategies_invalid_executor(self, trained_model, test_images):
+        with pytest.raises(ConfigurationError):
+            compare_strategies(
+                trained_model, test_images[:2], ("gauss",), rng=0, executor=3.5
+            )
+
+    def test_generate_adversarial_set_batched(self, trained_model, digit_data, test_images):
+        _, test = digit_data
+        examples, elapsed = generate_adversarial_set(
+            trained_model,
+            test_images[:10],
+            6,
+            strategy="gauss",
+            true_labels=test.labels[:10],
+            rng=4,
+            executor="batched",
+        )
+        assert len(examples) == 6
+        assert elapsed > 0
+        assert all(e.true_label is not None for e in examples)
+
+    def test_generate_adversarial_set_recycles_with_executor(
+        self, trained_model, test_images
+    ):
+        examples, _ = generate_adversarial_set(
+            trained_model, test_images[:2], 5, strategy="gauss",
+            rng=1, executor=BatchedExecutor(batch_size=4),
+        )
+        assert len(examples) == 5
+
+    def test_generate_adversarial_set_cap_with_executor(self, trained_model, test_images):
+        from repro.errors import FuzzingError
+        from repro.fuzz import ImageConstraint
+
+        with pytest.raises(FuzzingError, match="attempts"):
+            generate_adversarial_set(
+                trained_model, test_images[:2], 3,
+                strategy="gauss",
+                constraint=ImageConstraint(max_l2=1e-12),
+                config=HDTestConfig(iter_times=1),
+                max_attempts_factor=2,
+                rng=0,
+                executor="batched",
+            )

@@ -1,0 +1,113 @@
+"""Property tests for the incremental (delta) encoding path.
+
+The batched fuzzing engine encodes mutants from their parent's
+accumulator; these tests pin the contract that makes that safe:
+``accumulate_delta`` is *bit-identical* to ``accumulate_batch`` on the
+children, for any mix of changed pixels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError
+from repro.hdc import PixelEncoder
+
+SHAPE = (8, 8)
+DIM = 256
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return PixelEncoder(shape=SHAPE, dimension=DIM, rng=5)
+
+
+def _levels(encoder, images):
+    return encoder.quantize(images).reshape(len(images), -1)
+
+
+class TestAccumulateDelta:
+    def test_matches_full_encode(self, encoder, rng):
+        parents = rng.integers(0, 256, size=(6,) + SHAPE).astype(np.float64)
+        children = parents.copy()
+        # Perturb a random subset of pixels per child.
+        for i in range(len(children)):
+            k = int(rng.integers(0, SHAPE[0] * SHAPE[1]))
+            idx = rng.choice(SHAPE[0] * SHAPE[1], size=k, replace=False)
+            flat = children[i].reshape(-1)
+            flat[idx] = rng.integers(0, 256, size=k)
+        got = encoder.accumulate_delta(
+            _levels(encoder, children),
+            _levels(encoder, parents),
+            encoder.accumulate_batch(parents),
+        )
+        np.testing.assert_array_equal(got, encoder.accumulate_batch(children))
+
+    def test_identical_child_copies_parent_accumulator(self, encoder, rng):
+        parents = rng.integers(0, 256, size=(3,) + SHAPE).astype(np.float64)
+        accs = encoder.accumulate_batch(parents)
+        got = encoder.accumulate_delta(
+            _levels(encoder, parents), _levels(encoder, parents), accs
+        )
+        np.testing.assert_array_equal(got, accs)
+
+    def test_every_pixel_changed(self, encoder, rng):
+        parents = np.zeros((2,) + SHAPE)
+        children = np.full((2,) + SHAPE, 255.0)
+        got = encoder.accumulate_delta(
+            _levels(encoder, children),
+            _levels(encoder, parents),
+            encoder.accumulate_batch(parents),
+        )
+        np.testing.assert_array_equal(got, encoder.accumulate_batch(children))
+
+    def test_exact_beyond_int16_change_counts(self, rng):
+        """Regression: >16383 changed pixels must not wrap the partial sum.
+
+        The fast path accumulates corrections in int16 (exact for
+        paper-sized images); larger encoder shapes must widen instead of
+        silently overflowing.
+        """
+        big = PixelEncoder(shape=(150, 150), dimension=32, rng=1)
+        parents = np.zeros((1, 150, 150))
+        children = rng.integers(1, 256, size=(1, 150, 150)).astype(np.float64)
+        got = big.accumulate_delta(
+            big.quantize(children).reshape(1, -1),
+            big.quantize(parents).reshape(1, -1),
+            big.accumulate_batch(parents),
+        )
+        np.testing.assert_array_equal(got, big.accumulate_batch(children))
+
+    def test_accepts_compact_dtypes(self, encoder, rng):
+        """int16 levels/accumulators (the engine's storage) work unchanged."""
+        parents = rng.integers(0, 256, size=(4,) + SHAPE).astype(np.float64)
+        children = np.clip(parents + rng.normal(0, 30, parents.shape), 0, 255)
+        got = encoder.accumulate_delta(
+            _levels(encoder, children).astype(np.int16),
+            _levels(encoder, parents).astype(np.int16),
+            encoder.accumulate_batch(parents).astype(np.int16),
+        )
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, encoder.accumulate_batch(children))
+
+    def test_does_not_mutate_parent_accumulators(self, encoder, rng):
+        parents = rng.integers(0, 256, size=(2,) + SHAPE).astype(np.float64)
+        children = np.clip(parents + 40, 0, 255)
+        accs = encoder.accumulate_batch(parents)
+        before = accs.copy()
+        encoder.accumulate_delta(_levels(encoder, children), _levels(encoder, parents), accs)
+        np.testing.assert_array_equal(accs, before)
+
+    def test_shape_mismatch_rejected(self, encoder):
+        levels = np.zeros((2, SHAPE[0] * SHAPE[1]), dtype=np.int64)
+        with pytest.raises(EncodingError):
+            encoder.accumulate_delta(levels, levels[:, :-1], np.zeros((2, DIM)))
+
+    def test_wrong_pixel_count_rejected(self, encoder):
+        levels = np.zeros((2, 10), dtype=np.int64)
+        with pytest.raises(EncodingError):
+            encoder.accumulate_delta(levels, levels, np.zeros((2, DIM)))
+
+    def test_wrong_accumulator_shape_rejected(self, encoder):
+        levels = np.zeros((2, SHAPE[0] * SHAPE[1]), dtype=np.int64)
+        with pytest.raises(EncodingError):
+            encoder.accumulate_delta(levels, levels, np.zeros((2, DIM - 1)))

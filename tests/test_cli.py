@@ -23,6 +23,29 @@ class TestParser:
         args = build_parser().parse_args(["fuzz", "--model", "m.npz"])
         assert args.strategies == ["gauss"]
         assert args.top_n == 3
+        assert args.executor == "serial"
+        assert args.batch_size is None
+        assert args.workers is None
+
+    def test_executor_flags(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--model", "m.npz", "--executor", "batched",
+             "--batch-size", "16"]
+        )
+        assert args.executor == "batched"
+        assert args.batch_size == 16
+        args = build_parser().parse_args(
+            ["defend", "--model", "m.npz", "--executor", "process",
+             "--workers", "2"]
+        )
+        assert args.executor == "process"
+        assert args.workers == 2
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fuzz", "--model", "m.npz", "--executor", "gpu"]
+            )
 
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit):
@@ -76,6 +99,23 @@ class TestEndToEnd:
         assert "Table II" in out
         assert "gauss" in out
         assert "Fig. 7" in out
+
+    def test_fuzz_batched_executor(self, model_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--model", str(model_path),
+                "--strategies", "gauss",
+                "--n-images", "5",
+                "--seed", "0",
+                "--executor", "batched",
+                "--batch-size", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "gauss" in out
 
     def test_defend_prints_report(self, model_path, capsys):
         code = main(
