@@ -1,0 +1,188 @@
+"""Packed binary backend: query throughput and memory vs the unpacked family.
+
+The packed subsystem's acceptance bar (ISSUE 2):
+
+* **≥ 3×** associative-memory query throughput versus the unpacked
+  dense-binary path at the paper's scale (D = 10 000) — the unpacked
+  memory materialises an ``(n, C, D)`` byte tensor per query batch,
+  the packed one XORs ``(n, D//64)`` uint64 blocks and popcounts;
+* **~8×** hypervector memory reduction (exactly ``D / (8·ceil(D/64))``
+  — 7.96× at D = 10 000);
+* outcomes stay **bit-identical**: same predictions, and a Table
+  II-style ``gauss`` campaign over the same inputs produces identical
+  per-input fuzzing outcomes on both representations (the packed rows
+  are also reported for throughput context).
+
+Run under pytest (paper scale)::
+
+    pytest benchmarks/bench_packed_backend.py --benchmark-only -s
+
+or standalone for a quick smoke reading (used by CI)::
+
+    python benchmarks/bench_packed_backend.py --quick
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.fuzz import BatchedHDTest, HDTestConfig
+from repro.hdc import PackedBinaryHDCClassifier, PackedPixelEncoder
+
+PAPER_DIMENSION = 10_000
+SEED = 42
+N_TRAIN = 300
+N_QUERIES = 128
+FUZZ_INPUTS = 6
+FUZZ_ITERS = 15
+
+#: Acceptance bars.
+MIN_QUERY_SPEEDUP = 3.0
+MIN_MEMORY_RATIO = 7.5  # "~8x": 7.96x at D=10000, exactly 8x when 64 | D
+
+
+def build_model_pair(dimension, n_train, seed=SEED):
+    """(binary, packed) classifiers sharing one training pass.
+
+    Training encodes once through the packed encoder; the unpacked
+    model is the exact `to_binary()` conversion, so the two agree bit
+    for bit by construction and the comparison is purely about the
+    representation.
+    """
+    from repro.datasets import load_digits
+
+    train, test = load_digits(n_train=n_train, n_test=N_QUERIES, seed=seed)
+    encoder = PackedPixelEncoder(dimension=dimension, rng=seed)
+    packed = PackedBinaryHDCClassifier(encoder, n_classes=10).fit(
+        train.images, train.labels
+    )
+    return packed.to_binary(), packed, test
+
+
+def _time_queries(am, queries, *, min_seconds=0.2):
+    """Queries/sec of ``am.similarities`` over repeated batches."""
+    am.similarities(queries)  # warm-up (class-HV cache, allocators)
+    repeats = 0
+    start = time.perf_counter()
+    while True:
+        am.similarities(queries)
+        repeats += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return repeats * len(queries) / elapsed
+
+
+def run_comparison(dimension, n_train, *, fuzz_iters=FUZZ_ITERS, seed=SEED):
+    """Measure the packed-vs-unpacked table; returns a result dict."""
+    binary, packed, test = build_model_pair(dimension, n_train, seed)
+    images = test.images.astype(np.float64)
+
+    bits = binary.encode_batch(images)
+    words = packed.encode_batch(images)
+    np.testing.assert_array_equal(
+        binary.predict_hv(bits), packed.predict_hv(words)
+    )
+    memory_ratio = bits.nbytes / words.nbytes
+
+    unpacked_qps = _time_queries(binary.associative_memory, bits)
+    packed_qps = _time_queries(packed.associative_memory, words)
+
+    # Table II-style gauss campaign on both representations.
+    cfg = HDTestConfig(iter_times=fuzz_iters)
+    inputs = list(images[:FUZZ_INPUTS])
+    with_binary = BatchedHDTest(binary, "gauss", config=cfg).fuzz_outcomes(
+        inputs, rng=seed
+    )
+    t0 = time.perf_counter()
+    with_packed = BatchedHDTest(packed, "gauss", config=cfg).fuzz_outcomes(
+        inputs, rng=seed
+    )
+    fuzz_elapsed = time.perf_counter() - t0
+    identical = all(
+        a.success == b.success
+        and a.iterations == b.iterations
+        and a.reference_label == b.reference_label
+        for a, b in zip(with_binary, with_packed)
+    )
+    return {
+        "dimension": dimension,
+        "unpacked_qps": unpacked_qps,
+        "packed_qps": packed_qps,
+        "query_speedup": packed_qps / unpacked_qps,
+        "memory_ratio": memory_ratio,
+        "fuzz_identical": identical,
+        "fuzz_inputs_per_sec": FUZZ_INPUTS / fuzz_elapsed,
+    }
+
+
+def report(result) -> str:
+    return "\n".join(
+        [
+            f"[packed-backend] D={result['dimension']}, binary family:",
+            f"{'metric':28s} {'unpacked':>12s} {'packed':>12s}",
+            f"{'AM queries/sec':28s} {result['unpacked_qps']:12.0f} "
+            f"{result['packed_qps']:12.0f}",
+            f"{'query speedup':28s} {'1.0x':>12s} "
+            f"{result['query_speedup']:11.1f}x",
+            f"{'HV bytes ratio':28s} {'1.0x':>12s} "
+            f"{result['memory_ratio']:11.2f}x",
+            f"{'fuzz outcomes identical':28s} {'':>12s} "
+            f"{str(result['fuzz_identical']):>12s}",
+            f"{'packed fuzz inputs/sec':28s} {'':>12s} "
+            f"{result['fuzz_inputs_per_sec']:12.2f}",
+        ]
+    )
+
+
+def assert_acceptance(result) -> None:
+    assert result["fuzz_identical"], "packed fuzzing diverged from unpacked"
+    assert result["query_speedup"] >= MIN_QUERY_SPEEDUP, (
+        f"packed queries {result['query_speedup']:.2f}x unpacked, "
+        f"below the {MIN_QUERY_SPEEDUP}x bar"
+    )
+    assert MIN_MEMORY_RATIO <= result["memory_ratio"] <= 8.0 + 1e-9, (
+        f"memory ratio {result['memory_ratio']:.2f}x outside the ~8x band"
+    )
+
+
+def test_packed_backend_speedup_and_memory(benchmark):
+    """Packed AM must clear 3× queries/sec and ~8× memory at paper scale."""
+    from conftest import run_once
+
+    result = run_once(
+        benchmark, lambda: run_comparison(PAPER_DIMENSION, N_TRAIN)
+    )
+    print("\n" + report(result))
+    assert_acceptance(result)
+
+
+def test_quick_scale_equivalence():
+    """Cheap guard (runs without --benchmark-only): packed == unpacked."""
+    result = run_comparison(2048, 100, fuzz_iters=5)
+    assert result["fuzz_identical"]
+    assert result["memory_ratio"] == 8.0  # 2048 divides 64 exactly
+
+
+def _smoke_main(argv=None):  # pragma: no cover - exercised by CI, not pytest
+    """Standalone entry point: small-scale smoke reading without plugins."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny model + short loops (CI smoke)")
+    args = parser.parse_args(argv)
+
+    dimension = 2048 if args.quick else PAPER_DIMENSION
+    n_train = 120 if args.quick else N_TRAIN
+    result = run_comparison(dimension, n_train, fuzz_iters=8 if args.quick else FUZZ_ITERS)
+    print(report(result))
+    assert_acceptance(result)
+    print(f"[packed-backend] acceptance OK (bars: {MIN_QUERY_SPEEDUP}x queries, "
+          f"~8x memory, bit-identical outcomes)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_smoke_main())

@@ -27,10 +27,13 @@ from repro.analysis.per_class import per_class_series, per_class_table
 from repro.analysis.tables import table2
 from repro.datasets.loaders import load_digits
 from repro.defense.retrain import run_defense
+from repro.errors import ConfigurationError
 from repro.fuzz.campaign import compare_strategies, generate_adversarial_set
 from repro.fuzz.executor import create_executor, executor_names
 from repro.fuzz.fuzzer import HDTestConfig
 from repro.fuzz.mutations import strategy_names
+from repro.hdc.backends.dispatch import MODEL_BACKEND_CHOICES
+from repro.hdc.binary_model import BinaryHDCClassifier, BinaryPixelEncoder
 from repro.hdc.encoders.image import PixelEncoder
 from repro.hdc.model import HDCClassifier
 
@@ -48,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train an HDC digit classifier")
     train.add_argument("--out", type=Path, required=True, help="output model .npz path")
+    train.add_argument("--family", choices=("bipolar", "binary"), default="bipolar",
+                       help="model family: the paper's bipolar pixel model, or the "
+                            "dense-binary (Rahimi-style) family that the packed/"
+                            "torch backends accelerate (default: bipolar)")
     train.add_argument("--n-train", type=int, default=2000)
     train.add_argument("--n-test", type=int, default=400)
     train.add_argument("--dimension", type=int, default=10000)
@@ -113,6 +120,14 @@ def _add_executor_flags(command: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None,
         help="process count for --executor process (default: all cores)",
     )
+    command.add_argument(
+        "--backend", choices=MODEL_BACKEND_CHOICES, default="dense",
+        help="model compute backend: 'dense' runs the model as loaded; "
+             "'packed' repackages a --family binary model onto bit-packed "
+             "uint64 popcount kernels (bit-identical, 8x less HV memory); "
+             "'torch' uses torch kernels when installed, numpy otherwise "
+             "(default: dense)",
+    )
 
 
 def _executor_from_args(args: argparse.Namespace):
@@ -134,18 +149,35 @@ def _cmd_train(args: argparse.Namespace) -> int:
     train_set, test_set = load_digits(
         n_train=args.n_train, n_test=args.n_test, seed=args.seed, data_dir=args.data_dir
     )
-    encoder = PixelEncoder(dimension=args.dimension, rng=args.seed)
-    model = HDCClassifier(encoder, n_classes=10).fit(train_set.images, train_set.labels)
+    if args.family == "binary":
+        encoder = BinaryPixelEncoder(dimension=args.dimension, rng=args.seed)
+        model = BinaryHDCClassifier(encoder, n_classes=10)
+    else:
+        model = HDCClassifier(
+            PixelEncoder(dimension=args.dimension, rng=args.seed), n_classes=10
+        )
+    model.fit(train_set.images, train_set.labels)
     accuracy = model.score(test_set.images, test_set.labels)
     model.save(args.out)
-    print(f"trained on {len(train_set)} {train_set.name} images "
-          f"(D={args.dimension}); test accuracy {accuracy:.3f}")
+    print(f"trained {args.family} family on {len(train_set)} {train_set.name} "
+          f"images (D={args.dimension}); test accuracy {accuracy:.3f}")
     print(f"model saved to {args.out}")
     return 0
 
 
+def _load_model(path: Path):
+    """Load either model family, dispatching on the file's ``kind`` tag."""
+    with np.load(path, allow_pickle=False) as data:
+        kind = str(data["kind"]) if "kind" in data else "?"
+    if kind == "pixel-binary-hdc":
+        return BinaryHDCClassifier.load(path)
+    if kind == "pixel-hdc":
+        return HDCClassifier.load(path)
+    raise ConfigurationError(f"unsupported model kind {kind!r} in {path}")
+
+
 def _load_model_and_images(args: argparse.Namespace, n_images: int):
-    model = HDCClassifier.load(args.model)
+    model = _load_model(args.model)
     _, test_set = load_digits(
         n_train=1, n_test=max(n_images, 1), seed=args.seed + 1, data_dir=args.data_dir
     )
@@ -168,6 +200,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         config=config,
         rng=args.seed,
         executor=executor,
+        backend=args.backend,
     )
     print(table2(results))
     if args.per_class:
@@ -184,8 +217,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_defend(args: argparse.Namespace) -> int:
+    from repro.hdc.backends.dispatch import resolve_model_backend
+
     executor = _executor_from_args(args)  # reject bad flag combos before loading
     model, test_set = _load_model_and_images(args, 200)
+    # Resolve once so generation *and* defense run on the same backend.
+    model = resolve_model_backend(model, args.backend)
     examples, elapsed = generate_adversarial_set(
         model,
         test_set.images.astype(np.float64),

@@ -37,11 +37,16 @@ Both paths dedupe through per-input bounded LRU caches keyed by child
 bytes — each input gets a share of ``HDTestConfig.cache_max_entries``
 (floored at 32 entries) so the aggregate memory bound is independent of
 how many inputs are in flight.  This is what makes discrete strategies
-such as ``shift`` nearly free.
+such as ``shift`` nearly free.  The caches are keyed by the *content*
+of the original input and live on the engine instance, so when a
+campaign recycles inputs across waves (``generate_adversarial_set``)
+or chunks (the executors), an input returning to the batch finds its
+working set already warm.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -56,44 +61,68 @@ from repro.utils.rng import RngLike, ensure_rng, spawn
 
 __all__ = ["BatchedHDTest"]
 
-#: Duck-typed surface an encoder must expose for the incremental path.
-#: hvs_from_accumulators is part of it so the accumulator→hypervector
-#: rule (Eq. 1 tie-breaking) stays owned by the encoder.
-_DELTA_ENCODER_API = (
-    "quantize",
-    "accumulate_batch",
-    "accumulate_delta",
-    "hvs_from_accumulators",
-)
 
+class _CachePool:
+    """Per-input dedupe caches keyed by input content, budget-bounded.
 
-class _PerInputCaches:
-    """Lazily-built per-input dedupe caches sharing one capacity policy."""
+    Values are the familiar child-bytes → encode-result LRU caches; the
+    pool evicts whole per-input caches least-recently-fuzzed first, so
+    a long-lived engine cycling through an unbounded stream of distinct
+    inputs cannot grow without bound.  The bound is an *aggregate entry
+    budget* (sum of live cache capacities), not a cache count — so a
+    stream of single-input calls (each claiming the full per-call
+    capacity) retains a couple of warm caches, not hundreds.  Callers
+    :meth:`reserve` the current chunk's footprint before an iteration,
+    which both sizes the budget (with 2× headroom for wave recycling)
+    and guarantees active inputs never evict each other mid-run; each
+    :meth:`get` re-applies the *current* per-input capacity share, so a
+    surviving cache from a small-batch call shrinks (LRU-evicting) when
+    many inputs later split the same budget.
+    """
 
-    __slots__ = ("capacity", "_caches")
+    __slots__ = ("entry_budget", "_caches", "_total_capacity")
 
-    def __init__(self, capacity: int) -> None:
-        self.capacity = capacity
-        self._caches: dict[int, LRUCache[bytes, np.ndarray]] = {}
+    def __init__(self) -> None:
+        self.entry_budget = 0
+        self._caches: OrderedDict[bytes, LRUCache[bytes, np.ndarray]] = OrderedDict()
+        self._total_capacity = 0
 
-    def get(self, index: int) -> LRUCache[bytes, np.ndarray]:
-        cache = self._caches.get(index)
+    def reserve(self, n_inputs: int, capacity: int) -> None:
+        """Ensure *n_inputs* caches of *capacity* fit, with 2× headroom."""
+        self.entry_budget = max(self.entry_budget, 2 * n_inputs * capacity)
+
+    def get(self, key: bytes, capacity: int) -> LRUCache[bytes, np.ndarray]:
+        cache = self._caches.get(key)
         if cache is None:
-            cache = self._caches[index] = LRUCache(self.capacity)
+            cache = self._caches[key] = LRUCache(capacity)
+            self._total_capacity += capacity
+            while self._total_capacity > self.entry_budget and len(self._caches) > 1:
+                _, evicted = self._caches.popitem(last=False)
+                self._total_capacity -= evicted.max_entries
+        else:
+            if cache.max_entries != capacity:
+                self._total_capacity += capacity - cache.max_entries
+                cache.resize(capacity)
+            self._caches.move_to_end(key)
         return cache
 
 
 class _ActiveInput:
     """Book-keeping for one not-yet-retired input of the lock-step batch."""
 
-    __slots__ = ("index", "original", "reference_label", "reference_hv", "generator")
+    __slots__ = (
+        "index", "original", "reference_label", "reference_hv", "generator",
+        "cache_key",
+    )
 
-    def __init__(self, index, original, reference_label, reference_hv, generator):
+    def __init__(self, index, original, reference_label, reference_hv, generator,
+                 cache_key):
         self.index = index
         self.original = original
         self.reference_label = reference_label
         self.reference_hv = reference_hv
         self.generator = generator
+        self.cache_key = cache_key
 
 
 class BatchedHDTest(HDTest):
@@ -115,6 +144,13 @@ class BatchedHDTest(HDTest):
     >>> result.n_inputs
     5
     """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Content-keyed per-input dedupe caches, persistent across
+        # fuzz_outcomes calls so recycled inputs (campaign waves,
+        # executor chunks) re-enter with a warm working set.
+        self._cache_pool = _CachePool()
 
     # -- campaign entry points ---------------------------------------------
     def fuzz(self, inputs: Sequence[Any], *, rng: RngLike = None) -> CampaignResult:
@@ -173,21 +209,10 @@ class BatchedHDTest(HDTest):
         # line 1, "y = HDC(t)", across the whole batch).
         delta_encoder = self._delta_encoder()
         if delta_encoder is not None:
-            # Accumulators are bounded by the pixel count, so int16
-            # storage is exact for paper-sized images and widens
-            # automatically for larger encoder shapes.
-            acc_dtype = (
-                np.int16
-                if originals[0].size <= np.iinfo(np.int16).max
-                else np.int32
-            )
-            ref_accs = delta_encoder.accumulate_batch(originals)
+            ref_accs, ref_levels = self._seed_side_data(delta_encoder, originals)
             ref_hvs_q = delta_encoder.hvs_from_accumulators(ref_accs)
             pool = SeedPoolBatch(
-                originals,
-                cfg.top_n,
-                accumulators=ref_accs.astype(acc_dtype),
-                levels=self._quantize(delta_encoder, originals),
+                originals, cfg.top_n, accumulators=ref_accs, levels=ref_levels
             )
         else:
             ref_hvs_q = self._model.encode_batch(originals)
@@ -201,21 +226,21 @@ class BatchedHDTest(HDTest):
                 int(reference_labels[i]),
                 self._model.reference_hv(int(reference_labels[i])),
                 generators[i],
+                originals[i].tobytes(),
             )
             for i in range(n)
         ]
         outcomes: list[Optional[InputOutcome]] = [None] * n
-        # One dedupe cache per input (lazily built), mirroring the
-        # sequential engine: per-input working sets never evict each
-        # other.  Unlike the sequential loop, many caches are live at
-        # once, so each gets a share of cfg.cache_max_entries — floored
-        # at 32 entries, plenty for the discrete working sets that
-        # actually hit — keeping the aggregate bound independent of the
-        # chunk size.
-        per_input_capacity = min(
-            cfg.cache_max_entries, max(32, cfg.cache_max_entries // n)
-        )
-        caches = _PerInputCaches(per_input_capacity)
+        # One dedupe cache per input, keyed by content and shared with
+        # previous calls, mirroring the sequential engine: per-input
+        # working sets never evict each other.  Unlike the sequential
+        # loop, many caches are live at once, so each gets a share of
+        # cfg.cache_max_entries — floored at 32 entries, plenty for the
+        # discrete working sets that actually hit — keeping the
+        # aggregate bound independent of the chunk size.
+        capacity = min(cfg.cache_max_entries, max(32, cfg.cache_max_entries // n))
+        caches = self._cache_pool
+        caches.reserve(n, capacity)
 
         for iteration in range(1, cfg.iter_times + 1):
             if not active:
@@ -223,9 +248,11 @@ class BatchedHDTest(HDTest):
             plans = self._mutation_plans(active, pool)
             if plans:
                 if delta_encoder is not None:
-                    encoded = self._encode_plans_delta(delta_encoder, plans, pool, caches)
+                    encoded = self._encode_plans_delta(
+                        delta_encoder, plans, pool, caches, capacity
+                    )
                 else:
-                    encoded = self._encode_plans_direct(plans, caches)
+                    encoded = self._encode_plans_direct(plans, caches, capacity)
                 # One fused prediction over every input's children.
                 all_labels = self._model.predict_hv(
                     np.concatenate([e[0] for e in encoded], axis=0)
@@ -249,7 +276,9 @@ class BatchedHDTest(HDTest):
                         )
                         retired.add(state.index)
                         continue
-                    scores = self._fitness.scores(state.reference_hv, hvs)
+                    scores = self._fitness.scores(
+                        state.reference_hv, hvs, rng=state.generator
+                    )
                     pool.update(
                         state.index, children, scores,
                         generation=iteration, accumulators=accs, levels=levels,
@@ -281,25 +310,6 @@ class BatchedHDTest(HDTest):
             raise ConfigurationError(
                 f"inputs must share one shape to batch: {exc}"
             ) from None
-
-    def _delta_encoder(self):
-        """The model's encoder, when it supports incremental encoding."""
-        encoder = getattr(self._model, "encoder", None)
-        if encoder is not None and all(
-            callable(getattr(encoder, name, None)) for name in _DELTA_ENCODER_API
-        ):
-            return encoder
-        return None
-
-    @staticmethod
-    def _quantize(encoder, batch: np.ndarray) -> np.ndarray:
-        """Quantised levels of *batch*, flattened per item, compact dtype."""
-        dtype = (
-            np.int16
-            if getattr(encoder, "levels", 256) <= np.iinfo(np.int16).max
-            else np.int64
-        )
-        return encoder.quantize(batch).reshape(batch.shape[0], -1).astype(dtype)
 
     def _mutation_plans(self, active, pool: SeedPoolBatch):
         """Mutate + clip + budget-filter each active input's seeds.
@@ -336,7 +346,7 @@ class BatchedHDTest(HDTest):
             plans.append((state, children[keep], parent_ids))
         return plans
 
-    def _encode_plans_delta(self, encoder, plans, pool: SeedPoolBatch, caches):
+    def _encode_plans_delta(self, encoder, plans, pool: SeedPoolBatch, caches, capacity):
         """Incremental path: children encoded from parent accumulators.
 
         Cache entries hold compact integer accumulators (they are
@@ -358,7 +368,7 @@ class BatchedHDTest(HDTest):
 
             if dedupe:
                 keys = [self._child_key(children[j]) for j in range(len(children))]
-                cache = caches.get(state.index)
+                cache = caches.get(state.cache_key, capacity)
                 accs = np.stack(resolve_with_cache(cache, keys, delta_missing))
             else:
                 accs = delta_missing(list(range(len(children))))
@@ -366,7 +376,7 @@ class BatchedHDTest(HDTest):
             encoded.append((hvs, accs, levels))
         return encoded
 
-    def _encode_plans_direct(self, plans, caches):
+    def _encode_plans_direct(self, plans, caches, capacity):
         """Fallback path: one fused ``encode_batch`` for all cache misses.
 
         Misses from every plan are flattened into one stack so the whole
@@ -387,7 +397,7 @@ class BatchedHDTest(HDTest):
         to_encode: list[np.ndarray] = []
         slots: list[tuple[int, bytes]] = []  # (plan position, key) per miss
         for p, (state, children, _) in enumerate(plans):
-            cache = caches.get(state.index)
+            cache = caches.get(state.cache_key, capacity)
             keys = [self._child_key(children[j]) for j in range(len(children))]
             local: dict[bytes, Optional[np.ndarray]] = {}
             for j, key in enumerate(keys):

@@ -34,6 +34,7 @@ from repro.fuzz.executor import CampaignExecutor, create_executor
 from repro.fuzz.fuzzer import HDTest, HDTestConfig
 from repro.fuzz.mutations import MutationStrategy, create_strategy
 from repro.fuzz.results import AdversarialExample, CampaignResult
+from repro.hdc.backends.dispatch import resolve_model_backend
 from repro.hdc.model import HDCClassifier
 from repro.metrics.timing import Stopwatch
 from repro.utils.rng import RngLike, ensure_rng, spawn
@@ -47,11 +48,18 @@ TABLE2_STRATEGIES = ("gauss", "rand", "row_col_rand", "shift")
 ExecutorLike = Union[None, str, CampaignExecutor]
 
 
-def _resolve_executor(executor: ExecutorLike) -> Optional[CampaignExecutor]:
+def _resolve_executor(executor: ExecutorLike) -> tuple[Optional[CampaignExecutor], bool]:
+    """Resolve *executor*; the flag marks instances this call owns.
+
+    An executor created here from a name is *owned* — the campaign
+    function closes it (releasing e.g. a persistent process pool) when
+    it finishes.  Caller-provided instances are left open so their
+    pools survive for the caller's next campaign.
+    """
     if executor is None or isinstance(executor, CampaignExecutor):
-        return executor
+        return executor, False
     if isinstance(executor, str):
-        return create_executor(executor)
+        return create_executor(executor), True
     raise ConfigurationError(
         f"executor must be a name or CampaignExecutor, got {type(executor).__name__}"
     )
@@ -66,6 +74,7 @@ def compare_strategies(
     constraint: Optional[Constraint] = None,
     rng: RngLike = None,
     executor: ExecutorLike = None,
+    backend: Optional[str] = None,
 ) -> dict[str, CampaignResult]:
     """Fuzz the same inputs under each strategy (Table II's experiment).
 
@@ -82,9 +91,15 @@ def compare_strategies(
         historical serial loop), an executor name (``"serial"``,
         ``"batched"``, ``"process"``), or a pre-built
         :class:`~repro.fuzz.executor.CampaignExecutor`.
+    backend:
+        Compute backend for the model: ``None``/``"dense"`` keeps it
+        as-is; ``"packed"``/``"torch"`` repackage a dense-binary model
+        onto bit-packed kernels (exact — see
+        :func:`repro.hdc.backends.dispatch.resolve_model_backend`).
     """
     generator = ensure_rng(rng)
-    exec_obj = _resolve_executor(executor)
+    model = resolve_model_backend(model, backend)
+    exec_obj, owns_executor = _resolve_executor(executor)
     strategy_objs = [
         strategy if isinstance(strategy, MutationStrategy) else create_strategy(strategy)
         for strategy in strategies
@@ -98,18 +113,23 @@ def compare_strategies(
     children = spawn(generator, len(names))
     rank = {name: position for position, name in enumerate(sorted(names))}
     results: dict[str, CampaignResult] = {}
-    for strategy in strategy_objs:
-        strategy_rng = children[rank[strategy.name]]
-        if exec_obj is None:
-            fuzzer = HDTest(
-                model, strategy, config=config, constraint=constraint, rng=strategy_rng
-            )
-            results[strategy.name] = fuzzer.fuzz(inputs)
-        else:
-            results[strategy.name] = exec_obj.run(
-                model, strategy, inputs,
-                config=config, constraint=constraint, rng=strategy_rng,
-            )
+    try:
+        for strategy in strategy_objs:
+            strategy_rng = children[rank[strategy.name]]
+            if exec_obj is None:
+                fuzzer = HDTest(
+                    model, strategy, config=config, constraint=constraint,
+                    rng=strategy_rng,
+                )
+                results[strategy.name] = fuzzer.fuzz(inputs)
+            else:
+                results[strategy.name] = exec_obj.run(
+                    model, strategy, inputs,
+                    config=config, constraint=constraint, rng=strategy_rng,
+                )
+    finally:
+        if owns_executor and exec_obj is not None:
+            exec_obj.close()
     return results
 
 
@@ -125,6 +145,7 @@ def generate_adversarial_set(
     rng: RngLike = None,
     max_attempts_factor: int = 20,
     executor: ExecutorLike = None,
+    backend: Optional[str] = None,
 ) -> tuple[list[AdversarialExample], float]:
     """Fuzz until *n_target* adversarial examples are collected.
 
@@ -142,7 +163,12 @@ def generate_adversarial_set(
         ``None`` reproduces the historical input-at-a-time loop; an
         executor name or instance processes the cycled input pool in
         waves (preserving visit order), which is how the batched and
-        process engines reach their throughput.
+        process engines reach their throughput.  A persistent executor
+        (the process pool) is reused across waves — the model is
+        broadcast once per campaign, not once per wave — and closed on
+        return when it was created here from a name.
+    backend:
+        Compute backend for the model (see :func:`compare_strategies`).
 
     Returns
     -------
@@ -157,15 +183,20 @@ def generate_adversarial_set(
             f"{len(true_labels)} true_labels for {len(inputs)} inputs"
         )
     generator = ensure_rng(rng)
-    exec_obj = _resolve_executor(executor)
+    model = resolve_model_backend(model, backend)
+    exec_obj, owns_executor = _resolve_executor(executor)
     max_attempts = max_attempts_factor * n_target
 
     if exec_obj is not None:
-        return _generate_with_executor(
-            exec_obj, model, inputs, n_target,
-            strategy=strategy, true_labels=true_labels, config=config,
-            constraint=constraint, generator=generator, max_attempts=max_attempts,
-        )
+        try:
+            return _generate_with_executor(
+                exec_obj, model, inputs, n_target,
+                strategy=strategy, true_labels=true_labels, config=config,
+                constraint=constraint, generator=generator, max_attempts=max_attempts,
+            )
+        finally:
+            if owns_executor:
+                exec_obj.close()
 
     fuzzer = HDTest(model, strategy, config=config, constraint=constraint, rng=generator)
     examples: list[AdversarialExample] = []

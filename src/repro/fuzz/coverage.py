@@ -160,8 +160,10 @@ class CoverageGuidedFitness(FitnessFunction):
         """The underlying coverage map (inspect ``n_cells_visited``)."""
         return self._coverage
 
-    def scores(self, reference_hv: np.ndarray, query_hvs: np.ndarray) -> np.ndarray:
-        base = self._distance.scores(reference_hv, query_hvs)
+    def scores(
+        self, reference_hv: np.ndarray, query_hvs: np.ndarray, *, rng: RngLike = None
+    ) -> np.ndarray:
+        base = self._distance.scores(reference_hv, query_hvs, rng=rng)
         novel = self._coverage.observe(query_hvs)
         return base + self._novelty_bonus * novel.astype(np.float64)
 

@@ -17,20 +17,25 @@ turns ``(model, strategy, inputs)`` into a
 
 RNG discipline: batched and process executors derive one 63-bit seed
 per *input* from the root generator (the same stream
-:func:`repro.utils.rng.spawn` draws).  With the default deterministic
-(guided) fitness their per-input outcomes are identical to each other
-and to sequential :meth:`~repro.fuzz.fuzzer.HDTest.fuzz_one` calls
-under per-input spawned generators — invariant to ``batch_size`` and
-``n_workers``.  The serial executor instead threads one generator
-through inputs sequentially, preserving the seed implementation's
-exact streams.
+:func:`repro.utils.rng.spawn` draws).  Per-input outcomes — guided
+*and* unguided — are identical to each other and to sequential
+:meth:`~repro.fuzz.fuzzer.HDTest.fuzz_one` calls under per-input
+spawned generators, invariant to ``batch_size`` and ``n_workers``: the
+engines hand each input's generator to the fitness function too, so
+the unguided baseline's random survival draws from the same per-input
+stream as that input's mutations (see
+:mod:`repro.fuzz.fitness`).  The serial executor instead threads one
+generator through inputs sequentially, preserving the seed
+implementation's exact streams for guided runs (unguided serial
+streams changed when the fitness moved onto the shared generator).
 
-The *unguided* baseline (``HDTestConfig(guided=False)``) draws its
-random survival scores from one stream shared across the whole batch,
-so its outcomes are reproducible for a fixed seed **and fixed
-scheduling parameters**, but not invariant to ``batch_size`` /
-``n_workers`` and not equal across executors — random survival has no
-per-input stream to pin.
+Pool reuse: :class:`ProcessExecutor` keeps its worker pool (and each
+worker's engine, with its content-keyed dedupe caches) alive across
+:meth:`~CampaignExecutor.run` calls with the same campaign spec, so
+wave-mode callers such as
+:func:`~repro.fuzz.campaign.generate_adversarial_set` broadcast the
+model once instead of once per wave.  Call :meth:`~CampaignExecutor.close`
+(or mutate the model object) to force a re-broadcast.
 """
 
 from __future__ import annotations
@@ -84,6 +89,15 @@ class CampaignExecutor(ABC):
     ) -> CampaignResult:
         """Fuzz *inputs* and return the aggregated campaign result."""
 
+    def close(self) -> None:
+        """Release any resources held across :meth:`run` calls (no-op here)."""
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -109,8 +123,9 @@ class BatchedExecutor(CampaignExecutor):
     """Lock-step vectorized schedule over chunks of *batch_size* inputs.
 
     Per-input child generators are spawned once for the whole campaign
-    and sliced per chunk, so guided-mode outcomes are invariant to
-    ``batch_size`` (see the module docstring for the unguided caveat).
+    and sliced per chunk, so outcomes — guided and unguided alike — are
+    invariant to ``batch_size`` (the fitness draws from each input's
+    own generator; see the module docstring).
     """
 
     def __init__(self, batch_size: int = 64) -> None:
@@ -154,6 +169,7 @@ _WORKER: dict[str, Any] = {}
 def _process_worker_init(model, strategy, config, constraint, fitness, oracle,
                          batch_size) -> None:
     """Pool initializer: broadcast the campaign spec to this worker once."""
+    _WORKER.clear()
     _WORKER.update(
         model=model, strategy=strategy, config=config, constraint=constraint,
         fitness=fitness, oracle=oracle, batch_size=batch_size,
@@ -165,18 +181,22 @@ def _process_worker_run(
 ) -> list[InputOutcome]:
     """Fuzz one contiguous input shard with its per-input seeds.
 
-    The engine is (re)built per shard with the shard's own seed so that
-    any stochastic component constructed inside it (the unguided
-    baseline's ``RandomFitness``) is derived from the campaign's root
-    generator, not from per-worker OS entropy — a fixed seed reproduces
-    the campaign.
+    The engine is built once per worker (from the broadcast spec, with
+    the first shard's seed so any stochastic component is derived from
+    the campaign's root generator, not per-worker OS entropy) and
+    reused for every subsequent shard — across waves of a reused pool
+    too, which keeps its content-keyed dedupe caches warm for recycled
+    inputs.  Outcomes are engine-state independent: per-input
+    generators arrive explicitly, and the fitness draws from them.
     """
     inputs, seeds, shard_seed = shard
-    fuzzer = BatchedHDTest(
-        _WORKER["model"], _WORKER["strategy"],
-        config=_WORKER["config"], constraint=_WORKER["constraint"],
-        fitness=_WORKER["fitness"], oracle=_WORKER["oracle"], rng=shard_seed,
-    )
+    fuzzer = _WORKER.get("fuzzer")
+    if fuzzer is None:
+        fuzzer = _WORKER["fuzzer"] = BatchedHDTest(
+            _WORKER["model"], _WORKER["strategy"],
+            config=_WORKER["config"], constraint=_WORKER["constraint"],
+            fitness=_WORKER["fitness"], oracle=_WORKER["oracle"], rng=shard_seed,
+        )
     batch_size: int = _WORKER["batch_size"]
     generators = [np.random.default_rng(int(s)) for s in seeds]
     outcomes: list[InputOutcome] = []
@@ -194,10 +214,17 @@ class ProcessExecutor(CampaignExecutor):
     The trained model (with its codebooks) is broadcast to each worker
     once via the pool initializer; workers run the batched engine on
     their shard.  Every input's seed is derived in the parent from the
-    root generator, so guided-mode results equal
+    root generator, so results — guided and unguided — equal
     :class:`BatchedExecutor`'s for the same *rng* regardless of
-    ``n_workers`` (unguided runs are reproducible per seed and worker
-    count, but not executor-invariant — see the module docstring).
+    ``n_workers``.
+
+    The pool persists across :meth:`run` calls with an unchanged
+    campaign spec (same model / strategy / config / constraint /
+    fitness / oracle objects and untouched training counts), so
+    wave-mode generation pays the pool start-up and model broadcast
+    once.  Any spec change rebuilds the pool automatically;
+    :meth:`close` releases it explicitly and must be called after
+    mutating the model *in place* without changing its training counts.
 
     Parameters
     ----------
@@ -214,11 +241,102 @@ class ProcessExecutor(CampaignExecutor):
             n_workers = os.cpu_count() or 1
         self.n_workers = check_positive_int(n_workers, "n_workers")
         self.batch_size = check_positive_int(batch_size, "batch_size")
+        self._pool = None
+        self._pool_spec: Optional[tuple] = None
+        # Strong references to the spec objects backing _pool_spec's
+        # id()s — without them CPython could recycle a GC'd object's
+        # address and falsely match a stale pool.
+        self._pool_spec_refs: Optional[tuple] = None
+        self._pool_processes = 0
+
+    @staticmethod
+    def _spec_key(model, strategy, config, constraint, fitness, oracle):
+        """Identity of the broadcast campaign spec, or None if not reusable.
+
+        Object identities plus the model's training counts: every
+        supported training path (``fit`` / ``retrain`` /
+        ``fit_adaptive``) increments per-class counts, so a stale
+        broadcast after retraining is detected without hashing the
+        accumulators themselves.
+
+        Workers keep their engine (and its unpickled components) alive
+        across runs, so reuse is only safe when the fitness and oracle
+        carry no evolving state — a reused worker's
+        ``CoverageGuidedFitness`` would remember cells visited by the
+        previous run and change outcomes.  Unknown (custom) fitness or
+        oracle types therefore return ``None``: the pool is rebuilt per
+        run, the pre-reuse behaviour.
+        """
+        from repro.fuzz.fitness import (
+            DistanceGuidedFitness,
+            MarginFitness,
+            RandomFitness,
+        )
+        from repro.fuzz.oracle import DifferentialOracle, TargetedOracle
+
+        # RandomFitness qualifies because the engines feed it per-input
+        # generators; its constructor stream is never consulted.
+        stateless_fitness = (DistanceGuidedFitness, RandomFitness, MarginFitness)
+        stateless_oracles = (DifferentialOracle, TargetedOracle)
+        if fitness is not None and type(fitness) not in stateless_fitness:
+            return None
+        if oracle is not None and type(oracle) not in stateless_oracles:
+            return None
+        am = getattr(model, "associative_memory", None)
+        counts = am.counts.tobytes() if am is not None else b""
+        strategy_key = strategy if isinstance(strategy, str) else id(strategy)
+        return (
+            id(model), counts, strategy_key,
+            id(config), id(constraint), id(fitness), id(oracle),
+        )
+
+    def _ensure_pool(self, spec_key: tuple, spec_refs: tuple, initargs: tuple,
+                     n_processes: int):
+        """The live pool for *spec_key*, rebuilt on any spec change.
+
+        The pool is sized to the shard count of the run that builds it
+        (no idle broadcast copies for small campaigns) and grows by
+        rebuild if a later run needs more parallelism than it has.
+        """
+        import multiprocessing as mp
+
+        if (
+            spec_key is not None
+            and self._pool is not None
+            and self._pool_spec == spec_key
+            and self._pool_processes >= n_processes
+        ):
+            return self._pool
+        self.close()
+        ctx = mp.get_context()
+        self._pool = ctx.Pool(
+            processes=n_processes,
+            initializer=_process_worker_init,
+            initargs=initargs,
+        )
+        self._pool_spec = spec_key
+        self._pool_spec_refs = spec_refs
+        self._pool_processes = n_processes
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (next :meth:`run` rebuilds it)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_spec = None
+            self._pool_spec_refs = None
+            self._pool_processes = 0
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def run(self, model, strategy, inputs, *, config=None, constraint=None,
             fitness=None, oracle=None, rng: RngLike = None) -> CampaignResult:
-        import multiprocessing as mp
-
         # Validate the spec (and resolve the strategy name) up front, in
         # the parent, where errors are debuggable.
         probe = BatchedHDTest(
@@ -245,15 +363,16 @@ class ProcessExecutor(CampaignExecutor):
         outcomes: list[InputOutcome] = []
         with Stopwatch() as sw:
             if shards:
-                ctx = mp.get_context()
-                with ctx.Pool(
-                    processes=min(self.n_workers, len(shards)),
-                    initializer=_process_worker_init,
-                    initargs=(model, probe.strategy, config, constraint,
-                              fitness, oracle, self.batch_size),
-                ) as pool:
-                    for shard_outcomes in pool.map(_process_worker_run, shards):
-                        outcomes.extend(shard_outcomes)
+                pool = self._ensure_pool(
+                    self._spec_key(model, strategy, config, constraint,
+                                   fitness, oracle),
+                    (model, strategy, config, constraint, fitness, oracle),
+                    (model, probe.strategy, config, constraint,
+                     fitness, oracle, self.batch_size),
+                    min(self.n_workers, len(shards)),
+                )
+                for shard_outcomes in pool.map(_process_worker_run, shards):
+                    outcomes.extend(shard_outcomes)
         return CampaignResult(
             strategy=probe.strategy.name,
             outcomes=outcomes,

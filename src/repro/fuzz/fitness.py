@@ -11,6 +11,25 @@ the *unguided* baseline against which the paper measures its 12 %
 speed-up.  Both operate on already-encoded query HVs so the fuzzing
 loop encodes each child exactly once (shared between oracle and
 fitness).
+
+Randomness discipline
+---------------------
+``scores`` takes a keyword-only *rng*: the fuzzing engines pass each
+input's own child generator, so a stochastic fitness (the unguided
+baseline) draws from a **per-input stream**.  That is what makes
+unguided outcomes — like guided ones — invariant to the executor,
+``batch_size``, and ``n_workers`` under the shared RNG discipline
+(one spawned generator per input).  Deterministic fitnesses ignore the
+argument; :class:`RandomFitness` falls back to its constructor stream
+when called without one (standalone use).
+
+Packed hypervectors
+-------------------
+Query and reference HVs may be *bit-packed* binary words
+(uint64 — see :mod:`repro.hdc.backends`).  The cosine-based fitnesses
+detect that dtype and score through the popcount kernels; the resulting
+floats are bit-identical to scoring the unpacked {0, 1} vectors, so
+packed and unpacked campaigns select the same survivors.
 """
 
 from __future__ import annotations
@@ -25,6 +44,17 @@ from repro.utils.rng import RngLike, ensure_rng
 __all__ = ["FitnessFunction", "DistanceGuidedFitness", "RandomFitness", "MarginFitness"]
 
 
+def _cosine_matrix_any(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Cosine matrix for unpacked HVs or packed uint64 words (exact)."""
+    q = np.asarray(queries)
+    r = np.asarray(references)
+    if q.dtype == np.uint64 and r.dtype == np.uint64:
+        from repro.hdc.backends.packed import cosine_matrix_packed
+
+        return cosine_matrix_packed(q, r)
+    return cosine_matrix(q, r)
+
+
 class FitnessFunction(ABC):
     """Scores candidate seeds; higher scores survive (Alg. 1, Line 14)."""
 
@@ -32,16 +62,25 @@ class FitnessFunction(ABC):
     guided: bool = True
 
     @abstractmethod
-    def scores(self, reference_hv: np.ndarray, query_hvs: np.ndarray) -> np.ndarray:
+    def scores(
+        self,
+        reference_hv: np.ndarray,
+        query_hvs: np.ndarray,
+        *,
+        rng: RngLike = None,
+    ) -> np.ndarray:
         """Fitness of each query HV given the reference class HV.
 
         Parameters
         ----------
         reference_hv:
             ``AM[y]`` — the class hypervector of the model's prediction
-            on the *original* input.
+            on the *original* input (packed or unpacked).
         query_hvs:
-            ``(n, D)`` encoded candidate seeds.
+            ``(n, D)`` encoded candidate seeds (``(n, D//64)`` packed).
+        rng:
+            Per-input randomness stream supplied by the fuzzing
+            engines.  Deterministic fitnesses ignore it.
         """
 
 
@@ -50,8 +89,14 @@ class DistanceGuidedFitness(FitnessFunction):
 
     guided = True
 
-    def scores(self, reference_hv: np.ndarray, query_hvs: np.ndarray) -> np.ndarray:
-        sims = cosine_matrix(query_hvs, reference_hv[None, :])[:, 0]
+    def scores(
+        self,
+        reference_hv: np.ndarray,
+        query_hvs: np.ndarray,
+        *,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        sims = _cosine_matrix_any(query_hvs, np.asarray(reference_hv)[None, :])[:, 0]
         return 1.0 - sims
 
     def __repr__(self) -> str:
@@ -63,6 +108,11 @@ class RandomFitness(FitnessFunction):
 
     Used to reproduce Sec. IV's claim that guided testing "can generate
     adversarial inputs faster than unguided testing by 12 % on average".
+    Draws from the *rng* handed to :meth:`scores` when there is one —
+    the engines pass each input's own generator, giving the unguided
+    baseline the same per-input streams (and therefore the same
+    executor/batch-size invariance) as guided runs — and from the
+    constructor stream otherwise.
     """
 
     guided = False
@@ -70,8 +120,15 @@ class RandomFitness(FitnessFunction):
     def __init__(self, rng: RngLike = None) -> None:
         self._rng = ensure_rng(rng)
 
-    def scores(self, reference_hv: np.ndarray, query_hvs: np.ndarray) -> np.ndarray:
-        return self._rng.random(size=np.asarray(query_hvs).shape[0])
+    def scores(
+        self,
+        reference_hv: np.ndarray,
+        query_hvs: np.ndarray,
+        *,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        generator = self._rng if rng is None else ensure_rng(rng)
+        return generator.random(size=np.asarray(query_hvs).shape[0])
 
     def __repr__(self) -> str:
         return "RandomFitness()"
@@ -83,8 +140,9 @@ class MarginFitness(FitnessFunction):
     A sharper guidance signal than raw reference distance: a seed that
     is far from ``AM[y]`` but equally far from every other class is less
     promising than one that is *closing in on a specific other class*.
-    Requires the full AM, so it takes the class HVs at construction.
-    Benchmarked in ``benchmarks/bench_ablation_fitness.py``.
+    Requires the full AM, so it takes the class HVs at construction
+    (packed or unpacked).  Benchmarked in
+    ``benchmarks/bench_ablation_fitness.py``.
     """
 
     guided = True
@@ -93,8 +151,14 @@ class MarginFitness(FitnessFunction):
         self._class_hvs = np.asarray(class_hvs)
         self._reference_label = int(reference_label)
 
-    def scores(self, reference_hv: np.ndarray, query_hvs: np.ndarray) -> np.ndarray:
-        sims = cosine_matrix(query_hvs, self._class_hvs)
+    def scores(
+        self,
+        reference_hv: np.ndarray,
+        query_hvs: np.ndarray,
+        *,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        sims = _cosine_matrix_any(query_hvs, self._class_hvs)
         ref = sims[:, self._reference_label].copy()
         sims[:, self._reference_label] = -np.inf
         best_other = sims.max(axis=1)

@@ -19,6 +19,16 @@ For each unlabeled input ``t``:
 The loop is deliberately per-input (matching the paper and keeping
 iteration counts honest); all per-iteration work — mutation, encoding,
 prediction, fitness — is batched across children.
+
+Like the batched engine, the sequential loop encodes children
+*incrementally* whenever the model's encoder exposes the delta surface
+(``quantize`` / ``accumulate_batch`` / ``accumulate_delta`` /
+``hvs_from_accumulators``): each surviving seed carries its integer
+accumulator and quantised levels through the :class:`SeedPool`, and a
+child's accumulator is computed from its parent's over only the
+changed pixels.  The algebra is exact, so outcomes are bit-identical
+to scratch re-encoding (property-tested in
+``tests/fuzz/test_sequential_delta.py``).
 """
 
 from __future__ import annotations
@@ -42,6 +52,17 @@ from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
 __all__ = ["HDTestConfig", "HDTest"]
+
+#: Duck-typed surface an encoder must expose for the incremental path.
+#: hvs_from_accumulators is part of it so the accumulator→hypervector
+#: rule (Eq. 1 tie-breaking / binary majority) stays owned by the
+#: encoder.  Shared by the sequential and batched engines.
+DELTA_ENCODER_API = (
+    "quantize",
+    "accumulate_batch",
+    "accumulate_delta",
+    "hvs_from_accumulators",
+)
 
 
 @dataclass(frozen=True)
@@ -216,26 +237,39 @@ class HDTest:
         generator = ensure_rng(rng) if rng is not None else self._rng
         cfg = self._config
 
-        reference_label = int(self._model.predict_hv(
-            self._model.encode(original)[None]
-        )[0])
-        reference_hv = self._model.reference_hv(reference_label)
-
         pool: SeedPool = SeedPool(cfg.top_n)
-        pool.reset(original)
+        delta_encoder = (
+            self._delta_encoder() if isinstance(original, np.ndarray) else None
+        )
+        if delta_encoder is not None:
+            # One scratch encode serves both the reference query and the
+            # generation-0 delta side data (Alg. 1 line 1, "y = HDC(t)").
+            stacked = np.asarray(original, dtype=np.float64)[None]
+            acc0, levels0 = self._seed_side_data(delta_encoder, stacked)
+            reference_query = delta_encoder.hvs_from_accumulators(acc0)
+            pool.reset(original, accumulator=acc0[0], levels=levels0[0])
+        else:
+            reference_query = self._model.encode(original)[None]
+            pool.reset(original)
+        reference_label = int(self._model.predict_hv(reference_query)[0])
+        reference_hv = self._model.reference_hv(reference_label)
         encode_cache: LRUCache[bytes, np.ndarray] = LRUCache(cfg.cache_max_entries)
 
         for iteration in range(1, cfg.iter_times + 1):
-            children = self._expand(pool, generator)
-            children = self._constraint.clip(children)
-            keep = self._constraint.accept(original, children)
-            children = self._select(children, keep)
+            seeds = pool.seeds
+            children, parent_ids = self._expand(seeds, original, generator)
             if len(children) == 0:
                 # Every child blew the budget; iteration still counts
                 # (seed generation + check happened), seeds are retained.
                 continue
 
-            query_hvs = self._encode_children(children, encode_cache)
+            accs = levels = None
+            if delta_encoder is not None:
+                query_hvs, accs, levels = self._encode_children_delta(
+                    delta_encoder, children, parent_ids, seeds, encode_cache
+                )
+            else:
+                query_hvs = self._encode_children(children, encode_cache)
             query_labels = self._model.predict_hv(query_hvs)
             flips = self._oracle.discrepancies(reference_label, query_labels)
             if flips.any():
@@ -249,8 +283,11 @@ class HDTest:
                     example=example,
                 )
 
-            scores = self._fitness.scores(reference_hv, query_hvs)
-            pool.update(children, scores, generation=iteration)
+            scores = self._fitness.scores(reference_hv, query_hvs, rng=generator)
+            pool.update(
+                children, scores, generation=iteration,
+                accumulators=accs, levels=levels,
+            )
 
         return InputOutcome(
             success=False,
@@ -295,16 +332,92 @@ class HDTest:
         keys = [self._child_key(child) for child in children]
         return np.stack(resolve_with_cache(cache, keys, encode_missing))
 
-    def _expand(self, pool: SeedPool, generator: np.random.Generator):
-        """Mutate every surviving seed into children (one flat batch)."""
+    def _expand(self, seeds, original: Any, generator: np.random.Generator):
+        """Mutate, clip, and budget-filter every surviving seed's children.
+
+        Returns the in-budget children plus each child's parent index
+        into *seeds* (``None`` for non-array domains, which never
+        delta-encode).  Parent indices are derived from actual batch
+        lengths, so an off-count mutation batch cannot silently pair a
+        child with the wrong parent.
+        """
         cfg = self._config
         batches = [
             self._strategy.mutate(seed.data, cfg.children_per_seed, rng=generator)
-            for seed in pool
+            for seed in seeds
         ]
         if isinstance(batches[0], np.ndarray):
-            return np.concatenate(batches, axis=0)
-        return [child for batch in batches for child in batch]
+            children = np.concatenate(batches, axis=0)
+        else:
+            children = [child for batch in batches for child in batch]
+        children = self._constraint.clip(children)
+        keep = self._constraint.accept(original, children)
+        parent_ids = None
+        if isinstance(children, np.ndarray):
+            parent_ids = np.repeat(
+                np.arange(len(batches)), [len(batch) for batch in batches]
+            )[keep]
+        return self._select(children, keep), parent_ids
+
+    # -- incremental (delta) encoding --------------------------------------
+    def _delta_encoder(self):
+        """The model's encoder, when it supports incremental encoding."""
+        encoder = getattr(self._model, "encoder", None)
+        if encoder is not None and all(
+            callable(getattr(encoder, name, None)) for name in DELTA_ENCODER_API
+        ):
+            return encoder
+        return None
+
+    @staticmethod
+    def _quantize(encoder, batch: np.ndarray) -> np.ndarray:
+        """Quantised levels of *batch*, flattened per item, compact dtype."""
+        dtype = (
+            np.int16
+            if getattr(encoder, "levels", 256) <= np.iinfo(np.int16).max
+            else np.int64
+        )
+        return encoder.quantize(batch).reshape(batch.shape[0], -1).astype(dtype)
+
+    def _seed_side_data(self, encoder, stacked: np.ndarray):
+        """Accumulators + levels of generation-0 inputs, compact dtypes.
+
+        Accumulators are bounded by the pixel count, so int16 storage is
+        exact for paper-sized images and widens automatically for larger
+        encoder shapes.
+        """
+        acc_dtype = (
+            np.int16
+            if stacked[0].size <= np.iinfo(np.int16).max
+            else np.int32
+        )
+        accs = encoder.accumulate_batch(stacked).astype(acc_dtype)
+        return accs, self._quantize(encoder, stacked)
+
+    def _encode_children_delta(self, encoder, children, parent_ids, seeds, cache):
+        """Incremental path: children encoded from parent accumulators.
+
+        Cache entries hold compact integer accumulators (they are
+        exact — the hypervector is a deterministic function of them), so
+        a hit skips even the delta work.  Bit-identical to a scratch
+        ``encode_batch`` of the children.
+        """
+        levels = self._quantize(encoder, children)
+        parent_accs_all = np.stack([seed.accumulator for seed in seeds])
+        parent_levels_all = np.stack([seed.levels for seed in seeds])
+
+        def delta_missing(positions: list) -> np.ndarray:
+            rows = parent_ids[positions]
+            return encoder.accumulate_delta(
+                levels[positions], parent_levels_all[rows], parent_accs_all[rows]
+            ).astype(parent_accs_all.dtype)
+
+        if self._config.dedupe:
+            keys = [self._child_key(children[j]) for j in range(len(children))]
+            accs = np.stack(resolve_with_cache(cache, keys, delta_missing))
+        else:
+            accs = delta_missing(list(range(len(children))))
+        return encoder.hvs_from_accumulators(accs), accs, levels
 
     @staticmethod
     def _select(children, mask: np.ndarray):

@@ -34,11 +34,19 @@ class Seed(Generic[T]):
     generation:
         Fuzzing iteration at which this seed was created (0 = the
         original input).
+    accumulator:
+        Optional integer encoder accumulator of this seed, carried so
+        the sequential engine can delta-encode the seed's children from
+        it (mirrors :class:`SeedPoolBatch`'s side arrays).
+    levels:
+        Optional quantised levels of this seed, idem.
     """
 
     data: T
     fitness: float
     generation: int = 0
+    accumulator: Any = None
+    levels: Any = None
 
 
 class SeedPool(Generic[T]):
@@ -70,12 +78,20 @@ class SeedPool(Generic[T]):
     def __iter__(self) -> Iterator[Seed[T]]:
         return iter(self._seeds)
 
-    def reset(self, original: T) -> None:
+    def reset(
+        self,
+        original: T,
+        *,
+        accumulator=None,
+        levels=None,
+    ) -> None:
         """Restart the pool from the original input (generation 0).
 
         The original gets fitness -inf so any scored child displaces it.
+        *accumulator*/*levels* seed the incremental-encoding side data
+        (see :class:`Seed`).
         """
-        self._seeds = [Seed(original, float("-inf"), 0)]
+        self._seeds = [Seed(original, float("-inf"), 0, accumulator, levels)]
 
     def update(
         self,
@@ -83,12 +99,16 @@ class SeedPool(Generic[T]):
         fitnesses: Sequence[float],
         *,
         generation: int,
+        accumulators=None,
+        levels=None,
     ) -> None:
         """Replace pool contents with the top-N of *candidates*.
 
         Matches Alg. 1: survivors are chosen among the new children (the
         pool is not mixed with previous generations — each iteration's
-        children fully replace their parents).
+        children fully replace their parents).  *accumulators*/*levels*
+        are optional per-candidate side rows kept with each survivor so
+        it can parent delta encodes next iteration.
         """
         scores = np.asarray(fitnesses, dtype=np.float64)
         if len(candidates) != scores.shape[0]:
@@ -101,7 +121,14 @@ class SeedPool(Generic[T]):
             return
         order = np.argsort(-scores, kind="stable")[: self._top_n]
         self._seeds = [
-            Seed(candidates[int(i)], float(scores[int(i)]), generation) for i in order
+            Seed(
+                candidates[int(i)],
+                float(scores[int(i)]),
+                generation,
+                None if accumulators is None else accumulators[int(i)],
+                None if levels is None else levels[int(i)],
+            )
+            for i in order
         ]
 
     def best(self) -> Seed[T]:

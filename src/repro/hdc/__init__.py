@@ -7,6 +7,18 @@ and to expose the grey-box surface HDTest fuzzes.
 """
 
 from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.backends import (
+    KernelBackend,
+    PackedAssociativeMemory,
+    PackedBinaryHDCClassifier,
+    PackedBinarySpace,
+    PackedPixelEncoder,
+    backend_names,
+    get_backend,
+    pack_bits,
+    resolve_model_backend,
+    unpack_bits,
+)
 from repro.hdc.binary_model import (
     BinaryAssociativeMemory,
     BinaryHDCClassifier,
@@ -54,13 +66,19 @@ __all__ = [
     "Encoder",
     "HDCClassifier",
     "ItemMemory",
+    "KernelBackend",
     "LevelMemory",
     "NgramEncoder",
+    "PackedAssociativeMemory",
+    "PackedBinaryHDCClassifier",
+    "PackedBinarySpace",
+    "PackedPixelEncoder",
     "PermutationImageEncoder",
     "PixelEncoder",
     "RecordEncoder",
     "Space",
     "accuracy_under_faults",
+    "backend_names",
     "bind",
     "bind_xor",
     "bipolarize",
@@ -71,9 +89,13 @@ __all__ = [
     "cosine_matrix",
     "dot",
     "flip_components",
+    "get_backend",
     "hamming_distance",
     "hamming_similarity",
     "inject_am_faults",
     "invert",
+    "pack_bits",
     "permute",
+    "resolve_model_backend",
+    "unpack_bits",
 ]

@@ -1,0 +1,314 @@
+"""Bit-packed binary hypervector kernels (uint64 words + popcount).
+
+The dense-binary model family stores {0, 1} hypervectors one byte per
+bit, so the fuzzer's hottest path — Hamming queries against the
+associative memory — wastes 8× memory and most of its bandwidth.
+Hardware formulations of dense binary HDC (Schmuck et al., *Hardware
+Optimizations of Dense Binary Hyperdimensional Computing*) pack 64
+components per machine word: XOR binds a whole word at a time and
+population count (``popcnt``) computes 64 components of a Hamming
+distance per instruction.  This module is that formulation in numpy.
+
+Layout
+------
+A packed hypervector of logical dimension ``D`` is a uint64 array of
+``ceil(D / 64)`` words.  Component ``d`` lives in bit ``d % 64`` of word
+``d // 64`` (``bitorder="little"``, matching :func:`numpy.packbits`);
+when ``D`` is not a multiple of 64, the unused tail bits of the last
+word are always zero — every kernel preserves that invariant, and
+:func:`check_packed` enforces it on foreign arrays.
+
+Popcount
+--------
+:func:`popcount` uses :func:`numpy.bitwise_count` (numpy ≥ 2.0, which
+lowers to the hardware instruction) and falls back to a vectorised
+SWAR bit-count (Hacker's Delight 5-2) on older numpy — ~3× slower than
+the ufunc but still far ahead of the unpacked byte-per-bit path.  A
+uint8 lookup-table popcount (:func:`_popcount_lut`) is kept as an
+independently-simple reference that both implementations are tested
+against.  Setting the environment variable ``REPRO_NO_BITWISE_COUNT``
+forces the SWAR fallback — CI exercises that path so the kernels stay
+correct (and fast enough) on numpy 1.x.
+
+Everything here is representation-exact: packing is lossless, so every
+kernel result is bit-identical to the corresponding computation on the
+unpacked {0, 1} arrays (property-tested in
+``tests/hdc/backends/test_packed_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+
+__all__ = [
+    "WORD_BITS",
+    "packed_words",
+    "pack_bits",
+    "unpack_bits",
+    "check_packed",
+    "popcount",
+    "using_hardware_popcount",
+    "bind_xor_packed",
+    "bit_counts",
+    "bundle_majority_packed",
+    "hamming_counts",
+    "hamming_distance_packed",
+    "hamming_similarity_packed",
+    "cosine_matrix_packed",
+]
+
+#: Components per packed word.
+WORD_BITS = 64
+
+#: Per-byte popcounts (reference implementation; see :func:`_popcount_lut`).
+_POPCOUNT_LUT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+# SWAR bit-count masks (Hacker's Delight, Fig. 5-2).
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+
+#: Whether the hardware-lowered ufunc is available *and* not disabled.
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count") and not os.environ.get(
+    "REPRO_NO_BITWISE_COUNT"
+)
+
+
+def using_hardware_popcount() -> bool:
+    """True when :func:`popcount` lowers to ``numpy.bitwise_count``.
+
+    False on numpy < 2.0 or when ``REPRO_NO_BITWISE_COUNT`` is set, in
+    which case the uint8 lookup-table fallback is active.
+    """
+    return _HAVE_BITWISE_COUNT
+
+
+def packed_words(dimension: int) -> int:
+    """Number of uint64 words holding *dimension* components."""
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be positive, got {dimension}")
+    return -(-int(dimension) // WORD_BITS)
+
+
+def pack_bits(bits: np.ndarray, *, validate: bool = True) -> np.ndarray:
+    """Pack a {0, 1} array ``(..., D)`` into uint64 words ``(..., W)``.
+
+    ``W = ceil(D / 64)``; tail bits of the last word are zero.  The
+    inverse is :func:`unpack_bits` with the original *D*.  Internal hot
+    paths whose inputs are {0, 1} by construction (threshold
+    comparisons) pass ``validate=False`` to skip the membership scan.
+    """
+    arr = np.asarray(bits)
+    if arr.ndim < 1:
+        raise DimensionMismatchError("bits must have at least one axis")
+    if validate and arr.size and not np.isin(arr, (0, 1)).all():
+        raise ConfigurationError("pack_bits requires {0,1} components")
+    n_words = packed_words(arr.shape[-1]) if arr.shape[-1] else 0
+    if arr.shape[-1] == 0:
+        return np.zeros(arr.shape[:-1] + (0,), dtype=np.uint64)
+    as_bytes = np.packbits(arr.astype(np.uint8), axis=-1, bitorder="little")
+    pad = n_words * 8 - as_bytes.shape[-1]
+    if pad:
+        as_bytes = np.concatenate(
+            [as_bytes, np.zeros(as_bytes.shape[:-1] + (pad,), dtype=np.uint8)],
+            axis=-1,
+        )
+    return np.ascontiguousarray(as_bytes).view(np.uint64)
+
+
+def unpack_bits(words: np.ndarray, dimension: int) -> np.ndarray:
+    """Unpack uint64 words ``(..., W)`` back to an int8 {0, 1} ``(..., D)``."""
+    arr = _as_words(words, "words")
+    expected = packed_words(dimension)
+    if arr.shape[-1] != expected:
+        raise DimensionMismatchError(
+            f"words has {arr.shape[-1]} words, dimension {dimension} needs {expected}"
+        )
+    as_bytes = np.ascontiguousarray(arr).view(np.uint8)
+    return np.unpackbits(as_bytes, axis=-1, count=int(dimension), bitorder="little").astype(
+        np.int8
+    )
+
+
+def check_packed(words: np.ndarray, dimension: int, *, name: str = "hv") -> np.ndarray:
+    """Validate a packed array: dtype, word count, and zeroed tail bits."""
+    arr = _as_words(words, name)
+    expected = packed_words(dimension)
+    if arr.shape[-1] != expected:
+        raise DimensionMismatchError(
+            f"{name} has {arr.shape[-1]} words, dimension {dimension} needs {expected}"
+        )
+    tail = dimension % WORD_BITS
+    if tail and arr.size:
+        mask = np.uint64(~np.uint64((1 << tail) - 1))
+        if np.bitwise_and(arr[..., -1], mask).any():
+            raise ConfigurationError(
+                f"{name} has non-zero bits beyond dimension {dimension}"
+            )
+    return arr
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-word population counts (same shape as *words*, small ints).
+
+    Uses ``numpy.bitwise_count`` when available; otherwise the
+    vectorised SWAR fallback (exactly equal, ~3× slower).
+    """
+    arr = _as_words(words, "words")
+    if _HAVE_BITWISE_COUNT:
+        return np.bitwise_count(arr)
+    return _popcount_swar(arr)
+
+
+def _popcount_swar(arr: np.ndarray) -> np.ndarray:
+    """Portable popcount: SWAR parallel bit-count, ~6 uint64 ops per word."""
+    x = arr - ((arr >> np.uint64(1)) & _M1)
+    x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
+    x = (x + (x >> np.uint64(4))) & _M4
+    # The top byte of x * 0x0101…01 is the sum of x's bytes (wrapping
+    # multiply is intentional and exact for byte sums <= 64).
+    return (x * _H01) >> np.uint64(56)
+
+
+def _popcount_lut(arr: np.ndarray) -> np.ndarray:
+    """Reference popcount: per-byte table lookups summed per word.
+
+    Slower than both production paths; kept so the tests can pin
+    ``bitwise_count`` and the SWAR kernel against a third,
+    independently-obvious implementation.
+    """
+    if arr.size == 0:
+        return np.zeros(arr.shape, dtype=np.uint8)
+    as_bytes = np.ascontiguousarray(arr).view(np.uint8)
+    per_byte = _POPCOUNT_LUT[as_bytes]
+    return per_byte.reshape(arr.shape + (8,)).sum(axis=-1, dtype=np.uint8)
+
+
+def bind_xor_packed(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """XOR binding on packed words (64 components per operation)."""
+    a_arr = _as_words(a, "a")
+    b_arr = _as_words(b, "b")
+    if a_arr.shape[-1] != b_arr.shape[-1]:
+        raise DimensionMismatchError(
+            f"operands have {a_arr.shape[-1]} and {b_arr.shape[-1]} words"
+        )
+    return np.bitwise_xor(a_arr, b_arr)
+
+
+def bit_counts(words: np.ndarray, dimension: int) -> np.ndarray:
+    """Per-component ones counts over a packed stack ``(n, W)`` → ``(D,)``.
+
+    The bit-count half of majority bundling: column sums of the
+    unpacked {0, 1} matrix, computed without materialising it as int64.
+    """
+    arr = _as_words(words, "words")
+    if arr.ndim != 2:
+        raise DimensionMismatchError(f"expected (n, W) stack, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        return np.zeros(int(dimension), dtype=np.int64)
+    return unpack_bits(arr, dimension).sum(axis=0, dtype=np.int64)
+
+
+def bundle_majority_packed(words: np.ndarray, dimension: int) -> np.ndarray:
+    """Majority-vote bundling of a packed stack ``(n, W)`` → ``(W,)``.
+
+    Ties (even *n*, exactly half ones) resolve to 1 — the deterministic
+    policy of the binary encoder and associative memory (their
+    ``count >= n/2`` threshold), so packed bundling is bit-identical to
+    theirs.  For the random-tie-break variant, bundle unpacked with
+    :func:`repro.hdc.ops.bundle_majority`.
+    """
+    arr = _as_words(words, "words")
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise DimensionMismatchError(
+            f"expected a non-empty (n, W) stack, got shape {arr.shape}"
+        )
+    counts = bit_counts(arr, dimension)
+    return pack_bits((2 * counts >= arr.shape[0]).astype(np.int8))
+
+
+def hamming_counts(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Pairwise differing-bit counts ``(n, m)`` between packed stacks.
+
+    The popcount inner loop of every packed associative-memory query:
+    ``out[i, j] = popcount(queries[i] XOR references[j])``.  Iterates
+    over references (few classes) so the working set stays one query
+    stack wide.
+    """
+    q = np.atleast_2d(_as_words(queries, "queries"))
+    r = np.atleast_2d(_as_words(references, "references"))
+    if q.shape[-1] != r.shape[-1]:
+        raise DimensionMismatchError(
+            f"queries have {q.shape[-1]} words, references {r.shape[-1]}"
+        )
+    out = np.empty((q.shape[0], r.shape[0]), dtype=np.int64)
+    for j in range(r.shape[0]):
+        out[:, j] = popcount(np.bitwise_xor(q, r[j])).sum(axis=-1, dtype=np.int64)
+    return out
+
+
+def hamming_distance_packed(a: np.ndarray, b: np.ndarray, dimension: int):
+    """Normalised Hamming distance between packed HVs.
+
+    Accepts single vectors ``(W,)`` (→ float) or row-aligned batches
+    ``(n, W)`` (→ ``(n,)`` float64), mirroring
+    :func:`repro.hdc.similarity.hamming_distance` on unpacked arrays.
+    """
+    a_arr = _as_words(a, "a")
+    b_arr = _as_words(b, "b")
+    if a_arr.shape != b_arr.shape:
+        raise DimensionMismatchError(f"shapes {a_arr.shape} and {b_arr.shape} differ")
+    if a_arr.ndim not in (1, 2):
+        raise DimensionMismatchError(f"expected 1-D or 2-D packed arrays, got ndim={a_arr.ndim}")
+    diff = popcount(np.bitwise_xor(a_arr, b_arr)).sum(axis=-1, dtype=np.int64)
+    result = diff / float(dimension)
+    return float(result) if a_arr.ndim == 1 else result
+
+
+def hamming_similarity_packed(a: np.ndarray, b: np.ndarray, dimension: int):
+    """``1 − hamming_distance_packed`` — fraction of matching components."""
+    return 1.0 - hamming_distance_packed(a, b, dimension)
+
+
+def cosine_matrix_packed(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities between packed binary HVs → ``(n, m)``.
+
+    For {0, 1} vectors ``cos(a, b) = |a ∧ b| / (√|a| · √|b|)``, so the
+    whole matrix reduces to popcounts.  The float operations mirror
+    :func:`repro.hdc.similarity.cosine_matrix` exactly (integer-valued
+    dot products, one square root per row norm, one multiply, one
+    divide), making the result **bit-identical** to unpacking and
+    calling ``cosine_matrix`` — which is what lets the distance-guided
+    fitness rank packed children exactly as it ranks unpacked ones.
+    Zero vectors get similarity 0, as in the unpacked version.
+    """
+    q = np.atleast_2d(_as_words(queries, "queries"))
+    r = np.atleast_2d(_as_words(references, "references"))
+    if q.shape[-1] != r.shape[-1]:
+        raise DimensionMismatchError(
+            f"queries have {q.shape[-1]} words, references {r.shape[-1]}"
+        )
+    inter = np.empty((q.shape[0], r.shape[0]), dtype=np.int64)
+    for j in range(r.shape[0]):
+        inter[:, j] = popcount(np.bitwise_and(q, r[j])).sum(axis=-1, dtype=np.int64)
+    qn = np.sqrt(popcount(q).sum(axis=-1, dtype=np.int64).astype(np.float64))
+    rn = np.sqrt(popcount(r).sum(axis=-1, dtype=np.int64).astype(np.float64))
+    denom = np.outer(qn, rn)
+    sims = inter.astype(np.float64)
+    np.divide(sims, denom, out=sims, where=denom > 0)
+    sims[denom == 0] = 0.0
+    return sims
+
+
+def _as_words(words: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(words)
+    if arr.dtype != np.uint64:
+        raise ConfigurationError(
+            f"{name} must be a packed uint64 array, got dtype {arr.dtype}"
+        )
+    return arr

@@ -1,0 +1,138 @@
+"""Optional torch kernel backend for packed binary hypervectors.
+
+HDTorch demonstrates that batched HDC shapes — exactly the
+``(n_children, W)`` blocks the batched fuzzer produces — map directly
+onto torch tensors.  :class:`TorchKernelBackend` implements the packed
+kernel surface on torch when it is importable; torch is **not** a
+dependency of this package, so everything is gated behind a lazy
+import and :func:`repro.hdc.backends.dispatch.get_backend` falls back
+to numpy (with a warning) when torch is missing.
+
+Torch has no native popcount and limited uint64 support, so words are
+viewed as uint8 and popcounts come from a 256-entry lookup table —
+the same portable formulation as the numpy fallback, which keeps the
+two backends bit-identical.  Tensors live on ``device`` (default
+``"cuda"`` when available, else CPU); results always return as numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.hdc.backends.dispatch import KernelBackend
+
+__all__ = ["TorchKernelBackend"]
+
+
+def _import_torch():
+    """The gated import; None when torch is absent."""
+    try:
+        import torch  # noqa: PLC0415 - the whole point is laziness
+    except ImportError:
+        return None
+    return torch
+
+
+class TorchKernelBackend(KernelBackend):
+    """Packed kernels on torch tensors (CUDA when available).
+
+    Parameters
+    ----------
+    device:
+        Torch device string; ``None`` picks ``"cuda"`` when a GPU is
+        visible, else ``"cpu"``.
+
+    Raises
+    ------
+    ConfigurationError
+        When constructed on a machine without torch.  Use
+        :func:`~repro.hdc.backends.dispatch.get_backend`, which checks
+        :meth:`available` and degrades to numpy instead.
+    """
+
+    name = "torch"
+
+    def __init__(self, device: Optional[str] = None) -> None:
+        torch = _import_torch()
+        if torch is None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "torch is not installed; use get_backend('torch') for the "
+                "numpy fallback, or `pip install torch`"
+            )
+        self._torch = torch
+        if device is None:
+            device = "cuda" if torch.cuda.is_available() else "cpu"
+        self._device = torch.device(device)
+        # Same 256-entry table as the numpy fallback → bit-identical.
+        self._lut = torch.tensor(
+            [bin(i).count("1") for i in range(256)],
+            dtype=torch.int64,
+            device=self._device,
+        )
+
+    @classmethod
+    def available(cls) -> bool:
+        """True when torch imports on this machine."""
+        return _import_torch() is not None
+
+    # -- pickling (ProcessExecutor broadcasts models holding backends) ----
+    def __getstate__(self) -> dict:
+        """Module and tensor attributes are rebuilt on unpickle."""
+        return {"device": str(self._device)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["device"])
+
+    # -- helpers -----------------------------------------------------------
+    def _to_bytes(self, words: np.ndarray) -> Any:
+        """Packed uint64 numpy → torch uint8 tensor ``(..., W*8)``."""
+        as_bytes = np.ascontiguousarray(np.asarray(words, dtype=np.uint64)).view(np.uint8)
+        return self._torch.from_numpy(as_bytes.copy()).to(self._device)
+
+    def _popcount_bytes(self, byte_tensor: Any) -> Any:
+        """Per-byte popcounts via the lookup table (int64 tensor)."""
+        return self._lut[byte_tensor.long()]
+
+    # -- kernel surface ----------------------------------------------------
+    def bind_xor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """XOR on the uint8 view, returned re-packed as uint64."""
+        out = self._torch.bitwise_xor(self._to_bytes(a), self._to_bytes(b))
+        flat = out.cpu().numpy()
+        return np.ascontiguousarray(flat).view(np.uint64)
+
+    def popcount(self, words: np.ndarray) -> np.ndarray:
+        """Per-word population counts via byte LUT gathers."""
+        arr = np.asarray(words)
+        counts = self._popcount_bytes(self._to_bytes(arr))
+        per_word = counts.reshape(arr.shape + (8,)).sum(dim=-1)
+        return per_word.cpu().numpy()
+
+    def hamming_counts(self, queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+        """Pairwise differing-bit counts ``(n, m)`` on-device."""
+        q = self._to_bytes(np.atleast_2d(queries))
+        r = self._to_bytes(np.atleast_2d(references))
+        # (n, 1, B) xor (1, m, B) → per-byte popcounts → sum over bytes.
+        diff = self._torch.bitwise_xor(q[:, None, :], r[None, :, :])
+        return self._popcount_bytes(diff).sum(dim=-1).cpu().numpy()
+
+    def cosine_matrix(self, queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+        """Binary cosine from on-device popcounts (matches numpy bit-for-bit)."""
+        q = self._to_bytes(np.atleast_2d(queries))
+        r = self._to_bytes(np.atleast_2d(references))
+        inter = self._popcount_bytes(
+            self._torch.bitwise_and(q[:, None, :], r[None, :, :])
+        ).sum(dim=-1)
+        qn = self._torch.sqrt(self._popcount_bytes(q).sum(dim=-1).double())
+        rn = self._torch.sqrt(self._popcount_bytes(r).sum(dim=-1).double())
+        denom = qn[:, None] * rn[None, :]
+        sims = inter.double()
+        nonzero = denom > 0
+        sims = self._torch.where(nonzero, sims / denom, self._torch.zeros_like(sims))
+        return sims.cpu().numpy()
+
+    def __repr__(self) -> str:
+        return f"TorchKernelBackend(device={self._device})"

@@ -21,11 +21,17 @@ binary AM keeps the literature's exact formulation).
 
 from __future__ import annotations
 
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError, DimensionMismatchError, NotTrainedError
+from repro.errors import (
+    ConfigurationError,
+    DimensionMismatchError,
+    EncodingError,
+    NotTrainedError,
+)
 from repro.hdc.encoders.base import Encoder
 from repro.hdc.item_memory import ItemMemory
 from repro.hdc.spaces import DEFAULT_DIMENSION, BinarySpace
@@ -72,6 +78,11 @@ class BinaryPixelEncoder(Encoder):
         return self._shape
 
     @property
+    def levels(self) -> int:
+        """Number of grey levels in the value memory."""
+        return self._levels
+
+    @property
     def position_memory(self) -> ItemMemory:
         """Per-pixel binary position codebook."""
         return self._position_memory
@@ -91,16 +102,84 @@ class BinaryPixelEncoder(Encoder):
         return self.encode_batch(arr[None] if arr.ndim == 2 else arr)[0]
 
     def encode_batch(self, items: np.ndarray) -> np.ndarray:
+        return self.hvs_from_accumulators(self.accumulate_batch(items))
+
+    def hvs_from_accumulators(self, accumulators: np.ndarray) -> np.ndarray:
+        """Majority-quantise ones-count accumulators into {0, 1} HVs.
+
+        A component is 1 when at least half the pixel HVs set it
+        (ties → 1, deterministic — the binary analogue of the bipolar
+        encoder's zero policy).  Exposed so the incremental fuzzing
+        engines apply exactly this rule.
+        """
+        return (np.asarray(accumulators) >= self._majority_threshold).astype(np.int8)
+
+    def accumulate_batch(self, items: np.ndarray) -> np.ndarray:
+        """Per-component ones counts over each image's pixel HVs → (n, D).
+
+        The binary accumulator: ``acc[i, d] = Σ_p (pos_p ⊕ val[x_p])_d``,
+        the pre-majority sums :meth:`encode_batch` thresholds.  Bounded
+        by the pixel count, so compact integer storage is exact.
+        """
         levels = self.quantize(items)
         n = levels.shape[0]
         flat = levels.reshape(n, -1)
         pos = self._position_memory.vectors
         val = self._value_memory.vectors
-        out = np.empty((n, self.dimension), dtype=np.int8)
+        out = np.empty((n, self.dimension), dtype=np.int64)
         for i in range(n):
-            pixel_hvs = np.bitwise_xor(pos, val[flat[i]])  # (P, D) in {0,1}
-            ones = pixel_hvs.sum(axis=0, dtype=np.int64)
-            out[i] = (ones >= self._majority_threshold).astype(np.int8)
+            out[i] = np.bitwise_xor(pos, val[flat[i]]).sum(axis=0, dtype=np.int64)
+        return out
+
+    def accumulate_delta(
+        self,
+        level_batch: np.ndarray,
+        parent_levels: np.ndarray,
+        parent_accumulators: np.ndarray,
+    ) -> np.ndarray:
+        """Children's ones counts from their parents' — changed pixels only.
+
+        Bit-identical to :meth:`accumulate_batch` on the children (the
+        count is a plain sum over pixels, so only changed pixels
+        contribute a ``{-1, 0, 1}`` correction); same parameter
+        conventions as
+        :meth:`repro.hdc.encoders.image.PixelEncoder.accumulate_delta`.
+        This is what lets the fuzzing engines run their incremental
+        encode path on the dense-binary family too.
+        """
+        levels = np.asarray(level_batch)
+        parents = np.asarray(parent_levels)
+        if levels.shape != parents.shape or levels.ndim != 2:
+            raise EncodingError(
+                f"level_batch {levels.shape} and parent_levels {parents.shape} "
+                "must both be (n, H*W)"
+            )
+        n_pixels = self._shape[0] * self._shape[1]
+        if levels.shape[1] != n_pixels:
+            raise EncodingError(
+                f"level rows have {levels.shape[1]} pixels, expected {n_pixels}"
+            )
+        accs = np.asarray(parent_accumulators)
+        if accs.shape != (levels.shape[0], self.dimension):
+            raise EncodingError(
+                f"parent_accumulators {accs.shape} must be "
+                f"(n={levels.shape[0]}, D={self.dimension})"
+            )
+        pos = self._position_memory.vectors
+        val = self._value_memory.vectors
+        out = accs.astype(np.int64, copy=True)
+        # Correction components are in {-1, 0, 1}, so int16 partial sums
+        # are exact up to 32767 changed pixels; wider shapes widen.
+        int16_safe = np.iinfo(np.int16).max
+        for i in range(levels.shape[0]):
+            changed = np.flatnonzero(levels[i] != parents[i])
+            if changed.size == 0:
+                continue
+            pos_changed = pos[changed]
+            delta = np.bitwise_xor(pos_changed, val[levels[i, changed]]).astype(np.int8)
+            delta -= np.bitwise_xor(pos_changed, val[parents[i, changed]])
+            sum_dtype = np.int16 if changed.size <= int16_safe else np.int64
+            out[i] += delta.sum(axis=0, dtype=sum_dtype)
         return out
 
     def __repr__(self) -> str:
@@ -292,6 +371,43 @@ class BinaryHDCClassifier:
         self._am.add(hvs, check_labels(labels, hvs.shape[0]))
         return self
 
+    def retrain(
+        self, inputs, labels, *, mode: str = "adaptive", epochs: int = 1
+    ) -> "BinaryHDCClassifier":
+        """Update the class bit counters with new labelled data.
+
+        Same contract as :meth:`repro.hdc.model.HDCClassifier.retrain`
+        (``"additive"`` accumulation or perceptron-style ``"adaptive"``
+        updates), which makes the binary family usable in the Sec. V-D
+        defense pipeline too.
+        """
+        if mode not in ("additive", "adaptive"):
+            raise ConfigurationError(f"mode must be 'additive' or 'adaptive', got {mode!r}")
+        epochs = check_positive_int(epochs, "epochs")
+        hvs = self._encoder.encode_batch(inputs)
+        labels_arr = check_labels(labels, hvs.shape[0])
+        if labels_arr.size and labels_arr.max() >= self._n_classes:
+            raise ConfigurationError(
+                f"label {labels_arr.max()} out of range for {self._n_classes} classes"
+            )
+        if mode == "additive":
+            self._am.add(hvs, labels_arr)
+            return self
+        for _ in range(epochs):
+            predictions = self._am.predict(hvs)
+            wrong = predictions != labels_arr
+            if not wrong.any():
+                break
+            self._am.add(hvs[wrong], labels_arr[wrong])
+            self._am.subtract(hvs[wrong], predictions[wrong])
+        return self
+
+    def copy(self) -> "BinaryHDCClassifier":
+        """Clone sharing the encoder but with an independent AM."""
+        clone = BinaryHDCClassifier(self._encoder, self._n_classes)
+        clone._am = self._am.copy()
+        return clone
+
     def predict(self, inputs) -> np.ndarray:
         return self._am.predict(self._encoder.encode_batch(inputs))
 
@@ -314,6 +430,61 @@ class BinaryHDCClassifier:
 
     def reference_hv(self, label: int) -> np.ndarray:
         return self._am.reference_hv(label)
+
+    # -- persistence ---------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise model (codebooks + bit counters) to a ``.npz`` file.
+
+        Only :class:`BinaryPixelEncoder` models are serialisable (the
+        same restriction as :meth:`repro.hdc.model.HDCClassifier.save`).
+        The file is tagged ``kind="pixel-binary-hdc"`` so loaders can
+        dispatch between model families.
+        """
+        if not isinstance(self._encoder, BinaryPixelEncoder):
+            raise ConfigurationError(
+                "save() currently supports BinaryPixelEncoder models only"
+            )
+        enc = self._encoder
+        state = self._am.state_dict()
+        np.savez_compressed(
+            Path(path),
+            kind=np.asarray("pixel-binary-hdc"),
+            shape=np.asarray(enc.shape),
+            levels=np.asarray(enc.levels),
+            dimension=np.asarray(enc.dimension),
+            position_vectors=enc.position_memory.vectors,
+            value_vectors=enc.value_memory.vectors,
+            am_ones=state["ones"],
+            am_counts=state["counts"],
+            n_classes=np.asarray(self._n_classes),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BinaryHDCClassifier":
+        """Inverse of :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            if str(data["kind"]) != "pixel-binary-hdc":
+                raise ConfigurationError(f"unsupported model kind {data['kind']!r}")
+            shape = tuple(int(v) for v in data["shape"])
+            dimension = int(data["dimension"])
+            space = BinarySpace(dimension)
+            encoder = BinaryPixelEncoder.__new__(BinaryPixelEncoder)
+            # Rebuild around the stored codebooks, no fresh randomness.
+            encoder._shape = shape  # noqa: SLF001 - controlled reconstruction
+            encoder._levels = int(data["levels"])
+            encoder._space = space
+            encoder._position_memory = ItemMemory.from_vectors(
+                data["position_vectors"], space
+            )
+            encoder._value_memory = ItemMemory.from_vectors(
+                data["value_vectors"], space
+            )
+            encoder._majority_threshold = (shape[0] * shape[1]) / 2.0
+            model = cls(encoder, int(data["n_classes"]))
+            model._am = BinaryAssociativeMemory.from_state_dict(
+                {"ones": data["am_ones"], "counts": data["am_counts"]}
+            )
+        return model
 
     def __repr__(self) -> str:
         return (

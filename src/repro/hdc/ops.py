@@ -15,7 +15,11 @@ The three HDC operations and the re-bipolarisation rule:
 
 All functions accept single hypervectors ``(D,)`` or batches
 ``(n, D)`` and broadcast like numpy.  XOR-style operations for binary
-spaces are provided as :func:`bind_xor` / :func:`bundle_majority`.
+spaces are provided as :func:`bind_xor` / :func:`bundle_majority`; for
+*bit-packed* binary hypervectors (uint64 words, 64 components each)
+the word-level kernels live in :mod:`repro.hdc.backends.packed`
+(:func:`bind_xor` itself is representation-agnostic — XOR on packed
+words binds all 64 components at once).
 """
 
 from __future__ import annotations

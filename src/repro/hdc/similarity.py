@@ -4,6 +4,13 @@ The paper's model predicts with cosine similarity (Sec. III-C) and the
 fuzzer's fitness is ``1 - cosine`` (Sec. IV), so :func:`cosine` and its
 batched form :func:`cosine_matrix` are the hot paths.  Hamming and dot
 similarities are included for binary models and diagnostics.
+
+:func:`hamming_distance` / :func:`hamming_similarity` accept both
+single hypervectors ``(D,)`` (→ float) and row-aligned batches
+``(n, D)`` (→ ``(n,)``).  For *bit-packed* uint64 hypervectors the
+equivalent kernels live in :mod:`repro.hdc.backends.packed`
+(``hamming_distance_packed`` et al.) — results are bit-identical for
+equal bits, which the test suite pins across both representations.
 """
 
 from __future__ import annotations
@@ -90,15 +97,29 @@ def dot(a: np.ndarray, b: np.ndarray) -> float:
     return float(av @ bv)
 
 
-def hamming_distance(a: np.ndarray, b: np.ndarray) -> float:
-    """Normalised Hamming distance: fraction of differing components."""
-    av = np.asarray(a).ravel()
-    bv = np.asarray(b).ravel()
+def hamming_distance(a: np.ndarray, b: np.ndarray):
+    """Normalised Hamming distance: fraction of differing components.
+
+    Two single hypervectors ``(D,)`` give a float; two row-aligned
+    batches ``(n, D)`` give a float64 ``(n,)`` of row-wise distances
+    (an empty batch gives an empty array).  Shapes must match exactly —
+    row-wise comparison is positional, not broadcast.
+    """
+    av = np.asarray(a)
+    bv = np.asarray(b)
     if av.shape != bv.shape:
         raise DimensionMismatchError(f"shapes {av.shape} and {bv.shape} differ")
+    if av.ndim == 2:
+        return np.mean(av != bv, axis=1, dtype=np.float64)
+    if av.ndim != 1:
+        raise DimensionMismatchError(f"expected 1-D or 2-D arrays, got ndim={av.ndim}")
     return float(np.mean(av != bv))
 
 
-def hamming_similarity(a: np.ndarray, b: np.ndarray) -> float:
-    """``1 - hamming_distance`` — fraction of matching components."""
+def hamming_similarity(a: np.ndarray, b: np.ndarray):
+    """``1 - hamming_distance`` — fraction of matching components.
+
+    Mirrors :func:`hamming_distance`'s shape contract: float for single
+    hypervectors, ``(n,)`` for row-aligned batches.
+    """
     return 1.0 - hamming_distance(a, b)

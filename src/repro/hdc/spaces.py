@@ -11,6 +11,11 @@ models onto HDTest unchanged.
 Hypervectors are plain :class:`numpy.ndarray` rows (int8 for the
 alphabets, wider ints for accumulators); there is intentionally no
 wrapper class, so all of numpy composes directly.
+
+The dense-binary alphabet also has a bit-packed form —
+:class:`~repro.hdc.backends.binary.PackedBinarySpace`, 64 components
+per uint64 word — re-exported here for discoverability (lazily, since
+:mod:`repro.hdc.backends` builds on this module).
 """
 
 from __future__ import annotations
@@ -23,7 +28,22 @@ from repro.errors import ConfigurationError, DimensionMismatchError
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["Space", "BipolarSpace", "BinarySpace", "DEFAULT_DIMENSION"]
+__all__ = [
+    "Space",
+    "BipolarSpace",
+    "BinarySpace",
+    "PackedBinarySpace",
+    "DEFAULT_DIMENSION",
+]
+
+
+def __getattr__(name: str):
+    """Lazy re-export of the packed space (avoids a circular import)."""
+    if name == "PackedBinarySpace":
+        from repro.hdc.backends.binary import PackedBinarySpace
+
+        return PackedBinarySpace
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Dimension used throughout the paper's experiments.
 DEFAULT_DIMENSION = 10_000

@@ -99,6 +99,21 @@ class LRUCache(Generic[K, V]):
         if len(self._data) > self._max_entries:
             self._data.popitem(last=False)
 
+    def resize(self, max_entries: int) -> None:
+        """Change the capacity, evicting LRU entries when shrinking.
+
+        Lets long-lived cache pools re-share one memory budget as the
+        number of live caches changes, without discarding warm entries
+        that still fit.
+        """
+        if not isinstance(max_entries, (int, np.integer)) or max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be a positive int, got {max_entries!r}"
+            )
+        self._max_entries = int(max_entries)
+        while len(self._data) > self._max_entries:
+            self._data.popitem(last=False)
+
     def clear(self) -> None:
         """Drop every entry (hit/miss counters are retained)."""
         self._data.clear()

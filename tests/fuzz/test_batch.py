@@ -162,6 +162,25 @@ class TestBatchedEquivalence:
         )
         _assert_outcomes_equal(sequential, batched)
 
+    def test_unguided_matches_fuzz_one(self, trained_model, test_images):
+        """Satellite: the lock-step equivalence now covers unguided runs.
+
+        RandomFitness draws from each input's own generator, so the
+        batched engine reproduces per-input fuzz_one outcomes even when
+        survival is a lottery.
+        """
+        inputs = list(test_images[:5])
+        cfg = HDTestConfig(iter_times=8, guided=False)
+        generators = spawn(2024, len(inputs))
+        sequential = [
+            HDTest(trained_model, "gauss", config=cfg).fuzz_one(image, rng=generator)
+            for image, generator in zip(inputs, generators)
+        ]
+        batched = BatchedHDTest(trained_model, "gauss", config=cfg).fuzz_outcomes(
+            inputs, rng=2024
+        )
+        _assert_outcomes_equal(sequential, batched)
+
     def test_explicit_generators_match_spawned(self, trained_model, test_images):
         inputs = list(test_images[:4])
         cfg = HDTestConfig(iter_times=4)
@@ -245,6 +264,45 @@ class TestBatchedEdgeCases:
         engine = BatchedHDTest(trained_model, "gauss")
         with pytest.raises(ConfigurationError, match="generators"):
             engine.fuzz_outcomes(list(test_images[:3]), generators=spawn(0, 2))
+
+    def test_cache_pool_reshare_and_reserve(self):
+        """Per-input caches re-share one aggregate entry budget."""
+        from repro.fuzz.batch import _CachePool
+
+        pool = _CachePool()
+        pool.reserve(1, 512)
+        first = pool.get(b"a", 512)
+        assert first.max_entries == 512
+        # The same input under a many-input share shrinks its cache.
+        assert pool.get(b"a", 32) is first
+        assert first.max_entries == 32
+        # A stream of distinct full-capacity inputs stays within the
+        # aggregate budget instead of pinning one cache per input.
+        stream = _CachePool()
+        stream.reserve(1, 512)
+        for i in range(10):
+            stream.get(str(i).encode(), 512)
+        assert len(stream._caches) <= 2
+        # reserve() guarantees a whole chunk's caches coexist.
+        chunk = _CachePool()
+        chunk.reserve(300, 32)
+        for i in range(300):
+            chunk.get(str(i).encode(), 32)
+        assert len(chunk._caches) == 300
+
+    def test_cache_warm_across_calls(self, trained_model, test_images):
+        """Recycled inputs hit their content-keyed cache on later calls."""
+        engine = BatchedHDTest(
+            trained_model, "shift", config=HDTestConfig(iter_times=4)
+        )
+        inputs = list(test_images[:2])
+        first = engine.fuzz_outcomes(inputs, rng=5)
+        caches = list(engine._cache_pool._caches.values())
+        hits_before = sum(c.hits for c in caches)
+        second = engine.fuzz_outcomes(inputs, rng=5)
+        hits_after = sum(c.hits for c in engine._cache_pool._caches.values())
+        assert hits_after > hits_before  # warm start, not a cold rebuild
+        _assert_outcomes_equal(first, second)
 
     def test_campaign_result_aggregates(self, trained_model, test_images):
         result = BatchedHDTest(

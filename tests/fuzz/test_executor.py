@@ -76,6 +76,19 @@ class TestSerialExecutor:
 
 
 class TestBatchedExecutor:
+    def test_unguided_batch_size_invariance(self, trained_model, test_images):
+        """Satellite: per-input fitness streams make the unguided
+        baseline invariant to chunking, like guided runs."""
+        inputs = list(test_images[:6])
+        cfg = HDTestConfig(iter_times=5, guided=False)
+        small = BatchedExecutor(batch_size=2).run(
+            trained_model, "gauss", inputs, config=cfg, rng=9
+        )
+        large = BatchedExecutor(batch_size=64).run(
+            trained_model, "gauss", inputs, config=cfg, rng=9
+        )
+        assert _outcome_key(small) == _outcome_key(large)
+
     def test_batch_size_invariance(self, trained_model, test_images):
         inputs = list(test_images[:7])
         small = BatchedExecutor(batch_size=2).run(
@@ -132,12 +145,95 @@ class TestProcessExecutor:
         second = executor.run(trained_model, "rand", inputs, config=cfg, rng=31)
         assert _outcome_key(first) == _outcome_key(second)
 
+    def test_unguided_matches_batched_executor(self, trained_model, test_images):
+        """Satellite: unguided outcomes are executor-invariant too."""
+        inputs = list(test_images[:4])
+        cfg = HDTestConfig(iter_times=4, guided=False)
+        batched = BatchedExecutor(batch_size=2).run(
+            trained_model, "rand", inputs, config=cfg, rng=44
+        )
+        with ProcessExecutor(n_workers=2, batch_size=2) as executor:
+            process = executor.run(trained_model, "rand", inputs, config=cfg, rng=44)
+        assert _outcome_key(batched) == _outcome_key(process)
+
     def test_more_workers_than_inputs(self, trained_model, test_images):
         inputs = list(test_images[:2])
         result = ProcessExecutor(n_workers=4, batch_size=8).run(
             trained_model, "gauss", inputs, config=CFG, rng=2
         )
         assert result.n_inputs == 2
+
+    def test_pool_persists_across_runs(self, trained_model, test_images):
+        """Satellite: an unchanged spec reuses the worker pool; close()
+        and spec changes rebuild it."""
+        inputs = list(test_images[:2])
+        executor = ProcessExecutor(n_workers=1, batch_size=4)
+        try:
+            first = executor.run(trained_model, "gauss", inputs, config=CFG, rng=7)
+            pool = executor._pool
+            assert pool is not None
+            second = executor.run(trained_model, "gauss", inputs, config=CFG, rng=7)
+            assert executor._pool is pool  # same pool, no re-broadcast
+            assert _outcome_key(first) == _outcome_key(second)
+            # A different strategy is a different spec — pool rebuilt.
+            executor.run(trained_model, "rand", inputs, config=CFG, rng=7)
+            assert executor._pool is not pool
+        finally:
+            executor.close()
+        assert executor._pool is None
+
+    def test_pool_sized_to_shards_and_grows(self, trained_model, test_images):
+        """The pool forks one process per shard, growing on demand."""
+        executor = ProcessExecutor(n_workers=4, batch_size=8)
+        try:
+            executor.run(trained_model, "gauss", list(test_images[:1]), config=CFG, rng=1)
+            assert executor._pool_processes == 1  # not 4 idle broadcasts
+            small_pool = executor._pool
+            executor.run(trained_model, "gauss", list(test_images[:4]), config=CFG, rng=1)
+            assert executor._pool is not small_pool  # grew by rebuild
+            assert executor._pool_processes == 4
+            executor.run(trained_model, "gauss", list(test_images[:2]), config=CFG, rng=1)
+            assert executor._pool_processes == 4  # bigger pool reused
+        finally:
+            executor.close()
+
+    def test_stateful_fitness_disables_pool_reuse(self, trained_model, test_images):
+        """A worker-side CoverageGuidedFitness accumulates visited cells,
+        so identical runs must get a fresh pool (and fresh fitness)."""
+        from repro.fuzz import CoverageGuidedFitness, CoverageMap
+
+        inputs = list(test_images[:2])
+        fitness = CoverageGuidedFitness(
+            CoverageMap(trained_model.dimension, n_bits=4, rng=1)
+        )
+        executor = ProcessExecutor(n_workers=1, batch_size=4)
+        try:
+            first = executor.run(
+                trained_model, "gauss", inputs, config=CFG, fitness=fitness, rng=7
+            )
+            pool = executor._pool
+            second = executor.run(
+                trained_model, "gauss", inputs, config=CFG, fitness=fitness, rng=7
+            )
+            assert executor._pool is not pool  # rebuilt, not reused
+            assert _outcome_key(first) == _outcome_key(second)  # reproducible
+        finally:
+            executor.close()
+
+    def test_retrained_model_rebuilds_pool(self, trained_model, test_images, digit_data):
+        """Training-count changes invalidate the broadcast model."""
+        train, _ = digit_data
+        model = trained_model.copy()
+        inputs = list(test_images[:2])
+        executor = ProcessExecutor(n_workers=1, batch_size=4)
+        try:
+            executor.run(model, "gauss", inputs, config=CFG, rng=1)
+            pool = executor._pool
+            model.retrain(train.images[:5], train.labels[:5], mode="additive")
+            executor.run(model, "gauss", inputs, config=CFG, rng=1)
+            assert executor._pool is not pool
+        finally:
+            executor.close()
 
 
 class TestCampaignWiring:

@@ -1,0 +1,140 @@
+"""Packed ↔ unpacked fuzzing equivalence (the tentpole property).
+
+Packing is representation only, so the differential fuzzer must produce
+**identical outcomes** — success flags, iteration counts, reference
+labels, and the adversarial payloads themselves — whether the binary
+model runs unpacked (int8 per component) or packed (uint64 words),
+sequentially or batched, through any executor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_digits
+from repro.fuzz import (
+    BatchedExecutor,
+    BatchedHDTest,
+    DistanceGuidedFitness,
+    HDTest,
+    HDTestConfig,
+    compare_strategies,
+)
+from repro.hdc import (
+    BinaryHDCClassifier,
+    BinaryPixelEncoder,
+    PackedBinaryHDCClassifier,
+)
+from repro.hdc.backends.packed import pack_bits
+from repro.utils.rng import spawn
+
+DIM = 1024
+
+
+@pytest.fixture(scope="module")
+def binary_model(digit_data):
+    train, _ = digit_data
+    encoder = BinaryPixelEncoder(dimension=DIM, rng=5)
+    return BinaryHDCClassifier(encoder, n_classes=10).fit(
+        train.images[:300], train.labels[:300]
+    )
+
+
+@pytest.fixture(scope="module")
+def packed_model(binary_model):
+    return PackedBinaryHDCClassifier.from_binary(binary_model)
+
+
+def _key(outcomes):
+    return [
+        (
+            o.success,
+            o.iterations,
+            o.reference_label,
+            None
+            if o.example is None
+            else (o.example.adversarial_label, o.example.adversarial.tobytes()),
+        )
+        for o in outcomes
+    ]
+
+
+class TestPackedFitness:
+    def test_distance_fitness_bit_identical(self, binary_model, packed_model, rng):
+        """1 − Cosim on packed words equals the unpacked computation."""
+        bits = rng.integers(0, 2, size=(16, DIM)).astype(np.int8)
+        ref = binary_model.reference_hv(0)
+        fitness = DistanceGuidedFitness()
+        np.testing.assert_array_equal(
+            fitness.scores(pack_bits(ref), pack_bits(bits)),
+            fitness.scores(ref, bits),
+        )
+
+
+class TestPackedFuzzingEquivalence:
+    @pytest.mark.parametrize("strategy", ["gauss", "rand"])
+    def test_batched_outcomes_identical(
+        self, binary_model, packed_model, test_images, strategy
+    ):
+        inputs = list(test_images[:5])
+        cfg = HDTestConfig(iter_times=8)
+        unpacked = BatchedHDTest(binary_model, strategy, config=cfg).fuzz_outcomes(
+            inputs, rng=21
+        )
+        packed = BatchedHDTest(packed_model, strategy, config=cfg).fuzz_outcomes(
+            inputs, rng=21
+        )
+        assert _key(unpacked) == _key(packed)
+
+    def test_sequential_outcomes_identical(
+        self, binary_model, packed_model, test_images
+    ):
+        inputs = list(test_images[:4])
+        cfg = HDTestConfig(iter_times=6)
+        generators = spawn(77, len(inputs))
+        unpacked = [
+            HDTest(binary_model, "gauss", config=cfg).fuzz_one(x, rng=g)
+            for x, g in zip(inputs, generators)
+        ]
+        packed = [
+            HDTest(packed_model, "gauss", config=cfg).fuzz_one(x, rng=g)
+            for x, g in zip(inputs, spawn(77, len(inputs)))
+        ]
+        assert _key(unpacked) == _key(packed)
+
+    def test_unguided_outcomes_identical(self, binary_model, packed_model, test_images):
+        inputs = list(test_images[:4])
+        cfg = HDTestConfig(iter_times=6, guided=False)
+        unpacked = BatchedHDTest(binary_model, "rand", config=cfg).fuzz_outcomes(
+            inputs, rng=13
+        )
+        packed = BatchedHDTest(packed_model, "rand", config=cfg).fuzz_outcomes(
+            inputs, rng=13
+        )
+        assert _key(unpacked) == _key(packed)
+
+    def test_campaign_backend_flag(self, binary_model, test_images):
+        """compare_strategies(backend='packed') == the unpacked campaign."""
+        inputs = test_images[:4]
+        cfg = HDTestConfig(iter_times=6)
+        dense = compare_strategies(
+            binary_model, inputs, ("gauss",), config=cfg, rng=2,
+            executor=BatchedExecutor(batch_size=2),
+        )["gauss"]
+        packed = compare_strategies(
+            binary_model, inputs, ("gauss",), config=cfg, rng=2,
+            executor=BatchedExecutor(batch_size=2), backend="packed",
+        )["gauss"]
+        assert _key(dense.outcomes) == _key(packed.outcomes)
+
+    def test_packed_adversarials_fool_the_unpacked_model(
+        self, binary_model, packed_model, test_images
+    ):
+        cfg = HDTestConfig(iter_times=25)
+        result = BatchedHDTest(packed_model, "gauss", config=cfg).fuzz(
+            list(test_images[:4]), rng=6
+        )
+        for example in result.examples:
+            assert (
+                binary_model.predict_one(example.adversarial)
+                == example.adversarial_label
+            )

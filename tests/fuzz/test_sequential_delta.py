@@ -1,0 +1,102 @@
+"""Tests for the sequential engine's incremental (delta) encode path.
+
+`HDTest.fuzz_one` now threads parent accumulators through the
+:class:`~repro.fuzz.seeds.SeedPool`, encoding children from their
+parent's accumulator instead of from scratch.  The algebra is exact, so
+outcomes must be bit-identical to the direct path — for the bipolar,
+binary, and packed model families alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fuzz import HDTest, HDTestConfig, SeedPool
+from repro.utils.rng import spawn
+
+
+def _key(outcomes):
+    return [
+        (
+            o.success,
+            o.iterations,
+            o.reference_label,
+            None
+            if o.example is None
+            else (o.example.adversarial_label, o.example.adversarial.tobytes()),
+        )
+        for o in outcomes
+    ]
+
+
+def _run(model, strategy, inputs, cfg, seed, *, force_direct=False):
+    fuzzer = HDTest(model, strategy, config=cfg)
+    if force_direct:
+        fuzzer._delta_encoder = lambda: None  # noqa: SLF001 - test hook
+    return [
+        fuzzer.fuzz_one(x, rng=g) for x, g in zip(inputs, spawn(seed, len(inputs)))
+    ]
+
+
+class TestSeedPoolSideData:
+    def test_reset_and_update_carry_side_data(self):
+        pool = SeedPool(2)
+        pool.reset(np.zeros((2, 2)), accumulator=np.array([1, 2]), levels=np.array([0]))
+        assert pool.best().generation == 0
+        np.testing.assert_array_equal(pool.best().accumulator, [1, 2])
+        children = np.arange(12, dtype=np.float64).reshape(3, 2, 2)
+        accs = np.arange(6).reshape(3, 2)
+        levels = np.arange(3).reshape(3, 1)
+        pool.update(
+            children, [0.1, 0.9, 0.5], generation=1, accumulators=accs, levels=levels
+        )
+        # Fittest first: candidate 1, then candidate 2.
+        np.testing.assert_array_equal(pool.seeds[0].accumulator, accs[1])
+        np.testing.assert_array_equal(pool.seeds[1].levels, levels[2])
+
+    def test_side_data_defaults_to_none(self):
+        pool = SeedPool(2)
+        pool.reset("text seed")
+        assert pool.best().accumulator is None
+        pool.update(["a", "b"], [0.3, 0.6], generation=1)
+        assert pool.seeds[0].levels is None
+
+
+class TestSequentialDeltaEquivalence:
+    @pytest.mark.parametrize("strategy", ["gauss", "rand", "shift"])
+    def test_bipolar_matches_direct(self, trained_model, test_images, strategy):
+        inputs = list(test_images[:4])
+        cfg = HDTestConfig(iter_times=6)
+        delta = _run(trained_model, strategy, inputs, cfg, 42)
+        direct = _run(trained_model, strategy, inputs, cfg, 42, force_direct=True)
+        assert _key(delta) == _key(direct)
+
+    def test_without_dedupe(self, trained_model, test_images):
+        inputs = list(test_images[:3])
+        cfg = HDTestConfig(iter_times=5, dedupe=False)
+        delta = _run(trained_model, "gauss", inputs, cfg, 8)
+        direct = _run(trained_model, "gauss", inputs, cfg, 8, force_direct=True)
+        assert _key(delta) == _key(direct)
+
+    def test_binary_family_matches_direct(self, digit_data, test_images):
+        from repro.hdc import BinaryHDCClassifier, BinaryPixelEncoder
+
+        train, _ = digit_data
+        model = BinaryHDCClassifier(
+            BinaryPixelEncoder(dimension=512, rng=3), 10
+        ).fit(train.images[:200], train.labels[:200])
+        inputs = list(test_images[:3])
+        cfg = HDTestConfig(iter_times=5)
+        delta = _run(model, "gauss", inputs, cfg, 5)
+        direct = _run(model, "gauss", inputs, cfg, 5, force_direct=True)
+        assert _key(delta) == _key(direct)
+
+    def test_delta_encoder_detected(self, trained_model):
+        assert HDTest(trained_model, "gauss")._delta_encoder() is not None
+
+    def test_delta_cache_still_bounded(self, trained_model, test_images):
+        """A pathologically small dedupe cache must not change results."""
+        inputs = list(test_images[:2])
+        cfg = HDTestConfig(iter_times=5, cache_max_entries=2)
+        delta = _run(trained_model, "gauss", inputs, cfg, 17)
+        direct = _run(trained_model, "gauss", inputs, cfg, 17, force_direct=True)
+        assert _key(delta) == _key(direct)

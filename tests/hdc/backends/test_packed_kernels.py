@@ -1,0 +1,182 @@
+"""Property tests for the packed uint64 kernels.
+
+The load-bearing contract: packing is lossless and every kernel is
+bit-identical to the corresponding computation on the unpacked {0, 1}
+arrays — for every dimension, including ones that do not divide 64.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.hdc.backends import packed as pk
+from repro.hdc.similarity import cosine_matrix, hamming_distance
+
+DIMS = [1, 7, 63, 64, 65, 128, 200, 1000]
+
+
+def _bits(rng, n, dim):
+    return rng.integers(0, 2, size=(n, dim)).astype(np.int8)
+
+
+class TestPackRoundtrip:
+    @pytest.mark.parametrize("dim", DIMS)
+    def test_roundtrip(self, rng, dim):
+        bits = _bits(rng, 5, dim)
+        words = pk.pack_bits(bits)
+        assert words.dtype == np.uint64
+        assert words.shape == (5, pk.packed_words(dim))
+        np.testing.assert_array_equal(pk.unpack_bits(words, dim), bits)
+
+    def test_single_vector(self, rng):
+        bits = _bits(rng, 1, 100)[0]
+        words = pk.pack_bits(bits)
+        assert words.shape == (pk.packed_words(100),)
+        np.testing.assert_array_equal(pk.unpack_bits(words, 100), bits)
+
+    def test_tail_bits_zero(self, rng):
+        words = pk.pack_bits(np.ones((3, 70), dtype=np.int8))
+        # Components 70..127 of the second word must be zero.
+        assert (words[:, 1] >> np.uint64(6) == 0).all()
+        pk.check_packed(words, 70)
+
+    def test_memory_is_eightfold_smaller(self, rng):
+        bits = _bits(rng, 4, 1024)
+        assert bits.nbytes == 8 * pk.pack_bits(bits).nbytes
+
+    def test_empty_batch(self):
+        words = pk.pack_bits(np.zeros((0, 100), dtype=np.int8))
+        assert words.shape == (0, pk.packed_words(100))
+        assert pk.unpack_bits(words, 100).shape == (0, 100)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pk.pack_bits(np.array([0, 1, 2]))
+
+    def test_word_count_mismatch_rejected(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            pk.unpack_bits(pk.pack_bits(_bits(rng, 2, 128)), 200)
+
+    def test_check_packed_flags_dirty_tail(self):
+        words = pk.pack_bits(np.zeros((1, 70), dtype=np.int8))
+        words[0, 1] |= np.uint64(1) << np.uint64(63)  # beyond component 70
+        with pytest.raises(ConfigurationError, match="beyond"):
+            pk.check_packed(words, 70)
+
+    def test_check_packed_rejects_wrong_dtype(self):
+        with pytest.raises(ConfigurationError, match="uint64"):
+            pk.check_packed(np.zeros((1, 2), dtype=np.int64), 128)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 0xFF, 2**64 - 1], dtype=np.uint64)
+        np.testing.assert_array_equal(pk.popcount(words), [0, 1, 8, 64])
+
+    def test_fallbacks_match_production(self, rng):
+        """SWAR fallback, LUT reference, and popcount() all agree."""
+        words = rng.integers(0, 2**63, size=(6, 9), dtype=np.int64).astype(np.uint64)
+        expected = pk.popcount(words)
+        np.testing.assert_array_equal(pk._popcount_swar(words), expected)
+        np.testing.assert_array_equal(pk._popcount_lut(words), expected)
+
+    def test_fallback_extremes(self):
+        words = np.array([0, 1, 2**64 - 1, 2**63], dtype=np.uint64)
+        np.testing.assert_array_equal(pk._popcount_swar(words), [0, 1, 64, 1])
+        np.testing.assert_array_equal(pk._popcount_lut(words), [0, 1, 64, 1])
+
+    def test_lut_fallback_empty(self):
+        assert pk._popcount_lut(np.zeros((0, 3), dtype=np.uint64)).shape == (0, 3)
+        assert pk._popcount_swar(np.zeros((0, 3), dtype=np.uint64)).shape == (0, 3)
+
+    def test_env_gate_reported(self):
+        # Whatever the environment says, the flag and behaviour agree.
+        import numpy as _np
+
+        expected = hasattr(_np, "bitwise_count") and pk._HAVE_BITWISE_COUNT
+        assert pk.using_hardware_popcount() == expected
+
+
+class TestBindAndBundle:
+    @pytest.mark.parametrize("dim", [64, 100])
+    def test_xor_matches_unpacked(self, rng, dim):
+        a, b = _bits(rng, 4, dim), _bits(rng, 4, dim)
+        got = pk.bind_xor_packed(pk.pack_bits(a), pk.pack_bits(b))
+        np.testing.assert_array_equal(got, pk.pack_bits(np.bitwise_xor(a, b)))
+
+    @pytest.mark.parametrize("dim", [64, 100])
+    def test_bit_counts_match_column_sums(self, rng, dim):
+        bits = _bits(rng, 9, dim)
+        np.testing.assert_array_equal(
+            pk.bit_counts(pk.pack_bits(bits), dim), bits.sum(axis=0)
+        )
+
+    def test_bit_counts_empty_stack(self):
+        np.testing.assert_array_equal(
+            pk.bit_counts(np.zeros((0, 2), dtype=np.uint64), 100), np.zeros(100)
+        )
+
+    @pytest.mark.parametrize("n", [1, 4, 5])
+    def test_majority_matches_threshold(self, rng, n):
+        bits = _bits(rng, n, 200)
+        got = pk.unpack_bits(pk.bundle_majority_packed(pk.pack_bits(bits), 200), 200)
+        expected = (2 * bits.sum(axis=0) >= n).astype(np.int8)  # ties -> 1
+        np.testing.assert_array_equal(got, expected)
+
+    def test_majority_empty_stack_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            pk.bundle_majority_packed(np.zeros((0, 2), dtype=np.uint64), 100)
+
+
+class TestHammingKernels:
+    @pytest.mark.parametrize("dim", [64, 100, 1000])
+    def test_counts_match_unpacked(self, rng, dim):
+        q, r = _bits(rng, 5, dim), _bits(rng, 3, dim)
+        got = pk.hamming_counts(pk.pack_bits(q), pk.pack_bits(r))
+        expected = (q[:, None, :] != r[None, :, :]).sum(axis=2)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_counts_empty_queries(self, rng):
+        refs = pk.pack_bits(_bits(rng, 3, 100))
+        got = pk.hamming_counts(np.zeros((0, refs.shape[1]), dtype=np.uint64), refs)
+        assert got.shape == (0, 3)
+
+    @pytest.mark.parametrize("dim", [64, 100])
+    def test_distance_matches_similarity_module(self, rng, dim):
+        a, b = _bits(rng, 4, dim), _bits(rng, 4, dim)
+        got = pk.hamming_distance_packed(pk.pack_bits(a), pk.pack_bits(b), dim)
+        np.testing.assert_allclose(got, hamming_distance(a, b))
+        # Single-vector form returns a float, like the unpacked API.
+        single = pk.hamming_distance_packed(pk.pack_bits(a)[0], pk.pack_bits(b)[0], dim)
+        assert isinstance(single, float)
+        assert single == hamming_distance(a[0], b[0])
+
+    def test_similarity_complement(self, rng):
+        a, b = _bits(rng, 2, 130), _bits(rng, 2, 130)
+        dist = pk.hamming_distance_packed(pk.pack_bits(a), pk.pack_bits(b), 130)
+        sim = pk.hamming_similarity_packed(pk.pack_bits(a), pk.pack_bits(b), 130)
+        np.testing.assert_allclose(sim + dist, 1.0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            pk.hamming_distance_packed(
+                pk.pack_bits(_bits(rng, 2, 128)), pk.pack_bits(_bits(rng, 3, 128)), 128
+            )
+
+
+class TestCosinePacked:
+    @pytest.mark.parametrize("dim", [64, 100, 1000])
+    def test_bit_identical_to_unpacked(self, rng, dim):
+        q, r = _bits(rng, 6, dim), _bits(rng, 4, dim)
+        got = pk.cosine_matrix_packed(pk.pack_bits(q), pk.pack_bits(r))
+        # Bit-identical, not merely close: the fitness ranking depends
+        # on exact float equality with the unpacked computation.
+        np.testing.assert_array_equal(got, cosine_matrix(q, r))
+
+    def test_zero_vector_gives_zero(self, rng):
+        q = np.zeros((1, 100), dtype=np.int8)
+        r = _bits(rng, 2, 100)
+        np.testing.assert_array_equal(
+            pk.cosine_matrix_packed(pk.pack_bits(q), pk.pack_bits(r)),
+            np.zeros((1, 2)),
+        )

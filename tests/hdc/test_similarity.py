@@ -111,3 +111,64 @@ class TestDotAndHamming:
         a = SPACE.random(rng=16)
         b = SPACE.random(rng=17)
         assert cosine(a, b) == pytest.approx(1 - 2 * hamming_distance(a, b))
+
+
+class TestHammingBatchedAndPacked:
+    """Satellite coverage: 2-D batches, degenerate shapes, packed parity."""
+
+    def _pairs(self, n, dim, seed=0):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, size=(n, dim)).astype(np.int8)
+        b = rng.integers(0, 2, size=(n, dim)).astype(np.int8)
+        return a, b
+
+    def test_2d_rowwise(self):
+        a, b = self._pairs(5, 300)
+        dist = hamming_distance(a, b)
+        assert dist.shape == (5,)
+        for i in range(5):
+            assert dist[i] == hamming_distance(a[i], b[i])
+        np.testing.assert_allclose(hamming_similarity(a, b), 1.0 - dist)
+
+    def test_empty_batch(self):
+        a = np.zeros((0, 128), dtype=np.int8)
+        assert hamming_distance(a, a).shape == (0,)
+        assert hamming_similarity(a, a).shape == (0,)
+
+    def test_3d_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            hamming_distance(np.zeros((2, 2, 4)), np.zeros((2, 2, 4)))
+
+    def test_2d_shape_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            hamming_distance(np.zeros((2, 4)), np.zeros((3, 4)))
+
+    @pytest.mark.parametrize("dim", [64, 100, 130])  # including D % 64 != 0
+    def test_packed_matches_unpacked(self, dim):
+        from repro.hdc.backends.packed import (
+            hamming_distance_packed,
+            hamming_similarity_packed,
+            pack_bits,
+        )
+
+        a, b = self._pairs(4, dim, seed=dim)
+        packed_dist = hamming_distance_packed(pack_bits(a), pack_bits(b), dim)
+        np.testing.assert_array_equal(packed_dist, hamming_distance(a, b))
+        np.testing.assert_array_equal(
+            hamming_similarity_packed(pack_bits(a), pack_bits(b), dim),
+            hamming_similarity(a, b),
+        )
+
+    def test_packed_empty_batch(self):
+        from repro.hdc.backends.packed import hamming_distance_packed, pack_bits
+
+        a = pack_bits(np.zeros((0, 100), dtype=np.int8))
+        assert hamming_distance_packed(a, a, 100).shape == (0,)
+
+    def test_packed_single_vector_returns_float(self):
+        from repro.hdc.backends.packed import hamming_distance_packed, pack_bits
+
+        a, b = self._pairs(1, 100, seed=3)
+        got = hamming_distance_packed(pack_bits(a[0]), pack_bits(b[0]), 100)
+        assert isinstance(got, float)
+        assert got == hamming_distance(a[0], b[0])

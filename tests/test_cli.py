@@ -41,6 +41,20 @@ class TestParser:
         assert args.executor == "process"
         assert args.workers == 2
 
+    def test_family_and_backend_flags(self):
+        args = build_parser().parse_args(
+            ["train", "--out", "m.npz", "--family", "binary"]
+        )
+        assert args.family == "binary"
+        args = build_parser().parse_args(
+            ["fuzz", "--model", "m.npz", "--backend", "packed"]
+        )
+        assert args.backend == "packed"
+        args = build_parser().parse_args(["defend", "--model", "m.npz"])
+        assert args.backend == "dense"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--model", "m.npz", "--backend", "gpu"])
+
     def test_unknown_executor_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(
@@ -79,8 +93,55 @@ class TestEndToEnd:
         assert code == 0
         return path
 
+    @pytest.fixture(scope="class")
+    def binary_model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-binary") / "binary.npz"
+        code = main(
+            [
+                "train",
+                "--out", str(path),
+                "--family", "binary",
+                "--n-train", "200",
+                "--n-test", "40",
+                "--dimension", "512",
+                "--seed", "7",
+            ]
+        )
+        assert code == 0
+        return path
+
     def test_train_reports_accuracy(self, model_path, capsys):
         assert model_path.exists()
+
+    def test_fuzz_binary_with_packed_backend(self, binary_model_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--model", str(binary_model_path),
+                "--strategies", "gauss",
+                "--n-images", "3",
+                "--iter-times", "10",
+                "--executor", "batched",
+                "--backend", "packed",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        assert "gauss" in capsys.readouterr().out
+
+    def test_packed_backend_rejected_for_bipolar(self, model_path, capsys):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="dense-binary"):
+            main(
+                [
+                    "fuzz",
+                    "--model", str(model_path),
+                    "--strategies", "gauss",
+                    "--n-images", "2",
+                    "--backend", "packed",
+                ]
+            )
 
     def test_fuzz_prints_table2(self, model_path, capsys):
         code = main(
