@@ -69,10 +69,10 @@ class _ScratchSerialExecutor(SerialExecutor):
     against.
     """
 
-    def run(self, model, strategy, inputs, *, config=None, constraint=None,
-            fitness=None, oracle=None, rng=None):
+    def run(self, model, strategy, inputs, *, domain=None, config=None,
+            constraint=None, fitness=None, oracle=None, rng=None):
         fuzzer = HDTest(
-            model, strategy,
+            model, strategy, domain=domain,
             config=config, constraint=constraint,
             fitness=fitness, oracle=oracle, rng=rng,
         )

@@ -47,3 +47,37 @@ def fuzz_images(digit_data):
 def run_once(benchmark, fn):
     """Record a single timed execution of *fn* (campaign-scale benches)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+# -- text-domain fixtures (bench_text_fuzzing) ----------------------------
+TEXT_LENGTH = 120
+N_LANGUAGES = 4
+
+
+@pytest.fixture(scope="session")
+def text_corpus():
+    """Paper-scale synthetic language corpus (4 Markov languages)."""
+    from repro.datasets import make_language_dataset
+
+    return make_language_dataset(
+        n_per_class=60, n_languages=N_LANGUAGES, length=TEXT_LENGTH, seed=SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def text_model(text_corpus):
+    """The Rahimi-style n-gram language model at D = 10 000."""
+    from repro.hdc import HDCClassifier, NgramEncoder
+
+    train, _ = text_corpus.split(0.8, rng=0)
+    encoder = NgramEncoder(n=3, dimension=PAPER_DIMENSION, rng=SEED)
+    return HDCClassifier(encoder, n_classes=text_corpus.n_classes).fit(
+        list(train.texts), train.labels
+    )
+
+
+@pytest.fixture(scope="session")
+def fuzz_texts(text_corpus):
+    """String pool for text fuzzing campaigns."""
+    _, test = text_corpus.split(0.8, rng=0)
+    return list(test.texts)

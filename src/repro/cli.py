@@ -1,12 +1,18 @@
 """``hdtest`` command-line interface.
 
-Subcommands mirror the paper's workflow:
+Subcommands mirror the paper's workflow, generalised over fuzzing
+domains (Sec. V-E):
 
-* ``hdtest train`` — train the Sec. III HDC model on (synthetic or
-  real) MNIST digits and save it to a ``.npz`` file.
-* ``hdtest fuzz`` — run Alg. 1 over test images with one or more
-  Table I strategies and print the Table II-style summary.
-* ``hdtest defend`` — run the Sec. V-D retraining defense end to end.
+* ``hdtest train`` — train an HDC model for any ``--domain``: the
+  Sec. III pixel model on (synthetic or real) MNIST digits, the
+  Rahimi-style n-gram language model on the synthetic language corpus,
+  or the VoiceHD-style record model on the synthetic voice features —
+  and save it to a ``.npz`` file.
+* ``hdtest fuzz`` — run Alg. 1 over domain-appropriate test inputs
+  with one or more strategies and print the Table II-style summary;
+  ``--domain image|text|voice`` drives the same engines and executors.
+* ``hdtest defend`` — run the Sec. V-D retraining defense end to end
+  (image domain).
 * ``hdtest strategies`` — list registered mutation strategies.
 
 Every subcommand takes ``--seed`` and is fully reproducible.
@@ -26,16 +32,24 @@ from repro.analysis.figures import adversarial_triptych
 from repro.analysis.per_class import per_class_series, per_class_table
 from repro.analysis.tables import table2
 from repro.datasets.loaders import load_digits
+from repro.datasets.text import make_language_dataset
+from repro.datasets.voice import make_voice_dataset
 from repro.defense.retrain import run_defense
 from repro.errors import ConfigurationError
 from repro.fuzz.campaign import compare_strategies, generate_adversarial_set
+from repro.fuzz.domains import create_domain, get_domain_class
 from repro.fuzz.executor import create_executor, executor_names
 from repro.fuzz.fuzzer import HDTestConfig
 from repro.fuzz.mutations import strategy_names
 from repro.hdc.backends.dispatch import MODEL_BACKEND_CHOICES
 from repro.hdc.binary_model import BinaryHDCClassifier, BinaryPixelEncoder
 from repro.hdc.encoders.image import PixelEncoder
+from repro.hdc.encoders.ngram import NgramEncoder
+from repro.hdc.encoders.record import RecordEncoder
 from repro.hdc.model import HDCClassifier
+
+#: CLI domain choices; ``voice`` is the record domain's spoken-feature face.
+DOMAIN_CHOICES = ("image", "text", "voice")
 
 __all__ = ["main", "build_parser"]
 
@@ -49,12 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"hdtest {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    train = sub.add_parser("train", help="train an HDC digit classifier")
+    train = sub.add_parser("train", help="train an HDC classifier for any domain")
     train.add_argument("--out", type=Path, required=True, help="output model .npz path")
+    train.add_argument("--domain", choices=DOMAIN_CHOICES, default="image",
+                       help="input modality: MNIST-style digits (image), the "
+                            "synthetic language corpus with the n-gram encoder "
+                            "(text), or the synthetic VoiceHD features with the "
+                            "record encoder (voice); default: image")
     train.add_argument("--family", choices=("bipolar", "binary"), default="bipolar",
                        help="model family: the paper's bipolar pixel model, or the "
                             "dense-binary (Rahimi-style) family that the packed/"
-                            "torch backends accelerate (default: bipolar)")
+                            "torch backends accelerate (image domain only; "
+                            "default: bipolar)")
     train.add_argument("--n-train", type=int, default=2000)
     train.add_argument("--n-test", type=int, default=400)
     train.add_argument("--dimension", type=int, default=10000)
@@ -64,16 +84,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     fuzz = sub.add_parser("fuzz", help="fuzz a trained model (Table II workflow)")
     fuzz.add_argument("--model", type=Path, required=True, help="model .npz from `train`")
-    fuzz.add_argument("--strategies", nargs="+", default=["gauss"],
-                      help=f"one or more of: {', '.join(strategy_names('image'))}")
-    fuzz.add_argument("--n-images", type=int, default=50)
+    fuzz.add_argument("--domain", choices=DOMAIN_CHOICES, default="image",
+                      help="input modality fuzzed; must match the trained model "
+                           "(default: image)")
+    fuzz.add_argument("--strategies", nargs="+", default=None,
+                      help="one or more strategies from the domain's namespace "
+                           f"(image: {', '.join(strategy_names('image'))}; "
+                           f"text: {', '.join(strategy_names('text'))}; "
+                           f"voice: {', '.join(strategy_names('record'))}); "
+                           "default: the domain's default strategy")
+    fuzz.add_argument("--n-images", type=int, default=50,
+                      help="number of inputs fuzzed (any domain)")
     fuzz.add_argument("--iter-times", type=int, default=50)
     fuzz.add_argument("--top-n", type=int, default=3)
     fuzz.add_argument("--children", type=int, default=8)
     fuzz.add_argument("--unguided", action="store_true",
                       help="disable distance-guided seed survival")
     _add_executor_flags(fuzz)
-    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="root seed; for --domain text/voice use the same "
+                           "seed as `train` so fuzzing inputs stay in the "
+                           "model's distribution (default: 0)")
     fuzz.add_argument("--per-class", action="store_true", help="print Fig. 7 table")
     fuzz.add_argument("--show-example", action="store_true",
                       help="render one adversarial triptych as ASCII")
@@ -145,33 +176,70 @@ def _executor_from_args(args: argparse.Namespace):
     )
 
 
+def _split_fraction(n_train: int, n_test: int) -> float:
+    """Train share of a generated corpus, kept away from degenerate splits."""
+    total = max(n_train + n_test, 1)
+    return min(max(n_train / total, 0.1), 0.9)
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
-    train_set, test_set = load_digits(
-        n_train=args.n_train, n_test=args.n_test, seed=args.seed, data_dir=args.data_dir
-    )
-    if args.family == "binary":
-        encoder = BinaryPixelEncoder(dimension=args.dimension, rng=args.seed)
-        model = BinaryHDCClassifier(encoder, n_classes=10)
-    else:
-        model = HDCClassifier(
-            PixelEncoder(dimension=args.dimension, rng=args.seed), n_classes=10
+    if args.domain != "image" and args.family != "bipolar":
+        raise ConfigurationError(
+            f"--family {args.family} applies to the image domain only"
         )
-    model.fit(train_set.images, train_set.labels)
-    accuracy = model.score(test_set.images, test_set.labels)
+    if args.domain == "text":
+        per_class = max(2, (args.n_train + args.n_test) // 4)
+        corpus = make_language_dataset(n_per_class=per_class, seed=args.seed)
+        train_texts, test_texts = corpus.split(
+            _split_fraction(args.n_train, args.n_test), rng=args.seed
+        )
+        encoder = NgramEncoder(n=3, dimension=args.dimension, rng=args.seed)
+        model = HDCClassifier(encoder, n_classes=corpus.n_classes)
+        model.fit(list(train_texts.texts), train_texts.labels)
+        accuracy = model.score(list(test_texts.texts), test_texts.labels)
+        trained_on = f"{len(train_texts)} synthetic-language texts"
+    elif args.domain == "voice":
+        per_class = max(2, (args.n_train + args.n_test) // 6)
+        corpus = make_voice_dataset(n_per_class=per_class, seed=args.seed)
+        train_recs, test_recs = corpus.split(
+            _split_fraction(args.n_train, args.n_test), rng=args.seed
+        )
+        encoder = RecordEncoder(
+            n_features=corpus.n_features, dimension=args.dimension, rng=args.seed
+        )
+        model = HDCClassifier(encoder, n_classes=corpus.n_classes)
+        model.fit(train_recs.records, train_recs.labels)
+        accuracy = model.score(test_recs.records, test_recs.labels)
+        trained_on = f"{len(train_recs)} synthetic voice records"
+    else:
+        train_set, test_set = load_digits(
+            n_train=args.n_train, n_test=args.n_test, seed=args.seed,
+            data_dir=args.data_dir,
+        )
+        if args.family == "binary":
+            encoder = BinaryPixelEncoder(dimension=args.dimension, rng=args.seed)
+            model = BinaryHDCClassifier(encoder, n_classes=10)
+        else:
+            model = HDCClassifier(
+                PixelEncoder(dimension=args.dimension, rng=args.seed), n_classes=10
+            )
+        model.fit(train_set.images, train_set.labels)
+        accuracy = model.score(test_set.images, test_set.labels)
+        trained_on = f"{len(train_set)} {train_set.name} images ({args.family} family)"
     model.save(args.out)
-    print(f"trained {args.family} family on {len(train_set)} {train_set.name} "
-          f"images (D={args.dimension}); test accuracy {accuracy:.3f}")
+    print(f"trained {args.domain} domain on {trained_on} "
+          f"(D={args.dimension}); test accuracy {accuracy:.3f}")
     print(f"model saved to {args.out}")
     return 0
 
 
 def _load_model(path: Path):
-    """Load either model family, dispatching on the file's ``kind`` tag."""
+    """Load any model family, dispatching on the file's ``kind`` tag."""
     with np.load(path, allow_pickle=False) as data:
         kind = str(data["kind"]) if "kind" in data else "?"
     if kind == "pixel-binary-hdc":
         return BinaryHDCClassifier.load(path)
-    if kind == "pixel-hdc":
+    if kind in ("pixel-hdc", "ngram-hdc", "record-hdc"):
         return HDCClassifier.load(path)
     raise ConfigurationError(f"unsupported model kind {kind!r} in {path}")
 
@@ -184,9 +252,57 @@ def _load_model_and_images(args: argparse.Namespace, n_images: int):
     return model, test_set
 
 
+def _fuzz_inputs(args: argparse.Namespace, n: int) -> list:
+    """A pool of *n* domain-appropriate unlabeled fuzzing inputs.
+
+    Differential testing needs no labels (the model's own prediction is
+    the reference), but inputs must come from the distribution the
+    model was trained on for the robustness summary to mean anything.
+    The synthetic text/voice generators derive their class structure
+    (Markov languages, spectral prototypes) from ``--seed``, so fuzzing
+    inputs reuse that seed for the classes and ``--seed + 1`` only for
+    fresh samples — run fuzz with the same ``--seed`` as train to stay
+    in distribution.  The image domain's digit distribution is
+    seed-independent (and keeps its ``--data-dir`` escape hatch to real
+    MNIST).
+    """
+    if args.domain == "text":
+        corpus = make_language_dataset(
+            n_per_class=max(1, -(-n // 4)), seed=args.seed,
+            sample_seed=args.seed + 1,
+        )
+        return list(corpus.texts)[:n]
+    if args.domain == "voice":
+        corpus = make_voice_dataset(
+            n_per_class=max(1, -(-n // 6)), seed=args.seed,
+            sample_seed=args.seed + 1,
+        )
+        return list(corpus.records[:n])
+    _, test_set = load_digits(
+        n_train=1, n_test=max(n, 1), seed=args.seed + 1, data_dir=args.data_dir
+    )
+    return list(test_set.images[:n].astype(np.float64))
+
+
+def _resolve_strategies(args: argparse.Namespace) -> list[str]:
+    """``--strategies`` validated against the domain's namespace."""
+    domain_cls = get_domain_class(args.domain)
+    available = strategy_names(domain_cls.name)
+    strategies = args.strategies or [domain_cls.default_strategy]
+    unknown = [s for s in strategies if s not in available]
+    if unknown:
+        raise ConfigurationError(
+            f"strategies {unknown} are not in the {args.domain!r} domain's "
+            f"namespace; available: {', '.join(available)}"
+        )
+    return strategies
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     executor = _executor_from_args(args)  # reject bad flag combos before loading
-    model, test_set = _load_model_and_images(args, args.n_images)
+    strategies = _resolve_strategies(args)
+    model = _load_model(args.model)
+    inputs = _fuzz_inputs(args, args.n_images)
     config = HDTestConfig(
         iter_times=args.iter_times,
         top_n=args.top_n,
@@ -195,8 +311,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     )
     results = compare_strategies(
         model,
-        test_set.images[: args.n_images].astype(np.float64),
-        args.strategies,
+        inputs,
+        strategies,
+        domain=create_domain(args.domain, model=model),
         config=config,
         rng=args.seed,
         executor=executor,
@@ -208,11 +325,22 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print()
         print(per_class_table(series))
     if args.show_example:
-        for result in results.values():
-            if result.examples:
-                print()
-                print(adversarial_triptych(result.examples[0]))
-                break
+        if args.domain == "image":
+            for result in results.values():
+                if result.examples:
+                    print()
+                    print(adversarial_triptych(result.examples[0]))
+                    break
+        else:
+            for result in results.values():
+                if result.examples:
+                    ex = result.examples[0]
+                    print()
+                    print(f"original:    {ex.original}")
+                    print(f"adversarial: {ex.adversarial}")
+                    print(f"label {ex.reference_label} -> {ex.adversarial_label} "
+                          f"({ex.metrics})")
+                    break
     return 0
 
 

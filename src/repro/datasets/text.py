@@ -136,13 +136,21 @@ def make_language_dataset(
     length: int = 120,
     alphabet: str = DEFAULT_ALPHABET,
     seed: int = 0,
+    sample_seed: int | None = None,
 ) -> TextDataset:
-    """Generate a labelled corpus of ``n_languages`` synthetic languages."""
+    """Generate a labelled corpus of ``n_languages`` synthetic languages.
+
+    *seed* fixes the languages themselves (each class's Markov
+    transition structure); *sample_seed*, when given, draws a fresh,
+    independent set of strings **from those same languages** — how the
+    CLI generates unlabeled fuzzing inputs that stay in the trained
+    model's distribution without replaying the training corpus.
+    """
     n_per_class = check_positive_int(n_per_class, "n_per_class")
     n_languages = check_positive_int(n_languages, "n_languages")
     root = ensure_rng(seed)
     model_rngs = spawn(root, n_languages)
-    sample_rng = ensure_rng(root)
+    sample_rng = ensure_rng(root if sample_seed is None else sample_seed)
     texts: list[str] = []
     labels: list[int] = []
     for cls in range(n_languages):

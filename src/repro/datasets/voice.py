@@ -101,6 +101,7 @@ def make_voice_dataset(
     n_features: int = 64,
     noise_scale: float = 0.06,
     seed: int = 0,
+    sample_seed: int | None = None,
 ) -> RecordDataset:
     """Generate a VoiceHD-shaped record dataset.
 
@@ -114,6 +115,12 @@ def make_voice_dataset(
         Record length (VoiceHD's ISOLET uses 617; 64 keeps demos fast).
     noise_scale:
         Std-dev of the smoothed additive noise; larger = harder task.
+    seed:
+        Fixes the class prototypes (and, by default, the samples).
+    sample_seed:
+        When given, draws a fresh independent sample set **from the
+        same prototypes** — how the CLI generates in-distribution
+        fuzzing inputs without replaying the training records.
     """
     n_per_class = check_positive_int(n_per_class, "n_per_class")
     n_classes = check_positive_int(n_classes, "n_classes")
@@ -122,7 +129,7 @@ def make_voice_dataset(
         raise ConfigurationError(f"noise_scale must be >= 0, got {noise_scale}")
     root = ensure_rng(seed)
     proto_rngs = spawn(root, n_classes)
-    sample_rng = ensure_rng(root)
+    sample_rng = ensure_rng(root if sample_seed is None else sample_seed)
 
     records = np.empty((n_classes * n_per_class, n_features))
     labels = np.empty(n_classes * n_per_class, dtype=np.int64)

@@ -1,4 +1,4 @@
-"""Batched fuzzing engine: Alg. 1 in lock-step across inputs.
+"""Batched fuzzing engine: Alg. 1 in lock-step across inputs, any domain.
 
 :class:`BatchedHDTest` runs the paper's per-input loop over *all*
 active inputs simultaneously.  Each iteration mutates every input's
@@ -7,6 +7,14 @@ predict** covering every input's children, instead of one small
 model call per input per iteration.  Inputs retire from the batch the
 moment their differential oracle flips; per-input iteration counts are
 exactly those of the sequential loop.
+
+The engine is modality-agnostic: its
+:class:`~repro.fuzz.domains.FuzzDomain` converts raw inputs into the
+internal array representation once at entry — pixel grids for images,
+uint8 alphabet-code rows for strings, feature vectors for records —
+and the lock-step loop only ever sees ``(n, …)`` numeric blocks.
+``hdtest fuzz --domain image|text|voice`` drives the same engine
+through any executor and backend.
 
 Semantics are unchanged — only the schedule is.  Under the *shared RNG
 discipline* (one child generator per input, derived with
@@ -19,16 +27,17 @@ its generator::
     ==  [HDTest(model, "gauss").fuzz_one(x, rng=g)
          for x, g in zip(inputs, generators)]
 
-(property-tested in ``tests/fuzz/test_batch.py``).
+(property-tested in ``tests/fuzz/test_batch.py`` for images and
+``tests/fuzz/test_cross_modality.py`` for text and records).
 
 Two encode paths are used, picked automatically:
 
-* **incremental (delta)** — when the model's encoder exposes
-  ``quantize``/``accumulate_batch``/``accumulate_delta`` (the pixel
-  encoder does), children are encoded from their *parent seed's*
-  accumulator, touching only the pixels the mutation changed.  The
-  integer algebra is exact, so hypervectors are bit-identical to a full
-  encode at a fraction of the work.
+* **incremental (delta)** — when the model's encoder exposes the
+  :data:`~repro.fuzz.domains.DELTA_ENCODER_API` (the pixel and n-gram
+  encoders do), children are encoded from their *parent seed's*
+  accumulator, touching only the components (pixels, n-grams) the
+  mutation changed.  The integer algebra is exact, so hypervectors are
+  bit-identical to a full encode at a fraction of the work.
 * **direct** — any other encoder: the iteration's cache-missing
   children of every input are stacked into a single ``encode_batch``
   call.
@@ -128,9 +137,10 @@ class _ActiveInput:
 class BatchedHDTest(HDTest):
     """Lock-step batched variant of :class:`~repro.fuzz.fuzzer.HDTest`.
 
-    Accepts the same constructor arguments.  Only array-valued inputs
-    (images, records) can be batched — text fuzzing stays on the
-    sequential engine.
+    Accepts the same constructor arguments, including ``domain``.  Any
+    registered modality batches: inputs are converted to the domain's
+    internal array representation (strings become uint8 code rows) and
+    must share one shape/length per call.
 
     Examples
     --------
@@ -184,7 +194,7 @@ class BatchedHDTest(HDTest):
         Parameters
         ----------
         inputs:
-            Array-valued inputs of identical shape.
+            Raw inputs of the engine's domain, identical shape/length.
         rng:
             Root randomness; per-input child generators are spawned from
             it (ignored when *generators* is given).
@@ -222,7 +232,7 @@ class BatchedHDTest(HDTest):
         active = [
             _ActiveInput(
                 i,
-                inputs[i],
+                originals[i],
                 int(reference_labels[i]),
                 self._model.reference_hv(int(reference_labels[i])),
                 generators[i],
@@ -296,20 +306,8 @@ class BatchedHDTest(HDTest):
 
     # -- lock-step internals -----------------------------------------------
     def _stack_inputs(self, inputs: Sequence[Any]) -> np.ndarray:
-        arrays = []
-        for item in inputs:
-            if not isinstance(item, np.ndarray):
-                raise ConfigurationError(
-                    "BatchedHDTest requires array inputs (images/records); "
-                    f"got {type(item).__name__} — use HDTest for text domains"
-                )
-            arrays.append(np.asarray(item, dtype=np.float64))
-        try:
-            return np.stack(arrays)
-        except ValueError as exc:
-            raise ConfigurationError(
-                f"inputs must share one shape to batch: {exc}"
-            ) from None
+        """Raw inputs → the domain's stacked internal ``(n, …)`` batch."""
+        return self._domain.stack(inputs)
 
     def _mutation_plans(self, active, pool: SeedPoolBatch):
         """Mutate + clip + budget-filter each active input's seeds.
@@ -329,8 +327,9 @@ class BatchedHDTest(HDTest):
             ]
             if not isinstance(batches[0], np.ndarray):
                 raise FuzzingError(
-                    f"strategy {self._strategy.name!r} produces non-array children; "
-                    "the batched engine supports array domains only"
+                    f"strategy {self._strategy.name!r} returned "
+                    f"{type(batches[0]).__name__} children for an array seed; "
+                    "strategies must stay in the domain's internal representation"
                 )
             children = np.concatenate(batches, axis=0)
             children = self._constraint.clip(children)

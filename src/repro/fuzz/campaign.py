@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, FuzzingError
 from repro.fuzz.constraints import Constraint
+from repro.fuzz.domains import FuzzDomain
 from repro.fuzz.executor import CampaignExecutor, create_executor
 from repro.fuzz.fuzzer import HDTest, HDTestConfig
 from repro.fuzz.mutations import MutationStrategy, create_strategy
@@ -70,6 +71,7 @@ def compare_strategies(
     inputs: Sequence[Any],
     strategies: Iterable[Union[str, MutationStrategy]] = TABLE2_STRATEGIES,
     *,
+    domain: Union[None, str, FuzzDomain] = None,
     config: Optional[HDTestConfig] = None,
     constraint: Optional[Constraint] = None,
     rng: RngLike = None,
@@ -86,6 +88,12 @@ def compare_strategies(
 
     Parameters
     ----------
+    domain:
+        Input modality of the campaign (``"image"``, ``"text"``,
+        ``"record"``/``"voice"``, a
+        :class:`~repro.fuzz.domains.FuzzDomain`, or ``None`` to derive
+        it from the strategies).  All listed strategies must share one
+        domain namespace.
     executor:
         How to schedule each per-strategy campaign: ``None`` (the
         historical serial loop), an executor name (``"serial"``,
@@ -108,6 +116,12 @@ def compare_strategies(
     duplicates = {name for name in names if names.count(name) > 1}
     if duplicates:
         raise ConfigurationError(f"duplicate strategy {sorted(duplicates)[0]!r}")
+    namespaces = {strategy.domain for strategy in strategy_objs}
+    if len(namespaces) > 1:
+        raise ConfigurationError(
+            f"strategies span multiple domains {sorted(namespaces)}; "
+            "compare one modality per campaign"
+        )
     # One child generator per strategy, bound to the strategy *name* so
     # listing order cannot re-pair names with streams.
     children = spawn(generator, len(names))
@@ -118,13 +132,13 @@ def compare_strategies(
             strategy_rng = children[rank[strategy.name]]
             if exec_obj is None:
                 fuzzer = HDTest(
-                    model, strategy, config=config, constraint=constraint,
-                    rng=strategy_rng,
+                    model, strategy, domain=domain, config=config,
+                    constraint=constraint, rng=strategy_rng,
                 )
                 results[strategy.name] = fuzzer.fuzz(inputs)
             else:
                 results[strategy.name] = exec_obj.run(
-                    model, strategy, inputs,
+                    model, strategy, inputs, domain=domain,
                     config=config, constraint=constraint, rng=strategy_rng,
                 )
     finally:
@@ -139,6 +153,7 @@ def generate_adversarial_set(
     n_target: int,
     *,
     strategy: Union[str, MutationStrategy] = "gauss",
+    domain: Union[None, str, FuzzDomain] = None,
     true_labels: Optional[Sequence[int]] = None,
     config: Optional[HDTestConfig] = None,
     constraint: Optional[Constraint] = None,
@@ -156,14 +171,19 @@ def generate_adversarial_set(
 
     Parameters
     ----------
+    domain:
+        Input modality (see :func:`compare_strategies`); text and
+        record pools generate through the very same wave machinery.
     true_labels:
         Optional ground-truth labels aligned with *inputs*; attached to
         each example so the defense can retrain "with correct labels".
     executor:
         ``None`` reproduces the historical input-at-a-time loop; an
         executor name or instance processes the cycled input pool in
-        waves (preserving visit order), which is how the batched and
-        process engines reach their throughput.  A persistent executor
+        *adaptive* waves (preserving visit order): each wave is sized
+        from the success rate observed so far (see :func:`_wave_size`),
+        which is how the batched and process engines reach their
+        throughput without over-provisioning easy campaigns.  A persistent executor
         (the process pool) is reused across waves — the model is
         broadcast once per campaign, not once per wave — and closed on
         return when it was created here from a name.
@@ -191,14 +211,16 @@ def generate_adversarial_set(
         try:
             return _generate_with_executor(
                 exec_obj, model, inputs, n_target,
-                strategy=strategy, true_labels=true_labels, config=config,
-                constraint=constraint, generator=generator, max_attempts=max_attempts,
+                strategy=strategy, domain=domain, true_labels=true_labels,
+                config=config, constraint=constraint, generator=generator,
+                max_attempts=max_attempts,
             )
         finally:
             if owns_executor:
                 exec_obj.close()
 
-    fuzzer = HDTest(model, strategy, config=config, constraint=constraint, rng=generator)
+    fuzzer = HDTest(model, strategy, domain=domain, config=config,
+                    constraint=constraint, rng=generator)
     examples: list[AdversarialExample] = []
     attempts = 0
     with Stopwatch() as sw:
@@ -228,6 +250,37 @@ def _with_true_label(
     return replace(example, true_label=int(true_labels[index]))
 
 
+def _wave_size(
+    remaining: int,
+    attempts: int,
+    successes: int,
+    n_inputs: int,
+    attempts_left: int,
+) -> int:
+    """Adaptive wave sizing: cover the deficit at the observed success rate.
+
+    Before any signal exists (no completed attempts, or no success yet)
+    the historical ``max(2×remaining, 16)`` heuristic applies.  After
+    that, the wave is sized to ``remaining / rate`` with 25 % headroom:
+    an easy model (rate ≈ 1) stops over-provisioning double waves, a
+    robust one (rate ≪ ½) stops trickling through many under-sized
+    waves.  The result is always clamped to the input pool and the
+    remaining attempt budget.
+
+    Per-input outcomes depend only on each input's own spawned
+    generator, drawn from the root stream in visit order, so wave
+    boundaries never change *which* adversarials are found — only how
+    many scheduler round-trips finding them takes (property-tested in
+    ``tests/fuzz/test_campaign.py``).
+    """
+    if attempts == 0 or successes == 0:
+        want = max(2 * remaining, 16)
+    else:
+        rate = successes / attempts
+        want = int(np.ceil(remaining / rate * 1.25))
+    return max(1, min(n_inputs, attempts_left, max(want, 16)))
+
+
 def _generate_with_executor(
     exec_obj: CampaignExecutor,
     model: HDCClassifier,
@@ -235,31 +288,33 @@ def _generate_with_executor(
     n_target: int,
     *,
     strategy,
+    domain,
     true_labels,
     config,
     constraint,
     generator: np.random.Generator,
     max_attempts: int,
 ) -> tuple[list[AdversarialExample], float]:
-    """Wave-mode generation: fuzz the cycled pool in executor-sized gulps."""
+    """Wave-mode generation: fuzz the cycled pool in adaptive waves."""
     examples: list[AdversarialExample] = []
     attempts = 0
+    successes = 0
     with Stopwatch() as sw:
         while len(examples) < n_target:
             remaining = n_target - len(examples)
-            # Enough inputs to plausibly cover the deficit without
-            # overshooting the whole pool or the attempt cap.
-            wave_size = min(
-                len(inputs), max_attempts - attempts, max(2 * remaining, 16)
+            wave_size = _wave_size(
+                remaining, attempts, successes, len(inputs),
+                max_attempts - attempts,
             )
             indices = [(attempts + j) % len(inputs) for j in range(wave_size)]
             result = exec_obj.run(
-                model, strategy, [inputs[i] for i in indices],
+                model, strategy, [inputs[i] for i in indices], domain=domain,
                 config=config, constraint=constraint, rng=generator,
             )
             attempts += wave_size
             for position, outcome in enumerate(result.outcomes):
                 if outcome.success:
+                    successes += 1
                     examples.append(
                         _with_true_label(
                             outcome.example, true_labels, indices[position]

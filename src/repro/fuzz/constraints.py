@@ -23,7 +23,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ConstraintError
+from repro.errors import ConfigurationError, ConstraintError
 from repro.metrics.distances import perturbation_metrics
 from repro.utils.validation import check_positive_float
 
@@ -118,11 +118,17 @@ class ImageConstraint(Constraint):
 
 
 class TextConstraint(Constraint):
-    """Character-edit budget for equal-length text mutation.
+    """Character-Hamming budget for length-preserving text mutation.
 
-    Accepts candidates whose Hamming distance (differing character
-    positions; length changes count as infinite) stays within
-    *max_edits*.
+    Accepts candidates whose Hamming distance (number of differing
+    character positions) stays within *max_edits*.  Works on strings
+    and on the text domain's uint8 code arrays alike; the array form is
+    fully vectorized across candidates, mirroring the image budget.
+
+    Text mutation is length-preserving by contract, so unequal-length
+    original/candidate pairs are a configuration bug, not a rejectable
+    mutant — they raise :class:`~repro.errors.ConfigurationError`
+    instead of being silently scored or broadcast.
     """
 
     def __init__(self, max_edits: int = 30) -> None:
@@ -133,19 +139,46 @@ class TextConstraint(Constraint):
     @staticmethod
     def _edits(original: str, candidate: str) -> float:
         if len(original) != len(candidate):
-            return float("inf")
+            raise ConfigurationError(
+                f"text mutation must preserve length: original has "
+                f"{len(original)} characters, candidate {len(candidate)}"
+            )
         return float(sum(a != b for a, b in zip(original, candidate)))
 
-    def clip(self, candidates: Sequence[str]) -> Sequence[str]:
+    @staticmethod
+    def _as_code_rows(original, candidates) -> tuple[np.ndarray, np.ndarray]:
+        orig = np.asarray(original)
+        cand = np.asarray(candidates)
+        if cand.ndim == 1:
+            cand = cand[None]
+        if orig.ndim != 1 or cand.ndim != 2:
+            raise ConfigurationError(
+                f"expected a (L,) original and (n, L) candidates, got "
+                f"{orig.shape} and {np.asarray(candidates).shape}"
+            )
+        if cand.shape[1] != orig.shape[0]:
+            raise ConfigurationError(
+                f"text mutation must preserve length: original has "
+                f"{orig.shape[0]} characters, candidates {cand.shape[1]}"
+            )
+        return orig, cand
+
+    def clip(self, candidates: Any) -> Any:
         return candidates
 
-    def accept(self, original: str, candidates: Sequence[str]) -> np.ndarray:
+    def accept(self, original: Any, candidates: Any) -> np.ndarray:
+        if isinstance(original, np.ndarray) or isinstance(candidates, np.ndarray):
+            orig, cand = self._as_code_rows(original, candidates)
+            return (cand != orig[None]).sum(axis=1) <= self.max_edits
         return np.asarray(
             [self._edits(original, cand) <= self.max_edits for cand in candidates],
             dtype=bool,
         )
 
-    def measure(self, original: str, candidate: str) -> dict[str, float]:
+    def measure(self, original: Any, candidate: Any) -> dict[str, float]:
+        if isinstance(original, np.ndarray) or isinstance(candidate, np.ndarray):
+            orig, cand = self._as_code_rows(original, candidate)
+            return {"edits": float((cand[0] != orig).sum())}
         return {"edits": self._edits(original, candidate)}
 
     def __repr__(self) -> str:
@@ -223,14 +256,19 @@ class RecordConstraint(Constraint):
 
 
 class NullConstraint(Constraint):
-    """No budget: accept everything (clipping images only).
+    """No budget: accept everything (clipping float images only).
 
-    The default for ``shift``, whose perturbation metrics the paper
-    deems not meaningful (every pixel "moves").
+    The default for metric-free strategies (``shift``,
+    ``record_shift``), whose perturbation metrics the paper deems not
+    meaningful (every pixel "moves").  Integer arrays — the text
+    domain's code rows — pass through untouched; codes are indices, not
+    grey levels, so [0, 255] clipping does not apply.
     """
 
     def clip(self, candidates: Any) -> Any:
-        if isinstance(candidates, np.ndarray):
+        if isinstance(candidates, np.ndarray) and not np.issubdtype(
+            candidates.dtype, np.integer
+        ):
             return np.clip(candidates.astype(np.float64, copy=False), 0.0, 255.0)
         return candidates
 
@@ -239,7 +277,9 @@ class NullConstraint(Constraint):
         return np.ones(n, dtype=bool)
 
     def measure(self, original: Any, candidate: Any) -> dict[str, float]:
-        if isinstance(original, np.ndarray):
+        if isinstance(original, np.ndarray) and not np.issubdtype(
+            np.asarray(original).dtype, np.integer
+        ):
             return perturbation_metrics(original, candidate)
         return {}
 

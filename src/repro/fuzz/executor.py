@@ -3,7 +3,9 @@
 The fuzzing *algorithm* (Alg. 1) is fixed; how its per-input runs are
 scheduled across the hardware is not.  A :class:`CampaignExecutor`
 turns ``(model, strategy, inputs)`` into a
-:class:`~repro.fuzz.results.CampaignResult`:
+:class:`~repro.fuzz.results.CampaignResult` for any registered fuzzing
+domain — image, text, or record campaigns all flow through the same
+three schedules (the ``domain`` keyword is forwarded to the engines):
 
 * :class:`SerialExecutor` — the paper-literal loop, one input at a time
   (exactly :meth:`repro.fuzz.fuzzer.HDTest.fuzz`);
@@ -49,6 +51,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.fuzz.batch import BatchedHDTest
 from repro.fuzz.constraints import Constraint
+from repro.fuzz.domains import FuzzDomain
 from repro.fuzz.fitness import FitnessFunction
 from repro.fuzz.fuzzer import HDTest, HDTestConfig
 from repro.fuzz.mutations import MutationStrategy
@@ -81,13 +84,19 @@ class CampaignExecutor(ABC):
         strategy: Union[str, MutationStrategy],
         inputs: Sequence[Any],
         *,
+        domain: Union[None, str, FuzzDomain] = None,
         config: Optional[HDTestConfig] = None,
         constraint: Optional[Constraint] = None,
         fitness: Optional[FitnessFunction] = None,
         oracle: Optional[DifferentialOracle] = None,
         rng: RngLike = None,
     ) -> CampaignResult:
-        """Fuzz *inputs* and return the aggregated campaign result."""
+        """Fuzz *inputs* and return the aggregated campaign result.
+
+        *domain* selects the input modality (name, instance, or ``None``
+        to derive it from the strategy's namespace tag) and is passed
+        through to the underlying engines unchanged.
+        """
 
     def close(self) -> None:
         """Release any resources held across :meth:`run` calls (no-op here)."""
@@ -107,10 +116,11 @@ class SerialExecutor(CampaignExecutor):
 
     name = "serial"
 
-    def run(self, model, strategy, inputs, *, config=None, constraint=None,
-            fitness=None, oracle=None, rng: RngLike = None) -> CampaignResult:
+    def run(self, model, strategy, inputs, *, domain=None, config=None,
+            constraint=None, fitness=None, oracle=None,
+            rng: RngLike = None) -> CampaignResult:
         fuzzer = HDTest(
-            model, strategy,
+            model, strategy, domain=domain,
             config=config, constraint=constraint,
             fitness=fitness, oracle=oracle, rng=rng,
         )
@@ -133,10 +143,11 @@ class BatchedExecutor(CampaignExecutor):
 
     name = "batched"
 
-    def run(self, model, strategy, inputs, *, config=None, constraint=None,
-            fitness=None, oracle=None, rng: RngLike = None) -> CampaignResult:
+    def run(self, model, strategy, inputs, *, domain=None, config=None,
+            constraint=None, fitness=None, oracle=None,
+            rng: RngLike = None) -> CampaignResult:
         fuzzer = BatchedHDTest(
-            model, strategy,
+            model, strategy, domain=domain,
             config=config, constraint=constraint,
             fitness=fitness, oracle=oracle, rng=rng,
         )
@@ -166,13 +177,14 @@ class BatchedExecutor(CampaignExecutor):
 _WORKER: dict[str, Any] = {}
 
 
-def _process_worker_init(model, strategy, config, constraint, fitness, oracle,
-                         batch_size) -> None:
+def _process_worker_init(model, strategy, domain, config, constraint, fitness,
+                         oracle, batch_size) -> None:
     """Pool initializer: broadcast the campaign spec to this worker once."""
     _WORKER.clear()
     _WORKER.update(
-        model=model, strategy=strategy, config=config, constraint=constraint,
-        fitness=fitness, oracle=oracle, batch_size=batch_size,
+        model=model, strategy=strategy, domain=domain, config=config,
+        constraint=constraint, fitness=fitness, oracle=oracle,
+        batch_size=batch_size,
     )
 
 
@@ -193,7 +205,7 @@ def _process_worker_run(
     fuzzer = _WORKER.get("fuzzer")
     if fuzzer is None:
         fuzzer = _WORKER["fuzzer"] = BatchedHDTest(
-            _WORKER["model"], _WORKER["strategy"],
+            _WORKER["model"], _WORKER["strategy"], domain=_WORKER["domain"],
             config=_WORKER["config"], constraint=_WORKER["constraint"],
             fitness=_WORKER["fitness"], oracle=_WORKER["oracle"], rng=shard_seed,
         )
@@ -250,7 +262,7 @@ class ProcessExecutor(CampaignExecutor):
         self._pool_processes = 0
 
     @staticmethod
-    def _spec_key(model, strategy, config, constraint, fitness, oracle):
+    def _spec_key(model, strategy, domain, config, constraint, fitness, oracle):
         """Identity of the broadcast campaign spec, or None if not reusable.
 
         Object identities plus the model's training counts: every
@@ -285,8 +297,9 @@ class ProcessExecutor(CampaignExecutor):
         am = getattr(model, "associative_memory", None)
         counts = am.counts.tobytes() if am is not None else b""
         strategy_key = strategy if isinstance(strategy, str) else id(strategy)
+        domain_key = domain if isinstance(domain, str) else id(domain)
         return (
-            id(model), counts, strategy_key,
+            id(model), counts, strategy_key, domain_key,
             id(config), id(constraint), id(fitness), id(oracle),
         )
 
@@ -335,12 +348,13 @@ class ProcessExecutor(CampaignExecutor):
         except Exception:
             pass
 
-    def run(self, model, strategy, inputs, *, config=None, constraint=None,
-            fitness=None, oracle=None, rng: RngLike = None) -> CampaignResult:
+    def run(self, model, strategy, inputs, *, domain=None, config=None,
+            constraint=None, fitness=None, oracle=None,
+            rng: RngLike = None) -> CampaignResult:
         # Validate the spec (and resolve the strategy name) up front, in
         # the parent, where errors are debuggable.
         probe = BatchedHDTest(
-            model, strategy,
+            model, strategy, domain=domain,
             config=config, constraint=constraint, fitness=fitness, oracle=oracle,
         )
         root = ensure_rng(rng)
@@ -364,10 +378,10 @@ class ProcessExecutor(CampaignExecutor):
         with Stopwatch() as sw:
             if shards:
                 pool = self._ensure_pool(
-                    self._spec_key(model, strategy, config, constraint,
+                    self._spec_key(model, strategy, domain, config, constraint,
                                    fitness, oracle),
-                    (model, strategy, config, constraint, fitness, oracle),
-                    (model, probe.strategy, config, constraint,
+                    (model, strategy, domain, config, constraint, fitness, oracle),
+                    (model, probe.strategy, probe.domain, config, constraint,
                      fitness, oracle, self.batch_size),
                     min(self.n_workers, len(shards)),
                 )

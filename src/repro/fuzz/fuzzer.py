@@ -1,6 +1,7 @@
-"""The HDTest fuzzing loop (Sec. IV, Alg. 1).
+"""The HDTest fuzzing loop (Sec. IV, Alg. 1) — domain-generic.
 
-For each unlabeled input ``t``:
+For each unlabeled input ``t`` (an image, a string, a feature
+record — any registered :mod:`fuzzing domain <repro.fuzz.domains>`):
 
 1. ``y = HDC(t)`` — the model's prediction becomes the *reference
    label* (differential testing: no manual labeling).
@@ -20,15 +21,24 @@ The loop is deliberately per-input (matching the paper and keeping
 iteration counts honest); all per-iteration work — mutation, encoding,
 prediction, fitness — is batched across children.
 
+Everything modality-specific is delegated to the engine's
+:class:`~repro.fuzz.domains.FuzzDomain`: raw inputs are converted to
+the domain's *internal array representation* once at entry (strings
+become uint8 alphabet-code rows; images and records stay float64), the
+loop runs entirely on those arrays, and adversarial payloads are
+converted back at exit.  The domain also supplies the default
+perturbation constraint and decides whether the model's encoder
+supports incremental encoding.
+
 Like the batched engine, the sequential loop encodes children
-*incrementally* whenever the model's encoder exposes the delta surface
-(``quantize`` / ``accumulate_batch`` / ``accumulate_delta`` /
-``hvs_from_accumulators``): each surviving seed carries its integer
-accumulator and quantised levels through the :class:`SeedPool`, and a
-child's accumulator is computed from its parent's over only the
-changed pixels.  The algebra is exact, so outcomes are bit-identical
-to scratch re-encoding (property-tested in
-``tests/fuzz/test_sequential_delta.py``).
+*incrementally* whenever the encoder exposes the delta surface
+(:data:`~repro.fuzz.domains.DELTA_ENCODER_API`): each surviving seed
+carries its integer accumulator and quantised levels through the
+:class:`SeedPool`, and a child's accumulator is computed from its
+parent's over only the changed components (pixels, characters, …).
+The algebra is exact, so outcomes are bit-identical to scratch
+re-encoding (property-tested in ``tests/fuzz/test_sequential_delta.py``
+and ``tests/fuzz/test_cross_modality.py``).
 """
 
 from __future__ import annotations
@@ -39,7 +49,8 @@ from typing import Any, Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import ConfigurationError, FuzzingError, NotTrainedError
-from repro.fuzz.constraints import Constraint, ImageConstraint, NullConstraint
+from repro.fuzz.constraints import Constraint
+from repro.fuzz.domains.base import DELTA_ENCODER_API, FuzzDomain, resolve_domain
 from repro.fuzz.fitness import DistanceGuidedFitness, FitnessFunction, RandomFitness
 from repro.fuzz.mutations import MutationStrategy, create_strategy
 from repro.fuzz.oracle import DifferentialOracle
@@ -51,18 +62,7 @@ from repro.utils.cache import LRUCache, resolve_with_cache
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["HDTestConfig", "HDTest"]
-
-#: Duck-typed surface an encoder must expose for the incremental path.
-#: hvs_from_accumulators is part of it so the accumulator→hypervector
-#: rule (Eq. 1 tie-breaking / binary majority) stays owned by the
-#: encoder.  Shared by the sequential and batched engines.
-DELTA_ENCODER_API = (
-    "quantize",
-    "accumulate_batch",
-    "accumulate_delta",
-    "hvs_from_accumulators",
-)
+__all__ = ["HDTestConfig", "HDTest", "DELTA_ENCODER_API"]
 
 
 @dataclass(frozen=True)
@@ -123,12 +123,21 @@ class HDTest:
         system under test).
     strategy:
         A :class:`~repro.fuzz.mutations.MutationStrategy` instance or a
-        registered name (``"gauss"``, ``"rand"``, …).
+        registered name (``"gauss"``, ``"char_sub"``, ``"record_rand"``, …).
+    domain:
+        The input modality — a registered name (``"image"``, ``"text"``,
+        ``"record"``/``"voice"``), a
+        :class:`~repro.fuzz.domains.FuzzDomain` instance, or ``None``
+        to derive it from the strategy's namespace tag.  The domain
+        owns input validation, the internal array representation, and
+        the default constraint.
     config:
         Loop parameters; defaults to :class:`HDTestConfig`.
     constraint:
-        Perturbation budget.  Defaults to the paper's ``L2 < 1`` image
-        budget — except for the ``shift`` strategy, which defaults to
+        Perturbation budget.  Defaults to the domain's budget — the
+        paper's ``L2 < 1`` for images, the character-Hamming budget for
+        text, the record budget for records — except for metric-free
+        strategies (``shift``, ``record_shift``), which default to
         :class:`~repro.fuzz.constraints.NullConstraint` (Table II's
         footnote: distance metrics are not meaningful for shift).
     fitness:
@@ -160,6 +169,7 @@ class HDTest:
         model: HDCClassifier,
         strategy: Union[str, MutationStrategy],
         *,
+        domain: Union[None, str, FuzzDomain] = None,
         config: Optional[HDTestConfig] = None,
         constraint: Optional[Constraint] = None,
         fitness: Optional[FitnessFunction] = None,
@@ -190,16 +200,15 @@ class HDTest:
             )
         self._config = config if config is not None else HDTestConfig()
         self._rng = ensure_rng(rng)
-        if constraint is None:
-            if self._strategy.domain != "image":
-                raise ConfigurationError(
-                    f"no default constraint for domain {self._strategy.domain!r}; "
-                    "pass one explicitly"
-                )
-            # Paper default: L2 < 1, except shift (distances not meaningful).
-            constraint = (
-                NullConstraint() if self._strategy.name == "shift" else ImageConstraint()
+        self._domain = resolve_domain(domain, strategy=self._strategy, model=model)
+        if self._domain.name != self._strategy.domain:
+            raise ConfigurationError(
+                f"strategy {self._strategy.name!r} belongs to the "
+                f"{self._strategy.domain!r} domain, not {self._domain.name!r}"
             )
+        self._domain.validate_strategy(self._strategy)
+        if constraint is None:
+            constraint = self._domain.default_constraint(self._strategy)
         self._constraint = constraint
         if fitness is None:
             fitness = (
@@ -231,33 +240,37 @@ class HDTest:
         """Active perturbation budget."""
         return self._constraint
 
+    @property
+    def domain(self) -> FuzzDomain:
+        """The engine's input modality."""
+        return self._domain
+
     # -- single input ------------------------------------------------------
     def fuzz_one(self, original: Any, *, rng: RngLike = None) -> InputOutcome:
         """Run Alg. 1 on one input; returns its :class:`InputOutcome`."""
         generator = ensure_rng(rng) if rng is not None else self._rng
         cfg = self._config
 
+        internal = self._domain.to_internal(original)
         pool: SeedPool = SeedPool(cfg.top_n)
-        delta_encoder = (
-            self._delta_encoder() if isinstance(original, np.ndarray) else None
-        )
+        delta_encoder = self._delta_encoder()
         if delta_encoder is not None:
             # One scratch encode serves both the reference query and the
             # generation-0 delta side data (Alg. 1 line 1, "y = HDC(t)").
-            stacked = np.asarray(original, dtype=np.float64)[None]
+            stacked = internal[None]
             acc0, levels0 = self._seed_side_data(delta_encoder, stacked)
             reference_query = delta_encoder.hvs_from_accumulators(acc0)
-            pool.reset(original, accumulator=acc0[0], levels=levels0[0])
+            pool.reset(internal, accumulator=acc0[0], levels=levels0[0])
         else:
-            reference_query = self._model.encode(original)[None]
-            pool.reset(original)
+            reference_query = self._model.encode_batch(internal[None])
+            pool.reset(internal)
         reference_label = int(self._model.predict_hv(reference_query)[0])
         reference_hv = self._model.reference_hv(reference_label)
         encode_cache: LRUCache[bytes, np.ndarray] = LRUCache(cfg.cache_max_entries)
 
         for iteration in range(1, cfg.iter_times + 1):
             seeds = pool.seeds
-            children, parent_ids = self._expand(seeds, original, generator)
+            children, parent_ids = self._expand(seeds, internal, generator)
             if len(children) == 0:
                 # Every child blew the budget; iteration still counts
                 # (seed generation + check happened), seeds are retained.
@@ -274,7 +287,7 @@ class HDTest:
             flips = self._oracle.discrepancies(reference_label, query_labels)
             if flips.any():
                 example = self._pick_success(
-                    original, children, query_labels, flips, reference_label, iteration
+                    internal, children, query_labels, flips, reference_label, iteration
                 )
                 return InputOutcome(
                     success=True,
@@ -313,8 +326,8 @@ class HDTest:
     # -- internals -----------------------------------------------------
     @staticmethod
     def _child_key(child) -> bytes:
-        """Dedupe-cache key of one child (raw bytes of its content)."""
-        return child.tobytes() if isinstance(child, np.ndarray) else child.encode("utf-8")
+        """Dedupe-cache key of one child (raw bytes of its internal form)."""
+        return child.tobytes()
 
     def _encode_children(
         self, children, cache: LRUCache[bytes, np.ndarray]
@@ -324,50 +337,47 @@ class HDTest:
             return self._model.encode_batch(children)
 
         def encode_missing(positions: list[int]) -> np.ndarray:
-            missing = [children[p] for p in positions]
-            if isinstance(children, np.ndarray):
-                missing = np.stack(missing)
-            return self._model.encode_batch(missing)
+            return self._model.encode_batch(np.stack([children[p] for p in positions]))
 
         keys = [self._child_key(child) for child in children]
         return np.stack(resolve_with_cache(cache, keys, encode_missing))
 
-    def _expand(self, seeds, original: Any, generator: np.random.Generator):
+    def _expand(self, seeds, original: np.ndarray, generator: np.random.Generator):
         """Mutate, clip, and budget-filter every surviving seed's children.
 
-        Returns the in-budget children plus each child's parent index
-        into *seeds* (``None`` for non-array domains, which never
-        delta-encode).  Parent indices are derived from actual batch
-        lengths, so an off-count mutation batch cannot silently pair a
-        child with the wrong parent.
+        Seeds and children are internal domain arrays.  Returns the
+        in-budget children plus each child's parent index into *seeds*;
+        parent indices are derived from actual batch lengths, so an
+        off-count mutation batch cannot silently pair a child with the
+        wrong parent.
         """
         cfg = self._config
         batches = [
             self._strategy.mutate(seed.data, cfg.children_per_seed, rng=generator)
             for seed in seeds
         ]
-        if isinstance(batches[0], np.ndarray):
-            children = np.concatenate(batches, axis=0)
-        else:
-            children = [child for batch in batches for child in batch]
+        if not isinstance(batches[0], np.ndarray):
+            raise FuzzingError(
+                f"strategy {self._strategy.name!r} returned "
+                f"{type(batches[0]).__name__} children for an array seed; "
+                "strategies must stay in the domain's internal representation"
+            )
+        children = np.concatenate(batches, axis=0)
         children = self._constraint.clip(children)
         keep = self._constraint.accept(original, children)
-        parent_ids = None
-        if isinstance(children, np.ndarray):
-            parent_ids = np.repeat(
-                np.arange(len(batches)), [len(batch) for batch in batches]
-            )[keep]
-        return self._select(children, keep), parent_ids
+        parent_ids = np.repeat(
+            np.arange(len(batches)), [len(batch) for batch in batches]
+        )[keep]
+        return children[keep], parent_ids
 
     # -- incremental (delta) encoding --------------------------------------
     def _delta_encoder(self):
-        """The model's encoder, when it supports incremental encoding."""
-        encoder = getattr(self._model, "encoder", None)
-        if encoder is not None and all(
-            callable(getattr(encoder, name, None)) for name in DELTA_ENCODER_API
-        ):
-            return encoder
-        return None
+        """The model's encoder, when it supports incremental encoding.
+
+        Thin hook over :meth:`FuzzDomain.delta_encoder` — tests and
+        benchmarks override it per instance to force the scratch path.
+        """
+        return self._domain.delta_encoder(self._model)
 
     @staticmethod
     def _quantize(encoder, batch: np.ndarray) -> np.ndarray:
@@ -382,9 +392,9 @@ class HDTest:
     def _seed_side_data(self, encoder, stacked: np.ndarray):
         """Accumulators + levels of generation-0 inputs, compact dtypes.
 
-        Accumulators are bounded by the pixel count, so int16 storage is
-        exact for paper-sized images and widens automatically for larger
-        encoder shapes.
+        Accumulators are bounded by the per-input component count
+        (pixels, n-grams, features), so int16 storage is exact at paper
+        scale and widens automatically for larger encoder shapes.
         """
         acc_dtype = (
             np.int16
@@ -419,23 +429,22 @@ class HDTest:
             accs = delta_missing(list(range(len(children))))
         return encoder.hvs_from_accumulators(accs), accs, levels
 
-    @staticmethod
-    def _select(children, mask: np.ndarray):
-        """Apply a boolean mask to an array batch or a list of strings."""
-        if isinstance(children, np.ndarray):
-            return children[mask]
-        return [child for child, ok in zip(children, mask) if ok]
-
     def _pick_success(
         self,
-        original: Any,
+        original: np.ndarray,
         children,
         query_labels: np.ndarray,
         flips: np.ndarray,
         reference_label: int,
         iteration: int,
     ) -> AdversarialExample:
-        """Among flipped children, keep the least-perturbed one."""
+        """Among flipped children, keep the least-perturbed one.
+
+        *original* and *children* arrive in the domain's internal
+        representation; the reported example converts both back to the
+        user-facing form (array copy for images/records, string for
+        text).
+        """
         indices = np.nonzero(flips)[0]
         best_idx = int(indices[0])
         best_key = float("inf")
@@ -448,12 +457,9 @@ class HDTest:
                 best_key = key
                 best_idx = int(i)
         chosen = children[best_idx]
-        if isinstance(chosen, np.ndarray):
-            chosen = chosen.copy()
-        original_out = original.copy() if isinstance(original, np.ndarray) else original
         return AdversarialExample(
-            original=original_out,
-            adversarial=chosen,
+            original=self._domain.to_external(original),
+            adversarial=self._domain.to_external(chosen),
             reference_label=reference_label,
             adversarial_label=int(query_labels[best_idx]),
             iterations=iteration,

@@ -33,12 +33,18 @@ class MutationStrategy(ABC):
     Subclasses set the class attributes:
 
     * ``name`` — the registry key (the paper's Table I name);
-    * ``domain`` — ``"image"`` (numpy grey-scale arrays in [0, 255]) or
-      ``"text"`` (strings).
+    * ``domain`` — the fuzzing-domain namespace the strategy belongs to
+      (``"image"``, ``"text"``, or ``"record"``; see
+      :mod:`repro.fuzz.domains`);
+    * ``metric_free`` — True when perturbation distances are not
+      meaningful for the strategy (Table II's ``shift`` footnote), in
+      which case the domain defaults to
+      :class:`~repro.fuzz.constraints.NullConstraint`.
     """
 
     name: ClassVar[str] = ""
     domain: ClassVar[str] = "image"
+    metric_free: ClassVar[bool] = False
 
     @abstractmethod
     def mutate(self, item: Any, n: int, *, rng: RngLike = None) -> Any:

@@ -139,6 +139,7 @@ class RecordShift(_RecordStrategy):
     """
 
     name = "record_shift"
+    metric_free = True
 
     def __init__(self, max_step: int = 1, value_range: tuple[float, float] = (0.0, 1.0)) -> None:
         super().__init__(value_range)

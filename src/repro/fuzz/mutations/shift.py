@@ -43,6 +43,7 @@ class Shift(MutationStrategy):
 
     name = "shift"
     domain = "image"
+    metric_free = True
 
     _DIRECTIONS = ((0, 1), (0, -1), (1, 1), (1, -1))  # (axis, sign)
 

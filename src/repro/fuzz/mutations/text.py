@@ -9,11 +9,24 @@ run unchanged — only the mutation domain differs.
 All strategies preserve string length (substitution / transposition),
 so perturbation size is simply the Hamming distance in characters,
 which :class:`~repro.fuzz.constraints.TextConstraint` budgets.
+
+Two input forms are supported:
+
+* **strings** — the historical convenience surface, returning a list
+  of mutated strings;
+* **uint8 code arrays** — the text domain's internal representation
+  (indices into the alphabet), returning an ``(n, L)`` code block.
+  This is the form both fuzzing engines use, so sequential and batched
+  campaigns consume identical randomness and stay bit-identical.
+
+The two forms draw from the generator differently (the array form
+batches its draws), so a string call and a code call with the same
+seed produce corresponding but not character-identical children.
 """
 
 from __future__ import annotations
 
-from typing import ClassVar
+from typing import ClassVar, Union
 
 import numpy as np
 
@@ -34,6 +47,17 @@ def _check_text(item) -> str:
     return item
 
 
+def _check_codes(item: np.ndarray) -> np.ndarray:
+    arr = np.asarray(item)
+    if arr.ndim != 1 or not np.issubdtype(arr.dtype, np.integer):
+        raise MutationError(
+            f"text code arrays must be 1-D integer, got {arr.dtype} {arr.shape}"
+        )
+    if arr.size == 0:
+        raise MutationError("cannot mutate an empty code array")
+    return arr
+
+
 @register_strategy
 class CharSubstitution(MutationStrategy):
     """``char_sub``: replace a few characters with random alphabet members.
@@ -43,7 +67,9 @@ class CharSubstitution(MutationStrategy):
     chars_per_step:
         Number of (distinct) positions substituted per child.
     alphabet:
-        Replacement alphabet; defaults to the n-gram encoder's.
+        Replacement alphabet; defaults to the n-gram encoder's.  Code
+        arrays draw replacement codes in ``[0, len(alphabet))``, so the
+        strategy alphabet must match the fuzzing domain's.
     """
 
     name = "char_sub"
@@ -55,10 +81,23 @@ class CharSubstitution(MutationStrategy):
             raise MutationError("alphabet must be non-empty")
         self.alphabet = alphabet
 
-    def mutate(self, item, n: int, *, rng: RngLike = None) -> list[str]:
+    def _mutate_codes(
+        self, codes: np.ndarray, n: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        k = min(self.chars_per_step, codes.size)
+        out = np.repeat(codes[None], n, axis=0)
+        n_symbols = len(self.alphabet)
+        for child in range(n):
+            positions = generator.choice(codes.size, size=k, replace=False)
+            out[child, positions] = generator.integers(0, n_symbols, size=k)
+        return out
+
+    def mutate(self, item, n: int, *, rng: RngLike = None) -> Union[np.ndarray, list[str]]:
         n = check_positive_int(n, "n")
-        text = _check_text(item)
         generator = ensure_rng(rng)
+        if isinstance(item, np.ndarray):
+            return self._mutate_codes(_check_codes(item), n, generator)
+        text = _check_text(item)
         k = min(self.chars_per_step, len(text))
         children = []
         for _ in range(n):
@@ -80,12 +119,30 @@ class CharTransposition(MutationStrategy):
     def __init__(self, swaps_per_step: int = 1) -> None:
         self.swaps_per_step = check_positive_int(swaps_per_step, "swaps_per_step")
 
-    def mutate(self, item, n: int, *, rng: RngLike = None) -> list[str]:
+    def _mutate_codes(
+        self, codes: np.ndarray, n: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        out = np.repeat(codes[None], n, axis=0)
+        for child in range(n):
+            for _ in range(self.swaps_per_step):
+                pos = int(generator.integers(0, codes.size - 1))
+                out[child, pos], out[child, pos + 1] = (
+                    out[child, pos + 1],
+                    out[child, pos],
+                )
+        return out
+
+    def mutate(self, item, n: int, *, rng: RngLike = None) -> Union[np.ndarray, list[str]]:
         n = check_positive_int(n, "n")
+        generator = ensure_rng(rng)
+        if isinstance(item, np.ndarray):
+            codes = _check_codes(item)
+            if codes.size < 2:
+                raise MutationError("transposition requires at least two characters")
+            return self._mutate_codes(codes, n, generator)
         text = _check_text(item)
         if len(text) < 2:
             raise MutationError("transposition requires at least two characters")
-        generator = ensure_rng(rng)
         children = []
         for _ in range(n):
             chars = list(text)

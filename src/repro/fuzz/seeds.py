@@ -28,7 +28,8 @@ class Seed(Generic[T]):
     Attributes
     ----------
     data:
-        The input itself (image array or string).
+        The input in its domain's internal array form (pixel grid,
+        alphabet-code row, feature record).
     fitness:
         Score assigned by the fitness function (higher survives).
     generation:

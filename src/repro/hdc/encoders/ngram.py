@@ -8,13 +8,24 @@ item HV; an n-gram is encoded by binding permuted character HVs
 (``ρ²(c₀) ⊛ ρ¹(c₁) ⊛ c₂`` for trigrams); a string is the re-bipolarised
 sum of its n-gram HVs.
 
-Together with :mod:`repro.fuzz.mutations.text` this demonstrates HDTest
-on a second, non-image modality end-to-end.
+Together with :mod:`repro.fuzz.mutations.text` and
+:class:`~repro.fuzz.domains.text.TextDomain` this runs HDTest on a
+second, non-image modality end-to-end — through the batched engine too,
+because the encoder exposes the full delta surface
+(``quantize`` / ``accumulate_batch`` / ``accumulate_delta`` /
+``hvs_from_accumulators``): the accumulator is a plain sum of n-gram
+HVs, and a k-character substitution touches at most ``k·n`` n-grams,
+so a mutated child is encoded from its parent's accumulator by
+swapping only the affected n-gram terms.  The integer algebra is
+exact, so delta-encoded hypervectors are bit-identical to scratch
+encoding.  Inputs may be strings or arrays of alphabet codes (the
+fuzzing domain's internal representation); the two forms encode
+identically.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -95,15 +106,31 @@ class NgramEncoder(Encoder):
         return self._alphabet
 
     @property
+    def unknown_policy(self) -> str:
+        """Out-of-alphabet character handling (``raise``/``skip``/``map``)."""
+        return self._unknown_policy
+
+    @property
+    def levels(self) -> int:
+        """Alphabet size — the number of distinct codes (quantisation levels)."""
+        return len(self._alphabet)
+
+    @property
     def item_memory(self) -> ItemMemory:
         """Per-character codebook."""
         return self._item_memory
 
     # -- encoding ----------------------------------------------------------
-    def indices(self, text: str) -> np.ndarray:
-        """Map *text* to codebook indices, applying the unknown policy."""
+    def indices(self, text: Union[str, np.ndarray]) -> np.ndarray:
+        """Map *text* to codebook indices, applying the unknown policy.
+
+        Arrays of codes (the fuzzing domain's internal representation)
+        pass through after range validation.
+        """
+        if isinstance(text, np.ndarray):
+            return self._validate_codes(text)
         if not isinstance(text, str):
-            raise EncodingError(f"expected str, got {type(text).__name__}")
+            raise EncodingError(f"expected str or code array, got {type(text).__name__}")
         idx = []
         for ch in text:
             pos = self._char_to_idx.get(ch)
@@ -116,8 +143,45 @@ class NgramEncoder(Encoder):
             idx.append(pos)
         return np.asarray(idx, dtype=np.int64)
 
-    def encode(self, item: str) -> np.ndarray:
-        idx = self.indices(item)
+    def _validate_codes(self, codes: np.ndarray) -> np.ndarray:
+        arr = np.asarray(codes)
+        if arr.ndim != 1 or not np.issubdtype(arr.dtype, np.integer):
+            raise EncodingError(
+                f"code arrays must be 1-D integer, got {arr.dtype} {arr.shape}"
+            )
+        if arr.size and (int(arr.max()) >= len(self._alphabet) or int(arr.min()) < 0):
+            raise EncodingError(
+                f"codes must lie in [0, {len(self._alphabet) - 1}], got range "
+                f"[{int(arr.min())}, {int(arr.max())}]"
+            )
+        return arr.astype(np.int64, copy=False)
+
+    def quantize(self, items: Union[np.ndarray, Sequence[str]]) -> np.ndarray:
+        """Code rows of a batch of inputs — the text analogue of grey levels.
+
+        Accepts an ``(n, L)`` code array (validated, returned as int64)
+        or a sequence of equal-length strings (index-mapped).  Part of
+        the delta-encoder surface the fuzzing engines consume.
+        """
+        if isinstance(items, np.ndarray):
+            arr = np.asarray(items)
+            if arr.ndim == 1:
+                arr = arr[None]
+            if arr.ndim != 2:
+                raise EncodingError(f"code batches must be (n, L), got {arr.shape}")
+            for row in arr:
+                self._validate_codes(row)
+            return arr.astype(np.int64, copy=False)
+        rows = [self.indices(item) for item in items]
+        lengths = {row.size for row in rows}
+        if len(lengths) > 1:
+            raise EncodingError(
+                f"strings must share one in-alphabet length to batch, got {sorted(lengths)}"
+            )
+        return np.stack(rows) if rows else np.empty((0, 0), dtype=np.int64)
+
+    def _gram_accumulate(self, idx: np.ndarray) -> np.ndarray:
+        """Raw integer accumulator (sum of n-gram HVs) of one code row."""
         if idx.size < self._n:
             raise EncodingError(
                 f"text needs at least n={self._n} in-alphabet characters, got {idx.size}"
@@ -128,8 +192,101 @@ class NgramEncoder(Encoder):
         acc = np.ones((n_grams, self.dimension), dtype=np.int64)
         for k in range(self._n):
             acc *= self._shifted[k][idx[k : k + n_grams]]
-        summed = acc.sum(axis=0, dtype=np.int64)
-        return np.where(summed >= 0, 1, -1).astype(np.int8)
+        return acc.sum(axis=0, dtype=np.int64)
+
+    def accumulate_batch(self, items: Union[np.ndarray, Sequence[str]]) -> np.ndarray:
+        """Raw ``(n, D)`` integer accumulators (pre-binarization sums)."""
+        if isinstance(items, np.ndarray):
+            arr = np.asarray(items)
+            rows = [self._validate_codes(row) for row in (arr[None] if arr.ndim == 1 else arr)]
+        elif isinstance(items, str):
+            raise EncodingError("accumulate_batch expects a sequence, not one string")
+        else:
+            rows = [self.indices(item) for item in items]
+        out = np.empty((len(rows), self.dimension), dtype=np.int64)
+        for i, idx in enumerate(rows):
+            out[i] = self._gram_accumulate(idx)
+        return out
+
+    def accumulate_delta(
+        self,
+        level_batch: np.ndarray,
+        parent_levels: np.ndarray,
+        parent_accumulators: np.ndarray,
+    ) -> np.ndarray:
+        """Accumulators of children given their parents' accumulators.
+
+        A child sharing most codes with its parent shares most n-grams:
+        only n-grams overlapping a changed position differ, and a
+        position *q* is covered by the n-grams starting in
+        ``[q−n+1, q]``.  So::
+
+            acc(child) = acc(parent) + Σ_{t affected} (gram_t(child) − gram_t(parent))
+
+        with at most ``k·n`` affected n-grams for *k* changed
+        characters.  The algebra is exact in integers, so the result is
+        bit-identical to :meth:`accumulate_batch` on the children.
+
+        Parameters
+        ----------
+        level_batch:
+            ``(n, L)`` child code rows (see :meth:`quantize`).
+        parent_levels:
+            ``(n, L)`` code rows of each child's parent.
+        parent_accumulators:
+            ``(n, D)`` integer accumulators of the parents.
+        """
+        levels = np.asarray(level_batch)
+        parents = np.asarray(parent_levels)
+        if levels.shape != parents.shape or levels.ndim != 2:
+            raise EncodingError(
+                f"level_batch {levels.shape} and parent_levels {parents.shape} "
+                "must both be (n, L)"
+            )
+        if levels.shape[1] < self._n:
+            raise EncodingError(
+                f"rows have {levels.shape[1]} characters, need at least n={self._n}"
+            )
+        accs = np.asarray(parent_accumulators)
+        if accs.shape != (levels.shape[0], self.dimension):
+            raise EncodingError(
+                f"parent_accumulators {accs.shape} must be "
+                f"(n={levels.shape[0]}, D={self.dimension})"
+            )
+        n_grams = levels.shape[1] - self._n + 1
+        offsets = np.arange(self._n, dtype=np.int64)
+        out = accs.astype(np.int64, copy=True)
+        for i in range(levels.shape[0]):
+            changed = np.flatnonzero(levels[i] != parents[i])
+            if changed.size == 0:
+                continue
+            # Affected n-gram starts: [q−n+1, q] per changed q, clipped
+            # into the valid start range (the clipped boundary grams do
+            # cover the out-of-range positions, so no false positives).
+            starts = np.unique(
+                np.clip(changed[:, None] - offsets[None, :], 0, n_grams - 1)
+            )
+            old = np.ones((starts.size, self.dimension), dtype=np.int64)
+            new = np.ones((starts.size, self.dimension), dtype=np.int64)
+            child_idx = levels[i].astype(np.int64, copy=False)
+            parent_idx = parents[i].astype(np.int64, copy=False)
+            for k in range(self._n):
+                old *= self._shifted[k][parent_idx[starts + k]]
+                new *= self._shifted[k][child_idx[starts + k]]
+            new -= old
+            out[i] += new.sum(axis=0, dtype=np.int64)
+        return out
+
+    def hvs_from_accumulators(self, accumulators: np.ndarray) -> np.ndarray:
+        """Binarization of raw accumulators (:meth:`encode`'s exact rule)."""
+        return np.where(np.asarray(accumulators) >= 0, 1, -1).astype(np.int8)
+
+    def encode(self, item: Union[str, np.ndarray]) -> np.ndarray:
+        return self.hvs_from_accumulators(self._gram_accumulate(self.indices(item)))
+
+    def encode_batch(self, items: Union[np.ndarray, Sequence[str]]) -> np.ndarray:
+        """Encode strings or ``(n, L)`` code rows into ``(n, D)`` HVs."""
+        return self.hvs_from_accumulators(self.accumulate_batch(items))
 
     def __repr__(self) -> str:
         return (

@@ -263,57 +263,146 @@ class HDCClassifier:
     def save(self, path: Union[str, Path]) -> None:
         """Serialise model (codebooks + AM) to a ``.npz`` file.
 
-        Only :class:`~repro.hdc.encoders.image.PixelEncoder` models are
-        serialisable in this release; other encoders raise
-        :class:`~repro.errors.ConfigurationError`.
+        Three encoder families are serialisable — the pixel encoder
+        (kind ``pixel-hdc``), the character n-gram encoder
+        (``ngram-hdc``), and the record encoder (``record-hdc``) — so
+        every fuzzing domain's model round-trips through the CLI.
+        Other encoders raise :class:`~repro.errors.ConfigurationError`.
         """
-        if not isinstance(self._encoder, PixelEncoder):
-            raise ConfigurationError(
-                "save() currently supports PixelEncoder models only"
-            )
+        from repro.hdc.encoders.ngram import NgramEncoder
+        from repro.hdc.encoders.record import RecordEncoder
+
         enc = self._encoder
         state = self._am.state_dict()
-        np.savez_compressed(
-            Path(path),
-            kind=np.asarray("pixel-hdc"),
-            shape=np.asarray(enc.shape),
-            levels=np.asarray(enc.levels),
-            dimension=np.asarray(enc.dimension),
-            position_vectors=enc.position_memory.vectors,
-            value_vectors=enc.value_memory.vectors,
+        am_fields = dict(
             am_accumulators=state["accumulators"],
             am_counts=state["counts"],
             am_bipolar=state["bipolar"],
             n_classes=np.asarray(self._n_classes),
         )
+        if isinstance(enc, PixelEncoder):
+            np.savez_compressed(
+                Path(path),
+                kind=np.asarray("pixel-hdc"),
+                shape=np.asarray(enc.shape),
+                levels=np.asarray(enc.levels),
+                dimension=np.asarray(enc.dimension),
+                position_vectors=enc.position_memory.vectors,
+                value_vectors=enc.value_memory.vectors,
+                **am_fields,
+            )
+        elif isinstance(enc, NgramEncoder):
+            np.savez_compressed(
+                Path(path),
+                kind=np.asarray("ngram-hdc"),
+                n=np.asarray(enc.n),
+                alphabet=np.asarray(enc.alphabet),
+                unknown_policy=np.asarray(enc.unknown_policy),
+                dimension=np.asarray(enc.dimension),
+                item_vectors=enc.item_memory.vectors,
+                **am_fields,
+            )
+        elif isinstance(enc, RecordEncoder):
+            from repro.hdc.item_memory import LevelMemory
+
+            level_encoding = (
+                "linear" if isinstance(enc.value_memory, LevelMemory) else "random"
+            )
+            np.savez_compressed(
+                Path(path),
+                kind=np.asarray("record-hdc"),
+                n_features=np.asarray(enc.n_features),
+                levels=np.asarray(enc.levels),
+                value_range=np.asarray(enc.value_range),
+                level_encoding=np.asarray(level_encoding),
+                dimension=np.asarray(enc.dimension),
+                id_vectors=enc.id_memory.vectors,
+                value_vectors=enc.value_memory.vectors,
+                **am_fields,
+            )
+        else:
+            raise ConfigurationError(
+                f"save() supports PixelEncoder, NgramEncoder and RecordEncoder "
+                f"models, not {type(enc).__name__}"
+            )
+
+    @staticmethod
+    def _load_pixel_encoder(data) -> "PixelEncoder":
+        from repro.hdc.spaces import BipolarSpace
+
+        encoder = PixelEncoder.__new__(PixelEncoder)
+        # Rebuild the encoder around the stored codebooks without
+        # re-drawing randomness.
+        encoder._shape = tuple(int(v) for v in data["shape"])  # noqa: SLF001
+        encoder._levels = int(data["levels"])
+        encoder._space = BipolarSpace(int(data["dimension"]))
+        encoder._sparse_background = True
+        encoder._position_memory = ItemMemory.from_vectors(
+            data["position_vectors"], encoder._space
+        )
+        encoder._value_memory = ItemMemory.from_vectors(
+            data["value_vectors"], encoder._space
+        )
+        encoder._position_sum = encoder._position_memory.vectors.sum(
+            axis=0, dtype=np.int64
+        )
+        return encoder
+
+    @staticmethod
+    def _load_ngram_encoder(data):
+        from repro.hdc.encoders.ngram import NgramEncoder
+        from repro.hdc.spaces import BipolarSpace
+
+        encoder = NgramEncoder.__new__(NgramEncoder)
+        alphabet = str(data["alphabet"])
+        encoder._n = int(data["n"])  # noqa: SLF001 - controlled reconstruction
+        encoder._alphabet = alphabet
+        encoder._char_to_idx = {ch: i for i, ch in enumerate(alphabet)}
+        encoder._unknown_policy = str(data["unknown_policy"])
+        encoder._space = BipolarSpace(int(data["dimension"]))
+        encoder._item_memory = ItemMemory.from_vectors(
+            data["item_vectors"], encoder._space
+        )
+        encoder._shifted = [
+            np.roll(encoder._item_memory.vectors, encoder._n - 1 - k, axis=1)
+            for k in range(encoder._n)
+        ]
+        return encoder
+
+    @staticmethod
+    def _load_record_encoder(data):
+        from repro.hdc.encoders.record import RecordEncoder
+        from repro.hdc.item_memory import LevelMemory
+        from repro.hdc.spaces import BipolarSpace
+
+        encoder = RecordEncoder.__new__(RecordEncoder)
+        encoder._n_features = int(data["n_features"])  # noqa: SLF001
+        encoder._levels = int(data["levels"])
+        encoder._value_range = tuple(float(v) for v in data["value_range"])
+        encoder._level_encoding = str(data["level_encoding"])
+        encoder._space = BipolarSpace(int(data["dimension"]))
+        encoder._id_memory = ItemMemory.from_vectors(
+            data["id_vectors"], encoder._space
+        )
+        value_cls = LevelMemory if encoder._level_encoding == "linear" else ItemMemory
+        encoder._value_memory = value_cls.from_vectors(
+            data["value_vectors"], encoder._space
+        )
+        return encoder
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "HDCClassifier":
-        """Inverse of :meth:`save`."""
+        """Inverse of :meth:`save`, dispatching on the stored ``kind`` tag."""
+        loaders = {
+            "pixel-hdc": cls._load_pixel_encoder,
+            "ngram-hdc": cls._load_ngram_encoder,
+            "record-hdc": cls._load_record_encoder,
+        }
         with np.load(Path(path), allow_pickle=False) as data:
-            if str(data["kind"]) != "pixel-hdc":
-                raise ConfigurationError(f"unsupported model kind {data['kind']!r}")
-            shape = tuple(int(v) for v in data["shape"])
-            dimension = int(data["dimension"])
-            levels = int(data["levels"])
-            encoder = PixelEncoder.__new__(PixelEncoder)
-            # Rebuild the encoder around the stored codebooks without
-            # re-drawing randomness.
-            from repro.hdc.spaces import BipolarSpace
-
-            encoder._shape = shape  # noqa: SLF001 - controlled reconstruction
-            encoder._levels = levels
-            encoder._space = BipolarSpace(dimension)
-            encoder._sparse_background = True
-            encoder._position_memory = ItemMemory.from_vectors(
-                data["position_vectors"], encoder._space
-            )
-            encoder._value_memory = ItemMemory.from_vectors(
-                data["value_vectors"], encoder._space
-            )
-            encoder._position_sum = encoder._position_memory.vectors.sum(
-                axis=0, dtype=np.int64
-            )
+            kind = str(data["kind"])
+            if kind not in loaders:
+                raise ConfigurationError(f"unsupported model kind {kind!r}")
+            encoder = loaders[kind](data)
             model = cls(encoder, int(data["n_classes"]), bipolar_am=bool(data["am_bipolar"]))
             model._am = AssociativeMemory.from_state_dict(
                 {

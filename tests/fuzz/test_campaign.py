@@ -133,3 +133,80 @@ class TestGenerateAdversarialSet:
                 max_attempts_factor=2,
                 rng=0,
             )
+
+
+class TestAdaptiveWaveSizing:
+    """Waves are sized from the observed success rate (ROADMAP item)."""
+
+    def test_wave_size_formula(self):
+        from repro.fuzz.campaign import _wave_size
+
+        # No signal yet: the historical 2x-remaining heuristic, floored at 16.
+        assert _wave_size(100, 0, 0, 1000, 10_000) == 200
+        assert _wave_size(3, 0, 0, 1000, 10_000) == 16
+        # Perfect success rate: a wave barely larger than the deficit.
+        assert _wave_size(100, 64, 64, 1000, 10_000) == 125
+        # A robust model scales the wave up to cover the deficit.
+        assert _wave_size(10, 200, 10, 1000, 10_000) == 250
+        # Clamped by the pool and the remaining attempt budget.
+        assert _wave_size(10, 200, 10, 40, 10_000) == 40
+        assert _wave_size(10, 200, 10, 1000, 7) == 7
+
+    def test_outcomes_invariant_to_wave_sizing(
+        self, trained_model, test_images, monkeypatch
+    ):
+        """Adaptive waves must not change what is found, only scheduling.
+
+        Per-input generators are drawn from the root stream in visit
+        order, so re-partitioning the attempt sequence into different
+        waves leaves every input's outcome bit-identical.
+        """
+        import repro.fuzz.campaign as campaign_mod
+        from repro.fuzz import BatchedExecutor
+
+        kwargs = dict(
+            strategy="gauss",
+            true_labels=np.arange(8) % 3,
+            config=HDTestConfig(iter_times=10),
+            rng=123,
+        )
+        with BatchedExecutor(batch_size=4) as executor:
+            adaptive, _ = generate_adversarial_set(
+                trained_model, test_images[:8], 6, executor=executor, **kwargs
+            )
+        monkeypatch.setattr(
+            campaign_mod,
+            "_wave_size",
+            lambda remaining, attempts, successes, n_inputs, attempts_left: max(
+                1, min(n_inputs, attempts_left, max(2 * remaining, 16))
+            ),
+        )
+        with BatchedExecutor(batch_size=4) as executor:
+            fixed, _ = generate_adversarial_set(
+                trained_model, test_images[:8], 6, executor=executor, **kwargs
+            )
+        assert len(adaptive) == len(fixed) == 6
+        assert [e.true_label for e in adaptive] == [e.true_label for e in fixed]
+        assert [e.adversarial_label for e in adaptive] == [
+            e.adversarial_label for e in fixed
+        ]
+        for a, b in zip(adaptive, fixed):
+            np.testing.assert_array_equal(a.adversarial, b.adversarial)
+
+    def test_text_generation_through_waves(self, monkeypatch):
+        """generate_adversarial_set drives the text domain end to end."""
+        from repro.datasets import make_language_dataset
+        from repro.hdc import HDCClassifier, NgramEncoder
+
+        data = make_language_dataset(n_per_class=20, n_languages=3, length=40, seed=4)
+        train, test = data.split(0.8, rng=0)
+        model = HDCClassifier(NgramEncoder(n=3, dimension=1024, rng=4), 3).fit(
+            list(train.texts), train.labels
+        )
+        examples, _ = generate_adversarial_set(
+            model, list(test.texts)[:8], 4,
+            strategy="char_sub", executor="batched",
+            config=HDTestConfig(iter_times=20), rng=0,
+        )
+        assert len(examples) == 4
+        assert all(isinstance(e.adversarial, str) for e in examples)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConstraintError
+from repro.errors import ConfigurationError, ConstraintError
 from repro.fuzz.constraints import ImageConstraint, NullConstraint, TextConstraint
 
 
@@ -81,12 +81,32 @@ class TestTextConstraint:
         mask = c.accept("abcd", ["abcx", "xxcd", "xxxd"])
         assert mask.tolist() == [True, True, False]
 
-    def test_length_change_is_infinite(self):
+    def test_length_change_raises(self):
+        # Regression: unequal-length pairs are a configuration bug (text
+        # mutation is length-preserving by contract), not a rejectable
+        # mutant — no silent inf-edit scoring or implicit broadcasting.
         c = TextConstraint(max_edits=100)
-        assert c.accept("abc", ["abcd"]).tolist() == [False]
+        with pytest.raises(ConfigurationError, match="preserve length"):
+            c.accept("abc", ["abcd"])
+        with pytest.raises(ConfigurationError, match="preserve length"):
+            c.measure("abc", "abcd")
+
+    def test_length_change_raises_on_code_arrays(self):
+        c = TextConstraint(max_edits=100)
+        with pytest.raises(ConfigurationError, match="preserve length"):
+            c.accept(np.zeros(3, dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8))
 
     def test_measure(self):
         assert TextConstraint().measure("abc", "axc") == {"edits": 1.0}
+
+    def test_code_array_accept_matches_strings(self):
+        c = TextConstraint(max_edits=2)
+        original = np.array([0, 1, 2, 3], dtype=np.uint8)
+        candidates = np.array(
+            [[0, 1, 2, 9], [9, 9, 2, 3], [9, 9, 9, 3]], dtype=np.uint8
+        )
+        assert c.accept(original, candidates).tolist() == [True, True, False]
+        assert c.measure(original, candidates[0]) == {"edits": 1.0}
 
     def test_clip_is_identity(self):
         texts = ["a", "b"]

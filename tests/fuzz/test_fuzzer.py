@@ -57,9 +57,16 @@ class TestConstruction:
         fuzzer = HDTest(trained_model, "gauss", rng=0)
         assert isinstance(fuzzer.constraint, ImageConstraint)
 
-    def test_text_strategy_requires_explicit_constraint(self, trained_model):
-        with pytest.raises(ConfigurationError, match="constraint"):
-            HDTest(trained_model, "char_sub", rng=0)
+    def test_text_strategy_gets_text_default_constraint(self, trained_model):
+        # The domain layer supplies defaults for every modality — the old
+        # "no default constraint for domain" error path is gone.
+        fuzzer = HDTest(trained_model, "char_sub", rng=0)
+        assert isinstance(fuzzer.constraint, TextConstraint)
+        assert fuzzer.domain.name == "text"
+
+    def test_domain_strategy_mismatch_rejected(self, trained_model):
+        with pytest.raises(ConfigurationError, match="domain"):
+            HDTest(trained_model, "gauss", domain="text", rng=0)
 
 
 class TestFuzzOne:

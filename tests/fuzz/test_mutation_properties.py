@@ -7,10 +7,12 @@ change) holds for arbitrary images.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
+from repro.errors import ConfigurationError
 from repro.fuzz.constraints import ImageConstraint, TextConstraint
 from repro.fuzz.mutations.noise import GaussianNoise, RandomNoise
 from repro.fuzz.mutations.rowcol import RowColRandom
@@ -96,6 +98,12 @@ texts = st.text(alphabet="abcdefgh ", min_size=3, max_size=30)
 @settings(max_examples=50, deadline=None)
 def test_text_constraint_symmetric(text, other):
     constraint = TextConstraint(max_edits=5)
+    if len(text) != len(other):
+        # Length-preserving contract: unequal pairs are a configuration
+        # bug and must raise rather than broadcast or score silently.
+        with pytest.raises(ConfigurationError):
+            constraint.measure(text, other)
+        return
     a = constraint.measure(text, other)["edits"]
     b = constraint.measure(other, text)["edits"]
     assert a == b

@@ -152,3 +152,62 @@ class TestNgramEncoder:
         enc = NgramEncoder(dimension=DIM, rng=0)
         with pytest.raises(EncodingError):
             enc.encode(123)  # type: ignore[arg-type]
+
+
+class TestNgramDeltaSurface:
+    """The delta-encoder API the fuzzing engines consume (PR 3)."""
+
+    def test_levels_is_alphabet_size(self):
+        enc = NgramEncoder(alphabet="abc ", dimension=DIM, rng=0)
+        assert enc.levels == 4
+
+    def test_quantize_strings_matches_indices(self):
+        enc = NgramEncoder(alphabet="abc", dimension=DIM, rng=0)
+        rows = enc.quantize(["abc", "cba"])
+        np.testing.assert_array_equal(rows[0], enc.indices("abc"))
+        np.testing.assert_array_equal(rows[1], enc.indices("cba"))
+
+    def test_quantize_codes_pass_through(self):
+        enc = NgramEncoder(alphabet="abc", dimension=DIM, rng=0)
+        codes = np.array([[0, 1, 2], [2, 2, 2]], dtype=np.uint8)
+        out = enc.quantize(codes)
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, codes)
+
+    def test_quantize_rejects_ragged_strings(self):
+        enc = NgramEncoder(alphabet="abc", dimension=DIM, rng=0)
+        with pytest.raises(EncodingError, match="length"):
+            enc.quantize(["abc", "abcc"])
+
+    def test_out_of_range_codes_rejected(self):
+        enc = NgramEncoder(alphabet="abc", dimension=DIM, rng=0)
+        with pytest.raises(EncodingError, match="codes"):
+            enc.encode(np.array([0, 1, 7], dtype=np.int64))
+
+    def test_encode_batch_codes_match_strings(self):
+        enc = NgramEncoder(alphabet="abcd", dimension=DIM, rng=1)
+        texts = ["abcdab", "ddccba"]
+        codes = enc.quantize(texts)
+        np.testing.assert_array_equal(enc.encode_batch(texts), enc.encode_batch(codes))
+
+    def test_hvs_from_accumulators_matches_encode(self):
+        enc = NgramEncoder(alphabet="abcd", dimension=DIM, rng=1)
+        accs = enc.accumulate_batch(["abcdab"])
+        np.testing.assert_array_equal(
+            enc.hvs_from_accumulators(accs)[0], enc.encode("abcdab")
+        )
+
+    def test_accumulate_delta_shape_validation(self):
+        enc = NgramEncoder(alphabet="abc", dimension=DIM, rng=0)
+        levels = np.zeros((2, 5), dtype=np.int64)
+        accs = np.zeros((2, DIM), dtype=np.int64)
+        with pytest.raises(EncodingError):
+            enc.accumulate_delta(levels, np.zeros((2, 4), dtype=np.int64), accs)
+        with pytest.raises(EncodingError):
+            enc.accumulate_delta(levels, levels, np.zeros((1, DIM), dtype=np.int64))
+        with pytest.raises(EncodingError):
+            enc.accumulate_delta(
+                np.zeros((1, 2), dtype=np.int64),
+                np.zeros((1, 2), dtype=np.int64),
+                np.zeros((1, DIM), dtype=np.int64),
+            )

@@ -129,10 +129,49 @@ class TestCopyAndPersistence:
         )
         assert loaded.dimension == small_model.dimension
 
-    def test_save_rejects_non_pixel_encoder(self, tmp_path):
-        model = HDCClassifier(NgramEncoder(dimension=DIM, rng=0), 2)
+    def test_save_rejects_unknown_encoder(self, tmp_path):
+        from repro.hdc.encoders.base import Encoder
+
+        class WeirdEncoder(Encoder):
+            dimension = DIM
+
+            def encode(self, item):  # pragma: no cover - never called
+                return np.zeros(DIM, dtype=np.int8)
+
+        model = HDCClassifier(WeirdEncoder(), 2)
         with pytest.raises(ConfigurationError):
             model.save(tmp_path / "m.npz")
+
+    def test_ngram_model_round_trips(self, tmp_path):
+        texts = ["abcabcabc", "cbacbacba", "aaabbbccc", "cccbbbaaa"]
+        labels = np.array([0, 1, 0, 1])
+        model = HDCClassifier(
+            NgramEncoder(n=3, alphabet="abc", dimension=DIM, rng=0), 2
+        ).fit(texts, labels)
+        model.save(tmp_path / "ngram.npz")
+        loaded = HDCClassifier.load(tmp_path / "ngram.npz")
+        assert loaded.encoder.alphabet == "abc"
+        assert loaded.encoder.n == 3
+        np.testing.assert_array_equal(loaded.predict(texts), model.predict(texts))
+        np.testing.assert_array_equal(
+            loaded.encoder.encode(texts[0]), model.encoder.encode(texts[0])
+        )
+
+    def test_record_model_round_trips(self, tmp_path):
+        from repro.hdc.encoders.record import RecordEncoder
+        from repro.hdc.item_memory import LevelMemory
+
+        rng = np.random.default_rng(5)
+        records = rng.random((8, 12))
+        labels = np.array([0, 1] * 4)
+        model = HDCClassifier(
+            RecordEncoder(n_features=12, levels=16, dimension=DIM, rng=1), 2
+        ).fit(records, labels)
+        model.save(tmp_path / "record.npz")
+        loaded = HDCClassifier.load(tmp_path / "record.npz")
+        assert loaded.encoder.n_features == 12
+        assert isinstance(loaded.encoder.value_memory, LevelMemory)
+        np.testing.assert_array_equal(loaded.predict(records), model.predict(records))
 
     def test_repr(self, small_model):
         assert "HDCClassifier" in repr(small_model)

@@ -21,11 +21,24 @@ class TestParser:
 
     def test_fuzz_defaults(self):
         args = build_parser().parse_args(["fuzz", "--model", "m.npz"])
-        assert args.strategies == ["gauss"]
+        assert args.strategies is None  # resolved to the domain default
+        assert args.domain == "image"
         assert args.top_n == 3
         assert args.executor == "serial"
         assert args.batch_size is None
         assert args.workers is None
+
+    def test_domain_flags(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--model", "m.npz", "--domain", "text"]
+        )
+        assert args.domain == "text"
+        args = build_parser().parse_args(
+            ["train", "--out", "m.npz", "--domain", "voice"]
+        )
+        assert args.domain == "voice"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--model", "m.npz", "--domain", "audio"])
 
     def test_executor_flags(self):
         args = build_parser().parse_args(
@@ -209,3 +222,112 @@ class TestEndToEnd:
         report = out_path.read_text()
         assert "# HDTest experiment report" in report
         assert "## Table II" in report
+
+
+class TestDomainEndToEnd:
+    """`hdtest train/fuzz --domain text|voice` work end to end."""
+
+    @pytest.fixture(scope="class")
+    def text_model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-text") / "text.npz"
+        code = main(
+            [
+                "train",
+                "--out", str(path),
+                "--domain", "text",
+                "--n-train", "60",
+                "--n-test", "20",
+                "--dimension", "1024",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def voice_model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-voice") / "voice.npz"
+        code = main(
+            [
+                "train",
+                "--out", str(path),
+                "--domain", "voice",
+                "--n-train", "60",
+                "--n-test", "30",
+                "--dimension", "1024",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_binary_family_image_only(self, tmp_path, capsys):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="image domain"):
+            main(
+                ["train", "--out", str(tmp_path / "x.npz"),
+                 "--domain", "text", "--family", "binary"]
+            )
+
+    def test_text_fuzz_batched(self, text_model_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--model", str(text_model_path),
+                "--domain", "text",
+                "--n-images", "5",
+                "--iter-times", "10",
+                "--executor", "batched",
+                "--show-example",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "char_sub" in out  # the text domain's default strategy
+        assert "Success rate" in out
+
+    def test_text_fuzz_explicit_strategies(self, text_model_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--model", str(text_model_path),
+                "--domain", "text",
+                "--strategies", "char_sub", "char_swap",
+                "--n-images", "4",
+                "--iter-times", "6",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "char_swap" in out
+
+    def test_voice_fuzz(self, voice_model_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--model", str(voice_model_path),
+                "--domain", "voice",
+                "--n-images", "4",
+                "--iter-times", "10",
+                "--executor", "batched",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        assert "record_gauss" in capsys.readouterr().out
+
+    def test_wrong_namespace_rejected(self, text_model_path, capsys):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="namespace"):
+            main(
+                [
+                    "fuzz",
+                    "--model", str(text_model_path),
+                    "--domain", "text",
+                    "--strategies", "gauss",
+                ]
+            )

@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.hdc.encoders",
     "repro.datasets",
     "repro.fuzz",
+    "repro.fuzz.domains",
     "repro.fuzz.mutations",
     "repro.defense",
     "repro.metrics",
