@@ -156,7 +156,9 @@ def _add_executor_flags(command: argparse.ArgumentParser) -> None:
         help="model compute backend: 'dense' runs the model as loaded; "
              "'packed' repackages a --family binary model onto bit-packed "
              "uint64 popcount kernels (bit-identical, 8x less HV memory); "
-             "'torch' uses torch kernels when installed, numpy otherwise "
+             "'packed-bipolar' does the same for the paper's default "
+             "bipolar family (sign-bit words, popcount cosine); 'torch' "
+             "uses torch kernels when installed, numpy otherwise "
              "(default: dense)",
     )
 

@@ -102,7 +102,8 @@ def compare_strategies(
     backend:
         Compute backend for the model: ``None``/``"dense"`` keeps it
         as-is; ``"packed"``/``"torch"`` repackage a dense-binary model
-        onto bit-packed kernels (exact — see
+        and ``"packed-bipolar"`` the paper's bipolar model onto
+        bit-packed popcount kernels (exact — see
         :func:`repro.hdc.backends.dispatch.resolve_model_backend`).
     """
     generator = ensure_rng(rng)

@@ -140,20 +140,34 @@ class CoverageGuidedFitness(FitnessFunction):
         novelty.
     novelty_bonus:
         Additive score for seeds that land in unvisited cells.  The
-    distance term lies in [0, 2], so a bonus of ~0.5 makes novelty
-    decisive only between seeds of similar distance.
+        distance term lies in [0, 2], so a bonus of ~0.5 makes novelty
+        decisive only between seeds of similar distance.
+    bipolar_dimension:
+        Required when the queries are packed *bipolar* sign words
+        (uint64), so the distance term uses the sign-bit cosine — the
+        same contract as
+        :class:`~repro.fuzz.fitness.DistanceGuidedFitness` (the fuzzing
+        engines reject a mismatch at construction).  The coverage map
+        must then be sized for the packed word count, not ``D``.
     """
 
     guided = True
 
-    def __init__(self, coverage: CoverageMap, novelty_bonus: float = 0.5) -> None:
+    def __init__(
+        self,
+        coverage: CoverageMap,
+        novelty_bonus: float = 0.5,
+        *,
+        bipolar_dimension: Optional[int] = None,
+    ) -> None:
         if novelty_bonus < 0:
             raise ConfigurationError(
                 f"novelty_bonus must be >= 0, got {novelty_bonus}"
             )
         self._coverage = coverage
         self._novelty_bonus = float(novelty_bonus)
-        self._distance = DistanceGuidedFitness()
+        self._bipolar_dimension = bipolar_dimension
+        self._distance = DistanceGuidedFitness(bipolar_dimension=bipolar_dimension)
 
     @property
     def coverage(self) -> CoverageMap:

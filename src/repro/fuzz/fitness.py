@@ -25,30 +25,75 @@ when called without one (standalone use).
 
 Packed hypervectors
 -------------------
-Query and reference HVs may be *bit-packed* binary words
-(uint64 — see :mod:`repro.hdc.backends`).  The cosine-based fitnesses
-detect that dtype and score through the popcount kernels; the resulting
-floats are bit-identical to scoring the unpacked {0, 1} vectors, so
-packed and unpacked campaigns select the same survivors.
+Query and reference HVs may be *bit-packed* uint64 words (see
+:mod:`repro.hdc.backends`).  The cosine-based fitnesses detect that
+dtype and score through the popcount kernels; the resulting floats are
+bit-identical to scoring the dense vectors, so packed and unpacked
+campaigns select the same survivors.  Packed **binary** {0, 1} words
+and packed **bipolar** sign words share the uint64 dtype, so the dtype
+alone cannot pick the cosine: the fitnesses default to the binary
+kernel and take a keyword-only ``bipolar_dimension`` that switches the
+uint64 path to the sign-bit cosine
+(:func:`repro.hdc.backends.packed.cosine_matrix_packed_bipolar`).  The
+fuzzing engines set it automatically from the model's
+``packed_alphabet`` marker via :func:`packed_bipolar_dimension`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any, Optional
 
 import numpy as np
 
 from repro.hdc.similarity import cosine_matrix
 from repro.utils.rng import RngLike, ensure_rng
 
-__all__ = ["FitnessFunction", "DistanceGuidedFitness", "RandomFitness", "MarginFitness"]
+__all__ = [
+    "FitnessFunction",
+    "DistanceGuidedFitness",
+    "RandomFitness",
+    "MarginFitness",
+    "packed_bipolar_dimension",
+]
 
 
-def _cosine_matrix_any(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
-    """Cosine matrix for unpacked HVs or packed uint64 words (exact)."""
+def packed_bipolar_dimension(model: Any) -> Optional[int]:
+    """``D`` when *model*'s grey-box HVs are packed bipolar sign words.
+
+    Duck-typed on the ``packed_alphabet`` class marker the packed
+    classifiers carry (``"bipolar"`` /
+    :class:`~repro.hdc.backends.bipolar.PackedBipolarHDCClassifier`).
+    Returns ``None`` for every other model — dense families and the
+    packed binary family, whose uint64 HVs the fitnesses already score
+    correctly by dtype.  Pass the result as the cosine fitnesses'
+    ``bipolar_dimension``; the fuzzing engines do so when building
+    their default fitness.
+    """
+    if getattr(model, "packed_alphabet", None) == "bipolar":
+        return int(model.dimension)
+    return None
+
+
+def _cosine_matrix_any(
+    queries: np.ndarray,
+    references: np.ndarray,
+    *,
+    bipolar_dimension: Optional[int] = None,
+) -> np.ndarray:
+    """Cosine matrix for dense HVs or packed uint64 words (exact).
+
+    uint64 operands are binary {0, 1} words unless *bipolar_dimension*
+    is set, in which case they are sign words of that logical dimension
+    and the bipolar popcount cosine applies.
+    """
     q = np.asarray(queries)
     r = np.asarray(references)
     if q.dtype == np.uint64 and r.dtype == np.uint64:
+        if bipolar_dimension is not None:
+            from repro.hdc.backends.packed import cosine_matrix_packed_bipolar
+
+            return cosine_matrix_packed_bipolar(q, r, bipolar_dimension)
         from repro.hdc.backends.packed import cosine_matrix_packed
 
         return cosine_matrix_packed(q, r)
@@ -85,9 +130,22 @@ class FitnessFunction(ABC):
 
 
 class DistanceGuidedFitness(FitnessFunction):
-    """The paper's fitness: ``1 − Cosim(AM[y], HDC(seed))``."""
+    """The paper's fitness: ``1 − Cosim(AM[y], HDC(seed))``.
+
+    Parameters
+    ----------
+    bipolar_dimension:
+        Set when the HVs handed to :meth:`scores` are packed *bipolar*
+        sign words (uint64) of this logical dimension, so the sign-bit
+        cosine kernel applies; leave ``None`` for dense HVs and packed
+        binary words.  Use
+        :func:`packed_bipolar_dimension` to derive it from a model.
+    """
 
     guided = True
+
+    def __init__(self, *, bipolar_dimension: Optional[int] = None) -> None:
+        self._bipolar_dimension = bipolar_dimension
 
     def scores(
         self,
@@ -96,11 +154,17 @@ class DistanceGuidedFitness(FitnessFunction):
         *,
         rng: RngLike = None,
     ) -> np.ndarray:
-        sims = _cosine_matrix_any(query_hvs, np.asarray(reference_hv)[None, :])[:, 0]
+        sims = _cosine_matrix_any(
+            query_hvs,
+            np.asarray(reference_hv)[None, :],
+            bipolar_dimension=self._bipolar_dimension,
+        )[:, 0]
         return 1.0 - sims
 
     def __repr__(self) -> str:
-        return "DistanceGuidedFitness()"
+        if self._bipolar_dimension is None:
+            return "DistanceGuidedFitness()"
+        return f"DistanceGuidedFitness(bipolar_dimension={self._bipolar_dimension})"
 
 
 class RandomFitness(FitnessFunction):
@@ -141,15 +205,23 @@ class MarginFitness(FitnessFunction):
     is far from ``AM[y]`` but equally far from every other class is less
     promising than one that is *closing in on a specific other class*.
     Requires the full AM, so it takes the class HVs at construction
-    (packed or unpacked).  Benchmarked in
+    (packed or unpacked; pass *bipolar_dimension* for packed bipolar
+    sign words, as for :class:`DistanceGuidedFitness`).  Benchmarked in
     ``benchmarks/bench_ablation_fitness.py``.
     """
 
     guided = True
 
-    def __init__(self, class_hvs: np.ndarray, reference_label: int) -> None:
+    def __init__(
+        self,
+        class_hvs: np.ndarray,
+        reference_label: int,
+        *,
+        bipolar_dimension: Optional[int] = None,
+    ) -> None:
         self._class_hvs = np.asarray(class_hvs)
         self._reference_label = int(reference_label)
+        self._bipolar_dimension = bipolar_dimension
 
     def scores(
         self,
@@ -158,7 +230,9 @@ class MarginFitness(FitnessFunction):
         *,
         rng: RngLike = None,
     ) -> np.ndarray:
-        sims = _cosine_matrix_any(query_hvs, self._class_hvs)
+        sims = _cosine_matrix_any(
+            query_hvs, self._class_hvs, bipolar_dimension=self._bipolar_dimension
+        )
         ref = sims[:, self._reference_label].copy()
         sims[:, self._reference_label] = -np.inf
         best_other = sims.max(axis=1)

@@ -51,7 +51,12 @@ import numpy as np
 from repro.errors import ConfigurationError, FuzzingError, NotTrainedError
 from repro.fuzz.constraints import Constraint
 from repro.fuzz.domains.base import DELTA_ENCODER_API, FuzzDomain, resolve_domain
-from repro.fuzz.fitness import DistanceGuidedFitness, FitnessFunction, RandomFitness
+from repro.fuzz.fitness import (
+    DistanceGuidedFitness,
+    FitnessFunction,
+    RandomFitness,
+    packed_bipolar_dimension,
+)
 from repro.fuzz.mutations import MutationStrategy, create_strategy
 from repro.fuzz.oracle import DifferentialOracle
 from repro.fuzz.results import AdversarialExample, CampaignResult, InputOutcome
@@ -210,11 +215,32 @@ class HDTest:
         if constraint is None:
             constraint = self._domain.default_constraint(self._strategy)
         self._constraint = constraint
+        bipolar_dim = packed_bipolar_dimension(model)
         if fitness is None:
+            # The default guided fitness must know when the model's
+            # grey-box HVs are packed *bipolar* sign words (uint64, like
+            # packed binary words) so it scores with the sign-bit cosine.
             fitness = (
-                DistanceGuidedFitness()
+                DistanceGuidedFitness(bipolar_dimension=bipolar_dim)
                 if self._config.guided
                 else RandomFitness(rng=self._rng)
+            )
+        elif bipolar_dim is not None and (
+            getattr(fitness, "_bipolar_dimension", bipolar_dim) != bipolar_dim
+        ):
+            # A cosine fitness built without bipolar_dimension would
+            # silently score sign words with the *binary* popcount
+            # cosine, and one built for a different dimension would
+            # mis-scale them — valid floats, wrong ranking, either way.
+            # Fail loudly instead.  (Fitnesses without the attribute —
+            # RandomFitness, custom ones — pass through untouched.)
+            raise ConfigurationError(
+                f"{type(fitness).__name__} was constructed with "
+                f"bipolar_dimension="
+                f"{getattr(fitness, '_bipolar_dimension')!r} but "
+                f"{type(model).__name__} emits packed bipolar sign words of "
+                f"dimension {bipolar_dim}; pass bipolar_dimension={bipolar_dim} "
+                "(see repro.fuzz.fitness.packed_bipolar_dimension)"
             )
         self._fitness = fitness
         self._oracle = oracle if oracle is not None else DifferentialOracle()

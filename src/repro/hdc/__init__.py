@@ -12,12 +12,18 @@ from repro.hdc.backends import (
     PackedAssociativeMemory,
     PackedBinaryHDCClassifier,
     PackedBinarySpace,
+    PackedBipolarAssociativeMemory,
+    PackedBipolarEncoder,
+    PackedBipolarHDCClassifier,
+    PackedBipolarSpace,
     PackedPixelEncoder,
     backend_names,
     get_backend,
     pack_bits,
+    pack_signs,
     resolve_model_backend,
     unpack_bits,
+    unpack_signs,
 )
 from repro.hdc.binary_model import (
     BinaryAssociativeMemory,
@@ -72,6 +78,10 @@ __all__ = [
     "PackedAssociativeMemory",
     "PackedBinaryHDCClassifier",
     "PackedBinarySpace",
+    "PackedBipolarAssociativeMemory",
+    "PackedBipolarEncoder",
+    "PackedBipolarHDCClassifier",
+    "PackedBipolarSpace",
     "PackedPixelEncoder",
     "PermutationImageEncoder",
     "PixelEncoder",
@@ -95,7 +105,9 @@ __all__ = [
     "inject_am_faults",
     "invert",
     "pack_bits",
+    "pack_signs",
     "permute",
     "resolve_model_backend",
     "unpack_bits",
+    "unpack_signs",
 ]

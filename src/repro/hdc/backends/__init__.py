@@ -1,23 +1,49 @@
-"""Pluggable compute backends for bit-packed binary hypervectors.
+"""Pluggable compute backends for bit-packed hypervectors.
 
-This subpackage holds everything needed to run the dense-binary HDC
-family 8× smaller and several times faster than its byte-per-bit form:
+This subpackage holds everything needed to run both dense model
+families — the paper's bipolar family *and* the Rahimi-style binary
+family — 8× smaller and several times faster than their
+byte-per-component forms.  Four model families exist in total, two
+dense and two packed, pairwise bit-identical:
+
+========================  ===================================  =============================================
+family                    dense home                           packed counterpart (here)
+========================  ===================================  =============================================
+bipolar {-1, +1}          :mod:`repro.hdc.model`               :mod:`~repro.hdc.backends.bipolar`
+                          (``HDCClassifier``)                  (``PackedBipolarHDCClassifier``)
+binary {0, 1}             :mod:`repro.hdc.binary_model`        :mod:`~repro.hdc.backends.binary`
+                          (``BinaryHDCClassifier``)            (``PackedBinaryHDCClassifier``)
+========================  ===================================  =============================================
+
+Modules:
 
 * :mod:`~repro.hdc.backends.packed` — the word-level kernel module:
-  ``pack_bits`` / ``unpack_bits``, XOR binding, popcount (hardware
-  ``numpy.bitwise_count`` with a lookup-table fallback), bit-count
-  bundling with majority quantisation, and Hamming / binary-cosine
+  ``pack_bits`` / ``unpack_bits`` (and the bipolar ``pack_signs`` /
+  ``unpack_signs``), XOR binding, popcount (hardware
+  ``numpy.bitwise_count`` with a SWAR fallback), carry-save
+  ``bit_sliced_counts`` bundling (the packed training path), majority /
+  sign bundling, and the Hamming / binary-cosine / bipolar-cosine
   query kernels;
-* :mod:`~repro.hdc.backends.binary` — the packed model family
+* :mod:`~repro.hdc.backends.binary` — the packed dense-binary family
   (:class:`PackedBinarySpace`, :class:`PackedPixelEncoder`,
   :class:`PackedAssociativeMemory`, :class:`PackedBinaryHDCClassifier`)
   — bit-identical to :mod:`repro.hdc.binary_model`, property-tested;
+* :mod:`~repro.hdc.backends.bipolar` — the packed bipolar family
+  (:class:`PackedBipolarSpace`, :class:`PackedBipolarEncoder`,
+  :class:`PackedBipolarAssociativeMemory`,
+  :class:`PackedBipolarHDCClassifier`) — bit-identical to the paper's
+  model in :mod:`repro.hdc.model`, property-tested;
 * :mod:`~repro.hdc.backends.dispatch` — kernel-backend selection
   (numpy default, torch gated on import with numpy fallback) and the
   campaign-level ``resolve_model_backend`` used by the CLI's
-  ``--backend`` flag;
+  ``--backend dense|packed|packed-bipolar|torch`` flag;
 * :mod:`~repro.hdc.backends.torch_backend` — the optional torch
   kernels (HDTorch-style batched shapes), never imported unless asked.
+
+The cross-family differential conformance suite
+(``tests/hdc/backends/test_conformance.py``) runs the shared
+train/predict/save/load/retrain/copy properties across all four
+families so the pairs cannot drift apart.
 """
 
 from repro.hdc.backends.binary import (
@@ -25,6 +51,12 @@ from repro.hdc.backends.binary import (
     PackedBinaryHDCClassifier,
     PackedBinarySpace,
     PackedPixelEncoder,
+)
+from repro.hdc.backends.bipolar import (
+    PackedBipolarAssociativeMemory,
+    PackedBipolarEncoder,
+    PackedBipolarHDCClassifier,
+    PackedBipolarSpace,
 )
 from repro.hdc.backends.dispatch import (
     KernelBackend,
@@ -35,16 +67,23 @@ from repro.hdc.backends.dispatch import (
 )
 from repro.hdc.backends.packed import (
     bind_xor_packed,
+    bipolar_cosine_from_counts,
     bit_counts,
+    bit_sliced_counts,
     bundle_majority_packed,
+    bundle_sign_packed,
     cosine_matrix_packed,
+    cosine_matrix_packed_bipolar,
+    gathered_xor_counts,
     hamming_counts,
     hamming_distance_packed,
     hamming_similarity_packed,
     pack_bits,
+    pack_signs,
     packed_words,
     popcount,
     unpack_bits,
+    unpack_signs,
     using_hardware_popcount,
 )
 
@@ -54,20 +93,31 @@ __all__ = [
     "PackedAssociativeMemory",
     "PackedBinaryHDCClassifier",
     "PackedBinarySpace",
+    "PackedBipolarAssociativeMemory",
+    "PackedBipolarEncoder",
+    "PackedBipolarHDCClassifier",
+    "PackedBipolarSpace",
     "PackedPixelEncoder",
     "backend_names",
     "bind_xor_packed",
+    "bipolar_cosine_from_counts",
     "bit_counts",
+    "bit_sliced_counts",
     "bundle_majority_packed",
+    "bundle_sign_packed",
     "cosine_matrix_packed",
+    "cosine_matrix_packed_bipolar",
+    "gathered_xor_counts",
     "get_backend",
     "hamming_counts",
     "hamming_distance_packed",
     "hamming_similarity_packed",
     "pack_bits",
+    "pack_signs",
     "packed_words",
     "popcount",
     "resolve_model_backend",
     "unpack_bits",
+    "unpack_signs",
     "using_hardware_popcount",
 ]

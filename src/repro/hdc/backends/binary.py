@@ -37,7 +37,13 @@ import numpy as np
 
 from repro.errors import ConfigurationError, DimensionMismatchError, NotTrainedError
 from repro.hdc.backends.dispatch import KernelBackend, get_backend
-from repro.hdc.backends.packed import check_packed, pack_bits, packed_words, unpack_bits
+from repro.hdc.backends.packed import (
+    check_packed,
+    gathered_xor_counts,
+    pack_bits,
+    packed_words,
+    unpack_bits,
+)
 from repro.hdc.binary_model import (
     BinaryAssociativeMemory,
     BinaryHDCClassifier,
@@ -109,12 +115,17 @@ class PackedBinarySpace(Space):
 class PackedPixelEncoder(BinaryPixelEncoder):
     """Position-XOR-value image encoder emitting packed binary HVs.
 
-    Everything up to the accumulator — codebooks (same spawn
-    discipline, so equal seeds give equal bits), quantisation, the
-    ones-count sums, and the incremental ``accumulate_delta`` — is
-    inherited from :class:`~repro.hdc.binary_model.BinaryPixelEncoder`
-    unchanged; :meth:`hvs_from_accumulators` applies the parent's
-    ties-to-1 majority and then packs, which is the entire difference.
+    Everything semantic — codebooks (same spawn discipline, so equal
+    seeds give equal bits), quantisation, the ones-count accumulator
+    algebra, and the incremental ``accumulate_delta`` — is inherited
+    from :class:`~repro.hdc.binary_model.BinaryPixelEncoder` unchanged.
+    Two methods differ, both representation-only:
+    :meth:`accumulate_batch` computes the very same ones counts on
+    *packed codebooks* — XOR whole words, then column-sum with the
+    word-level :func:`~repro.hdc.backends.packed.bit_sliced_counts`
+    bundling kernel instead of gathering unpacked rows per pixel (the
+    packed *training* path) — and :meth:`hvs_from_accumulators` applies
+    the parent's ties-to-1 majority and then packs.
     """
 
     def __init__(
@@ -162,6 +173,31 @@ class PackedPixelEncoder(BinaryPixelEncoder):
     def backend(self) -> KernelBackend:
         """Kernel backend packed outputs are produced with."""
         return self._backend
+
+    # -- the packed training path ------------------------------------------
+    def _packed_codebooks(self) -> tuple[np.ndarray, np.ndarray]:
+        """Packed words of both codebooks (built once, cached)."""
+        cache = getattr(self, "_codebook_words", None)
+        if cache is None:
+            cache = (
+                pack_bits(self._position_memory.vectors, validate=False),
+                pack_bits(self._value_memory.vectors, validate=False),
+            )
+            self._codebook_words = cache
+        return cache
+
+    def accumulate_batch(self, items: np.ndarray) -> np.ndarray:
+        """Per-component ones counts ``(n, D)`` via word-level bundling.
+
+        Elementwise equal to the parent's per-pixel unpacked gather
+        (the counts are exact integers either way); only the arithmetic
+        is packed — one whole-word XOR per pixel row and a carry-save
+        bit-sliced column sum, which is what accelerates ``fit``.
+        """
+        levels = self.quantize(items)
+        flat = levels.reshape(levels.shape[0], -1)
+        pos_w, val_w = self._packed_codebooks()
+        return gathered_xor_counts(pos_w, val_w, flat, self.dimension)
 
     # -- the packed quantisation step ------------------------------------
     def hvs_from_accumulators(self, accumulators: np.ndarray) -> np.ndarray:
@@ -374,6 +410,11 @@ class PackedBinaryHDCClassifier(BinaryHDCClassifier):
     words); ``load`` therefore returns an *unpacked* classifier —
     repackage with :meth:`from_binary`.
     """
+
+    #: Grey-box marker: query/reference HVs are packed {0, 1} words, so
+    #: the cosine-based fitnesses score with the binary popcount cosine
+    #: (their uint64 default — see :mod:`repro.fuzz.fitness`).
+    packed_alphabet = "binary"
 
     def __init__(
         self, encoder: Encoder, n_classes: int, *, backend: BackendLike = None

@@ -1,0 +1,585 @@
+"""The packed *bipolar* model family: the paper's model on the fast path.
+
+Bit-packed counterparts of the Sec. III stack
+(:class:`~repro.hdc.spaces.BipolarSpace` /
+:class:`~repro.hdc.encoders.image.PixelEncoder` /
+:class:`~repro.hdc.associative_memory.AssociativeMemory` /
+:class:`~repro.hdc.model.HDCClassifier`).  A bipolar component is a
+single sign bit (bit 1 ⇔ −1, :func:`~repro.hdc.backends.packed.pack_signs`),
+so the paper's model stores 64 components per uint64 word, binds with
+XOR, and answers every cosine query as ``D − 2·popcount(xor)`` — the
+Schmuck-style hardware formulation, applied to the bipolar family
+HDTest actually fuzzes.
+
+As with the packed binary family, packing is pure representation and
+the bit-identity is structural:
+
+* :class:`PackedBipolarEncoder` **subclasses**
+  :class:`~repro.hdc.encoders.image.PixelEncoder` — codebooks,
+  quantisation, and the signed-accumulator algebra (including
+  ``accumulate_delta``) are the parent's; ``accumulate_batch`` runs on
+  packed sign codebooks through the word-level
+  :func:`~repro.hdc.backends.packed.bit_sliced_counts` bundling kernel
+  (the packed *training* path) and ``hvs_from_accumulators`` packs the
+  Eq. 1 sign threshold;
+* :class:`PackedBipolarAssociativeMemory` keeps the dense AM's signed
+  integer accumulators (training, retraining, and persistence match
+  exactly) and quantises/queries packed — similarities, predictions,
+  and margins equal the dense cosine to the last float;
+* :class:`PackedBipolarHDCClassifier` **subclasses**
+  :class:`~repro.hdc.model.HDCClassifier` — training, inference,
+  retraining, and :meth:`~repro.hdc.model.HDCClassifier.save` are
+  inherited, so the packed family cannot drift from the paper's.
+
+Fuzzing outcomes therefore equal the dense bipolar family's, input for
+input (property-tested in ``tests/fuzz/test_packed_fuzzing.py``); the
+cross-family conformance suite
+(``tests/hdc/backends/test_conformance.py``) pins the full
+train/predict/save/load/retrain/copy surface against the dense family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError, NotTrainedError
+from repro.hdc.associative_memory import AssociativeMemory
+from repro.hdc.backends.dispatch import KernelBackend, get_backend
+from repro.hdc.backends.packed import (
+    bipolar_cosine_from_counts,
+    bit_sliced_counts,
+    check_packed,
+    gathered_xor_counts,
+    pack_signs,
+    packed_words,
+    unpack_signs,
+)
+from repro.hdc.encoders.base import Encoder
+from repro.hdc.encoders.image import PixelEncoder
+from repro.hdc.item_memory import ItemMemory
+from repro.hdc.model import HDCClassifier
+from repro.hdc.spaces import DEFAULT_DIMENSION, BipolarSpace, Space
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_labels, check_positive_int
+
+__all__ = [
+    "PackedBipolarSpace",
+    "PackedBipolarEncoder",
+    "PackedBipolarAssociativeMemory",
+    "PackedBipolarHDCClassifier",
+]
+
+BackendLike = Union[None, str, KernelBackend]
+
+
+class PackedBipolarSpace(Space):
+    """{-1, +1} hypervectors stored as packed uint64 sign words.
+
+    ``dimension`` stays the *logical* component count ``D``; arrays have
+    ``n_words = ceil(D / 64)`` uint64 entries with component ``d``'s
+    sign bit (1 ⇔ −1) at bit ``d % 64`` of word ``d // 64``.
+    :meth:`random` draws the same bit stream as
+    :class:`~repro.hdc.spaces.BipolarSpace` for the same generator,
+    then packs — packed and dense codebooks built from one seed agree
+    sign for sign.
+    """
+
+    alphabet = (-1, 1)
+
+    @property
+    def n_words(self) -> int:
+        """uint64 words per hypervector (``ceil(dimension / 64)``)."""
+        return packed_words(self.dimension)
+
+    def random(self, n: Optional[int] = None, *, rng: RngLike = None) -> np.ndarray:
+        generator = ensure_rng(rng)
+        size = (
+            (self.dimension,)
+            if n is None
+            else (check_positive_int(n, "n"), self.dimension)
+        )
+        # Same mapping as BipolarSpace: draw b becomes value 2b − 1.
+        draws = generator.integers(0, 2, size=size, dtype=np.int8)
+        return pack_signs(2 * draws - 1, validate=False)
+
+    def check_member(self, hv: np.ndarray, *, name: str = "hv") -> np.ndarray:
+        """Validate packed dtype, word count, and zeroed tail bits."""
+        arr = np.asarray(hv)
+        if arr.ndim not in (1, 2):
+            raise DimensionMismatchError(f"{name} must be 1-D or 2-D, got ndim={arr.ndim}")
+        return check_packed(arr, self.dimension, name=name)
+
+    def pack(self, values: np.ndarray) -> np.ndarray:
+        """Pack dense {-1, +1} members of the equivalent BipolarSpace."""
+        arr = np.asarray(values)
+        if arr.shape[-1] != self.dimension:
+            raise DimensionMismatchError(
+                f"values has dimension {arr.shape[-1]}, expected {self.dimension}"
+            )
+        return pack_signs(arr)
+
+    def unpack(self, words: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`pack` (int8 {-1, +1} array)."""
+        return unpack_signs(words, self.dimension)
+
+
+class PackedBipolarEncoder(PixelEncoder):
+    """Position ⊛ value image encoder emitting packed bipolar sign words.
+
+    Everything semantic — codebooks (same spawn discipline, so equal
+    seeds give equal signs), quantisation, the signed pixel-sum
+    accumulators, and the incremental ``accumulate_delta`` — is
+    inherited from :class:`~repro.hdc.encoders.image.PixelEncoder`
+    unchanged.  Two methods differ, both representation-only:
+
+    * :meth:`accumulate_batch` computes the very same integer sums on
+      *packed sign codebooks*: ``Σ_p pos_p ⊛ val_{x_p} = k − 2·c``
+      where ``c`` are the per-component −1 counts of the XORed sign
+      rows, summed word-level by
+      :func:`~repro.hdc.backends.packed.bit_sliced_counts` (with the
+      parent's sparse-background decomposition on mostly-dark images) —
+      the packed *training* path;
+    * :meth:`hvs_from_accumulators` applies the parent's Eq. 1 sign
+      threshold (0 → +1) and packs the sign bits.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int] = (28, 28),
+        *,
+        levels: int = 256,
+        dimension: int = DEFAULT_DIMENSION,
+        value_memory: Optional[ItemMemory] = None,
+        rng: RngLike = None,
+        sparse_background: bool = True,
+        backend: BackendLike = None,
+    ) -> None:
+        super().__init__(
+            shape,
+            levels=levels,
+            dimension=dimension,
+            value_memory=value_memory,
+            rng=rng,
+            sparse_background=sparse_background,
+        )
+        self._packed_space = PackedBipolarSpace(dimension)
+        self._backend = get_backend(backend)
+
+    @classmethod
+    def from_dense(
+        cls, encoder, *, backend: BackendLike = None
+    ) -> "PackedBipolarEncoder":
+        """Wrap a trained ``PixelEncoder``'s codebooks (exact, shared)."""
+        for attr in ("shape", "position_memory", "value_memory", "dimension"):
+            if not hasattr(encoder, attr):
+                raise ConfigurationError(
+                    f"{type(encoder).__name__} lacks {attr!r}; expected a "
+                    "PixelEncoder-compatible encoder"
+                )
+        packed = cls.__new__(cls)
+        packed._shape = tuple(encoder.shape)
+        packed._levels = encoder.value_memory.size
+        packed._space = BipolarSpace(encoder.dimension)
+        packed._sparse_background = True
+        packed._position_memory = encoder.position_memory
+        packed._value_memory = encoder.value_memory
+        packed._position_sum = encoder.position_memory.vectors.sum(
+            axis=0, dtype=np.int64
+        )
+        packed._packed_space = PackedBipolarSpace(encoder.dimension)
+        packed._backend = get_backend(backend)
+        return packed
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def n_words(self) -> int:
+        """uint64 words per emitted hypervector."""
+        return self._packed_space.n_words
+
+    @property
+    def backend(self) -> KernelBackend:
+        """Kernel backend packed outputs are produced with."""
+        return self._backend
+
+    # -- the packed training path ------------------------------------------
+    def _sign_codebooks(self) -> tuple[np.ndarray, np.ndarray]:
+        """Packed sign words of both codebooks (built once, cached)."""
+        cache = getattr(self, "_sign_codebook_words", None)
+        if cache is None:
+            cache = (
+                pack_signs(self._position_memory.vectors, validate=False),
+                pack_signs(self._value_memory.vectors, validate=False),
+            )
+            self._sign_codebook_words = cache
+        return cache
+
+    def accumulate_batch(self, items: np.ndarray) -> np.ndarray:
+        """Raw integer accumulators ``(n, D)`` via word-level bundling.
+
+        Elementwise equal to the parent's dense gather (both are exact
+        integer sums of ±1 products); only the arithmetic is packed.
+        """
+        levels = self.quantize(items)
+        flat = levels.reshape(levels.shape[0], -1)
+        if self._sparse_background:
+            return self._accumulate_sparse_packed(flat)
+        return self._accumulate_full_packed(flat)
+
+    def _accumulate_full_packed(self, flat_levels: np.ndarray) -> np.ndarray:
+        pos_s, val_s = self._sign_codebooks()
+        n_pixels = flat_levels.shape[1]
+        counts = gathered_xor_counts(pos_s, val_s, flat_levels, self.dimension)
+        # Σ ±1 products = n_pixels − 2 · (count of −1 sign bits).
+        return n_pixels - 2 * counts
+
+    def _accumulate_sparse_packed(self, flat_levels: np.ndarray) -> np.ndarray:
+        """The parent's sparse-background rewrite, on sign words.
+
+        ``acc = base + Σ_{p∉bg} pos_p ⊛ (val_{x_p} − val_0)`` and each
+        term is ``2·(bit₀ − bitₓ)`` of the XORed sign rows, so the
+        foreground correction is two bit-sliced counts over only the
+        non-background pixels.
+        """
+        pos_s, val_s = self._sign_codebooks()
+        val0 = self._value_memory.vectors[0].astype(np.int64)
+        base = self._position_sum * val0
+        n = flat_levels.shape[0]
+        out = np.empty((n, self.dimension), dtype=np.int64)
+        for i in range(n):
+            nz = np.nonzero(flat_levels[i])[0]
+            if nz.size == 0:
+                out[i] = base
+                continue
+            pos_nz = pos_s[nz]
+            c_bg = bit_sliced_counts(np.bitwise_xor(pos_nz, val_s[0]), self.dimension)
+            c_fg = bit_sliced_counts(
+                np.bitwise_xor(pos_nz, val_s[flat_levels[i][nz]]), self.dimension
+            )
+            out[i] = base + 2 * (c_bg - c_fg)
+        return out
+
+    # -- the packed quantisation step --------------------------------------
+    def hvs_from_accumulators(self, accumulators: np.ndarray) -> np.ndarray:
+        """The parent's Eq. 1 sign threshold (0 → +1), packed.
+
+        ``acc < 0`` *is* the sign bit under the packing convention, so
+        no dense ±1 intermediate is materialised.
+        """
+        return self._backend.pack(np.asarray(accumulators) < 0, validate=False)
+
+    def unpack(self, hvs: np.ndarray) -> np.ndarray:
+        """Unpack emitted HVs back to int8 {-1, +1} components."""
+        return self._packed_space.unpack(hvs)
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedBipolarEncoder(shape={self.shape}, levels={self.levels}, "
+            f"dimension={self.dimension}, backend={self._backend.name!r})"
+        )
+
+
+class PackedBipolarAssociativeMemory:
+    """Signed class accumulators with packed class HVs and popcount queries.
+
+    Holds the same ``(n_classes, D)`` int64 accumulators as the dense
+    :class:`~repro.hdc.associative_memory.AssociativeMemory` (training,
+    retraining, and the ``state_dict`` schema match exactly) but
+    quantises its class HVs into packed sign words and answers cosine
+    queries as ``(D − 2·popcount(xor)) / D`` — the ≥3× query-throughput
+    path ``benchmarks/bench_packed_bipolar.py`` measures.  All query
+    results are bit-identical to the dense memory's.
+
+    Always bipolar: the raw-accumulator ablation (``bipolar=False``)
+    queries integer accumulators with full cosine and has no packed
+    form.
+    """
+
+    def __init__(
+        self, n_classes: int, dimension: int, *, backend: BackendLike = None
+    ) -> None:
+        self._n_classes = check_positive_int(n_classes, "n_classes")
+        self._dimension = check_positive_int(dimension, "dimension")
+        self._backend = get_backend(backend)
+        self._accumulators = np.zeros((self._n_classes, self._dimension), dtype=np.int64)
+        self._counts = np.zeros(self._n_classes, dtype=np.int64)
+        self._cache: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_dense(
+        cls, am, *, backend: BackendLike = None
+    ) -> "PackedBipolarAssociativeMemory":
+        """Adopt a dense bipolar AM's accumulators (exact conversion)."""
+        return cls.from_state_dict(am.state_dict(), backend=backend)
+
+    def to_dense(self) -> AssociativeMemory:
+        """The equivalent dense :class:`AssociativeMemory`."""
+        return AssociativeMemory.from_state_dict(self.state_dict())
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        return self._n_classes
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    @property
+    def n_words(self) -> int:
+        """uint64 words per class hypervector."""
+        return packed_words(self._dimension)
+
+    @property
+    def backend(self) -> KernelBackend:
+        """Kernel backend answering similarity queries."""
+        return self._backend
+
+    @property
+    def bipolar(self) -> bool:
+        """Always True — only the bipolarised AM packs (see class docs)."""
+        return True
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts.copy()
+
+    @property
+    def accumulators(self) -> np.ndarray:
+        """Read-only view of the raw ``(n_classes, D)`` accumulators."""
+        view = self._accumulators.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def is_trained(self) -> bool:
+        return bool((self._counts > 0).all())
+
+    # -- updates ---------------------------------------------------------
+    def add(self, hvs: np.ndarray, labels) -> None:
+        """Accumulate packed sign HVs into their signed class sums."""
+        arr, labels_arr = self._check_update(hvs, labels)
+        np.add.at(
+            self._accumulators, labels_arr,
+            unpack_signs(arr, self._dimension).astype(np.int64),
+        )
+        np.add.at(self._counts, labels_arr, 1)
+        self._cache = None
+
+    def subtract(self, hvs: np.ndarray, labels) -> None:
+        """Perceptron-style removal (signed, unclamped — as in the dense AM)."""
+        arr, labels_arr = self._check_update(hvs, labels)
+        np.subtract.at(
+            self._accumulators, labels_arr,
+            unpack_signs(arr, self._dimension).astype(np.int64),
+        )
+        self._cache = None
+
+    def _check_update(self, hvs: np.ndarray, labels) -> tuple[np.ndarray, np.ndarray]:
+        arr = np.asarray(hvs)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        arr = check_packed(arr, self._dimension, name="hvs")
+        labels_arr = check_labels(labels, arr.shape[0])
+        if labels_arr.size and labels_arr.max() >= self._n_classes:
+            raise ConfigurationError(
+                f"label {labels_arr.max()} out of range for {self._n_classes} classes"
+            )
+        return arr, labels_arr
+
+    # -- reference vectors -------------------------------------------------
+    @property
+    def class_hvs(self) -> np.ndarray:
+        """Bipolarised class HVs, packed ``(C, n_words)`` (Eq. 1, 0 → +1)."""
+        if self._cache is None:
+            # acc < 0 is exactly the sign bit of np.where(acc >= 0, 1, -1).
+            self._cache = self._backend.pack(self._accumulators < 0, validate=False)
+        return self._cache
+
+    @property
+    def class_hvs_values(self) -> np.ndarray:
+        """Dense int8 {-1, +1} view of :attr:`class_hvs` (diagnostics)."""
+        return unpack_signs(self.class_hvs, self._dimension)
+
+    def reference_hv(self, label: int) -> np.ndarray:
+        if not 0 <= label < self._n_classes:
+            raise ConfigurationError(f"label {label} out of range [0, {self._n_classes})")
+        return self.class_hvs[label]
+
+    # -- queries -----------------------------------------------------------
+    def similarities(self, queries: np.ndarray) -> np.ndarray:
+        """Cosine similarity to each class HV → ``(n, C)``, popcount inside.
+
+        One XOR + popcount pass per class over the packed query block;
+        the float tail mirrors the dense
+        :func:`~repro.hdc.similarity.cosine_matrix` operation for
+        operation, so results are bit-identical.
+        """
+        self._require_trained()
+        arr = np.asarray(queries)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        arr = check_packed(arr, self._dimension, name="queries")
+        diff = self._backend.hamming_counts(arr, self.class_hvs)
+        return bipolar_cosine_from_counts(diff, self._dimension)
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        return self.similarities(queries).argmax(axis=1).astype(np.int64)
+
+    def margins(self, queries: np.ndarray) -> np.ndarray:
+        sims = self.similarities(queries)
+        if sims.shape[1] < 2:
+            return np.zeros(sims.shape[0])
+        part = np.partition(sims, -2, axis=1)
+        return part[:, -1] - part[:, -2]
+
+    def _require_trained(self) -> None:
+        if not (self._counts > 0).any():
+            raise NotTrainedError("packed bipolar associative memory has no trained classes")
+
+    # -- persistence ---------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Same schema as the dense AM (signed accumulators, not words)."""
+        return {
+            "accumulators": self._accumulators.copy(),
+            "counts": self._counts.copy(),
+            "bipolar": np.asarray(True),
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls, state: dict[str, np.ndarray], *, backend: BackendLike = None
+    ) -> "PackedBipolarAssociativeMemory":
+        """Inverse of :meth:`state_dict` (rejects ``bipolar=False`` states)."""
+        if not bool(np.asarray(state.get("bipolar", True))):
+            raise ConfigurationError(
+                "the raw-accumulator (bipolar=False) ablation has no packed "
+                "form; load it into the dense AssociativeMemory instead"
+            )
+        acc = np.asarray(state["accumulators"], dtype=np.int64)
+        if acc.ndim != 2:
+            raise ConfigurationError(f"accumulators must be 2-D, got shape {acc.shape}")
+        am = cls(acc.shape[0], acc.shape[1], backend=backend)
+        am._accumulators = acc
+        am._counts = np.asarray(state["counts"], dtype=np.int64)
+        return am
+
+    def copy(self) -> "PackedBipolarAssociativeMemory":
+        return PackedBipolarAssociativeMemory.from_state_dict(
+            self.state_dict(), backend=self._backend
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedBipolarAssociativeMemory(n_classes={self._n_classes}, "
+            f"dimension={self._dimension}, backend={self._backend.name!r}, "
+            f"trained={self.is_trained})"
+        )
+
+
+class PackedBipolarHDCClassifier(HDCClassifier):
+    """Classifier facade over the packed encoder + popcount AM pair.
+
+    Subclasses :class:`~repro.hdc.model.HDCClassifier`: training,
+    adaptive retraining, inference, scoring, and :meth:`save` are all
+    inherited — the packed AM exposes the same accumulator interface —
+    so the packed family cannot drift from the paper's.  ``save``
+    writes the shared ``pixel-hdc`` format (codebooks + signed
+    accumulators); ``load`` therefore returns a *dense* classifier —
+    repackage with :meth:`from_dense`.
+    """
+
+    #: Grey-box marker read by the fuzzing engines: query and reference
+    #: HVs are packed bipolar sign words, so the distance-guided fitness
+    #: must score with the sign-bit cosine kernel
+    #: (:func:`repro.fuzz.fitness.packed_bipolar_dimension`).
+    packed_alphabet = "bipolar"
+
+    def __init__(
+        self, encoder: Encoder, n_classes: int, *, backend: BackendLike = None
+    ) -> None:
+        super().__init__(encoder, n_classes, bipolar_am=True)
+        self._am = PackedBipolarAssociativeMemory(
+            n_classes, encoder.dimension, backend=backend
+        )
+
+    @classmethod
+    def from_dense(
+        cls, model, *, backend: BackendLike = None
+    ) -> "PackedBipolarHDCClassifier":
+        """Repackage a trained ``HDCClassifier`` (exact, shares codebooks).
+
+        Requires the paper's configuration: a
+        :class:`~repro.hdc.encoders.image.PixelEncoder` (or an encoder
+        exposing its codebook surface) in front of a *bipolarised* AM.
+        """
+        am = model.associative_memory
+        if not getattr(am, "bipolar", True):
+            raise ConfigurationError(
+                "the raw-accumulator (bipolar_am=False) ablation has no "
+                "packed form; run it dense"
+            )
+        packed = cls.__new__(cls)
+        packed._encoder = PackedBipolarEncoder.from_dense(model.encoder, backend=backend)
+        packed._n_classes = model.n_classes
+        packed._am = PackedBipolarAssociativeMemory.from_dense(am, backend=backend)
+        return packed
+
+    def to_dense(self) -> HDCClassifier:
+        """The equivalent dense :class:`~repro.hdc.model.HDCClassifier`."""
+        dense = HDCClassifier.__new__(HDCClassifier)
+        encoder = PixelEncoder.__new__(PixelEncoder)
+        encoder._shape = self._encoder.shape  # noqa: SLF001 - controlled reconstruction
+        encoder._levels = self._encoder.levels
+        encoder._space = BipolarSpace(self._encoder.dimension)
+        encoder._sparse_background = True
+        encoder._position_memory = self._encoder.position_memory
+        encoder._value_memory = self._encoder.value_memory
+        encoder._position_sum = self._encoder.position_memory.vectors.sum(
+            axis=0, dtype=np.int64
+        )
+        dense._encoder = encoder
+        dense._n_classes = self._n_classes
+        dense._am = self._am.to_dense()
+        return dense
+
+    def with_backend(self, backend: BackendLike) -> "PackedBipolarHDCClassifier":
+        """Clone bound to different kernels (shared codebooks and sums)."""
+        kernels = get_backend(backend)
+        clone = PackedBipolarHDCClassifier.__new__(PackedBipolarHDCClassifier)
+        if isinstance(self._encoder, PixelEncoder):
+            clone._encoder = PackedBipolarEncoder.from_dense(
+                self._encoder, backend=kernels
+            )
+        else:
+            clone._encoder = self._encoder
+        clone._n_classes = self._n_classes
+        clone._am = PackedBipolarAssociativeMemory.from_state_dict(
+            self._am.state_dict(), backend=kernels
+        )
+        return clone
+
+    def copy(self) -> "PackedBipolarHDCClassifier":
+        """Clone sharing the encoder but with an independent AM."""
+        clone = PackedBipolarHDCClassifier.__new__(PackedBipolarHDCClassifier)
+        clone._encoder = self._encoder
+        clone._n_classes = self._n_classes
+        clone._am = self._am.copy()
+        return clone
+
+    @property
+    def associative_memory(self) -> PackedBipolarAssociativeMemory:
+        return self._am
+
+    @property
+    def backend(self) -> KernelBackend:
+        """Kernel backend of the associative memory."""
+        return self._am.backend
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedBipolarHDCClassifier(encoder={self._encoder!r}, "
+            f"n_classes={self._n_classes}, backend={self.backend.name!r}, "
+            f"trained={self.is_trained})"
+        )

@@ -18,9 +18,11 @@ specifies.
 
 :func:`resolve_model_backend` is the campaign-level entry point wired
 through ``compare_strategies`` / ``generate_adversarial_set`` and the
-CLI's ``--backend`` flag: it re-targets a dense-binary classifier onto
-the packed representation (an exact repackaging — predictions are
-bit-identical) or returns it untouched for ``"dense"``.
+CLI's ``--backend`` flag: it re-targets a dense classifier onto the
+matching packed representation — ``"packed"``/``"torch"`` for the
+dense-binary family, ``"packed-bipolar"`` for the paper's bipolar
+family — (an exact repackaging — predictions are bit-identical) or
+returns it untouched for ``"dense"``.
 """
 
 from __future__ import annotations
@@ -149,7 +151,7 @@ def get_backend(name: Union[None, str, KernelBackend] = None) -> KernelBackend:
 
 
 #: CLI vocabulary: the unpacked model families plus the packed backends.
-MODEL_BACKEND_CHOICES = ("dense", "packed", "torch")
+MODEL_BACKEND_CHOICES = ("dense", "packed", "packed-bipolar", "torch")
 
 
 def resolve_model_backend(
@@ -162,15 +164,22 @@ def resolve_model_backend(
       already-packed classifier also passes through).
     * ``"packed"`` / ``"torch"`` — repackage a dense-binary classifier
       (:class:`~repro.hdc.binary_model.BinaryHDCClassifier`) onto the
-      packed family with the corresponding kernel backend.  The
-      conversion is exact: predictions, similarities, and fuzzing
-      outcomes are bit-identical (property-tested).  A packed
-      classifier is re-bound to the requested kernels; the bipolar
-      family has no packed form and raises
-      :class:`~repro.errors.ConfigurationError`.
+      packed binary family with the corresponding kernel backend.
+    * ``"packed-bipolar"`` — repackage the paper's bipolar classifier
+      (:class:`~repro.hdc.model.HDCClassifier` with a pixel encoder and
+      a bipolarised AM) onto
+      :class:`~repro.hdc.backends.bipolar.PackedBipolarHDCClassifier`.
+
+    Every conversion is exact: predictions, similarities, and fuzzing
+    outcomes are bit-identical (property-tested).  An already-packed
+    classifier is re-bound to the requested kernels; requesting a
+    backend for the wrong family raises
+    :class:`~repro.errors.ConfigurationError`.
     """
     from repro.hdc.backends.binary import PackedBinaryHDCClassifier
+    from repro.hdc.backends.bipolar import PackedBipolarHDCClassifier
     from repro.hdc.binary_model import BinaryHDCClassifier
+    from repro.hdc.model import HDCClassifier
 
     if backend is None or backend == "dense":
         return model
@@ -178,9 +187,20 @@ def resolve_model_backend(
         raise ConfigurationError(
             f"unknown model backend {backend!r}; choose one of {MODEL_BACKEND_CHOICES}"
         )
-    # "packed" means the packed representation on the default numpy
-    # kernels; "torch" is the same representation on torch kernels.
-    kernels = get_backend("numpy" if backend == "packed" else backend)
+    # "packed"/"packed-bipolar" mean the packed representation on the
+    # default numpy kernels; "torch" is the same representation on torch
+    # kernels.
+    kernels = get_backend("torch" if backend == "torch" else "numpy")
+    if backend == "packed-bipolar":
+        if isinstance(model, PackedBipolarHDCClassifier):
+            return model.with_backend(kernels)
+        if isinstance(model, HDCClassifier):
+            return PackedBipolarHDCClassifier.from_dense(model, backend=kernels)
+        raise ConfigurationError(
+            f"backend 'packed-bipolar' requires the paper's bipolar model "
+            f"family (HDCClassifier); got {type(model).__name__} — "
+            "binary-family models pack with backend='packed'"
+        )
     if isinstance(model, PackedBinaryHDCClassifier):
         return model.with_backend(kernels)
     if isinstance(model, BinaryHDCClassifier):
@@ -188,5 +208,6 @@ def resolve_model_backend(
     raise ConfigurationError(
         f"backend {backend!r} requires the dense-binary model family "
         f"(BinaryHDCClassifier); got {type(model).__name__} — train with "
-        "--family binary or pass backend='dense'"
+        "--family binary, or pack the paper's bipolar family with "
+        "backend='packed-bipolar'"
     )

@@ -34,6 +34,24 @@ Everything here is representation-exact: packing is lossless, so every
 kernel result is bit-identical to the corresponding computation on the
 unpacked {0, 1} arrays (property-tested in
 ``tests/hdc/backends/test_packed_kernels.py``).
+
+Bipolar hypervectors
+--------------------
+The paper's {-1, +1} family packs through the same machinery: a bipolar
+component is one *sign bit* (bit 1 ⇔ −1, so XOR is exactly the
+Hadamard-product bind), :func:`pack_signs` / :func:`unpack_signs`
+convert, and the dot product of two bipolar HVs is
+``D − 2·popcount(a XOR b)`` — which :func:`cosine_matrix_packed_bipolar`
+turns into the model's cosine similarity with float operations that
+mirror :func:`repro.hdc.similarity.cosine_matrix` exactly.
+
+Training kernels
+----------------
+:func:`bit_sliced_counts` is the word-level bundling kernel: it sums a
+packed stack column-wise with carry-save-adder trees over *bit-sliced*
+vertical counters (Schmuck et al.'s combinational bundling, in numpy),
+so majority/threshold bundling — and therefore encoder training — never
+gathers unpacked codebooks per component.
 """
 
 from __future__ import annotations
@@ -49,16 +67,23 @@ __all__ = [
     "packed_words",
     "pack_bits",
     "unpack_bits",
+    "pack_signs",
+    "unpack_signs",
     "check_packed",
     "popcount",
     "using_hardware_popcount",
     "bind_xor_packed",
     "bit_counts",
+    "bit_sliced_counts",
+    "gathered_xor_counts",
     "bundle_majority_packed",
+    "bundle_sign_packed",
     "hamming_counts",
     "hamming_distance_packed",
     "hamming_similarity_packed",
     "cosine_matrix_packed",
+    "cosine_matrix_packed_bipolar",
+    "bipolar_cosine_from_counts",
 ]
 
 #: Components per packed word.
@@ -133,6 +158,29 @@ def unpack_bits(words: np.ndarray, dimension: int) -> np.ndarray:
     return np.unpackbits(as_bytes, axis=-1, count=int(dimension), bitorder="little").astype(
         np.int8
     )
+
+
+def pack_signs(values: np.ndarray, *, validate: bool = True) -> np.ndarray:
+    """Pack a {-1, +1} array ``(..., D)`` into sign words ``(..., W)``.
+
+    The bipolar packing convention: bit 1 ⇔ component −1, bit 0 ⇔ +1.
+    Under it the Hadamard-product bind of two bipolar HVs is a plain
+    XOR of their sign words (signs multiply ⇔ sign bits xor), and
+    ``popcount(a XOR b)`` counts disagreeing components, so
+    ``a·b = D − 2·popcount(a XOR b)``.  Inverse: :func:`unpack_signs`.
+    """
+    arr = np.asarray(values)
+    if arr.ndim < 1:
+        raise DimensionMismatchError("values must have at least one axis")
+    if validate and arr.size and not np.isin(arr, (-1, 1)).all():
+        raise ConfigurationError("pack_signs requires {-1,+1} components")
+    return pack_bits(arr < 0, validate=False)
+
+
+def unpack_signs(words: np.ndarray, dimension: int) -> np.ndarray:
+    """Unpack sign words ``(..., W)`` back to an int8 {-1, +1} ``(..., D)``."""
+    bits = unpack_bits(words, dimension)
+    return (1 - 2 * bits).astype(np.int8)
 
 
 def check_packed(words: np.ndarray, dimension: int, *, name: str = "hv") -> np.ndarray:
@@ -232,6 +280,168 @@ def bundle_majority_packed(words: np.ndarray, dimension: int) -> np.ndarray:
     return pack_bits((2 * counts >= arr.shape[0]).astype(np.int8))
 
 
+def _add_counter_pairs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Add two stacks of k-plane bit-sliced counters → k+1 planes.
+
+    *a* and *b* have shape ``(..., r, k, W)``: ``r`` counters of ``k``
+    binary planes (plane ``j`` holds bit ``j`` of every per-component
+    count).  One ripple-carry pass over the planes adds them pairwise —
+    each plane step is a handful of whole-word bitwise operations, fully
+    vectorised over the leading axes.
+    """
+    k = a.shape[-2]
+    out = np.empty(a.shape[:-2] + (k + 1, a.shape[-1]), dtype=np.uint64)
+    out[..., 0, :] = np.bitwise_xor(a[..., 0, :], b[..., 0, :])
+    carry = np.bitwise_and(a[..., 0, :], b[..., 0, :])
+    for j in range(1, k):
+        aj, bj = a[..., j, :], b[..., j, :]
+        half = np.bitwise_xor(aj, bj)
+        out[..., j, :] = np.bitwise_xor(half, carry)
+        carry = np.bitwise_or(np.bitwise_and(aj, bj), np.bitwise_and(carry, half))
+    out[..., k, :] = carry
+    return out
+
+
+def _ripple_add_planes(a: list, b: list) -> list:
+    """Add two bit-sliced counters given as plane lists (ragged widths)."""
+    planes = []
+    carry = None
+    for j in range(max(len(a), len(b))):
+        terms = [p[j] for p in (a, b) if j < len(p)]
+        if carry is not None:
+            terms.append(carry)
+        if len(terms) == 1:
+            planes.append(terms[0])
+            carry = None
+        elif len(terms) == 2:
+            planes.append(np.bitwise_xor(terms[0], terms[1]))
+            carry = np.bitwise_and(terms[0], terms[1])
+        else:
+            x, y, z = terms
+            half = np.bitwise_xor(x, y)
+            planes.append(np.bitwise_xor(half, z))
+            carry = np.bitwise_or(np.bitwise_and(x, y), np.bitwise_and(z, half))
+    if carry is not None:
+        planes.append(carry)
+    return planes
+
+
+def _bit_sliced_planes(arr: np.ndarray) -> list:
+    """Column-sum a packed stack ``(..., m, W)`` into counter bit planes.
+
+    Carry-save-adder tree: rows start as one-plane counters and are
+    added pairwise level by level (``m → m/2 → …``), so summing ``m``
+    rows costs ``O(m)`` whole-word operations total and every operation
+    is vectorised across all surviving counters at once.  Odd leftovers
+    are folded in at the end with a ripple add.  Returns planes of
+    weight ``2^j``, ``j = 0, 1, …`` (at most ``⌈log2(m+1)⌉`` of them).
+    """
+    x = arr[..., :, None, :]  # (..., m, 1, W): m single-plane counters
+    pending: list[list] = []
+    while x.shape[-3] > 1:
+        if x.shape[-3] % 2:
+            pending.append([x[..., -1, j, :] for j in range(x.shape[-2])])
+            x = x[..., :-1, :, :]
+        x = _add_counter_pairs(x[..., 0::2, :, :], x[..., 1::2, :, :])
+    planes = [x[..., 0, j, :] for j in range(x.shape[-2])]
+    for extra in pending:
+        planes = _ripple_add_planes(planes, extra)
+    return planes
+
+
+def bit_sliced_counts(words: np.ndarray, dimension: int) -> np.ndarray:
+    """Per-component ones counts of a packed stack, word-level throughout.
+
+    ``(..., m, W) → (..., D)`` int64: the same column sums as
+    :func:`bit_counts`, but computed with carry-save-adder trees over
+    *bit-sliced* vertical counters — the stack is never unpacked.  This
+    is the training-path kernel: bundling ``m`` bound pixel/feature HVs
+    costs ``O(m·W)`` word operations plus one unpack per counter plane
+    (``⌈log2(m+1)⌉`` of them), instead of ``O(m·D)`` byte operations.
+    The counts are exact integers, so every consumer (majority
+    quantisation, signed bipolar sums) stays bit-identical to the
+    unpacked computation.
+    """
+    arr = _as_words(words, "words")
+    if arr.ndim < 2:
+        raise DimensionMismatchError(
+            f"expected a (..., m, W) packed stack, got shape {arr.shape}"
+        )
+    expected = packed_words(dimension)
+    if arr.shape[-1] != expected:
+        raise DimensionMismatchError(
+            f"words has {arr.shape[-1]} words, dimension {dimension} needs {expected}"
+        )
+    lead = arr.shape[:-2]
+    if arr.shape[-2] == 0:
+        return np.zeros(lead + (int(dimension),), dtype=np.int64)
+    counts = np.zeros(lead + (int(dimension),), dtype=np.int64)
+    for j, plane in enumerate(_bit_sliced_planes(arr)):
+        counts += np.int64(1 << j) * unpack_bits(plane, dimension)
+    return counts
+
+
+#: uint64 words XORed per chunk by :func:`gathered_xor_counts`; bounds
+#: the transient ``(chunk, m, W)`` block at a few dozen MB.
+TRAIN_CHUNK_BYTES = 1 << 25
+
+
+def gathered_xor_counts(
+    pos_words: np.ndarray,
+    val_words: np.ndarray,
+    level_rows: np.ndarray,
+    dimension: int,
+    *,
+    chunk_bytes: int = TRAIN_CHUNK_BYTES,
+) -> np.ndarray:
+    """Ones counts of ``pos_words XOR val_words[levels]`` per item → (n, D).
+
+    The shared inner loop of both packed encoders' training path: for
+    every item (image) gather the value codebook rows its quantised
+    levels select, XOR them against the fixed position codebook, and
+    column-sum the resulting packed stack with
+    :func:`bit_sliced_counts`.  Items are processed in chunks so the
+    transient XOR block stays within *chunk_bytes*.  Counts are exact,
+    so the binary encoder uses them directly and the bipolar encoder
+    maps them through ``m − 2·counts`` — both bit-identical to their
+    dense gathers.
+    """
+    pos = _as_words(pos_words, "pos_words")
+    val = _as_words(val_words, "val_words")
+    levels = np.asarray(level_rows)
+    if levels.ndim != 2 or pos.ndim != 2 or pos.shape[0] != levels.shape[1]:
+        raise DimensionMismatchError(
+            f"level rows {levels.shape} must be (n, m) with m matching "
+            f"pos_words rows {pos.shape}"
+        )
+    n, m = levels.shape
+    out = np.empty((n, int(dimension)), dtype=np.int64)
+    chunk = max(1, chunk_bytes // max(1, m * pos.shape[-1] * 8))
+    for start in range(0, n, chunk):
+        stop = min(n, start + chunk)
+        block = np.bitwise_xor(pos[None, :, :], val[levels[start:stop]])
+        out[start:stop] = bit_sliced_counts(block, dimension)
+    return out
+
+
+def bundle_sign_packed(words: np.ndarray, dimension: int) -> np.ndarray:
+    """Majority-vote bundling of packed *bipolar* sign words ``(n, W)``.
+
+    The bipolar bundle is the sign of the component-wise sum; with ``c``
+    the per-component count of −1 bits, ``Σ = n − 2c``, so the bundle is
+    −1 exactly when ``2c > n`` (ties → +1, the deterministic zero policy
+    of :func:`repro.hdc.ops.bipolarize` consumers and of the encoders).
+    Computed word-level via :func:`bit_sliced_counts`.
+    """
+    arr = _as_words(words, "words")
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise DimensionMismatchError(
+            f"expected a non-empty (n, W) stack, got shape {arr.shape}"
+        )
+    counts = bit_sliced_counts(arr, dimension)
+    return pack_bits(2 * counts > arr.shape[0], validate=False)
+
+
 def hamming_counts(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
     """Pairwise differing-bit counts ``(n, m)`` between packed stacks.
 
@@ -303,6 +513,46 @@ def cosine_matrix_packed(queries: np.ndarray, references: np.ndarray) -> np.ndar
     np.divide(sims, denom, out=sims, where=denom > 0)
     sims[denom == 0] = 0.0
     return sims
+
+
+def cosine_matrix_packed_bipolar(
+    queries: np.ndarray, references: np.ndarray, dimension: int
+) -> np.ndarray:
+    """Pairwise cosine similarities between packed *bipolar* HVs → ``(n, m)``.
+
+    For {-1, +1} vectors every norm is ``√D`` and the dot product is
+    ``D − 2·popcount(a XOR b)`` under the sign-bit packing of
+    :func:`pack_signs`, so the whole matrix reduces to Hamming
+    popcounts.  The float operations mirror
+    :func:`repro.hdc.similarity.cosine_matrix` exactly — the integer
+    dot is exact in float64 (every partial sum of ±1 terms is an
+    integer below 2⁵³), both norms are ``sqrt`` of the exact float64
+    ``D``, and the divisor is their product — so the result is
+    **bit-identical** to unpacking with :func:`unpack_signs` and
+    calling ``cosine_matrix``.  That equality is what lets the
+    distance-guided fitness rank packed-bipolar children exactly as it
+    ranks dense ones.  ``D ≥ 1`` means the divisor is always positive,
+    so the dense kernel's zero-norm branch never triggers here.
+    """
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be positive, got {dimension}")
+    return bipolar_cosine_from_counts(hamming_counts(queries, references), dimension)
+
+
+def bipolar_cosine_from_counts(diff: np.ndarray, dimension: int) -> np.ndarray:
+    """Bipolar cosine from differing-bit counts: ``(D − 2·diff) / (√D·√D)``.
+
+    The float tail of :func:`cosine_matrix_packed_bipolar`, shared with
+    the packed bipolar associative memory (which produces *diff* through
+    its kernel backend).  The operation order — exact integer dot cast
+    to float64, divided by the float64 product of two ``sqrt(D)`` norms
+    — is what makes both bit-identical to the dense
+    :func:`~repro.hdc.similarity.cosine_matrix`; keep any edit to it in
+    this one place.
+    """
+    dots = (int(dimension) - 2 * np.asarray(diff)).astype(np.float64)
+    norm = np.sqrt(np.float64(dimension))
+    return dots / (norm * norm)
 
 
 def _as_words(words: np.ndarray, name: str) -> np.ndarray:

@@ -12,10 +12,11 @@ Hypervectors are plain :class:`numpy.ndarray` rows (int8 for the
 alphabets, wider ints for accumulators); there is intentionally no
 wrapper class, so all of numpy composes directly.
 
-The dense-binary alphabet also has a bit-packed form —
-:class:`~repro.hdc.backends.binary.PackedBinarySpace`, 64 components
-per uint64 word — re-exported here for discoverability (lazily, since
-:mod:`repro.hdc.backends` builds on this module).
+Both alphabets also have bit-packed forms —
+:class:`~repro.hdc.backends.binary.PackedBinarySpace` and
+:class:`~repro.hdc.backends.bipolar.PackedBipolarSpace`, 64 components
+(or sign bits) per uint64 word — re-exported here for discoverability
+(lazily, since :mod:`repro.hdc.backends` builds on this module).
 """
 
 from __future__ import annotations
@@ -33,16 +34,21 @@ __all__ = [
     "BipolarSpace",
     "BinarySpace",
     "PackedBinarySpace",
+    "PackedBipolarSpace",
     "DEFAULT_DIMENSION",
 ]
 
 
 def __getattr__(name: str):
-    """Lazy re-export of the packed space (avoids a circular import)."""
+    """Lazy re-export of the packed spaces (avoids a circular import)."""
     if name == "PackedBinarySpace":
         from repro.hdc.backends.binary import PackedBinarySpace
 
         return PackedBinarySpace
+    if name == "PackedBipolarSpace":
+        from repro.hdc.backends.bipolar import PackedBipolarSpace
+
+        return PackedBipolarSpace
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Dimension used throughout the paper's experiments.

@@ -187,6 +187,26 @@ class TestRecordEquivalence:
             )
         _assert_outcomes_equal(direct, via_process.outcomes)
 
+    def test_record_delta_encoder_detected(self, record_setup):
+        """The record encoder now exposes the incremental surface."""
+        model, _ = record_setup
+        engine = BatchedHDTest(model, "record_gauss")
+        assert engine._delta_encoder() is model.encoder  # noqa: SLF001
+
+    def test_record_delta_matches_scratch_engine(self, record_setup):
+        """The whole record campaign, delta vs forced-scratch: bit-identical."""
+        model, records = record_setup
+        inputs = records[:8]
+        cfg = HDTestConfig(iter_times=25)
+        fast = BatchedHDTest(model, "record_gauss", config=cfg).fuzz_outcomes(
+            inputs, rng=21
+        )
+        scratch_engine = BatchedHDTest(model, "record_gauss", config=cfg)
+        scratch_engine._delta_encoder = lambda: None  # noqa: SLF001 - test hook
+        scratch = scratch_engine.fuzz_outcomes(inputs, rng=21)
+        _assert_outcomes_equal(fast, scratch)
+        assert any(o.success for o in fast)  # the comparison has teeth
+
 
 class TestNgramDeltaParity:
     """Delta n-gram accumulators equal scratch on substitution chains."""

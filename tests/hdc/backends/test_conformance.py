@@ -1,0 +1,318 @@
+"""Cross-family differential conformance suite (HDXplore on ourselves).
+
+One parametrized matrix runs the model/AM/encoder equivalence
+properties across *all four* model families — dense bipolar, dense
+binary, packed binary, packed bipolar.  Two kinds of checks:
+
+* **pairwise equivalence** — each packed family against its dense
+  counterpart, built from the same seed: encodings, class HVs,
+  similarities, predictions, margins, retraining, save/load
+  round-trips, and copies must agree bit for bit (packing is pure
+  representation);
+* **per-family self-consistency** — every family round-trips through
+  its accumulator surface, its persistence format, and ``copy()``
+  without drifting.
+
+A final HDXplore-style differential check trains all four families on
+one dataset and asserts the two *semantic* classes (bipolar, binary)
+agree internally while every family clears the same accuracy floor —
+cross-semantics disagreement is the expected differential signal, not
+a bug.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotTrainedError
+from repro.hdc import (
+    BinaryHDCClassifier,
+    BinaryPixelEncoder,
+    BinarySpace,
+    BipolarSpace,
+    HDCClassifier,
+    PackedBinaryHDCClassifier,
+    PackedBinarySpace,
+    PackedBipolarAssociativeMemory,
+    PackedBipolarEncoder,
+    PackedBipolarHDCClassifier,
+    PackedBipolarSpace,
+    PackedPixelEncoder,
+    PixelEncoder,
+)
+
+DIM = 520  # deliberately not a multiple of 64 (tail-word masking live)
+SHAPE = (8, 8)
+LEVELS = 16
+SEED = 4
+N_CLASSES = 3
+
+
+def _dense_bipolar():
+    return HDCClassifier(
+        PixelEncoder(shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED), N_CLASSES
+    )
+
+
+def _packed_bipolar():
+    return PackedBipolarHDCClassifier(
+        PackedBipolarEncoder(shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED),
+        N_CLASSES,
+    )
+
+
+def _dense_binary():
+    return BinaryHDCClassifier(
+        BinaryPixelEncoder(shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED),
+        N_CLASSES,
+    )
+
+
+def _packed_binary():
+    return PackedBinaryHDCClassifier(
+        PackedPixelEncoder(shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED),
+        N_CLASSES,
+    )
+
+
+def _identity(model, hvs):
+    return np.asarray(hvs)
+
+
+def _unpack_encoder(model, hvs):
+    return model.encoder.unpack(hvs)
+
+
+#: name → (builder, hvs-to-dense canonicaliser, semantic class, loader)
+FAMILIES = {
+    "dense-bipolar": (_dense_bipolar, _identity, "bipolar", HDCClassifier.load),
+    "packed-bipolar": (_packed_bipolar, _unpack_encoder, "bipolar", HDCClassifier.load),
+    "dense-binary": (_dense_binary, _identity, "binary", BinaryHDCClassifier.load),
+    "packed-binary": (
+        _packed_binary,
+        _unpack_encoder,
+        "binary",
+        BinaryHDCClassifier.load,
+    ),
+}
+
+#: (dense, packed) pairs sharing one semantic class — the equivalence axes.
+PAIRS = [("dense-bipolar", "packed-bipolar"), ("dense-binary", "packed-binary")]
+
+
+@pytest.fixture(scope="module")
+def images():
+    return np.random.default_rng(9).integers(0, 256, size=(12,) + SHAPE).astype(float)
+
+
+@pytest.fixture(scope="module")
+def labels():
+    return np.arange(12) % N_CLASSES
+
+
+@pytest.fixture(scope="module")
+def trained(images, labels):
+    """All four families trained identically on one dataset."""
+    return {
+        name: spec[0]().fit(images, labels) for name, spec in FAMILIES.items()
+    }
+
+
+def _canonical(name, model, hvs):
+    return FAMILIES[name][1](model, hvs)
+
+
+class TestPairwiseEquivalence:
+    """Packed vs dense, same seed: bit-identical everywhere it counts."""
+
+    @pytest.mark.parametrize("dense_name,packed_name", PAIRS)
+    def test_encoders_emit_equal_components(self, trained, images, dense_name, packed_name):
+        dense, packed = trained[dense_name], trained[packed_name]
+        np.testing.assert_array_equal(
+            _canonical(packed_name, packed, packed.encode_batch(images)),
+            dense.encode_batch(images),
+        )
+
+    @pytest.mark.parametrize("dense_name,packed_name", PAIRS)
+    def test_predictions_similarities_margins(self, trained, images, dense_name, packed_name):
+        dense, packed = trained[dense_name], trained[packed_name]
+        np.testing.assert_array_equal(dense.predict(images), packed.predict(images))
+        np.testing.assert_array_equal(
+            dense.similarities(images), packed.similarities(images)
+        )
+        np.testing.assert_array_equal(dense.margins(images), packed.margins(images))
+        assert dense.score(images, packed.predict(images)) == 1.0
+
+    @pytest.mark.parametrize("dense_name,packed_name", PAIRS)
+    def test_reference_hvs_match(self, trained, images, dense_name, packed_name):
+        dense, packed = trained[dense_name], trained[packed_name]
+        for label in range(N_CLASSES):
+            np.testing.assert_array_equal(
+                _canonical(packed_name, packed, packed.reference_hv(label)),
+                dense.reference_hv(label),
+            )
+
+    @pytest.mark.parametrize("dense_name,packed_name", PAIRS)
+    @pytest.mark.parametrize("mode", ["additive", "adaptive"])
+    def test_retrain_agreement(self, trained, images, labels, dense_name, packed_name, mode):
+        dense, packed = trained[dense_name], trained[packed_name]
+        flipped = (labels + 1) % N_CLASSES
+        hardened_d = dense.copy().retrain(images, flipped, mode=mode, epochs=2)
+        hardened_p = packed.copy().retrain(images, flipped, mode=mode, epochs=2)
+        np.testing.assert_array_equal(
+            hardened_d.predict(images), hardened_p.predict(images)
+        )
+        # Retraining the copies never leaks back into the originals.
+        np.testing.assert_array_equal(dense.predict(images), packed.predict(images))
+
+    @pytest.mark.parametrize("dense_name,packed_name", PAIRS)
+    def test_save_load_crosses_representations(
+        self, trained, images, tmp_path, dense_name, packed_name
+    ):
+        """Either family saves; the loaded dense model repackages exactly."""
+        dense, packed = trained[dense_name], trained[packed_name]
+        loader = FAMILIES[dense_name][3]
+        repackage = type(trained[packed_name])
+        convert = (
+            repackage.from_dense
+            if hasattr(repackage, "from_dense")
+            else repackage.from_binary
+        )
+        for source in (dense, packed):
+            path = tmp_path / f"{dense_name}-{type(source).__name__}.npz"
+            source.save(path)
+            loaded = loader(path)
+            np.testing.assert_array_equal(
+                loaded.predict(images), dense.predict(images)
+            )
+            np.testing.assert_array_equal(
+                convert(loaded).predict(images), packed.predict(images)
+            )
+
+    @pytest.mark.parametrize("dense_name,packed_name", PAIRS)
+    def test_round_trip_conversions(self, trained, images, dense_name, packed_name):
+        """packed → dense → packed is the identity on behaviour."""
+        packed = trained[packed_name]
+        to_dense = getattr(packed, "to_dense", None) or packed.to_binary
+        dense_view = to_dense()
+        np.testing.assert_array_equal(
+            dense_view.predict(images), packed.predict(images)
+        )
+        repackage = type(packed)
+        convert = (
+            repackage.from_dense
+            if hasattr(repackage, "from_dense")
+            else repackage.from_binary
+        )
+        np.testing.assert_array_equal(
+            convert(dense_view).predict(images), packed.predict(images)
+        )
+
+
+class TestPerFamilyConsistency:
+    """Each family alone: accumulator surface, persistence, copies."""
+
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_encode_batch_equals_accumulator_path(self, trained, images, name):
+        model = trained[name]
+        encoder = model.encoder
+        np.testing.assert_array_equal(
+            encoder.hvs_from_accumulators(encoder.accumulate_batch(images)),
+            model.encode_batch(images),
+        )
+
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_accumulate_delta_matches_scratch(self, trained, images, name):
+        encoder = trained[name].encoder
+        rng = np.random.default_rng(31)
+        children = np.clip(images + rng.normal(0, 40, images.shape), 0, 255)
+        levels_c = encoder.quantize(children).reshape(len(images), -1)
+        levels_p = encoder.quantize(images).reshape(len(images), -1)
+        got = encoder.accumulate_delta(
+            levels_c, levels_p, encoder.accumulate_batch(images)
+        )
+        np.testing.assert_array_equal(got, encoder.accumulate_batch(children))
+
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_save_load_roundtrip(self, trained, images, tmp_path, name):
+        model = trained[name]
+        loader = FAMILIES[name][3]
+        path = tmp_path / f"{name}.npz"
+        model.save(path)
+        np.testing.assert_array_equal(
+            loader(path).predict(images), model.predict(images)
+        )
+
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_copy_is_independent(self, trained, images, labels, name):
+        model = trained[name]
+        before = model.predict(images)
+        clone = model.copy()
+        clone.retrain(images, (labels + 1) % N_CLASSES, epochs=3)
+        np.testing.assert_array_equal(model.predict(images), before)
+        assert type(clone) is type(model)
+
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_untrained_model_raises(self, name):
+        model = FAMILIES[name][0]()
+        assert not model.is_trained
+        with pytest.raises(NotTrainedError):
+            model.predict(np.zeros((1,) + SHAPE))
+
+
+class TestPackedSpacesDrawDenseBitStreams:
+    """Packed spaces must emit exactly the dense spaces' draws, packed."""
+
+    @pytest.mark.parametrize("dim", [1, 63, 64, 65, DIM])
+    def test_bipolar_random_matches_dense_seed_for_seed(self, dim):
+        space = PackedBipolarSpace(dim)
+        dense = BipolarSpace(dim).random(5, rng=3)
+        np.testing.assert_array_equal(
+            space.unpack(space.random(5, rng=3)), dense
+        )
+        # Single-vector form follows the same stream.
+        np.testing.assert_array_equal(
+            space.unpack(space.random(rng=3)), BipolarSpace(dim).random(rng=3)
+        )
+
+    @pytest.mark.parametrize("dim", [1, 63, 64, 65, DIM])
+    def test_binary_random_matches_dense_seed_for_seed(self, dim):
+        space = PackedBinarySpace(dim)
+        np.testing.assert_array_equal(
+            space.unpack(space.random(5, rng=3)), BinarySpace(dim).random(5, rng=3)
+        )
+
+
+class TestCrossSemanticsDifferential:
+    """HDXplore-style: compare the two semantic classes on shared inputs."""
+
+    def test_semantic_classes_agree_internally(self, trained, images):
+        by_class = {"bipolar": [], "binary": []}
+        for name, model in trained.items():
+            by_class[FAMILIES[name][2]].append(model.predict(images))
+        for semantic, predictions in by_class.items():
+            assert len(predictions) == 2
+            np.testing.assert_array_equal(
+                predictions[0], predictions[1],
+                err_msg=f"{semantic} families diverged on identical seeds",
+            )
+
+    def test_all_families_clear_the_training_floor(self, trained, images, labels):
+        # Training accuracy — deterministic, and high at this easy scale.
+        for name, model in trained.items():
+            assert model.score(images, labels) >= 0.9, name
+
+    def test_bipolar_ablation_has_no_packed_form(self):
+        am_state = {
+            "accumulators": np.zeros((2, DIM), dtype=np.int64),
+            "counts": np.zeros(2, dtype=np.int64),
+            "bipolar": np.asarray(False),
+        }
+        with pytest.raises(ConfigurationError, match="no packed"):
+            PackedBipolarAssociativeMemory.from_state_dict(am_state)
+        dense = HDCClassifier(
+            PixelEncoder(shape=SHAPE, levels=LEVELS, dimension=DIM, rng=0),
+            N_CLASSES,
+            bipolar_am=False,
+        )
+        with pytest.raises(ConfigurationError, match="no.*packed"):
+            PackedBipolarHDCClassifier.from_dense(dense)

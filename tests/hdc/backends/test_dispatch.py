@@ -8,7 +8,9 @@ from repro.hdc import (
     BinaryHDCClassifier,
     BinaryPixelEncoder,
     HDCClassifier,
+    NgramEncoder,
     PackedBinaryHDCClassifier,
+    PackedBipolarHDCClassifier,
     PixelEncoder,
     backend_names,
     get_backend,
@@ -91,6 +93,36 @@ class TestResolveModelBackend:
         model, _ = _binary_model()
         with pytest.raises(ConfigurationError, match="unknown model backend"):
             resolve_model_backend(model, "gpu")
+
+    def _bipolar_model(self):
+        images = (
+            np.random.default_rng(0).integers(0, 256, size=(6,) + SHAPE).astype(float)
+        )
+        model = HDCClassifier(PixelEncoder(shape=SHAPE, dimension=256, rng=1), 3)
+        return model.fit(images, np.arange(6) % 3), images
+
+    def test_packed_bipolar_converts_dense(self):
+        model, images = self._bipolar_model()
+        packed = resolve_model_backend(model, "packed-bipolar")
+        assert isinstance(packed, PackedBipolarHDCClassifier)
+        np.testing.assert_array_equal(packed.predict(images), model.predict(images))
+
+    def test_packed_bipolar_model_rebinds(self):
+        model, _ = self._bipolar_model()
+        packed = resolve_model_backend(model, "packed-bipolar")
+        again = resolve_model_backend(packed, "packed-bipolar")
+        assert isinstance(again, PackedBipolarHDCClassifier)
+        assert again.backend.name == "numpy"
+
+    def test_packed_bipolar_rejects_binary_family(self):
+        model, _ = _binary_model()
+        with pytest.raises(ConfigurationError, match="bipolar model"):
+            resolve_model_backend(model, "packed-bipolar")
+
+    def test_packed_bipolar_rejects_non_pixel_encoder(self):
+        model = HDCClassifier(NgramEncoder(n=2, dimension=128, rng=0), 3)
+        with pytest.raises(ConfigurationError, match="PixelEncoder"):
+            resolve_model_backend(model, "packed-bipolar")
 
 
 class TestKernelBackendSurface:

@@ -2,7 +2,13 @@
 
 The load-bearing contract: packing is lossless and every kernel is
 bit-identical to the corresponding computation on the unpacked {0, 1}
-arrays — for every dimension, including ones that do not divide 64.
+(or {-1, +1}) arrays — for every dimension, including ones that do not
+divide 64.  ``TAIL_DIMS`` pins the masking edge cases (D = 1, one bit
+in one word; 63/65 straddling a word boundary; 64 exactly one word;
+10000, the paper scale with a 16-bit tail) across *every* kernel, and
+the ``popcount_path`` fixture runs the popcount-consuming kernels under
+both the hardware ``np.bitwise_count`` ufunc and the SWAR fallback
+(what ``REPRO_NO_BITWISE_COUNT`` / numpy < 2.0 select).
 """
 
 import numpy as np
@@ -12,11 +18,32 @@ from repro.errors import ConfigurationError, DimensionMismatchError
 from repro.hdc.backends import packed as pk
 from repro.hdc.similarity import cosine_matrix, hamming_distance
 
-DIMS = [1, 7, 63, 64, 65, 128, 200, 1000]
+DIMS = [1, 7, 63, 64, 65, 128, 200, 1000, 10000]
+#: The masking edge-case matrix every packed kernel is pinned over.
+TAIL_DIMS = [1, 63, 64, 65, 10000]
 
 
 def _bits(rng, n, dim):
     return rng.integers(0, 2, size=(n, dim)).astype(np.int8)
+
+
+def _signs(rng, n, dim):
+    return (_bits(rng, n, dim) * 2 - 1).astype(np.int8)
+
+
+@pytest.fixture(params=["hardware", "swar"])
+def popcount_path(request, monkeypatch):
+    """Run the test under both popcount implementations.
+
+    ``hardware`` is skipped when numpy lacks ``bitwise_count`` (or the
+    ``REPRO_NO_BITWISE_COUNT`` CI leg disabled it at import); ``swar``
+    always runs, pinning the fallback the env var selects.
+    """
+    if request.param == "swar":
+        monkeypatch.setattr(pk, "_HAVE_BITWISE_COUNT", False)
+    elif not pk._HAVE_BITWISE_COUNT:
+        pytest.skip("hardware popcount unavailable on this interpreter")
+    return request.param
 
 
 class TestPackRoundtrip:
@@ -98,13 +125,13 @@ class TestPopcount:
 
 
 class TestBindAndBundle:
-    @pytest.mark.parametrize("dim", [64, 100])
+    @pytest.mark.parametrize("dim", TAIL_DIMS)
     def test_xor_matches_unpacked(self, rng, dim):
         a, b = _bits(rng, 4, dim), _bits(rng, 4, dim)
         got = pk.bind_xor_packed(pk.pack_bits(a), pk.pack_bits(b))
         np.testing.assert_array_equal(got, pk.pack_bits(np.bitwise_xor(a, b)))
 
-    @pytest.mark.parametrize("dim", [64, 100])
+    @pytest.mark.parametrize("dim", TAIL_DIMS)
     def test_bit_counts_match_column_sums(self, rng, dim):
         bits = _bits(rng, 9, dim)
         np.testing.assert_array_equal(
@@ -116,10 +143,11 @@ class TestBindAndBundle:
             pk.bit_counts(np.zeros((0, 2), dtype=np.uint64), 100), np.zeros(100)
         )
 
+    @pytest.mark.parametrize("dim", TAIL_DIMS)
     @pytest.mark.parametrize("n", [1, 4, 5])
-    def test_majority_matches_threshold(self, rng, n):
-        bits = _bits(rng, n, 200)
-        got = pk.unpack_bits(pk.bundle_majority_packed(pk.pack_bits(bits), 200), 200)
+    def test_majority_matches_threshold(self, rng, n, dim):
+        bits = _bits(rng, n, dim)
+        got = pk.unpack_bits(pk.bundle_majority_packed(pk.pack_bits(bits), dim), dim)
         expected = (2 * bits.sum(axis=0) >= n).astype(np.int8)  # ties -> 1
         np.testing.assert_array_equal(got, expected)
 
@@ -129,8 +157,8 @@ class TestBindAndBundle:
 
 
 class TestHammingKernels:
-    @pytest.mark.parametrize("dim", [64, 100, 1000])
-    def test_counts_match_unpacked(self, rng, dim):
+    @pytest.mark.parametrize("dim", TAIL_DIMS)
+    def test_counts_match_unpacked(self, rng, dim, popcount_path):
         q, r = _bits(rng, 5, dim), _bits(rng, 3, dim)
         got = pk.hamming_counts(pk.pack_bits(q), pk.pack_bits(r))
         expected = (q[:, None, :] != r[None, :, :]).sum(axis=2)
@@ -141,7 +169,7 @@ class TestHammingKernels:
         got = pk.hamming_counts(np.zeros((0, refs.shape[1]), dtype=np.uint64), refs)
         assert got.shape == (0, 3)
 
-    @pytest.mark.parametrize("dim", [64, 100])
+    @pytest.mark.parametrize("dim", TAIL_DIMS)
     def test_distance_matches_similarity_module(self, rng, dim):
         a, b = _bits(rng, 4, dim), _bits(rng, 4, dim)
         got = pk.hamming_distance_packed(pk.pack_bits(a), pk.pack_bits(b), dim)
@@ -165,8 +193,8 @@ class TestHammingKernels:
 
 
 class TestCosinePacked:
-    @pytest.mark.parametrize("dim", [64, 100, 1000])
-    def test_bit_identical_to_unpacked(self, rng, dim):
+    @pytest.mark.parametrize("dim", TAIL_DIMS)
+    def test_bit_identical_to_unpacked(self, rng, dim, popcount_path):
         q, r = _bits(rng, 6, dim), _bits(rng, 4, dim)
         got = pk.cosine_matrix_packed(pk.pack_bits(q), pk.pack_bits(r))
         # Bit-identical, not merely close: the fitness ranking depends
@@ -180,3 +208,120 @@ class TestCosinePacked:
             pk.cosine_matrix_packed(pk.pack_bits(q), pk.pack_bits(r)),
             np.zeros((1, 2)),
         )
+
+
+class TestSignPacking:
+    @pytest.mark.parametrize("dim", TAIL_DIMS)
+    def test_roundtrip(self, rng, dim):
+        values = _signs(rng, 5, dim)
+        words = pk.pack_signs(values)
+        assert words.dtype == np.uint64
+        assert words.shape == (5, pk.packed_words(dim))
+        pk.check_packed(words, dim)  # tail bits stay zeroed
+        np.testing.assert_array_equal(pk.unpack_signs(words, dim), values)
+
+    def test_sign_convention(self):
+        # bit 1 ⇔ −1, little bit order: [-1, +1, -1] → 0b101 = 5.
+        words = pk.pack_signs(np.array([-1, 1, -1], dtype=np.int8))
+        assert words[0] == np.uint64(5)
+
+    @pytest.mark.parametrize("dim", TAIL_DIMS)
+    def test_xor_is_the_hadamard_bind(self, rng, dim):
+        a, b = _signs(rng, 4, dim), _signs(rng, 4, dim)
+        bound = pk.bind_xor_packed(pk.pack_signs(a), pk.pack_signs(b))
+        np.testing.assert_array_equal(pk.unpack_signs(bound, dim), a * b)
+
+    def test_non_bipolar_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pk.pack_signs(np.array([0, 1, -1]))
+
+    @pytest.mark.parametrize("dim", TAIL_DIMS)
+    @pytest.mark.parametrize("n", [1, 4, 5])
+    def test_bundle_sign_matches_threshold(self, rng, n, dim):
+        values = _signs(rng, n, dim)
+        got = pk.unpack_signs(pk.bundle_sign_packed(pk.pack_signs(values), dim), dim)
+        expected = np.where(values.sum(axis=0) >= 0, 1, -1)  # ties -> +1
+        np.testing.assert_array_equal(got, expected)
+
+    def test_bundle_sign_empty_stack_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            pk.bundle_sign_packed(np.zeros((0, 2), dtype=np.uint64), 100)
+
+
+class TestBitSlicedCounts:
+    """The word-level training kernel vs the unpack-and-sum reference."""
+
+    @pytest.mark.parametrize("dim", TAIL_DIMS)
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 64, 101])
+    def test_matches_column_sums(self, rng, dim, n, popcount_path):
+        bits = _bits(rng, n, dim)
+        words = pk.pack_bits(bits)
+        got = pk.bit_sliced_counts(words, dim)
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, bits.sum(axis=0))
+        np.testing.assert_array_equal(got, pk.bit_counts(words, dim))
+
+    @pytest.mark.parametrize("dim", [1, 63, 65])
+    def test_batched_leading_axes(self, rng, dim):
+        bits = _bits(rng, 4 * 17, dim).reshape(4, 17, dim)
+        got = pk.bit_sliced_counts(pk.pack_bits(bits), dim)
+        assert got.shape == (4, dim)
+        np.testing.assert_array_equal(got, bits.sum(axis=1))
+
+    def test_all_ones_saturates(self):
+        # Every counter plane carries: the worst ripple/carry case.
+        words = pk.pack_bits(np.ones((300, 130), dtype=np.int8))
+        np.testing.assert_array_equal(
+            pk.bit_sliced_counts(words, 130), np.full(130, 300)
+        )
+
+    def test_empty_stack(self):
+        got = pk.bit_sliced_counts(np.zeros((0, 3), dtype=np.uint64), 130)
+        np.testing.assert_array_equal(got, np.zeros(130, dtype=np.int64))
+
+    def test_word_count_mismatch_rejected(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            pk.bit_sliced_counts(pk.pack_bits(_bits(rng, 3, 128)), 200)
+
+    def test_single_vector_rejected(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            pk.bit_sliced_counts(pk.pack_bits(_bits(rng, 1, 64))[0], 64)
+
+
+class TestCosineBipolar:
+    @pytest.mark.parametrize("dim", TAIL_DIMS)
+    def test_bit_identical_to_dense(self, rng, dim, popcount_path):
+        q, r = _signs(rng, 6, dim), _signs(rng, 4, dim)
+        got = pk.cosine_matrix_packed_bipolar(
+            pk.pack_signs(q), pk.pack_signs(r), dim
+        )
+        # Exact float equality — the guided fitness ranks by these.
+        np.testing.assert_array_equal(got, cosine_matrix(q, r))
+
+    def test_self_similarity_is_one(self, rng):
+        q = pk.pack_signs(_signs(rng, 3, 10000))
+        np.testing.assert_array_equal(
+            np.diag(pk.cosine_matrix_packed_bipolar(q, q, 10000)), np.ones(3)
+        )
+
+    def test_opposite_is_minus_one(self):
+        # D = 64: √64² is exact, so the endpoint value is exactly −1.
+        values = np.ones((1, 64), dtype=np.int8)
+        got = pk.cosine_matrix_packed_bipolar(
+            pk.pack_signs(values), pk.pack_signs(-values), 64
+        )
+        np.testing.assert_array_equal(got, [[-1.0]])
+        # At D = 65 the float dance (√65·√65 ≠ 65) matches dense exactly.
+        odd = np.ones((1, 65), dtype=np.int8)
+        np.testing.assert_array_equal(
+            pk.cosine_matrix_packed_bipolar(pk.pack_signs(odd), pk.pack_signs(-odd), 65),
+            cosine_matrix(odd, -odd),
+        )
+
+    def test_bad_dimension_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            pk.cosine_matrix_packed_bipolar(
+                np.zeros((1, 1), dtype=np.uint64),
+                np.zeros((1, 1), dtype=np.uint64),
+                0,
+            )

@@ -3,14 +3,15 @@
 The batched fuzzing engine encodes mutants from their parent's
 accumulator; these tests pin the contract that makes that safe:
 ``accumulate_delta`` is *bit-identical* to ``accumulate_batch`` on the
-children, for any mix of changed pixels.
+children, for any mix of changed pixels — and, since the record encoder
+grew the same surface, for any mix of changed feature slots.
 """
 
 import numpy as np
 import pytest
 
 from repro.errors import EncodingError
-from repro.hdc import PixelEncoder
+from repro.hdc import PixelEncoder, RecordEncoder
 
 SHAPE = (8, 8)
 DIM = 256
@@ -111,3 +112,93 @@ class TestAccumulateDelta:
         levels = np.zeros((2, SHAPE[0] * SHAPE[1]), dtype=np.int64)
         with pytest.raises(EncodingError):
             encoder.accumulate_delta(levels, levels, np.zeros((2, DIM - 1)))
+
+
+class TestRecordAccumulateDelta:
+    """The record encoder's delta surface: exact over changed feature slots."""
+
+    N_FEATURES = 24
+
+    @pytest.fixture(scope="class", params=["linear", "random"])
+    def record_encoder(self, request):
+        return RecordEncoder(
+            self.N_FEATURES, levels=32, dimension=DIM,
+            level_encoding=request.param, rng=6,
+        )
+
+    def _levels(self, enc, records):
+        return enc.quantize(np.asarray(records, dtype=np.float64))
+
+    def test_randomized_mutation_chains(self, record_encoder):
+        """delta == scratch along chains of random slot mutations.
+
+        The child of each step becomes the next parent, so a single
+        wrong correction would compound instead of hiding.
+        """
+        enc = record_encoder
+        rng = np.random.default_rng(0)
+        current = rng.random(self.N_FEATURES)
+        acc = enc.accumulate_batch(current[None])[0]
+        for _ in range(20):
+            child = current.copy()
+            k = int(rng.integers(1, 6))
+            slots = rng.choice(self.N_FEATURES, size=k, replace=False)
+            child[slots] = rng.random(k)
+            delta = enc.accumulate_delta(
+                self._levels(enc, child[None]),
+                self._levels(enc, current[None]),
+                acc[None],
+            )[0]
+            np.testing.assert_array_equal(delta, enc.accumulate_batch(child[None])[0])
+            current, acc = child, delta
+
+    def test_batch_of_children(self, record_encoder):
+        enc = record_encoder
+        rng = np.random.default_rng(2)
+        parents = rng.random((6, self.N_FEATURES))
+        children = parents + rng.normal(0, 0.2, parents.shape)
+        got = enc.accumulate_delta(
+            self._levels(enc, children),
+            self._levels(enc, parents),
+            enc.accumulate_batch(parents),
+        )
+        np.testing.assert_array_equal(got, enc.accumulate_batch(children))
+        np.testing.assert_array_equal(
+            enc.hvs_from_accumulators(got), enc.encode_batch(children)
+        )
+
+    def test_identical_child_copies_parent_accumulator(self, record_encoder):
+        enc = record_encoder
+        records = np.random.default_rng(3).random((3, self.N_FEATURES))
+        accs = enc.accumulate_batch(records)
+        levels = self._levels(enc, records)
+        got = enc.accumulate_delta(levels, levels, accs)
+        np.testing.assert_array_equal(got, accs)
+        # And the parent accumulators are never written through.
+        before = accs.copy()
+        enc.accumulate_delta(levels, levels, accs)
+        np.testing.assert_array_equal(accs, before)
+
+    def test_compact_dtypes(self, record_encoder):
+        """int16 levels/accumulators (the engines' storage) work unchanged."""
+        enc = record_encoder
+        rng = np.random.default_rng(4)
+        parents = rng.random((4, self.N_FEATURES))
+        children = np.clip(parents + rng.normal(0, 0.3, parents.shape), 0, 1)
+        got = enc.accumulate_delta(
+            self._levels(enc, children).astype(np.int16),
+            self._levels(enc, parents).astype(np.int16),
+            enc.accumulate_batch(parents).astype(np.int16),
+        )
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, enc.accumulate_batch(children))
+
+    def test_shape_validation(self, record_encoder):
+        enc = record_encoder
+        levels = np.zeros((2, self.N_FEATURES), dtype=np.int64)
+        with pytest.raises(EncodingError):
+            enc.accumulate_delta(levels, levels[:, :-1], np.zeros((2, DIM)))
+        with pytest.raises(EncodingError):
+            enc.accumulate_delta(levels[:, :-1], levels[:, :-1], np.zeros((2, DIM)))
+        with pytest.raises(EncodingError):
+            enc.accumulate_delta(levels, levels, np.zeros((2, DIM - 1)))

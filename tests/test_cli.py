@@ -63,6 +63,10 @@ class TestParser:
             ["fuzz", "--model", "m.npz", "--backend", "packed"]
         )
         assert args.backend == "packed"
+        args = build_parser().parse_args(
+            ["fuzz", "--model", "m.npz", "--backend", "packed-bipolar"]
+        )
+        assert args.backend == "packed-bipolar"
         args = build_parser().parse_args(["defend", "--model", "m.npz"])
         assert args.backend == "dense"
         with pytest.raises(SystemExit):
@@ -141,6 +145,36 @@ class TestEndToEnd:
         )
         assert code == 0
         assert "gauss" in capsys.readouterr().out
+
+    def test_fuzz_bipolar_with_packed_bipolar_backend(self, model_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--model", str(model_path),
+                "--strategies", "gauss",
+                "--n-images", "3",
+                "--iter-times", "10",
+                "--executor", "batched",
+                "--backend", "packed-bipolar",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        assert "gauss" in capsys.readouterr().out
+
+    def test_packed_bipolar_backend_rejected_for_binary(self, binary_model_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="bipolar model"):
+            main(
+                [
+                    "fuzz",
+                    "--model", str(binary_model_path),
+                    "--strategies", "gauss",
+                    "--n-images", "2",
+                    "--backend", "packed-bipolar",
+                ]
+            )
 
     def test_packed_backend_rejected_for_bipolar(self, model_path, capsys):
         from repro.errors import ConfigurationError
