@@ -1,0 +1,199 @@
+"""Ensemble fuzzing: K-model lock-step vs a serial per-member loop.
+
+Two claims are pinned at paper scale (D = 10 000):
+
+* **throughput** — fuzzing a K = 5 :class:`ModelEnsembleTarget` with the
+  lock-step batched engine (one fused delta-encode + one fused AM query
+  per member per iteration, across every active input) must be at least
+  ``MIN_LOCKSTEP_SPEEDUP``× faster than the naive schedule: the
+  sequential per-input loop re-encoding every child from scratch
+  through each member in turn.  Outcomes are identical (asserted here
+  under the shared RNG discipline), so the speedup is pure schedule.
+* **debugging** — the HDXplore-style discrepancy-retraining loop
+  (:func:`repro.defense.debug_ensemble`) must *measurably* raise
+  ensemble agreement on held-out inputs the original members disagreed
+  on: ``resolved_rate ≥ MIN_RESOLVED_RATE``.
+
+Run under pytest (full scale)::
+
+    pytest benchmarks/bench_ensemble_fuzzing.py --benchmark-only -s
+
+or standalone for a quick smoke reading (used by CI)::
+
+    python benchmarks/bench_ensemble_fuzzing.py --quick
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.defense import debug_ensemble
+from repro.fuzz import (
+    BatchedHDTest,
+    HDTest,
+    HDTestConfig,
+    ModelEnsembleTarget,
+)
+from repro.utils.rng import spawn
+
+K_MEMBERS = 5
+N_IMAGES = 8
+ITER_TIMES = 30
+SEED = 17
+
+#: Lock-step inputs/sec over the serial per-member scratch loop.
+MIN_LOCKSTEP_SPEEDUP = 2.0
+#: Fraction of held-out disagreements the debugging loop must resolve.
+MIN_RESOLVED_RATE = 0.10
+
+
+def _outcome_key(outcome):
+    return (outcome.success, outcome.iterations, outcome.reference_label)
+
+
+def run_lockstep_vs_serial(ensemble, images, *, iter_times=ITER_TIMES, rng=SEED):
+    """Time both schedules on identical work; returns (rows, outcomes equal)."""
+    config = HDTestConfig(iter_times=iter_times)
+    images = list(images)
+
+    start = time.perf_counter()
+    serial_engine = HDTest(ensemble, "gauss", config=config)
+    # The naive schedule: per-input loop, every child re-encoded from
+    # scratch through each member in turn (no delta, no cross-input
+    # fusion) — what ensemble fuzzing costs without the lock-step engine.
+    serial_engine._delta_encoder = lambda: None  # noqa: SLF001 - bench baseline
+    serial = [
+        serial_engine.fuzz_one(x, rng=g)
+        for x, g in zip(images, spawn(rng, len(images)))
+    ]
+    serial_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lockstep = BatchedHDTest(ensemble, "gauss", config=config).fuzz_outcomes(
+        images, generators=spawn(rng, len(images))
+    )
+    lockstep_elapsed = time.perf_counter() - start
+
+    equal = [_outcome_key(o) for o in serial] == [_outcome_key(o) for o in lockstep]
+    rows = [
+        ("serial/member", len(images) / serial_elapsed, serial_elapsed),
+        ("lock-step", len(images) / lockstep_elapsed, lockstep_elapsed),
+    ]
+    return rows, equal
+
+
+def _report(rows, k):
+    baseline = rows[0][1]
+    lines = [
+        f"[ensemble-fuzzing] K={k} cross-model campaign (gauss):",
+        f"{'schedule':14s} {'inputs/sec':>10s} {'elapsed':>9s} {'speedup':>8s}",
+    ]
+    for name, ips, elapsed in rows:
+        lines.append(
+            f"{name:14s} {ips:10.3f} {elapsed:8.1f}s {ips / baseline:7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _build_ensemble(model, train, k=K_MEMBERS, rng=SEED):
+    return ModelEnsembleTarget.trained_like(
+        model, k, train.images, train.labels, rng=rng
+    )
+
+
+def test_lockstep_beats_serial_member_loop(benchmark, paper_model, digit_data,
+                                           fuzz_images):
+    """Lock-step K=5 fuzzing must clear 2x the serial per-member loop."""
+    from conftest import run_once
+
+    train, _ = digit_data
+    ensemble = _build_ensemble(paper_model, train)
+    images = fuzz_images[:N_IMAGES]
+    rows, equal = run_once(
+        benchmark, lambda: run_lockstep_vs_serial(ensemble, images)
+    )
+    print("\n" + _report(rows, K_MEMBERS))
+    assert equal, "schedules must produce identical outcomes"
+    speedup = rows[1][1] / rows[0][1]
+    assert speedup >= MIN_LOCKSTEP_SPEEDUP, (
+        f"lock-step at {speedup:.2f}x the serial per-member loop is below "
+        f"the {MIN_LOCKSTEP_SPEEDUP}x bar"
+    )
+
+
+def test_debugging_loop_resolves_heldout_disagreements(paper_model, digit_data,
+                                                       fuzz_images):
+    """Retraining on discrepancies must generalise to unseen disagreements."""
+    train, _ = digit_data
+    ensemble = _build_ensemble(paper_model, train, k=3)
+    images = np.asarray(fuzz_images)
+    fuzz_pool, holdout = list(images[:60]), list(images[60:240])
+    report, _ = debug_ensemble(
+        ensemble, fuzz_pool, holdout,
+        config=HDTestConfig(iter_times=15), rng=SEED,
+    )
+    print(f"\n[ensemble-debugging] {report.summary()}")
+    assert report.n_holdout_disagreements > 0
+    assert report.resolved_rate >= MIN_RESOLVED_RATE, (
+        f"debugging resolved only {report.resolved_rate:.2f} of held-out "
+        f"disagreements (bar: {MIN_RESOLVED_RATE})"
+    )
+
+
+def _smoke_main(argv=None):  # pragma: no cover - exercised by CI, not pytest
+    """Standalone entry point: small-scale smoke reading without plugins."""
+    import argparse
+
+    from repro.datasets import load_digits
+    from repro.hdc import HDCClassifier, PixelEncoder
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny models + short loops (CI smoke)")
+    args = parser.parse_args(argv)
+
+    dimension = 2048 if args.quick else 10_000
+    n_train = 400 if args.quick else 1500
+    n_images = 4 if args.quick else N_IMAGES
+    iter_times = 8 if args.quick else ITER_TIMES
+
+    train, test = load_digits(n_train=n_train, n_test=240, seed=42)
+    model = HDCClassifier(PixelEncoder(dimension=dimension, rng=42), 10).fit(
+        train.images, train.labels
+    )
+    ensemble = _build_ensemble(model, train)
+    images = test.images[:n_images].astype(np.float64)
+    rows, equal = run_lockstep_vs_serial(ensemble, images, iter_times=iter_times)
+    print(_report(rows, K_MEMBERS))
+    assert equal, "schedules must produce identical outcomes"
+    speedup = rows[1][1] / rows[0][1]
+    # Sub-second quick runs are timing-noisy; the 2x bar is asserted at
+    # paper scale (pytest leg), the smoke pins a sanity floor.
+    smoke_bar = 1.3 if args.quick else MIN_LOCKSTEP_SPEEDUP
+    print(f"[ensemble-fuzzing] lock-step {speedup:.2f}x the serial per-member "
+          f"loop (smoke bar: {smoke_bar}x; {MIN_LOCKSTEP_SPEEDUP}x at paper "
+          "scale)")
+    assert speedup >= smoke_bar
+
+    debug_members = ModelEnsembleTarget.trained_like(
+        model, 3, train.images, train.labels, rng=SEED
+    )
+    pool = test.images.astype(np.float64)
+    report, _ = debug_ensemble(
+        debug_members, list(pool[:40]), list(pool[40:160]),
+        config=HDTestConfig(iter_times=8), rng=SEED,
+    )
+    print(f"[ensemble-debugging] held-out agreement "
+          f"{report.agreement_before:.3f} -> {report.agreement_after:.3f}; "
+          f"resolved {report.resolved_rate:.2f} of "
+          f"{report.n_holdout_disagreements} held-out disagreements "
+          f"(bar: {MIN_RESOLVED_RATE})")
+    assert report.n_holdout_disagreements > 0
+    assert report.resolved_rate >= MIN_RESOLVED_RATE
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_smoke_main())

@@ -34,7 +34,14 @@ from repro.datasets import (
     make_language_dataset,
     make_voice_dataset,
 )
-from repro.defense import DefenseReport, attack_success_rate, run_defense
+from repro.defense import (
+    DefenseReport,
+    EnsembleDebugReport,
+    attack_success_rate,
+    debug_ensemble,
+    ensemble_agreement,
+    run_defense,
+)
 from repro.errors import (
     ConfigurationError,
     ConstraintError,
@@ -51,11 +58,15 @@ from repro.fuzz import (
     BatchedExecutor,
     BatchedHDTest,
     CampaignResult,
+    CrossModelOracle,
     HDTest,
     HDTestConfig,
     ImageConstraint,
+    MajorityOracle,
+    ModelEnsembleTarget,
     ProcessExecutor,
     SerialExecutor,
+    SingleModelTarget,
     compare_strategies,
     create_executor,
     create_strategy,
@@ -85,9 +96,11 @@ __all__ = [
     "CampaignResult",
     "ConfigurationError",
     "ConstraintError",
+    "CrossModelOracle",
     "Dataset",
     "DatasetError",
     "DefenseReport",
+    "EnsembleDebugReport",
     "DimensionMismatchError",
     "EncodingError",
     "FuzzingError",
@@ -97,6 +110,8 @@ __all__ = [
     "ImageConstraint",
     "ItemMemory",
     "LevelMemory",
+    "MajorityOracle",
+    "ModelEnsembleTarget",
     "MutationError",
     "NgramEncoder",
     "NotTrainedError",
@@ -106,8 +121,11 @@ __all__ = [
     "RecordEncoder",
     "ReproError",
     "SerialExecutor",
+    "SingleModelTarget",
     "SyntheticDigitGenerator",
     "attack_success_rate",
+    "debug_ensemble",
+    "ensemble_agreement",
     "compare_strategies",
     "create_executor",
     "create_strategy",

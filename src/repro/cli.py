@@ -100,6 +100,23 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--children", type=int, default=8)
     fuzz.add_argument("--unguided", action="store_true",
                       help="disable distance-guided seed survival")
+    fuzz.add_argument("--ensemble", type=int, default=1, metavar="K",
+                      help="cross-model differential testing (HDXplore): fuzz "
+                           "an ensemble of K models — the loaded model plus "
+                           "K-1 architecture-matched members with freshly "
+                           "spawned item memories, trained on regenerated "
+                           "in-distribution data — hunting inputs the members "
+                           "disagree on instead of self-flips (default: 1, "
+                           "the paper's single-model oracle)")
+    fuzz.add_argument("--ensemble-train", type=int, default=500, metavar="N",
+                      help="training-pool size for the spawned ensemble "
+                           "members (default: 500)")
+    fuzz.add_argument("--oracle", choices=("cross-model", "majority"),
+                      default="cross-model",
+                      help="ensemble discrepancy rule: any pairwise member "
+                           "disagreement (cross-model) or a flip of the "
+                           "ensemble's majority vote (majority); ignored "
+                           "without --ensemble (default: cross-model)")
     _add_executor_flags(fuzz)
     fuzz.add_argument("--seed", type=int, default=0,
                       help="root seed; for --domain text/voice use the same "
@@ -286,6 +303,53 @@ def _fuzz_inputs(args: argparse.Namespace, n: int) -> list:
     return list(test_set.images[:n].astype(np.float64))
 
 
+def _ensemble_train_pool(args: argparse.Namespace):
+    """Labelled in-distribution training data for spawned ensemble members.
+
+    Mirrors ``hdtest train``'s per-domain generators (same ``--seed``,
+    so the class structure matches the loaded model's); sized by
+    ``--ensemble-train``.
+    """
+    n = max(args.ensemble_train, 10)
+    if args.domain == "text":
+        corpus = make_language_dataset(n_per_class=max(2, n // 4), seed=args.seed)
+        return list(corpus.texts), corpus.labels
+    if args.domain == "voice":
+        corpus = make_voice_dataset(n_per_class=max(2, n // 6), seed=args.seed)
+        return corpus.records, corpus.labels
+    train_set, _ = load_digits(
+        n_train=n, n_test=1, seed=args.seed, data_dir=args.data_dir
+    )
+    return train_set.images, train_set.labels
+
+
+def _resolve_fuzz_target(args: argparse.Namespace, model):
+    """The system under test: the model, or a K-member ensemble around it.
+
+    ``--ensemble K`` spawns K − 1 architecture-matched members with
+    fresh item memories (member seeds derived from ``--seed``), trains
+    them on regenerated in-distribution data, and returns the
+    cross-model target plus the matching oracle.
+    """
+    from repro.fuzz.oracle import CrossModelOracle, MajorityOracle
+    from repro.fuzz.targets import ModelEnsembleTarget
+
+    if args.ensemble < 1:
+        raise ConfigurationError(f"--ensemble must be >= 1, got {args.ensemble}")
+    if args.ensemble == 1:
+        return model, None
+    inputs, labels = _ensemble_train_pool(args)
+    target = ModelEnsembleTarget.trained_like(
+        model, args.ensemble, inputs, labels, rng=args.seed + 1
+    )
+    oracle = (
+        MajorityOracle(model.n_classes)
+        if args.oracle == "majority"
+        else CrossModelOracle()
+    )
+    return target, oracle
+
+
 def _resolve_strategies(args: argparse.Namespace) -> list[str]:
     """``--strategies`` validated against the domain's namespace."""
     domain_cls = get_domain_class(args.domain)
@@ -304,6 +368,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     executor = _executor_from_args(args)  # reject bad flag combos before loading
     strategies = _resolve_strategies(args)
     model = _load_model(args.model)
+    target, oracle = _resolve_fuzz_target(args, model)
     inputs = _fuzz_inputs(args, args.n_images)
     config = HDTestConfig(
         iter_times=args.iter_times,
@@ -312,15 +377,22 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         guided=not args.unguided,
     )
     results = compare_strategies(
-        model,
+        target,
         inputs,
         strategies,
         domain=create_domain(args.domain, model=model),
         config=config,
+        oracle=oracle,
         rng=args.seed,
         executor=executor,
         backend=args.backend,
     )
+    if args.ensemble > 1:
+        seed_splits = sum(
+            len(r.seed_discrepancies) for r in results.values()
+        )
+        print(f"cross-model differential: {args.ensemble} members, "
+              f"{args.oracle} oracle, {seed_splits} seed discrepancies")
     print(table2(results))
     if args.per_class:
         series = per_class_series(results, n_classes=model.n_classes)

@@ -1,5 +1,19 @@
-"""Adversarial-retraining defense (Sec. V-D case study)."""
+"""Adversarial-retraining defenses: Sec. V-D and ensemble debugging."""
 
-from repro.defense.retrain import DefenseReport, attack_success_rate, run_defense
+from repro.defense.retrain import (
+    DefenseReport,
+    EnsembleDebugReport,
+    attack_success_rate,
+    debug_ensemble,
+    ensemble_agreement,
+    run_defense,
+)
 
-__all__ = ["DefenseReport", "attack_success_rate", "run_defense"]
+__all__ = [
+    "DefenseReport",
+    "EnsembleDebugReport",
+    "attack_success_rate",
+    "debug_ensemble",
+    "ensemble_agreement",
+    "run_defense",
+]

@@ -1,6 +1,6 @@
-"""Retraining defense against adversarial attacks (Sec. V-D, Fig. 8).
+"""Retraining defenses: single-model (Sec. V-D) and ensemble debugging.
 
-The paper's case study:
+The paper's case study (Fig. 8):
 
 1. run HDTest on a trained HDC model until 1000 adversarial images
    exist;
@@ -13,12 +13,24 @@ Before retraining the attack succeeds on 100 % of the held-out images
 by construction; after retraining "the rate of successful attack rate
 drops more than 20 %".  :func:`run_defense` reproduces the pipeline and
 reports both rates plus the clean-accuracy cost of retraining.
+
+:func:`debug_ensemble` is the cross-model analogue, after HDXplore's
+debugging loop: fuzz a K-member
+:class:`~repro.fuzz.targets.ModelEnsembleTarget` for inputs the members
+disagree on, retrain *every* member on those discrepancies labelled by
+the ensemble's majority vote (or ground truth when known), and repeat.
+The headline success metric is the *resolved rate*: the fraction of
+held-out inputs the original members disagreed on that the hardened
+ensemble now agrees on (``benchmarks/bench_ensemble_fuzzing.py``
+asserts it at scale).  Overall held-out agreement is reported alongside
+as the cost view and is *not* guaranteed to rise — see
+:class:`EnsembleDebugReport`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
@@ -27,7 +39,14 @@ from repro.fuzz.results import AdversarialExample
 from repro.hdc.model import HDCClassifier
 from repro.utils.rng import RngLike, ensure_rng
 
-__all__ = ["DefenseReport", "run_defense", "attack_success_rate"]
+__all__ = [
+    "DefenseReport",
+    "run_defense",
+    "attack_success_rate",
+    "EnsembleDebugReport",
+    "ensemble_agreement",
+    "debug_ensemble",
+]
 
 
 @dataclass(frozen=True)
@@ -177,6 +196,224 @@ def run_defense(
         attack_rate_after=rate_after,
         n_retrain=len(retrain_set),
         n_attack=len(attack_set),
+        clean_accuracy_before=acc_before,
+        clean_accuracy_after=acc_after,
+    )
+    return report, hardened
+
+
+# -- ensemble debugging (HDXplore-style) ------------------------------------
+@dataclass(frozen=True)
+class EnsembleDebugReport:
+    """Outcome of the cross-model discrepancy-retraining loop.
+
+    The headline number is :attr:`resolved_rate`: of the held-out
+    inputs the ensemble *initially disagreed on* (agreement 0 on that
+    subset, by construction), what fraction does the retrained ensemble
+    now agree on?  That is the generalisation claim — the loop fixes
+    disagreements it never trained on.  Overall held-out agreement is
+    reported alongside as the cost view: the boundary updates that
+    resolve disagreements also perturb decisions on inputs that sat
+    near a boundary while agreeing, so the aggregate number can move
+    less, or slightly down, while genuinely-disagreeing regions heal
+    (the same accuracy-vs-robustness tension ``run_defense`` reports
+    through its clean-accuracy columns).
+
+    Attributes
+    ----------
+    agreement_before, agreement_after:
+        Fraction of *all* held-out inputs on which every member
+        predicts the same class, before and after retraining.
+    n_holdout_disagreements:
+        Held-out inputs the original ensemble disagreed on.
+    resolved_rate:
+        Fraction of those the hardened ensemble fully agrees on
+        (NaN when the original ensemble had no held-out disagreements).
+    n_discrepancies:
+        Total discrepancy inputs fed back across all rounds (seed
+        discrepancies and mutated children alike).
+    rounds_run:
+        Debugging rounds actually executed (the loop stops early when a
+        round finds nothing to feed back).
+    per_round:
+        Discrepancy count of each executed round.
+    clean_accuracy_before, clean_accuracy_after:
+        Majority-vote accuracy on a labelled clean set, when provided.
+    """
+
+    agreement_before: float
+    agreement_after: float
+    n_holdout_disagreements: int
+    resolved_rate: float
+    n_discrepancies: int
+    rounds_run: int
+    per_round: tuple[int, ...]
+    clean_accuracy_before: float = float("nan")
+    clean_accuracy_after: float = float("nan")
+
+    @property
+    def agreement_gain(self) -> float:
+        """Absolute change in overall held-out ensemble agreement."""
+        return self.agreement_after - self.agreement_before
+
+    def summary(self) -> dict[str, float]:
+        """All fields as a flat dict (report/bench friendly)."""
+        return {
+            "agreement_before": self.agreement_before,
+            "agreement_after": self.agreement_after,
+            "agreement_gain": self.agreement_gain,
+            "n_holdout_disagreements": self.n_holdout_disagreements,
+            "resolved_rate": self.resolved_rate,
+            "n_discrepancies": self.n_discrepancies,
+            "rounds_run": self.rounds_run,
+            "clean_accuracy_before": self.clean_accuracy_before,
+            "clean_accuracy_after": self.clean_accuracy_after,
+        }
+
+
+def ensemble_agreement(target: Any, inputs: Sequence[Any]) -> float:
+    """Fraction of *inputs* on which every member of *target* agrees.
+
+    Delegates to :meth:`ModelEnsembleTarget.agreement` (one definition
+    of agreement); accepts any duck-typed target exposing ``predict``.
+    """
+    agreement = getattr(target, "agreement", None)
+    if callable(agreement):
+        return float(agreement(inputs))
+    return _all_agree_rate(target.predict(inputs))
+
+
+def _all_agree_rate(member_labels: np.ndarray) -> float:
+    """Fraction of columns of a ``(K, n)`` label block that are unanimous.
+
+    A 1-D row (a single model's predictions) coerces to ``(1, n)`` — one
+    member always agrees with itself.
+    """
+    labels = np.atleast_2d(np.asarray(member_labels))
+    return float(np.mean((labels == labels[0]).all(axis=0)))
+
+
+def debug_ensemble(
+    target: Any,
+    fuzz_inputs: Sequence[Any],
+    holdout_inputs: Sequence[Any],
+    *,
+    strategy: Union[str, Any] = "gauss",
+    domain: Any = None,
+    config: Any = None,
+    rounds: int = 3,
+    mode: str = "adaptive",
+    epochs: int = 1,
+    true_labels: Optional[Sequence[int]] = None,
+    clean_inputs: Optional[Sequence[Any]] = None,
+    clean_labels: Optional[Sequence[int]] = None,
+    rng: RngLike = None,
+) -> tuple[EnsembleDebugReport, Any]:
+    """Run the HDXplore debugging loop; returns the report + hardened target.
+
+    Each round fuzzes *fuzz_inputs* with the cross-model oracle (any
+    member disagreement counts, including pre-mutation seed
+    discrepancies), then retrains **every member** of a copy of
+    *target* on the discrepancies — both the original input and its
+    adversarial mutation — labelled with the ensemble's majority vote
+    on the original input, or ground truth via *true_labels* (aligned
+    with *fuzz_inputs*) when the caller has it.  Adaptive mode only
+    updates the members that mispredict a retraining input, which is
+    exactly HDXplore's per-model correction.  The loop stops early once
+    a round surfaces no discrepancies.
+
+    The original *target* is left untouched; agreement is measured on
+    *holdout_inputs*, which should be disjoint from *fuzz_inputs* (the
+    claim is generalisation, not memorisation — see
+    :class:`EnsembleDebugReport` for how to read the two agreement
+    metrics).
+    """
+    from repro.fuzz.batch import BatchedHDTest
+    from repro.fuzz.oracle import CrossModelOracle
+    from repro.fuzz.targets import ModelEnsembleTarget
+
+    if not isinstance(target, ModelEnsembleTarget):
+        raise ConfigurationError(
+            f"debug_ensemble needs a ModelEnsembleTarget, got {type(target).__name__}"
+        )
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    if len(fuzz_inputs) == 0 or len(holdout_inputs) == 0:
+        raise ConfigurationError("fuzz_inputs and holdout_inputs must be non-empty")
+    if true_labels is not None and len(true_labels) != len(fuzz_inputs):
+        raise ConfigurationError(
+            f"{len(true_labels)} true_labels for {len(fuzz_inputs)} fuzz_inputs"
+        )
+    generator = ensure_rng(rng)
+
+    hardened = target.copy()
+    # One K-member prediction pass per phase serves both agreement
+    # metrics (the holdout is the most expensive non-fuzzing work here).
+    before_labels = hardened.predict(holdout_inputs)
+    agreement_before = _all_agree_rate(before_labels)
+    disagreed_mask = ~(before_labels == before_labels[0]).all(axis=0)
+    acc_before = acc_after = float("nan")
+    if clean_inputs is not None and clean_labels is not None:
+        acc_before = float(
+            np.mean(hardened.majority_predict(clean_inputs) == np.asarray(clean_labels))
+        )
+
+    per_round: list[int] = []
+    for _ in range(rounds):
+        engine = BatchedHDTest(
+            hardened, strategy, domain=domain, config=config,
+            oracle=CrossModelOracle(), rng=generator,
+        )
+        result = engine.fuzz(fuzz_inputs)
+        found = [
+            (position, outcome.example)
+            for position, outcome in enumerate(result.outcomes)
+            if outcome.success
+        ]
+        per_round.append(len(found))
+        if not found:
+            break
+        # Feed back the natural input *and* its mutation: the original
+        # anchors the member on the manifold, the child marks the
+        # boundary crossing the fuzzer exploited.  (For iteration-0
+        # seed discrepancies the two coincide; the duplicate is a no-op
+        # for members that already predict the label.)
+        retrain_inputs = [example.original for _, example in found] + [
+            example.adversarial for _, example in found
+        ]
+        if isinstance(retrain_inputs[0], np.ndarray):
+            retrain_inputs = np.stack(retrain_inputs)
+        labels = np.asarray(
+            [
+                int(true_labels[position])
+                if true_labels is not None
+                else _label_for_retraining(example)
+                for position, example in found
+            ]
+            * 2
+        )
+        for member in hardened.members:
+            member.retrain(retrain_inputs, labels, mode=mode, epochs=epochs)
+
+    after_labels = hardened.predict(holdout_inputs)
+    agreement_after = _all_agree_rate(after_labels)
+    resolved_rate = (
+        _all_agree_rate(after_labels[:, disagreed_mask])
+        if disagreed_mask.any()
+        else float("nan")
+    )
+    if clean_inputs is not None and clean_labels is not None:
+        acc_after = float(
+            np.mean(hardened.majority_predict(clean_inputs) == np.asarray(clean_labels))
+        )
+    report = EnsembleDebugReport(
+        agreement_before=agreement_before,
+        agreement_after=agreement_after,
+        n_holdout_disagreements=int(disagreed_mask.sum()),
+        resolved_rate=resolved_rate,
+        n_discrepancies=int(sum(per_round)),
+        rounds_run=len(per_round),
+        per_round=tuple(per_round),
         clean_accuracy_before=acc_before,
         clean_accuracy_after=acc_after,
     )

@@ -3,10 +3,20 @@
 :class:`BatchedHDTest` runs the paper's per-input loop over *all*
 active inputs simultaneously.  Each iteration mutates every input's
 surviving seeds, then performs **one fused encode and one fused
-predict** covering every input's children, instead of one small
-model call per input per iteration.  Inputs retire from the batch the
-moment their differential oracle flips; per-input iteration counts are
-exactly those of the sequential loop.
+predict per target member** covering every input's children, instead
+of one small model call per input per iteration.  Inputs retire from
+the batch the moment their differential oracle flips; per-input
+iteration counts are exactly those of the sequential loop.
+
+The engine is target-generic like its sequential parent: fuzzing a
+K-member :class:`~repro.fuzz.targets.ModelEnsembleTarget` runs all K
+models lock-step over the same child blocks — K fused encodes and K
+fused AM queries per iteration, with per-member parent accumulators
+riding the seed pools — which is what makes cross-model differential
+campaigns cost ≈ K single-model campaigns instead of a serial re-fuzz
+per member (``benchmarks/bench_ensemble_fuzzing.py``).  Inputs whose
+members disagree before any mutation retire immediately as iteration-0
+seed discrepancies.
 
 The engine is modality-agnostic: its
 :class:`~repro.fuzz.domains.FuzzDomain` converts raw inputs into the
@@ -119,17 +129,12 @@ class _CachePool:
 class _ActiveInput:
     """Book-keeping for one not-yet-retired input of the lock-step batch."""
 
-    __slots__ = (
-        "index", "original", "reference_label", "reference_hv", "generator",
-        "cache_key",
-    )
+    __slots__ = ("index", "original", "reference", "generator", "cache_key")
 
-    def __init__(self, index, original, reference_label, reference_hv, generator,
-                 cache_key):
+    def __init__(self, index, original, reference, generator, cache_key):
         self.index = index
         self.original = original
-        self.reference_label = reference_label
-        self.reference_hv = reference_hv
+        self.reference = reference  # TargetReference (label, votes, fitness_hv)
         self.generator = generator
         self.cache_key = cache_key
 
@@ -180,6 +185,7 @@ class BatchedHDTest(HDTest):
             elapsed_seconds=sw.elapsed,
             guided=self._fitness.guided,
             executor="batched",
+            n_members=self._target.n_members,
         )
 
     def fuzz_outcomes(
@@ -215,32 +221,42 @@ class BatchedHDTest(HDTest):
         originals = self._stack_inputs(inputs)
         cfg = self._config
 
-        # One fused encode + predict for every reference label (Alg. 1
-        # line 1, "y = HDC(t)", across the whole batch).
-        delta_encoder = self._delta_encoder()
-        if delta_encoder is not None:
-            ref_accs, ref_levels = self._seed_side_data(delta_encoder, originals)
-            ref_hvs_q = delta_encoder.hvs_from_accumulators(ref_accs)
+        # One fused encode + predict per member for every reference
+        # (Alg. 1 line 1, "y = HDC(t)", across the whole batch).
+        surface = self._target.delta_surface(self._delta_encoder())
+        if surface is not None:
+            ref_accs, ref_levels = surface.seed_side_data(originals)
+            ref_bundle = surface.hvs_from_accumulators(ref_accs)
             pool = SeedPoolBatch(
                 originals, cfg.top_n, accumulators=ref_accs, levels=ref_levels
             )
         else:
-            ref_hvs_q = self._model.encode_batch(originals)
+            ref_bundle = self._target.encode_batch(originals)
             pool = SeedPoolBatch(originals, cfg.top_n)
-        reference_labels = self._model.predict_hv(ref_hvs_q)
+        ref_predictions = self._target.predict_hvs(ref_bundle)
 
-        active = [
-            _ActiveInput(
-                i,
-                originals[i],
-                int(reference_labels[i]),
-                self._model.reference_hv(int(reference_labels[i])),
-                generators[i],
-                originals[i].tobytes(),
-            )
-            for i in range(n)
-        ]
+        active = []
         outcomes: list[Optional[InputOutcome]] = [None] * n
+        for i in range(n):
+            reference = self._target.reference(ref_predictions, i)
+            if self._oracle.reference_discrepancy(reference.votes):
+                # HDXplore-style seed discrepancy: members already
+                # disagree on the unmutated input — retire immediately.
+                outcomes[i] = InputOutcome(
+                    success=True,
+                    iterations=0,
+                    reference_label=reference.label,
+                    example=self._seed_discrepancy_example(
+                        originals[i], reference
+                    ),
+                )
+                continue
+            active.append(
+                _ActiveInput(
+                    i, originals[i], reference, generators[i],
+                    originals[i].tobytes(),
+                )
+            )
         # One dedupe cache per input, keyed by content and shared with
         # previous calls, mirroring the sequential engine: per-input
         # working sets never evict each other.  Unlike the sequential
@@ -257,37 +273,45 @@ class BatchedHDTest(HDTest):
                 break
             plans = self._mutation_plans(active, pool)
             if plans:
-                if delta_encoder is not None:
+                if surface is not None:
                     encoded = self._encode_plans_delta(
-                        delta_encoder, plans, pool, caches, capacity
+                        surface, plans, pool, caches, capacity
                     )
                 else:
                     encoded = self._encode_plans_direct(plans, caches, capacity)
-                # One fused prediction over every input's children.
-                all_labels = self._model.predict_hv(
-                    np.concatenate([e[0] for e in encoded], axis=0)
+                # One fused prediction per member over every input's
+                # children — the K-model lock-step step.
+                all_predictions = self._predict_children(
+                    tuple(
+                        np.concatenate([e[0][m] for e in encoded], axis=0)
+                        for m in range(self._target.n_members)
+                    )
                 )
                 retired: set[int] = set()
                 offset = 0
-                for (state, children, _), (hvs, accs, levels) in zip(plans, encoded):
-                    labels = all_labels[offset : offset + len(children)]
+                for (state, children, _), (bundle, accs, levels) in zip(
+                    plans, encoded
+                ):
+                    predictions = all_predictions.slice(
+                        offset, offset + len(children)
+                    )
                     offset += len(children)
-                    flips = self._oracle.discrepancies(state.reference_label, labels)
+                    flips = self._discrepancies(state.reference, predictions)
                     if flips.any():
                         example = self._pick_success(
-                            state.original, children, labels, flips,
-                            state.reference_label, iteration,
+                            state.original, children, predictions.labels, flips,
+                            state.reference, iteration,
                         )
                         outcomes[state.index] = InputOutcome(
                             success=True,
                             iterations=iteration,
-                            reference_label=state.reference_label,
+                            reference_label=state.reference.label,
                             example=example,
                         )
                         retired.add(state.index)
                         continue
-                    scores = self._fitness.scores(
-                        state.reference_hv, hvs, rng=state.generator
+                    scores = self._score_children(
+                        state.reference, predictions, bundle, state.generator
                     )
                     pool.update(
                         state.index, children, scores,
@@ -300,7 +324,7 @@ class BatchedHDTest(HDTest):
             outcomes[state.index] = InputOutcome(
                 success=False,
                 iterations=cfg.iter_times,
-                reference_label=state.reference_label,
+                reference_label=state.reference.label,
             )
         return outcomes  # type: ignore[return-value]
 
@@ -345,25 +369,28 @@ class BatchedHDTest(HDTest):
             plans.append((state, children[keep], parent_ids))
         return plans
 
-    def _encode_plans_delta(self, encoder, plans, pool: SeedPoolBatch, caches, capacity):
+    def _encode_plans_delta(self, surface, plans, pool: SeedPoolBatch, caches, capacity):
         """Incremental path: children encoded from parent accumulators.
 
         Cache entries hold compact integer accumulators (they are
-        exact — the bipolar hypervector is a deterministic function of
-        them), so a hit skips even the delta work.
+        exact — the hypervector is a deterministic function of them),
+        so a hit skips even the delta work.  With an ensemble target
+        the accumulator rows carry a leading member axis: each member
+        delta-encodes every child from *its own* parent accumulator,
+        still one vectorised call per member per iteration.
         """
         dedupe = self._config.dedupe
         encoded = []
         for state, children, parent_ids in plans:
-            levels = self._quantize(encoder, children)
+            levels = surface.child_levels(children)
             parent_accs_all = pool.accumulators(state.index)
 
             def delta_missing(positions: list[int]) -> np.ndarray:
                 parent_levels = pool.levels(state.index)[parent_ids[positions]]
                 parent_accs = parent_accs_all[parent_ids[positions]]
-                return encoder.accumulate_delta(
+                return surface.accumulate_delta(
                     levels[positions], parent_levels, parent_accs
-                ).astype(parent_accs_all.dtype)
+                )
 
             if dedupe:
                 keys = [self._child_key(children[j]) for j in range(len(children))]
@@ -371,25 +398,33 @@ class BatchedHDTest(HDTest):
                 accs = np.stack(resolve_with_cache(cache, keys, delta_missing))
             else:
                 accs = delta_missing(list(range(len(children))))
-            hvs = encoder.hvs_from_accumulators(accs)
-            encoded.append((hvs, accs, levels))
+            bundle = surface.hvs_from_accumulators(accs)
+            encoded.append((bundle, accs, levels))
         return encoded
 
     def _encode_plans_direct(self, plans, caches, capacity):
         """Fallback path: one fused ``encode_batch`` for all cache misses.
 
         Misses from every plan are flattened into one stack so the whole
-        iteration still costs a single model call, while lookups and
-        insertions stay in each input's own cache (the same pinning
-        discipline as :func:`repro.utils.cache.resolve_with_cache`,
-        spread across cache domains).
+        iteration still costs a single model call *per member*, while
+        lookups and insertions stay in each input's own cache (the same
+        pinning discipline as :func:`repro.utils.cache.resolve_with_cache`,
+        spread across cache domains).  Cache entries hold one row per
+        member, so mixed-width ensembles share the machinery.
         """
+        k = self._target.n_members
         if not self._config.dedupe:
             all_children = np.concatenate([children for _, children, _ in plans])
-            all_hvs = self._model.encode_batch(all_children)
+            all_bundle = self._target.encode_batch(all_children)
             encoded, offset = [], 0
             for _, children, _ in plans:
-                encoded.append((all_hvs[offset : offset + len(children)], None, None))
+                encoded.append((
+                    tuple(
+                        block[offset : offset + len(children)]
+                        for block in all_bundle
+                    ),
+                    None, None,
+                ))
                 offset += len(children)
             return encoded
         resolved = []  # (keys, local, cache) per plan
@@ -398,7 +433,7 @@ class BatchedHDTest(HDTest):
         for p, (state, children, _) in enumerate(plans):
             cache = caches.get(state.cache_key, capacity)
             keys = [self._child_key(children[j]) for j in range(len(children))]
-            local: dict[bytes, Optional[np.ndarray]] = {}
+            local: dict[bytes, Optional[tuple]] = {}
             for j, key in enumerate(keys):
                 if key not in local:
                     local[key] = cache.get(key)
@@ -407,12 +442,18 @@ class BatchedHDTest(HDTest):
                         slots.append((p, key))
             resolved.append((keys, local, cache))
         if to_encode:
-            fresh = self._model.encode_batch(np.stack(to_encode))
-            for (p, key), hv in zip(slots, fresh):
+            fresh = self._target.encode_batch(np.stack(to_encode))
+            for j, (p, key) in enumerate(slots):
                 _, local, cache = resolved[p]
-                local[key] = hv
-                cache.put(key, hv)
+                row = tuple(block[j] for block in fresh)
+                local[key] = row
+                cache.put(key, row)
         return [
-            (np.stack([local[key] for key in keys]), None, None)
+            (
+                tuple(
+                    np.stack([local[key][m] for key in keys]) for m in range(k)
+                ),
+                None, None,
+            )
             for keys, local, _ in resolved
         ]

@@ -35,6 +35,7 @@ from repro.fuzz.executor import CampaignExecutor, create_executor
 from repro.fuzz.fuzzer import HDTest, HDTestConfig
 from repro.fuzz.mutations import MutationStrategy, create_strategy
 from repro.fuzz.results import AdversarialExample, CampaignResult
+from repro.fuzz.targets import PredictionTarget
 from repro.hdc.backends.dispatch import resolve_model_backend
 from repro.hdc.model import HDCClassifier
 from repro.metrics.timing import Stopwatch
@@ -66,6 +67,19 @@ def _resolve_executor(executor: ExecutorLike) -> tuple[Optional[CampaignExecutor
     )
 
 
+def _resolve_backend(model: Any, backend: Optional[str]) -> Any:
+    """Re-target a model *or prediction target* for a compute backend.
+
+    A :class:`~repro.fuzz.targets.PredictionTarget` repackages every
+    member (exact); a bare model goes through
+    :func:`~repro.hdc.backends.dispatch.resolve_model_backend` as
+    before.
+    """
+    if isinstance(model, PredictionTarget):
+        return model.with_backend(backend)
+    return resolve_model_backend(model, backend)
+
+
 def compare_strategies(
     model: HDCClassifier,
     inputs: Sequence[Any],
@@ -74,6 +88,7 @@ def compare_strategies(
     domain: Union[None, str, FuzzDomain] = None,
     config: Optional[HDTestConfig] = None,
     constraint: Optional[Constraint] = None,
+    oracle: Optional[Any] = None,
     rng: RngLike = None,
     executor: ExecutorLike = None,
     backend: Optional[str] = None,
@@ -94,6 +109,11 @@ def compare_strategies(
         :class:`~repro.fuzz.domains.FuzzDomain`, or ``None`` to derive
         it from the strategies).  All listed strategies must share one
         domain namespace.
+    oracle:
+        Discrepancy rule shared by every per-strategy campaign;
+        ``None`` keeps the engines' default (self-differential for
+        single models, cross-model for
+        :class:`~repro.fuzz.targets.ModelEnsembleTarget` inputs).
     executor:
         How to schedule each per-strategy campaign: ``None`` (the
         historical serial loop), an executor name (``"serial"``,
@@ -107,7 +127,7 @@ def compare_strategies(
         :func:`repro.hdc.backends.dispatch.resolve_model_backend`).
     """
     generator = ensure_rng(rng)
-    model = resolve_model_backend(model, backend)
+    model = _resolve_backend(model, backend)
     exec_obj, owns_executor = _resolve_executor(executor)
     strategy_objs = [
         strategy if isinstance(strategy, MutationStrategy) else create_strategy(strategy)
@@ -134,13 +154,14 @@ def compare_strategies(
             if exec_obj is None:
                 fuzzer = HDTest(
                     model, strategy, domain=domain, config=config,
-                    constraint=constraint, rng=strategy_rng,
+                    constraint=constraint, oracle=oracle, rng=strategy_rng,
                 )
                 results[strategy.name] = fuzzer.fuzz(inputs)
             else:
                 results[strategy.name] = exec_obj.run(
                     model, strategy, inputs, domain=domain,
-                    config=config, constraint=constraint, rng=strategy_rng,
+                    config=config, constraint=constraint, oracle=oracle,
+                    rng=strategy_rng,
                 )
     finally:
         if owns_executor and exec_obj is not None:
@@ -204,7 +225,7 @@ def generate_adversarial_set(
             f"{len(true_labels)} true_labels for {len(inputs)} inputs"
         )
     generator = ensure_rng(rng)
-    model = resolve_model_backend(model, backend)
+    model = _resolve_backend(model, backend)
     exec_obj, owns_executor = _resolve_executor(executor)
     max_attempts = max_attempts_factor * n_target
 

@@ -5,7 +5,11 @@ scheduled across the hardware is not.  A :class:`CampaignExecutor`
 turns ``(model, strategy, inputs)`` into a
 :class:`~repro.fuzz.results.CampaignResult` for any registered fuzzing
 domain — image, text, or record campaigns all flow through the same
-three schedules (the ``domain`` keyword is forwarded to the engines):
+three schedules (the ``domain`` keyword is forwarded to the engines).
+``model`` may equally be a
+:class:`~repro.fuzz.targets.PredictionTarget`: K-member ensembles run
+the same schedules, with the whole ensemble broadcast once per worker
+in the process pool.  The schedules:
 
 * :class:`SerialExecutor` — the paper-literal loop, one input at a time
   (exactly :meth:`repro.fuzz.fuzzer.HDTest.fuzz`);
@@ -67,8 +71,33 @@ __all__ = [
     "BatchedExecutor",
     "ProcessExecutor",
     "create_executor",
+    "default_worker_count",
     "executor_names",
 ]
+
+#: Environment variable overriding the default process-pool size.
+WORKER_COUNT_ENV = "REPRO_FUZZ_WORKERS"
+
+
+def default_worker_count() -> int:
+    """Default :class:`ProcessExecutor` pool size for this machine.
+
+    ``max(1, os.cpu_count() − 1)`` — saturate the cores while leaving
+    one for the parent process (which stacks shard results and feeds the
+    pool).  Deployments can pin a different default with the
+    ``REPRO_FUZZ_WORKERS`` environment variable; an explicit
+    ``n_workers`` argument always wins.
+    """
+    env = os.environ.get(WORKER_COUNT_ENV)
+    if env:
+        try:
+            requested = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKER_COUNT_ENV} must be a positive integer, got {env!r}"
+            ) from None
+        return check_positive_int(requested, WORKER_COUNT_ENV)
+    return max(1, (os.cpu_count() or 1) - 1)
 
 
 class CampaignExecutor(ABC):
@@ -167,6 +196,7 @@ class BatchedExecutor(CampaignExecutor):
             elapsed_seconds=sw.elapsed,
             guided=fuzzer._fitness.guided,  # noqa: SLF001 - same-module family
             executor=self.name,
+            n_members=fuzzer.target.n_members,
         )
 
     def __repr__(self) -> str:
@@ -241,7 +271,10 @@ class ProcessExecutor(CampaignExecutor):
     Parameters
     ----------
     n_workers:
-        Worker process count; defaults to ``os.cpu_count()``.
+        Worker process count.  ``None`` resolves through
+        :func:`default_worker_count` — ``max(1, os.cpu_count() − 1)``,
+        overridable machine-wide with the ``REPRO_FUZZ_WORKERS``
+        environment variable.
     batch_size:
         Lock-step chunk size inside each worker.
     """
@@ -250,7 +283,7 @@ class ProcessExecutor(CampaignExecutor):
 
     def __init__(self, n_workers: Optional[int] = None, batch_size: int = 64) -> None:
         if n_workers is None:
-            n_workers = os.cpu_count() or 1
+            n_workers = default_worker_count()
         self.n_workers = check_positive_int(n_workers, "n_workers")
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self._pool = None
@@ -280,22 +313,39 @@ class ProcessExecutor(CampaignExecutor):
         run, the pre-reuse behaviour.
         """
         from repro.fuzz.fitness import (
+            AgreementMarginFitness,
             DistanceGuidedFitness,
             MarginFitness,
             RandomFitness,
         )
-        from repro.fuzz.oracle import DifferentialOracle, TargetedOracle
+        from repro.fuzz.oracle import (
+            CrossModelOracle,
+            DifferentialOracle,
+            MajorityOracle,
+            TargetedOracle,
+        )
+        from repro.fuzz.targets import PredictionTarget
 
         # RandomFitness qualifies because the engines feed it per-input
         # generators; its constructor stream is never consulted.
-        stateless_fitness = (DistanceGuidedFitness, RandomFitness, MarginFitness)
-        stateless_oracles = (DifferentialOracle, TargetedOracle)
+        stateless_fitness = (
+            DistanceGuidedFitness, RandomFitness, MarginFitness,
+            AgreementMarginFitness,
+        )
+        stateless_oracles = (
+            DifferentialOracle, TargetedOracle, CrossModelOracle, MajorityOracle,
+        )
         if fitness is not None and type(fitness) not in stateless_fitness:
             return None
         if oracle is not None and type(oracle) not in stateless_oracles:
             return None
-        am = getattr(model, "associative_memory", None)
-        counts = am.counts.tobytes() if am is not None else b""
+        if isinstance(model, PredictionTarget):
+            # Ensembles: every member's training counts guard the
+            # broadcast (retraining any one member must rebuild).
+            counts = model.training_counts()
+        else:
+            am = getattr(model, "associative_memory", None)
+            counts = am.counts.tobytes() if am is not None else b""
         strategy_key = strategy if isinstance(strategy, str) else id(strategy)
         domain_key = domain if isinstance(domain, str) else id(domain)
         return (
@@ -393,6 +443,7 @@ class ProcessExecutor(CampaignExecutor):
             elapsed_seconds=sw.elapsed,
             guided=probe._fitness.guided,  # noqa: SLF001 - same-module family
             executor=self.name,
+            n_members=probe.target.n_members,
         )
 
     def __repr__(self) -> str:

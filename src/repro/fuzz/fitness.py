@@ -46,6 +46,8 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+from repro.fuzz.targets import TargetPredictions, vote_counts
 from repro.hdc.similarity import cosine_matrix
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -54,6 +56,7 @@ __all__ = [
     "DistanceGuidedFitness",
     "RandomFitness",
     "MarginFitness",
+    "AgreementMarginFitness",
     "packed_bipolar_dimension",
 ]
 
@@ -106,6 +109,11 @@ class FitnessFunction(ABC):
     #: whether the fuzzer should report this as guided (for logs/reports).
     guided: bool = True
 
+    #: whether :meth:`scores_ensemble` wants per-class similarity blocks
+    #: in addition to member labels (the engines skip computing them
+    #: otherwise).
+    needs_similarities: bool = False
+
     @abstractmethod
     def scores(
         self,
@@ -127,6 +135,26 @@ class FitnessFunction(ABC):
             Per-input randomness stream supplied by the fuzzing
             engines.  Deterministic fitnesses ignore it.
         """
+
+    def scores_ensemble(
+        self,
+        predictions: TargetPredictions,
+        *,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Fitness of each child of an ensemble target.
+
+        *predictions* carries the ``(K, n)`` member labels (and, when
+        :attr:`needs_similarities` is set, the ``(K, n, C)`` similarity
+        blocks) the lock-step engines computed for the iteration's
+        children.  Only ensemble-aware fitnesses implement this; the
+        engines reject a K > 1 target paired with one that does not.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} cannot score ensemble predictions; "
+            "use an ensemble-aware fitness (AgreementMarginFitness, "
+            "RandomFitness) with ModelEnsembleTarget"
+        )
 
 
 class DistanceGuidedFitness(FitnessFunction):
@@ -194,6 +222,16 @@ class RandomFitness(FitnessFunction):
         generator = self._rng if rng is None else ensure_rng(rng)
         return generator.random(size=np.asarray(query_hvs).shape[0])
 
+    def scores_ensemble(
+        self,
+        predictions: TargetPredictions,
+        *,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Uniform survival for ensembles too (same per-input streams)."""
+        generator = self._rng if rng is None else ensure_rng(rng)
+        return generator.random(size=len(predictions))
+
     def __repr__(self) -> str:
         return "RandomFitness()"
 
@@ -242,3 +280,88 @@ class MarginFitness(FitnessFunction):
 
     def __repr__(self) -> str:
         return f"MarginFitness(reference_label={self._reference_label})"
+
+
+class AgreementMarginFitness(FitnessFunction):
+    """Discrepancy-guided survival: shrink the ensemble's vote margin.
+
+    HDXplore's guidance signal, adapted to Alg. 1's top-N survival:
+    children on which the ensemble's vote is *closest to splitting* are
+    the most promising parents of a cross-model discrepancy.  The score
+    has two parts:
+
+    * **vote margin** — with ``c₁ ≥ c₂`` the two largest per-class vote
+      counts over the K members, the primary term is
+      ``1 − (c₁ − c₂) / K``: unanimous children score 0, children one
+      defection from a split score higher, already-split children
+      highest (the oracle retires those before fitness runs).
+    * **similarity tie-break** — vote counts are integers, so whole
+      cohorts of children tie.  Within a tie the child whose members
+      are *least certain* wins: the mean over members of the top-1 −
+      top-2 similarity margin, mapped to ``[0, 1]`` and weighted below
+      one vote step so it can only order children with equal votes.
+
+    Parameters
+    ----------
+    similarity_weight:
+        Weight of the tie-break term.  ``None`` (default) resolves to
+        ``0.5 / K`` at scoring time — strictly below the ``1 / K``
+        quantum of the vote term.  Pass ``0.0`` for votes only.
+    """
+
+    guided = True
+    needs_similarities = True
+
+    def __init__(self, *, similarity_weight: Optional[float] = None) -> None:
+        if similarity_weight is not None and similarity_weight < 0:
+            raise ConfigurationError(
+                f"similarity_weight must be >= 0, got {similarity_weight}"
+            )
+        self._similarity_weight = similarity_weight
+
+    def scores(
+        self,
+        reference_hv: np.ndarray,
+        query_hvs: np.ndarray,
+        *,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        raise ConfigurationError(
+            "AgreementMarginFitness scores ensemble vote margins; it needs "
+            "a ModelEnsembleTarget (see repro.fuzz.targets)"
+        )
+
+    def scores_ensemble(
+        self,
+        predictions: TargetPredictions,
+        *,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        labels = predictions.labels
+        k = labels.shape[0]
+        n_classes = (
+            predictions.similarities.shape[2]
+            if predictions.similarities is not None
+            else int(labels.max()) + 1
+        )
+        counts = np.sort(vote_counts(labels, n_classes), axis=1)
+        top1 = counts[:, -1]
+        top2 = counts[:, -2] if counts.shape[1] > 1 else np.zeros_like(top1)
+        scores = 1.0 - (top1 - top2) / float(k)
+        weight = (
+            0.5 / k if self._similarity_weight is None else self._similarity_weight
+        )
+        if weight and predictions.similarities is not None:
+            sims = np.sort(predictions.similarities, axis=2)
+            member_margin = sims[:, :, -1] - (
+                sims[:, :, -2] if sims.shape[2] > 1 else 0.0
+            )
+            # Cosine margins live in [0, 2]; halve into [0, 1] so the
+            # weight bound (< one vote quantum) is honest.
+            scores = scores + weight * (1.0 - member_margin.mean(axis=0) / 2.0)
+        return scores
+
+    def __repr__(self) -> str:
+        if self._similarity_weight is None:
+            return "AgreementMarginFitness()"
+        return f"AgreementMarginFitness(similarity_weight={self._similarity_weight})"

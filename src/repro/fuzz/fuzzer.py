@@ -1,25 +1,40 @@
-"""The HDTest fuzzing loop (Sec. IV, Alg. 1) — domain-generic.
+"""The HDTest fuzzing loop (Sec. IV, Alg. 1) — domain- and target-generic.
 
 For each unlabeled input ``t`` (an image, a string, a feature
 record — any registered :mod:`fuzzing domain <repro.fuzz.domains>`):
 
-1. ``y = HDC(t)`` — the model's prediction becomes the *reference
-   label* (differential testing: no manual labeling).
+1. ``y = HDC(t)`` — the target's prediction on the unmutated input
+   becomes the *reference* (differential testing: no manual labeling).
 2. Repeat up to ``iter_times``:
    a. mutate every surviving seed into ``children_per_seed`` children;
    b. clip children into the valid input space and discard those whose
       perturbation (relative to the *original* ``t``) exceeds the
       distance budget;
    c. encode the survivors once, predict, and check the differential
-      oracle: a label ≠ ``y`` is a successful adversarial input —
+      oracle: a discrepancy is a successful adversarial input —
       record it and stop;
-   d. otherwise score children with the fitness function
-      (``1 − Cosim(AM[y], HDC(seed))`` when guided) and keep the top-N
-      fittest as next iteration's seeds.
+   d. otherwise score children with the fitness function and keep the
+      top-N fittest as next iteration's seeds.
 
 The loop is deliberately per-input (matching the paper and keeping
 iteration counts honest); all per-iteration work — mutation, encoding,
 prediction, fitness — is batched across children.
+
+The *system under test* is a
+:class:`~repro.fuzz.targets.PredictionTarget` — either one classifier
+(:class:`~repro.fuzz.targets.SingleModelTarget`, the paper's
+self-differential setting: the reference is the model's own label, a
+discrepancy is any flip away from it, and the guided fitness is
+``1 − Cosim(AM[y], HDC(seed))``) or a K-member
+:class:`~repro.fuzz.targets.ModelEnsembleTarget` (the HDXplore
+setting: the reference is the members' vote on the original, a
+discrepancy is cross-model disagreement — or a majority flip, with
+:class:`~repro.fuzz.oracle.MajorityOracle` — and the guided fitness is
+the ensemble's
+:class:`~repro.fuzz.fitness.AgreementMarginFitness`).  Inputs the
+members already disagree on are *seed discrepancies*, reported as
+iteration-0 successes.  A bare model wraps into a
+``SingleModelTarget``, bit-identically to the pre-target engines.
 
 Everything modality-specific is delegated to the engine's
 :class:`~repro.fuzz.domains.FuzzDomain`: raw inputs are converted to
@@ -48,19 +63,27 @@ from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError, FuzzingError, NotTrainedError
+from repro.errors import ConfigurationError, FuzzingError
 from repro.fuzz.constraints import Constraint
 from repro.fuzz.domains.base import DELTA_ENCODER_API, FuzzDomain, resolve_domain
 from repro.fuzz.fitness import (
+    AgreementMarginFitness,
     DistanceGuidedFitness,
     FitnessFunction,
     RandomFitness,
     packed_bipolar_dimension,
 )
 from repro.fuzz.mutations import MutationStrategy, create_strategy
-from repro.fuzz.oracle import DifferentialOracle
+from repro.fuzz.oracle import DifferentialOracle, EnsembleOracle
 from repro.fuzz.results import AdversarialExample, CampaignResult, InputOutcome
 from repro.fuzz.seeds import SeedPool
+from repro.fuzz.targets import (
+    PredictionTarget,
+    TargetPredictions,
+    TargetReference,
+    resolve_target,
+    vote_counts,
+)
 from repro.hdc.model import HDCClassifier
 from repro.metrics.timing import Stopwatch
 from repro.utils.cache import LRUCache, resolve_with_cache
@@ -124,8 +147,12 @@ class HDTest:
     Parameters
     ----------
     model:
-        A trained :class:`~repro.hdc.model.HDCClassifier` (the grey-box
-        system under test).
+        The grey-box system under test: a trained
+        :class:`~repro.hdc.model.HDCClassifier` (or any model exposing
+        the Sec. IV grey-box API), or a
+        :class:`~repro.fuzz.targets.PredictionTarget` — in particular a
+        :class:`~repro.fuzz.targets.ModelEnsembleTarget` for HDXplore's
+        cross-model differential setting.
     strategy:
         A :class:`~repro.fuzz.mutations.MutationStrategy` instance or a
         registered name (``"gauss"``, ``"char_sub"``, ``"record_rand"``, …).
@@ -146,13 +173,17 @@ class HDTest:
         :class:`~repro.fuzz.constraints.NullConstraint` (Table II's
         footnote: distance metrics are not meaningful for shift).
     fitness:
-        Override the fitness function (defaults to the paper's
-        :class:`~repro.fuzz.fitness.DistanceGuidedFitness`, or
-        :class:`~repro.fuzz.fitness.RandomFitness` when
-        ``config.guided`` is False).
+        Override the fitness function.  Defaults to the paper's
+        :class:`~repro.fuzz.fitness.DistanceGuidedFitness` for single
+        models and the discrepancy-guided
+        :class:`~repro.fuzz.fitness.AgreementMarginFitness` for
+        ensembles, or :class:`~repro.fuzz.fitness.RandomFitness` when
+        ``config.guided`` is False.
     oracle:
         Discrepancy check; defaults to the untargeted
-        :class:`~repro.fuzz.oracle.DifferentialOracle`.
+        :class:`~repro.fuzz.oracle.DifferentialOracle` for single
+        models and :class:`~repro.fuzz.oracle.CrossModelOracle` for
+        ensembles.
     rng:
         Root seed/generator for mutation randomness.
 
@@ -184,17 +215,12 @@ class HDTest:
         # Duck-typed grey-box check (Sec. IV): the fuzzer needs
         # predictions for the oracle plus query/reference HVs for the
         # fitness — any model exposing those is fuzzable, including the
-        # dense-binary family in repro.hdc.binary_model.
-        required = ("encode", "encode_batch", "predict_hv", "reference_hv")
-        missing = [n for n in required if not callable(getattr(model, n, None))]
-        if missing or not hasattr(model, "is_trained"):
-            raise ConfigurationError(
-                f"model {type(model).__name__} lacks the grey-box fuzzing API "
-                f"(missing: {missing if missing else ['is_trained']})"
-            )
-        if not model.is_trained:
-            raise NotTrainedError("cannot fuzz an untrained model")
-        self._model = model
+        # dense-binary family in repro.hdc.binary_model.  A
+        # PredictionTarget (single model or K-member ensemble) passes
+        # through; a bare model wraps into a SingleModelTarget, whose
+        # engine behaviour is bit-identical to the pre-target engines.
+        self._target = resolve_target(model)
+        self._model = self._target.primary
         self._strategy = (
             create_strategy(strategy) if isinstance(strategy, str) else strategy
         )
@@ -205,7 +231,9 @@ class HDTest:
             )
         self._config = config if config is not None else HDTestConfig()
         self._rng = ensure_rng(rng)
-        self._domain = resolve_domain(domain, strategy=self._strategy, model=model)
+        self._domain = resolve_domain(
+            domain, strategy=self._strategy, model=self._model
+        )
         if self._domain.name != self._strategy.domain:
             raise ConfigurationError(
                 f"strategy {self._strategy.name!r} belongs to the "
@@ -215,17 +243,44 @@ class HDTest:
         if constraint is None:
             constraint = self._domain.default_constraint(self._strategy)
         self._constraint = constraint
-        bipolar_dim = packed_bipolar_dimension(model)
+        if self._target.n_members == 1:
+            self._fitness = self._resolve_single_fitness(fitness)
+            self._oracle = oracle if oracle is not None else DifferentialOracle()
+            if isinstance(self._oracle, EnsembleOracle):
+                raise ConfigurationError(
+                    f"{type(self._oracle).__name__} compares models against "
+                    "each other; fuzz a ModelEnsembleTarget with >= 2 members"
+                )
+        else:
+            self._fitness = self._resolve_ensemble_fitness(fitness)
+            self._oracle = oracle
+            if self._oracle is None:
+                from repro.fuzz.oracle import CrossModelOracle
+
+                self._oracle = CrossModelOracle()
+            elif (
+                type(self._oracle).discrepancies_ensemble
+                is DifferentialOracle.discrepancies_ensemble
+            ):
+                raise ConfigurationError(
+                    f"{type(self._oracle).__name__} has no cross-model "
+                    "discrepancy rule; use CrossModelOracle or MajorityOracle "
+                    "with model ensembles"
+                )
+
+    def _resolve_single_fitness(self, fitness):
+        """Default/validate the fitness for a single-model target."""
+        bipolar_dim = packed_bipolar_dimension(self._model)
         if fitness is None:
             # The default guided fitness must know when the model's
             # grey-box HVs are packed *bipolar* sign words (uint64, like
             # packed binary words) so it scores with the sign-bit cosine.
-            fitness = (
+            return (
                 DistanceGuidedFitness(bipolar_dimension=bipolar_dim)
                 if self._config.guided
                 else RandomFitness(rng=self._rng)
             )
-        elif bipolar_dim is not None and (
+        if bipolar_dim is not None and (
             getattr(fitness, "_bipolar_dimension", bipolar_dim) != bipolar_dim
         ):
             # A cosine fitness built without bipolar_dimension would
@@ -238,18 +293,42 @@ class HDTest:
                 f"{type(fitness).__name__} was constructed with "
                 f"bipolar_dimension="
                 f"{getattr(fitness, '_bipolar_dimension')!r} but "
-                f"{type(model).__name__} emits packed bipolar sign words of "
-                f"dimension {bipolar_dim}; pass bipolar_dimension={bipolar_dim} "
+                f"{type(self._model).__name__} emits packed bipolar sign "
+                f"words of dimension {bipolar_dim}; pass "
+                f"bipolar_dimension={bipolar_dim} "
                 "(see repro.fuzz.fitness.packed_bipolar_dimension)"
             )
-        self._fitness = fitness
-        self._oracle = oracle if oracle is not None else DifferentialOracle()
+        return fitness
+
+    def _resolve_ensemble_fitness(self, fitness):
+        """Default/validate the fitness for a K > 1 ensemble target."""
+        if fitness is None:
+            # HDXplore's guidance: minimise the ensemble's vote margin.
+            return (
+                AgreementMarginFitness()
+                if self._config.guided
+                else RandomFitness(rng=self._rng)
+            )
+        if (
+            type(fitness).scores_ensemble is FitnessFunction.scores_ensemble
+        ):
+            raise ConfigurationError(
+                f"{type(fitness).__name__} cannot score ensemble predictions; "
+                "use an ensemble-aware fitness (AgreementMarginFitness, "
+                "RandomFitness) or fuzz a single model"
+            )
+        return fitness
 
     # -- introspection ---------------------------------------------------
     @property
     def model(self) -> HDCClassifier:
-        """The system under test."""
+        """The (primary) model under test."""
         return self._model
+
+    @property
+    def target(self) -> PredictionTarget:
+        """The full prediction target (single model or K-member ensemble)."""
+        return self._target
 
     @property
     def strategy(self) -> MutationStrategy:
@@ -279,20 +358,28 @@ class HDTest:
 
         internal = self._domain.to_internal(original)
         pool: SeedPool = SeedPool(cfg.top_n)
-        delta_encoder = self._delta_encoder()
-        if delta_encoder is not None:
+        surface = self._target.delta_surface(self._delta_encoder())
+        if surface is not None:
             # One scratch encode serves both the reference query and the
             # generation-0 delta side data (Alg. 1 line 1, "y = HDC(t)").
             stacked = internal[None]
-            acc0, levels0 = self._seed_side_data(delta_encoder, stacked)
-            reference_query = delta_encoder.hvs_from_accumulators(acc0)
+            acc0, levels0 = surface.seed_side_data(stacked)
+            reference_query = surface.hvs_from_accumulators(acc0)
             pool.reset(internal, accumulator=acc0[0], levels=levels0[0])
         else:
-            reference_query = self._model.encode_batch(internal[None])
+            reference_query = self._target.encode_batch(internal[None])
             pool.reset(internal)
-        reference_label = int(self._model.predict_hv(reference_query)[0])
-        reference_hv = self._model.reference_hv(reference_label)
-        encode_cache: LRUCache[bytes, np.ndarray] = LRUCache(cfg.cache_max_entries)
+        ref = self._target.reference(self._target.predict_hvs(reference_query))
+        if self._oracle.reference_discrepancy(ref.votes):
+            # HDXplore-style seed discrepancy: the members disagree
+            # before any mutation — report it without spending budget.
+            return InputOutcome(
+                success=True,
+                iterations=0,
+                reference_label=ref.label,
+                example=self._seed_discrepancy_example(internal, ref),
+            )
+        encode_cache: LRUCache[bytes, Any] = LRUCache(cfg.cache_max_entries)
 
         for iteration in range(1, cfg.iter_times + 1):
             seeds = pool.seeds
@@ -303,26 +390,26 @@ class HDTest:
                 continue
 
             accs = levels = None
-            if delta_encoder is not None:
-                query_hvs, accs, levels = self._encode_children_delta(
-                    delta_encoder, children, parent_ids, seeds, encode_cache
+            if surface is not None:
+                bundle, accs, levels = self._encode_children_delta(
+                    surface, children, parent_ids, seeds, encode_cache
                 )
             else:
-                query_hvs = self._encode_children(children, encode_cache)
-            query_labels = self._model.predict_hv(query_hvs)
-            flips = self._oracle.discrepancies(reference_label, query_labels)
+                bundle = self._encode_children(children, encode_cache)
+            predictions = self._predict_children(bundle)
+            flips = self._discrepancies(ref, predictions)
             if flips.any():
                 example = self._pick_success(
-                    internal, children, query_labels, flips, reference_label, iteration
+                    internal, children, predictions.labels, flips, ref, iteration
                 )
                 return InputOutcome(
                     success=True,
                     iterations=iteration,
-                    reference_label=reference_label,
+                    reference_label=ref.label,
                     example=example,
                 )
 
-            scores = self._fitness.scores(reference_hv, query_hvs, rng=generator)
+            scores = self._score_children(ref, predictions, bundle, generator)
             pool.update(
                 children, scores, generation=iteration,
                 accumulators=accs, levels=levels,
@@ -331,8 +418,30 @@ class HDTest:
         return InputOutcome(
             success=False,
             iterations=cfg.iter_times,
-            reference_label=reference_label,
+            reference_label=ref.label,
         )
+
+    # -- target dispatch ---------------------------------------------------
+    def _predict_children(self, bundle) -> TargetPredictions:
+        """Lock-step member predictions over one child bundle."""
+        return self._target.predict_hvs(
+            bundle,
+            with_similarities=(
+                self._target.n_members > 1 and self._fitness.needs_similarities
+            ),
+        )
+
+    def _discrepancies(self, ref: TargetReference, predictions: TargetPredictions):
+        """The oracle's flip mask, in single or cross-model form."""
+        if self._target.n_members == 1:
+            return self._oracle.discrepancies(ref.label, predictions.labels[0])
+        return self._oracle.discrepancies_ensemble(ref.votes, predictions.labels)
+
+    def _score_children(self, ref, predictions, bundle, generator) -> np.ndarray:
+        """Fitness of the iteration's children (Alg. 1's survival scores)."""
+        if self._target.n_members == 1:
+            return self._fitness.scores(ref.fitness_hv, bundle[0], rng=generator)
+        return self._fitness.scores_ensemble(predictions, rng=generator)
 
     # -- batches -----------------------------------------------------------
     def fuzz(self, inputs: Sequence[Any], *, rng: RngLike = None) -> CampaignResult:
@@ -347,6 +456,7 @@ class HDTest:
             outcomes=outcomes,
             elapsed_seconds=sw.elapsed,
             guided=self._fitness.guided,
+            n_members=self._target.n_members,
         )
 
     # -- internals -----------------------------------------------------
@@ -355,18 +465,28 @@ class HDTest:
         """Dedupe-cache key of one child (raw bytes of its internal form)."""
         return child.tobytes()
 
-    def _encode_children(
-        self, children, cache: LRUCache[bytes, np.ndarray]
-    ) -> np.ndarray:
-        """Encode children, memoising per-distinct-input within one run."""
-        if not self._config.dedupe:
-            return self._model.encode_batch(children)
+    def _encode_children(self, children, cache: LRUCache[bytes, Any]):
+        """Scratch-encode children (per-member bundle), memoised per input.
 
-        def encode_missing(positions: list[int]) -> np.ndarray:
-            return self._model.encode_batch(np.stack([children[p] for p in positions]))
+        Cache entries hold one row per member so mixed-width ensembles
+        (members of different hypervector dimension or packing) dedupe
+        through the same cache.
+        """
+        if not self._config.dedupe:
+            return self._target.encode_batch(children)
+
+        def encode_missing(positions: list[int]) -> list[tuple]:
+            fresh = self._target.encode_batch(
+                np.stack([children[p] for p in positions])
+            )
+            return [tuple(block[j] for block in fresh) for j in range(len(positions))]
 
         keys = [self._child_key(child) for child in children]
-        return np.stack(resolve_with_cache(cache, keys, encode_missing))
+        rows = resolve_with_cache(cache, keys, encode_missing)
+        return tuple(
+            np.stack([row[m] for row in rows])
+            for m in range(self._target.n_members)
+        )
 
     def _expand(self, seeds, original: np.ndarray, generator: np.random.Generator):
         """Mutate, clip, and budget-filter every surviving seed's children.
@@ -398,70 +518,49 @@ class HDTest:
 
     # -- incremental (delta) encoding --------------------------------------
     def _delta_encoder(self):
-        """The model's encoder, when it supports incremental encoding.
+        """The target's delta-capable encoder handle, or ``None``.
 
-        Thin hook over :meth:`FuzzDomain.delta_encoder` — tests and
+        Thin hook over :meth:`PredictionTarget.delta_encoder` (for a
+        single model: the model's encoder when it exposes
+        :data:`~repro.fuzz.domains.DELTA_ENCODER_API`) — tests and
         benchmarks override it per instance to force the scratch path.
         """
-        return self._domain.delta_encoder(self._model)
+        return self._target.delta_encoder(self._domain)
 
-    @staticmethod
-    def _quantize(encoder, batch: np.ndarray) -> np.ndarray:
-        """Quantised levels of *batch*, flattened per item, compact dtype."""
-        dtype = (
-            np.int16
-            if getattr(encoder, "levels", 256) <= np.iinfo(np.int16).max
-            else np.int64
-        )
-        return encoder.quantize(batch).reshape(batch.shape[0], -1).astype(dtype)
-
-    def _seed_side_data(self, encoder, stacked: np.ndarray):
-        """Accumulators + levels of generation-0 inputs, compact dtypes.
-
-        Accumulators are bounded by the per-input component count
-        (pixels, n-grams, features), so int16 storage is exact at paper
-        scale and widens automatically for larger encoder shapes.
-        """
-        acc_dtype = (
-            np.int16
-            if stacked[0].size <= np.iinfo(np.int16).max
-            else np.int32
-        )
-        accs = encoder.accumulate_batch(stacked).astype(acc_dtype)
-        return accs, self._quantize(encoder, stacked)
-
-    def _encode_children_delta(self, encoder, children, parent_ids, seeds, cache):
+    def _encode_children_delta(self, surface, children, parent_ids, seeds, cache):
         """Incremental path: children encoded from parent accumulators.
 
         Cache entries hold compact integer accumulators (they are
         exact — the hypervector is a deterministic function of them), so
         a hit skips even the delta work.  Bit-identical to a scratch
-        ``encode_batch`` of the children.
+        ``encode_batch`` of the children.  For ensembles the
+        accumulator rows carry a leading member axis (every member
+        delta-encodes from its own parent accumulator).
         """
-        levels = self._quantize(encoder, children)
+        levels = surface.child_levels(children)
         parent_accs_all = np.stack([seed.accumulator for seed in seeds])
         parent_levels_all = np.stack([seed.levels for seed in seeds])
 
         def delta_missing(positions: list) -> np.ndarray:
             rows = parent_ids[positions]
-            return encoder.accumulate_delta(
+            return surface.accumulate_delta(
                 levels[positions], parent_levels_all[rows], parent_accs_all[rows]
-            ).astype(parent_accs_all.dtype)
+            )
 
         if self._config.dedupe:
             keys = [self._child_key(children[j]) for j in range(len(children))]
             accs = np.stack(resolve_with_cache(cache, keys, delta_missing))
         else:
             accs = delta_missing(list(range(len(children))))
-        return encoder.hvs_from_accumulators(accs), accs, levels
+        return surface.hvs_from_accumulators(accs), accs, levels
 
     def _pick_success(
         self,
         original: np.ndarray,
         children,
-        query_labels: np.ndarray,
+        member_labels: np.ndarray,
         flips: np.ndarray,
-        reference_label: int,
+        ref: TargetReference,
         iteration: int,
     ) -> AdversarialExample:
         """Among flipped children, keep the least-perturbed one.
@@ -469,7 +568,8 @@ class HDTest:
         *original* and *children* arrive in the domain's internal
         representation; the reported example converts both back to the
         user-facing form (array copy for images/records, string for
-        text).
+        text).  *member_labels* is the ``(K, n)`` prediction block —
+        one row for a single model.
         """
         indices = np.nonzero(flips)[0]
         best_idx = int(indices[0])
@@ -483,12 +583,52 @@ class HDTest:
                 best_key = key
                 best_idx = int(i)
         chosen = children[best_idx]
+        adversarial_label, disagreed = self._example_labels(
+            ref, member_labels[:, best_idx]
+        )
         return AdversarialExample(
             original=self._domain.to_external(original),
             adversarial=self._domain.to_external(chosen),
-            reference_label=reference_label,
-            adversarial_label=int(query_labels[best_idx]),
+            reference_label=ref.label,
+            adversarial_label=adversarial_label,
             iterations=iteration,
             metrics=self._constraint.measure(original, chosen),
             strategy=self._strategy.name,
+            disagreed_members=disagreed,
+        )
+
+    def _example_labels(
+        self, ref: TargetReference, labels_column: np.ndarray
+    ) -> tuple[int, Optional[tuple[int, ...]]]:
+        """Reported labels of one flipped child.
+
+        Single model: the flipped prediction, no member bookkeeping.
+        Ensemble: the adversarial label is the most common member label
+        other than the reference (ties → lowest), and
+        ``disagreed_members`` lists the members that left the reference
+        label — the debugging loop's retraining signal.
+        """
+        if self._target.n_members == 1:
+            return int(labels_column[0]), None
+        counts = vote_counts(labels_column[:, None], self._target.n_classes)[0]
+        counts[ref.label] = -1  # never report the reference as the flip
+        adversarial_label = int(np.argmax(counts))
+        disagreed = tuple(int(m) for m in np.nonzero(labels_column != ref.label)[0])
+        return adversarial_label, disagreed
+
+    def _seed_discrepancy_example(
+        self, internal: np.ndarray, ref: TargetReference
+    ) -> AdversarialExample:
+        """An iteration-0 example for inputs the members already split on."""
+        external = self._domain.to_external(internal)
+        adversarial_label, disagreed = self._example_labels(ref, ref.votes)
+        return AdversarialExample(
+            original=external,
+            adversarial=self._domain.to_external(internal),
+            reference_label=ref.label,
+            adversarial_label=adversarial_label,
+            iterations=0,
+            metrics=self._constraint.measure(internal, internal),
+            strategy=self._strategy.name,
+            disagreed_members=disagreed,
         )

@@ -46,6 +46,13 @@ class AdversarialExample:
     true_label:
         Optional ground-truth label, when the caller knows it (the
         defense retrains with correct labels, Sec. V-D).
+    disagreed_members:
+        For ensemble campaigns: indices of the members whose prediction
+        left the reference (majority) label on this input — the
+        cross-model debugging signal.  ``None`` for single-model
+        campaigns.  ``iterations == 0`` marks a *seed discrepancy*: the
+        members already disagreed before any mutation (original and
+        adversarial payloads are then identical).
     """
 
     original: Any
@@ -56,6 +63,7 @@ class AdversarialExample:
     metrics: dict[str, float]
     strategy: str
     true_label: Optional[int] = None
+    disagreed_members: Optional[tuple[int, ...]] = None
 
     @property
     def l1(self) -> float:
@@ -90,7 +98,9 @@ class CampaignResult:
 
     ``executor`` records which campaign executor produced the result
     (``"serial"``, ``"batched"``, ``"process"``); ``None`` means a direct
-    :meth:`~repro.fuzz.fuzzer.HDTest.fuzz` call.
+    :meth:`~repro.fuzz.fuzzer.HDTest.fuzz` call.  ``n_members`` is the
+    prediction target's size: 1 for the paper's self-differential
+    setting, K for cross-model ensemble campaigns.
     """
 
     strategy: str
@@ -98,6 +108,7 @@ class CampaignResult:
     elapsed_seconds: float
     guided: bool = True
     executor: Optional[str] = None
+    n_members: int = 1
 
     # -- counts ------------------------------------------------------------
     @property
@@ -179,12 +190,18 @@ class CampaignResult:
         }
 
     # -- reporting ---------------------------------------------------------
+    @property
+    def seed_discrepancies(self) -> list[AdversarialExample]:
+        """Ensemble examples found at iteration 0 (pre-mutation splits)."""
+        return [e for e in self.examples if e.iterations == 0]
+
     def summary(self) -> dict[str, float]:
         """The Table II row for this strategy, as a dict."""
         return {
             "strategy": self.strategy,
             "guided": self.guided,
             "executor": self.executor,
+            "n_members": self.n_members,
             "n_inputs": self.n_inputs,
             "n_success": self.n_success,
             "success_rate": self.success_rate,

@@ -38,7 +38,8 @@ class Seed(Generic[T]):
     accumulator:
         Optional integer encoder accumulator of this seed, carried so
         the sequential engine can delta-encode the seed's children from
-        it (mirrors :class:`SeedPoolBatch`'s side arrays).
+        it (mirrors :class:`SeedPoolBatch`'s side arrays).  Ensemble
+        targets store one accumulator row per member, ``(K, D)``.
     levels:
         Optional quantised levels of this seed, idem.
     """
@@ -161,9 +162,13 @@ class SeedPoolBatch:
     accumulators:
         Optional ``(n_inputs, D)`` integer accumulators of the
         originals, kept per surviving seed for delta encoding.
+        Ensemble targets stack one accumulator per member —
+        ``(n_inputs, K, D)`` — so each member delta-encodes a seed's
+        children from its *own* parent accumulator; any trailing shape
+        after the input axis is carried through selection untouched.
     levels:
-        Optional ``(n_inputs, P)`` quantised levels of the originals,
-        idem.
+        Optional ``(n_inputs, P)`` (or per-member ``(n_inputs, K, P)``)
+        quantised levels of the originals, idem.
     """
 
     def __init__(
@@ -193,9 +198,12 @@ class SeedPoolBatch:
         if values is None:
             return None
         values = np.asarray(values)
-        if values.ndim != 2 or values.shape[0] != n:
-            raise FuzzingError(f"{name} must be (n_inputs, width), got {values.shape}")
-        block = np.zeros((n, self._top_n, values.shape[1]), dtype=values.dtype)
+        if values.ndim < 2 or values.shape[0] != n:
+            raise FuzzingError(
+                f"{name} must be (n_inputs, …) with one row per input, "
+                f"got {values.shape}"
+            )
+        block = np.zeros((n, self._top_n) + values.shape[1:], dtype=values.dtype)
         block[:, 0] = values
         return block
 

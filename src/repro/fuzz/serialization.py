@@ -21,7 +21,12 @@ from repro.fuzz.results import CampaignResult
 
 __all__ = ["campaign_to_dict", "save_campaigns_json", "load_campaigns_json"]
 
-_SCHEMA_VERSION = 1
+#: Version 2 added ensemble campaigns: a top-level ``n_members`` count
+#: and per-example ``disagreed_members`` (which ensemble members left
+#: the reference label; ``null`` for single-model campaigns).  Version-1
+#: records load unchanged — the new keys are simply absent.
+_SCHEMA_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def campaign_to_dict(result: CampaignResult) -> dict:
@@ -42,12 +47,18 @@ def campaign_to_dict(result: CampaignResult) -> dict:
                 "metrics": {k: float(v) for k, v in example.metrics.items()},
                 "strategy": example.strategy,
                 "true_label": example.true_label,
+                "disagreed_members": (
+                    None
+                    if example.disagreed_members is None
+                    else [int(m) for m in example.disagreed_members]
+                ),
             }
         outcomes.append(record)
     return {
         "schema_version": _SCHEMA_VERSION,
         "strategy": result.strategy,
         "guided": result.guided,
+        "n_members": result.n_members,
         "elapsed_seconds": result.elapsed_seconds,
         "summary": {
             k: (None if isinstance(v, float) and np.isnan(v) else v)
@@ -81,9 +92,9 @@ def load_campaigns_json(path: Union[str, Path]) -> dict[str, dict]:
     payload = json.loads(path.read_text())
     for name, record in payload.items():
         version = record.get("schema_version")
-        if version != _SCHEMA_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ConfigurationError(
                 f"campaign {name!r} has schema version {version}, "
-                f"expected {_SCHEMA_VERSION}"
+                f"expected one of {_READABLE_VERSIONS}"
             )
     return payload

@@ -1,0 +1,629 @@
+"""Prediction targets: the model-interaction surface of the fuzzing engines.
+
+HDTest's oracle (Sec. IV) is *self*-differential: one model, compared
+against its own prediction on the unmutated input.  HDXplore (Thapa et
+al., 2021) showed the stronger form for HDC — run K independently-seeded
+models on the same input and hunt for *cross-model* discrepancies, then
+feed them back to retrain and harden the members.  Both engines now
+talk to the system under test exclusively through a
+:class:`PredictionTarget`:
+
+* :class:`SingleModelTarget` — one classifier, today's behaviour.  Every
+  call is a pass-through to the wrapped model, so K = 1 campaigns are
+  **bit-identical** to the pre-abstraction engines (property-tested in
+  ``tests/fuzz/test_targets.py``).
+* :class:`ModelEnsembleTarget` — K ≥ 2 members with independently-spawned
+  item memories (mixed families welcome: dense bipolar next to packed
+  binary).  Batched ``predict`` / ``similarities`` run every member
+  lock-step over the same child block — one fused call per member per
+  iteration, with per-member delta encoding riding the seed pools — so
+  K-model fuzzing costs roughly K single-model iterations rather than a
+  serial re-fuzz per member (``benchmarks/bench_ensemble_fuzzing.py``).
+
+The ensemble's oracles (:class:`~repro.fuzz.oracle.CrossModelOracle`,
+:class:`~repro.fuzz.oracle.MajorityOracle`) and guidance signal
+(:class:`~repro.fuzz.fitness.AgreementMarginFitness`) consume the
+:class:`TargetPredictions` bundles produced here; the discrepancy
+*debugging* loop that retrains members on what the fuzzer finds lives
+in :func:`repro.defense.retrain.debug_ensemble`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotTrainedError
+from repro.utils.rng import RngLike, ensure_rng, spawn
+
+__all__ = [
+    "TargetPredictions",
+    "TargetReference",
+    "PredictionTarget",
+    "SingleModelTarget",
+    "ModelEnsembleTarget",
+    "resolve_target",
+    "vote_counts",
+    "majority_vote",
+]
+
+#: Methods every fuzzable member must expose (the Sec. IV grey-box API).
+GREYBOX_API = ("encode", "encode_batch", "predict_hv", "reference_hv")
+
+
+# -- ensemble voting helpers ------------------------------------------------
+def vote_counts(member_labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Per-class vote counts of a ``(K, n)`` member-label block → ``(n, C)``."""
+    labels = np.atleast_2d(np.asarray(member_labels, dtype=np.int64))
+    counts = np.zeros((labels.shape[1], int(n_classes)), dtype=np.int64)
+    rows = np.arange(labels.shape[1])
+    for member in labels:
+        counts[rows, member] += 1
+    return counts
+
+def majority_vote(member_labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Majority label per column of a ``(K, n)`` block (ties → lowest label)."""
+    return vote_counts(member_labels, n_classes).argmax(axis=1).astype(np.int64)
+
+
+class TargetPredictions:
+    """Lock-step member predictions over one child block.
+
+    Attributes
+    ----------
+    labels:
+        ``(K, n)`` int64 — member *m*'s predicted class for child *j*.
+    similarities:
+        ``(K, n, C)`` float64 per-class similarities, or ``None`` when
+        the consumer (oracle + fitness) only needs labels.
+    """
+
+    __slots__ = ("labels", "similarities")
+
+    def __init__(self, labels: np.ndarray, similarities: Optional[np.ndarray] = None):
+        self.labels = labels
+        self.similarities = similarities
+
+    @property
+    def n_members(self) -> int:
+        return int(self.labels.shape[0])
+
+    def __len__(self) -> int:
+        return int(self.labels.shape[1])
+
+    def slice(self, lo: int, hi: int) -> "TargetPredictions":
+        """Column slice ``[lo, hi)`` — one plan's children out of a fused block."""
+        return TargetPredictions(
+            self.labels[:, lo:hi],
+            None if self.similarities is None else self.similarities[:, lo:hi],
+        )
+
+
+class TargetReference:
+    """Per-input reference data: what "unchanged behaviour" means.
+
+    Attributes
+    ----------
+    label:
+        The scalar reference label reported in outcomes — the model's
+        prediction for a single model, the (deterministic) majority
+        vote for an ensemble.
+    votes:
+        ``(K,)`` member labels on the original input.
+    fitness_hv:
+        ``AM[label]`` of a single model (what the cosine fitnesses
+        score against); ``None`` for ensembles, whose fitness consumes
+        :class:`TargetPredictions` instead.
+    """
+
+    __slots__ = ("label", "votes", "fitness_hv")
+
+    def __init__(self, label: int, votes: np.ndarray, fitness_hv: Optional[np.ndarray]):
+        self.label = label
+        self.votes = votes
+        self.fitness_hv = fitness_hv
+
+
+# -- delta (incremental encoding) surfaces ---------------------------------
+def _acc_dtype(component_count: int) -> type:
+    """Accumulator storage dtype: exact at paper scale, widens as needed."""
+    return np.int16 if component_count <= np.iinfo(np.int16).max else np.int32
+
+
+def _levels_dtype(encoder: Any) -> type:
+    return (
+        np.int16
+        if getattr(encoder, "levels", 256) <= np.iinfo(np.int16).max
+        else np.int64
+    )
+
+
+class _SingleDeltaSurface:
+    """Incremental-encoding algebra of one model's encoder.
+
+    Exact port of the pre-abstraction engine helpers (same operations,
+    same compact dtypes), so the single-model delta path stays
+    bit-identical to scratch re-encoding *and* to the historical
+    implementation.
+    """
+
+    __slots__ = ("_encoder",)
+
+    def __init__(self, encoder: Any) -> None:
+        self._encoder = encoder
+
+    def child_levels(self, batch: np.ndarray) -> np.ndarray:
+        """Quantised levels of *batch*, flattened per item, compact dtype."""
+        levels = self._encoder.quantize(batch).reshape(batch.shape[0], -1)
+        return levels.astype(_levels_dtype(self._encoder))
+
+    def seed_side_data(self, stacked: np.ndarray):
+        """Accumulators + levels of generation-0 inputs, compact dtypes."""
+        accs = self._encoder.accumulate_batch(stacked).astype(
+            _acc_dtype(stacked[0].size)
+        )
+        return accs, self.child_levels(stacked)
+
+    def accumulate_delta(self, child_levels, parent_levels, parent_accs):
+        return self._encoder.accumulate_delta(
+            child_levels, parent_levels, parent_accs
+        ).astype(parent_accs.dtype)
+
+    def hvs_from_accumulators(self, accs: np.ndarray) -> tuple[np.ndarray, ...]:
+        return (self._encoder.hvs_from_accumulators(accs),)
+
+
+class _EnsembleDeltaSurface:
+    """Per-member delta algebra, stacked along a member axis.
+
+    Side arrays carry one extra leading "member" axis per seed —
+    accumulators ``(K, D)`` and levels ``(K, P)`` — so each surviving
+    seed can parent member *m*'s children from member *m*'s own
+    accumulator.  Quantisation can differ across members (mixed
+    families), hence per-member level rows too.
+    """
+
+    __slots__ = ("_members",)
+
+    def __init__(self, encoders: Sequence[Any]) -> None:
+        self._members = [_SingleDeltaSurface(e) for e in encoders]
+
+    def child_levels(self, batch: np.ndarray) -> np.ndarray:
+        return np.stack([m.child_levels(batch) for m in self._members], axis=1)
+
+    def seed_side_data(self, stacked: np.ndarray):
+        pairs = [m.seed_side_data(stacked) for m in self._members]
+        accs = np.stack([acc for acc, _ in pairs], axis=1)
+        levels = np.stack([lvl for _, lvl in pairs], axis=1)
+        return accs, levels
+
+    def accumulate_delta(self, child_levels, parent_levels, parent_accs):
+        return np.stack(
+            [
+                m.accumulate_delta(
+                    child_levels[:, i], parent_levels[:, i], parent_accs[:, i]
+                )
+                for i, m in enumerate(self._members)
+            ],
+            axis=1,
+        )
+
+    def hvs_from_accumulators(self, accs: np.ndarray) -> tuple[np.ndarray, ...]:
+        return tuple(
+            m.hvs_from_accumulators(accs[:, i])[0]
+            for i, m in enumerate(self._members)
+        )
+
+
+# -- targets ----------------------------------------------------------------
+class PredictionTarget(ABC):
+    """What the fuzzing engines interrogate: one model, or K in lock-step.
+
+    Hypervectors cross the interface as *bundles* — one array per
+    member, because members encode through independent (and possibly
+    differently-packed) codebooks.  Everything else is stacked along a
+    leading member axis.
+    """
+
+    # -- composition -------------------------------------------------------
+    @property
+    @abstractmethod
+    def members(self) -> tuple[Any, ...]:
+        """The underlying classifiers, primary first."""
+
+    @property
+    def n_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def primary(self) -> Any:
+        """The member that anchors domain resolution and reporting."""
+        return self.members[0]
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.primary.n_classes)
+
+    # -- validation --------------------------------------------------------
+    @staticmethod
+    def check_member(model: Any) -> None:
+        """Reject models lacking the grey-box fuzzing API (Sec. IV)."""
+        missing = [n for n in GREYBOX_API if not callable(getattr(model, n, None))]
+        if missing or not hasattr(model, "is_trained"):
+            raise ConfigurationError(
+                f"model {type(model).__name__} lacks the grey-box fuzzing API "
+                f"(missing: {missing if missing else ['is_trained']})"
+            )
+        if not model.is_trained:
+            raise NotTrainedError("cannot fuzz an untrained model")
+
+    def training_counts(self) -> bytes:
+        """Per-class training counts of every member, as bytes.
+
+        Campaign schedulers (the process executor's broadcast-reuse
+        check) use this to detect in-place retraining of any member.
+        """
+        chunks = []
+        for member in self.members:
+            am = getattr(member, "associative_memory", None)
+            chunks.append(am.counts.tobytes() if am is not None else b"")
+        return b"|".join(chunks)
+
+    # -- encode / predict surface ------------------------------------------
+    @abstractmethod
+    def encode_batch(self, children: np.ndarray) -> tuple[np.ndarray, ...]:
+        """Scratch-encode *children* once per member → per-member bundle."""
+
+    @abstractmethod
+    def predict_hvs(
+        self, bundle: tuple[np.ndarray, ...], *, with_similarities: bool = False
+    ) -> TargetPredictions:
+        """Predict every member's labels over its bundle entry, lock-step."""
+
+    @abstractmethod
+    def reference(self, predictions: TargetPredictions, index: int = 0) -> TargetReference:
+        """Reference data for input *index* of a prediction block."""
+
+    # -- incremental encoding ----------------------------------------------
+    @abstractmethod
+    def delta_encoder(self, domain: Any) -> Any:
+        """Opaque delta-capable encoder handle, or ``None`` for scratch.
+
+        The engines route this through an overridable hook
+        (``HDTest._delta_encoder``) so tests and benchmarks can force
+        the scratch path; pass the result to :meth:`delta_surface`.
+        """
+
+    @abstractmethod
+    def delta_surface(self, encoder_handle: Any):
+        """Wrap :meth:`delta_encoder`'s result into a delta surface."""
+
+    # -- convenience (raw inputs) ------------------------------------------
+    def predict(self, inputs: Sequence[Any]) -> np.ndarray:
+        """Member predictions on raw inputs → ``(K, n)`` int64."""
+        return np.stack([m.predict(inputs) for m in self.members])
+
+    def similarities(self, inputs: Sequence[Any]) -> np.ndarray:
+        """Member per-class similarities on raw inputs → ``(K, n, C)``."""
+        return np.stack([m.similarities(inputs) for m in self.members])
+
+    # -- re-targeting -------------------------------------------------------
+    def with_backend(self, backend: Optional[str]) -> "PredictionTarget":
+        """Re-target every member for a compute *backend* (exact)."""
+        if backend is None or backend == "dense":
+            return self
+        from repro.hdc.backends.dispatch import resolve_model_backend
+
+        return type(self)(*[resolve_model_backend(m, backend) for m in self.members])
+
+    def __repr__(self) -> str:
+        names = ", ".join(type(m).__name__ for m in self.members)
+        return f"{type(self).__name__}({names})"
+
+
+class SingleModelTarget(PredictionTarget):
+    """The paper's setting: one classifier under self-differential test.
+
+    Every method is a pass-through to the wrapped model, so engines
+    built on a :class:`SingleModelTarget` behave bit-identically to the
+    pre-abstraction engines (same calls, same arrays, same dtypes).
+    """
+
+    def __init__(self, model: Any) -> None:
+        self.check_member(model)
+        self._model = model
+
+    @property
+    def members(self) -> tuple[Any, ...]:
+        return (self._model,)
+
+    def encode_batch(self, children: np.ndarray) -> tuple[np.ndarray, ...]:
+        return (self._model.encode_batch(children),)
+
+    def predict_hvs(self, bundle, *, with_similarities: bool = False):
+        if with_similarities:
+            sims = self._model.associative_memory.similarities(bundle[0])
+            return TargetPredictions(
+                sims.argmax(axis=1).astype(np.int64)[None], sims[None]
+            )
+        return TargetPredictions(np.asarray(self._model.predict_hv(bundle[0]))[None])
+
+    def reference(self, predictions: TargetPredictions, index: int = 0):
+        label = int(predictions.labels[0, index])
+        return TargetReference(
+            label, predictions.labels[:, index], self._model.reference_hv(label)
+        )
+
+    def delta_encoder(self, domain: Any) -> Any:
+        """The model's encoder when it supports incremental encoding."""
+        return domain.delta_encoder(self._model)
+
+    def delta_surface(self, encoder_handle: Any):
+        return None if encoder_handle is None else _SingleDeltaSurface(encoder_handle)
+
+
+class ModelEnsembleTarget(PredictionTarget):
+    """K ≥ 2 independently-seeded classifiers fuzzed in lock-step.
+
+    Members must agree on ``n_classes`` and accept the same raw inputs;
+    everything else — family, packing, hypervector dimension — may
+    differ per member (mixed-family ensembles are first-class).  The
+    fuzzing engines pair an ensemble with the cross-model oracles and
+    the agreement-margin fitness by default.
+
+    Parameters
+    ----------
+    *members:
+        Trained classifiers (or one iterable of them), primary first.
+
+    Examples
+    --------
+    >>> from repro.datasets import load_digits
+    >>> from repro.fuzz.targets import ModelEnsembleTarget
+    >>> from repro.hdc import HDCClassifier, PixelEncoder
+    >>> train, _ = load_digits(n_train=200, n_test=10, seed=3)
+    >>> members = [
+    ...     HDCClassifier(PixelEncoder(dimension=1024, rng=s), 10).fit(
+    ...         train.images, train.labels)
+    ...     for s in (0, 1, 2)
+    ... ]
+    >>> target = ModelEnsembleTarget(*members)
+    >>> target.n_members
+    3
+    """
+
+    def __init__(self, *members: Any) -> None:
+        if len(members) == 1 and isinstance(members[0], (list, tuple)):
+            members = tuple(members[0])
+        if len(members) < 2:
+            raise ConfigurationError(
+                f"a model ensemble needs at least 2 members, got {len(members)} "
+                "(fuzz a single model directly, or via SingleModelTarget)"
+            )
+        for member in members:
+            self.check_member(member)
+            if not hasattr(member, "associative_memory"):
+                raise ConfigurationError(
+                    f"ensemble member {type(member).__name__} lacks an "
+                    "associative_memory; cross-model similarities need one"
+                )
+        classes = {int(m.n_classes) for m in members}
+        if len(classes) > 1:
+            raise ConfigurationError(
+                f"ensemble members disagree on n_classes: {sorted(classes)}"
+            )
+        self._members = tuple(members)
+
+    # -- construction helpers ----------------------------------------------
+    @classmethod
+    def trained_like(
+        cls,
+        model: Any,
+        k: int,
+        inputs: Sequence[Any],
+        labels: Sequence[int],
+        *,
+        rng: RngLike = None,
+        include_base: bool = True,
+        backends: Optional[Sequence[Optional[str]]] = None,
+    ) -> "ModelEnsembleTarget":
+        """Spawn a K-member ensemble architecturally matching *model*.
+
+        Fresh members share the base model's architecture (encoder
+        family, shape, levels, dimension, class count) but draw their
+        item memories from independently-spawned generators, then train
+        on ``(inputs, labels)`` — HDXplore's "K independently-seeded
+        models".  With *include_base* the given model is member 0 and
+        ``k − 1`` fresh members join it; otherwise all *k* are fresh.
+        *backends* optionally re-targets each member
+        (``None``/``"dense"``/``"packed"``/``"packed-bipolar"``/
+        ``"torch"``) for mixed-family ensembles.
+        """
+        from repro.hdc.backends.dispatch import resolve_model_backend
+
+        if k < 2:
+            raise ConfigurationError(f"ensemble size must be >= 2, got {k}")
+        n_fresh = k - 1 if include_base else k
+        members: list[Any] = [model] if include_base else []
+        for child_rng in spawn(ensure_rng(rng), n_fresh):
+            member = clone_architecture(model, rng=child_rng)
+            member.fit(inputs, labels)
+            members.append(member)
+        if backends is not None:
+            if len(backends) != k:
+                raise ConfigurationError(
+                    f"{len(backends)} backends for {k} members"
+                )
+            members = [
+                resolve_model_backend(m, b) for m, b in zip(members, backends)
+            ]
+        return cls(*members)
+
+    @property
+    def members(self) -> tuple[Any, ...]:
+        return self._members
+
+    def copy(self) -> "ModelEnsembleTarget":
+        """Independent clone of every member (for retraining loops)."""
+        return ModelEnsembleTarget(*[m.copy() for m in self._members])
+
+    # -- lock-step encode / predict ----------------------------------------
+    def encode_batch(self, children: np.ndarray) -> tuple[np.ndarray, ...]:
+        return tuple(m.encode_batch(children) for m in self._members)
+
+    def predict_hvs(self, bundle, *, with_similarities: bool = False):
+        if len(bundle) != self.n_members:
+            raise ConfigurationError(
+                f"{len(bundle)} hypervector blocks for {self.n_members} members"
+            )
+        if with_similarities:
+            sims = np.stack(
+                [
+                    m.associative_memory.similarities(hvs)
+                    for m, hvs in zip(self._members, bundle)
+                ]
+            )
+            # predict == argmax over similarities in every family, so
+            # labels come free once the similarity block exists.
+            return TargetPredictions(sims.argmax(axis=2).astype(np.int64), sims)
+        labels = np.stack(
+            [m.predict_hv(hvs) for m, hvs in zip(self._members, bundle)]
+        )
+        return TargetPredictions(labels.astype(np.int64))
+
+    def reference(self, predictions: TargetPredictions, index: int = 0):
+        votes = predictions.labels[:, index]
+        label = int(majority_vote(votes[:, None], self.n_classes)[0])
+        return TargetReference(label, votes, None)
+
+    def majority_predict(self, inputs: Sequence[Any]) -> np.ndarray:
+        """The ensemble's majority-vote prediction on raw inputs → ``(n,)``."""
+        return majority_vote(self.predict(inputs), self.n_classes)
+
+    def agreement(self, inputs: Sequence[Any]) -> float:
+        """Fraction of raw *inputs* on which every member agrees."""
+        labels = self.predict(inputs)
+        return float(np.mean((labels == labels[0]).all(axis=0)))
+
+    # -- incremental encoding ----------------------------------------------
+    def delta_encoder(self, domain: Any) -> Any:
+        """Tuple of member encoders when *every* member supports delta.
+
+        Mixed-width ensembles (members with different hypervector
+        dimensions) fall back to scratch encoding: seed-pool side
+        arrays stack per-member accumulators, which requires one shared
+        accumulator width.
+        """
+        encoders = [domain.delta_encoder(m) for m in self._members]
+        if any(e is None for e in encoders):
+            return None
+        widths = {int(m.dimension) for m in self._members}
+        if len(widths) > 1:
+            return None
+        return tuple(encoders)
+
+    def delta_surface(self, encoder_handle: Any):
+        return (
+            None
+            if encoder_handle is None
+            else _EnsembleDeltaSurface(encoder_handle)
+        )
+
+
+def resolve_target(model: Any) -> PredictionTarget:
+    """Normalise a ``model`` argument into a :class:`PredictionTarget`."""
+    if isinstance(model, PredictionTarget):
+        return model
+    return SingleModelTarget(model)
+
+
+def clone_architecture(model: Any, *, rng: RngLike = None) -> Any:
+    """An untrained classifier matching *model*'s architecture.
+
+    Codebooks (item memories) are freshly drawn from *rng* — that
+    independence is what gives ensemble members decorrelated decision
+    boundaries.  Supports the four pixel-model families plus the n-gram
+    and record encoders; anything else raises
+    :class:`~repro.errors.ConfigurationError` (build members by hand
+    and pass them to :class:`ModelEnsembleTarget` directly).
+    """
+    from repro.hdc.backends.binary import (
+        PackedBinaryHDCClassifier,
+        PackedPixelEncoder,
+    )
+    from repro.hdc.backends.bipolar import (
+        PackedBipolarEncoder,
+        PackedBipolarHDCClassifier,
+    )
+    from repro.hdc.binary_model import BinaryHDCClassifier, BinaryPixelEncoder
+    from repro.hdc.encoders.image import PixelEncoder
+    from repro.hdc.encoders.ngram import NgramEncoder
+    from repro.hdc.encoders.record import RecordEncoder
+    from repro.hdc.item_memory import LevelMemory
+    from repro.hdc.model import HDCClassifier
+
+    encoder = getattr(model, "encoder", None)
+    n_classes = getattr(model, "n_classes", None)
+    if encoder is None or n_classes is None:
+        raise ConfigurationError(
+            f"cannot clone the architecture of {type(model).__name__}: no "
+            "encoder/n_classes surface; construct ensemble members "
+            "explicitly and pass them to ModelEnsembleTarget"
+        )
+    n_classes = int(n_classes)
+    generator = ensure_rng(rng)
+    # Packed subclasses first: isinstance would also match their dense
+    # parents, and the packed families must clone packed.
+    if isinstance(encoder, PackedBipolarEncoder):
+        fresh = PackedBipolarEncoder(
+            encoder.shape, levels=encoder.levels, dimension=encoder.dimension,
+            rng=generator, backend=encoder.backend,
+        )
+        return PackedBipolarHDCClassifier(fresh, n_classes, backend=model.backend)
+    if isinstance(encoder, PackedPixelEncoder):
+        fresh = PackedPixelEncoder(
+            encoder.shape, levels=encoder.levels, dimension=encoder.dimension,
+            rng=generator, backend=encoder.backend,
+        )
+        return PackedBinaryHDCClassifier(fresh, n_classes, backend=model.backend)
+    if isinstance(encoder, BinaryPixelEncoder):
+        fresh = BinaryPixelEncoder(
+            encoder.shape, levels=encoder.levels, dimension=encoder.dimension,
+            rng=generator,
+        )
+        return BinaryHDCClassifier(fresh, n_classes)
+    if isinstance(encoder, PixelEncoder):
+        fresh = PixelEncoder(
+            encoder.shape, levels=encoder.levels, dimension=encoder.dimension,
+            rng=generator,
+        )
+        return HDCClassifier(
+            fresh, n_classes, bipolar_am=model.associative_memory.bipolar
+        )
+    if isinstance(encoder, NgramEncoder):
+        fresh = NgramEncoder(
+            encoder.n, alphabet=encoder.alphabet, dimension=encoder.dimension,
+            rng=generator, unknown_policy=encoder.unknown_policy,
+        )
+        return HDCClassifier(
+            fresh, n_classes, bipolar_am=model.associative_memory.bipolar
+        )
+    if isinstance(encoder, RecordEncoder):
+        level_encoding = (
+            "linear" if isinstance(encoder.value_memory, LevelMemory) else "random"
+        )
+        fresh = RecordEncoder(
+            encoder.n_features, levels=encoder.levels,
+            value_range=encoder.value_range, level_encoding=level_encoding,
+            dimension=encoder.dimension, rng=generator,
+        )
+        return HDCClassifier(
+            fresh, n_classes, bipolar_am=model.associative_memory.bipolar
+        )
+    raise ConfigurationError(
+        f"cannot clone the architecture of {type(model).__name__} "
+        f"(encoder {type(encoder).__name__}); construct ensemble members "
+        "explicitly and pass them to ModelEnsembleTarget"
+    )

@@ -38,6 +38,7 @@ import numpy as np
 from repro.errors import ConfigurationError, DimensionMismatchError, NotTrainedError
 from repro.hdc.backends.dispatch import KernelBackend, get_backend
 from repro.hdc.backends.packed import (
+    bit_sliced_counts,
     check_packed,
     gathered_xor_counts,
     pack_bits,
@@ -289,24 +290,32 @@ class PackedAssociativeMemory:
 
     # -- updates ---------------------------------------------------------
     def add(self, hvs: np.ndarray, labels) -> None:
-        """Accumulate packed HVs into their class bit counters."""
+        """Accumulate packed HVs into their class bit counters.
+
+        Word-level throughout: each class's update rows are column-summed
+        with the bit-sliced carry-save kernel instead of unpacking every
+        hypervector to one byte per bit (the retraining counterpart of
+        the packed training path; counts are exact either way).
+        """
         arr, labels_arr = self._check_update(hvs, labels)
-        np.add.at(
-            self._ones, labels_arr,
-            self._backend.unpack(arr, self._dimension).astype(np.int64),
-        )
+        for label, rows in self._rows_by_label(arr, labels_arr):
+            self._ones[label] += bit_sliced_counts(rows, self._dimension)
         np.add.at(self._counts, labels_arr, 1)
         self._cache = None
 
     def subtract(self, hvs: np.ndarray, labels) -> None:
         """Perceptron-style removal (clamped at zero bit counts)."""
         arr, labels_arr = self._check_update(hvs, labels)
-        np.subtract.at(
-            self._ones, labels_arr,
-            self._backend.unpack(arr, self._dimension).astype(np.int64),
-        )
+        for label, rows in self._rows_by_label(arr, labels_arr):
+            self._ones[label] -= bit_sliced_counts(rows, self._dimension)
         np.maximum(self._ones, 0, out=self._ones)
         self._cache = None
+
+    @staticmethod
+    def _rows_by_label(arr: np.ndarray, labels_arr: np.ndarray):
+        """Group packed update rows per class (duplicates sum exactly)."""
+        for label in np.unique(labels_arr):
+            yield int(label), arr[labels_arr == label]
 
     def _check_update(self, hvs: np.ndarray, labels) -> tuple[np.ndarray, np.ndarray]:
         arr = np.asarray(hvs)

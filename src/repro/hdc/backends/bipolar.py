@@ -358,23 +358,33 @@ class PackedBipolarAssociativeMemory:
 
     # -- updates ---------------------------------------------------------
     def add(self, hvs: np.ndarray, labels) -> None:
-        """Accumulate packed sign HVs into their signed class sums."""
+        """Accumulate packed sign HVs into their signed class sums.
+
+        Word-level throughout: with ``c`` the per-component −1 counts of
+        a class's update rows (one bit-sliced column sum over the packed
+        stack), the signed contribution is exactly ``m − 2·c`` for ``m``
+        rows — no dense ±1 intermediate is materialised (the retraining
+        counterpart of the packed training path).
+        """
         arr, labels_arr = self._check_update(hvs, labels)
-        np.add.at(
-            self._accumulators, labels_arr,
-            unpack_signs(arr, self._dimension).astype(np.int64),
-        )
+        for label, delta in self._signed_deltas(arr, labels_arr):
+            self._accumulators[label] += delta
         np.add.at(self._counts, labels_arr, 1)
         self._cache = None
 
     def subtract(self, hvs: np.ndarray, labels) -> None:
         """Perceptron-style removal (signed, unclamped — as in the dense AM)."""
         arr, labels_arr = self._check_update(hvs, labels)
-        np.subtract.at(
-            self._accumulators, labels_arr,
-            unpack_signs(arr, self._dimension).astype(np.int64),
-        )
+        for label, delta in self._signed_deltas(arr, labels_arr):
+            self._accumulators[label] -= delta
         self._cache = None
+
+    def _signed_deltas(self, arr: np.ndarray, labels_arr: np.ndarray):
+        """Per-class signed update sums, computed bit-sliced (exact)."""
+        for label in np.unique(labels_arr):
+            rows = arr[labels_arr == label]
+            counts = bit_sliced_counts(rows, self._dimension)
+            yield int(label), rows.shape[0] - 2 * counts
 
     def _check_update(self, hvs: np.ndarray, labels) -> tuple[np.ndarray, np.ndarray]:
         arr = np.asarray(hvs)

@@ -102,3 +102,89 @@ class TestRunDefense:
             pytest.skip("not enough adversarials")
         report, _ = run_defense(trained_model, examples, rng=0)
         assert report.attack_rate_before > 0.9  # reference label == prediction
+
+
+class TestEnsembleDebugging:
+    """The HDXplore-style cross-model debugging loop."""
+
+    @pytest.fixture(scope="class")
+    def ensemble(self, trained_model, digit_data):
+        from repro.fuzz import ModelEnsembleTarget
+
+        train, _ = digit_data
+        return ModelEnsembleTarget.trained_like(
+            trained_model, 3, train.images, train.labels, rng=0
+        )
+
+    @pytest.fixture(scope="class")
+    def debug_run(self, ensemble, digit_data):
+        from repro.defense import debug_ensemble
+        from repro.fuzz import HDTestConfig
+
+        _, test = digit_data
+        images = test.images.astype(np.float64)
+        return debug_ensemble(
+            ensemble,
+            images[:40],
+            images[40:],
+            config=HDTestConfig(iter_times=8),
+            rng=1,
+            clean_inputs=test.images,
+            clean_labels=test.labels,
+        )
+
+    def test_resolves_heldout_disagreements(self, debug_run, ensemble, digit_data):
+        report, hardened = debug_run
+        assert report.n_discrepancies > 0
+        assert report.n_holdout_disagreements > 0
+        # The headline claim: some held-out inputs the original members
+        # disagreed on — never seen by retraining — now agree.
+        assert report.resolved_rate > 0.0
+        assert 1 <= report.rounds_run <= 3
+        assert len(report.per_round) == report.rounds_run
+        assert not np.isnan(report.clean_accuracy_after)
+
+    def test_original_target_untouched(self, debug_run, ensemble, digit_data):
+        _, hardened = debug_run
+        assert hardened is not ensemble
+        # ensemble's member AMs still carry only the original training.
+        counts = ensemble.members[0].associative_memory.counts
+        assert counts.sum() == 400  # the module fixture's n_train
+
+    def test_agreement_helpers_consistent(self, ensemble, digit_data):
+        from repro.defense import ensemble_agreement
+
+        _, test = digit_data
+        images = test.images.astype(np.float64)[:20]
+        value = ensemble_agreement(ensemble, images)
+        labels = ensemble.predict(images)
+        assert value == pytest.approx(
+            float(np.mean((labels == labels[0]).all(axis=0)))
+        )
+        assert value == pytest.approx(ensemble.agreement(images))
+
+    def test_true_labels_length_checked(self, ensemble, digit_data):
+        from repro.defense import debug_ensemble
+
+        _, test = digit_data
+        images = test.images.astype(np.float64)
+        with pytest.raises(ConfigurationError, match="true_labels"):
+            debug_ensemble(ensemble, images[:10], images[10:], true_labels=[1, 2])
+
+    def test_requires_ensemble_target(self, trained_model, digit_data):
+        from repro.defense import debug_ensemble
+
+        _, test = digit_data
+        images = test.images.astype(np.float64)
+        with pytest.raises(ConfigurationError, match="ModelEnsembleTarget"):
+            debug_ensemble(trained_model, images[:5], images[5:])
+
+    def test_invalid_rounds_and_empty_pools_rejected(self, ensemble, digit_data):
+        from repro.defense import debug_ensemble
+
+        _, test = digit_data
+        images = test.images.astype(np.float64)
+        with pytest.raises(ConfigurationError, match="rounds"):
+            debug_ensemble(ensemble, images[:5], images[5:], rounds=0)
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            debug_ensemble(ensemble, images[:0], images[5:])

@@ -296,3 +296,60 @@ class TestCampaignWiring:
                 rng=0,
                 executor="batched",
             )
+
+
+class TestDefaultWorkerPolicy:
+    """`n_workers=None` → all cores but one, with a documented override."""
+
+    def test_default_leaves_one_core(self, monkeypatch):
+        import repro.fuzz.executor as executor_module
+
+        monkeypatch.delenv(executor_module.WORKER_COUNT_ENV, raising=False)
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+        assert executor_module.default_worker_count() == 7
+        pool = ProcessExecutor()
+        try:
+            assert pool.n_workers == 7
+        finally:
+            pool.close()
+
+    def test_single_core_machine_floors_at_one(self, monkeypatch):
+        import repro.fuzz.executor as executor_module
+
+        monkeypatch.delenv(executor_module.WORKER_COUNT_ENV, raising=False)
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 1)
+        assert executor_module.default_worker_count() == 1
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: None)
+        assert executor_module.default_worker_count() == 1
+
+    def test_env_override_wins(self, monkeypatch):
+        import repro.fuzz.executor as executor_module
+
+        monkeypatch.setenv(executor_module.WORKER_COUNT_ENV, "3")
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 16)
+        assert executor_module.default_worker_count() == 3
+        pool = ProcessExecutor()
+        try:
+            assert pool.n_workers == 3
+        finally:
+            pool.close()
+
+    def test_explicit_argument_beats_everything(self, monkeypatch):
+        import repro.fuzz.executor as executor_module
+
+        monkeypatch.setenv(executor_module.WORKER_COUNT_ENV, "3")
+        pool = ProcessExecutor(n_workers=5)
+        try:
+            assert pool.n_workers == 5
+        finally:
+            pool.close()
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        import repro.fuzz.executor as executor_module
+
+        monkeypatch.setenv(executor_module.WORKER_COUNT_ENV, "lots")
+        with pytest.raises(ConfigurationError):
+            executor_module.default_worker_count()
+        monkeypatch.setenv(executor_module.WORKER_COUNT_ENV, "0")
+        with pytest.raises(ConfigurationError):
+            executor_module.default_worker_count()

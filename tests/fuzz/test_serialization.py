@@ -81,3 +81,57 @@ class TestRoundtrip:
         path.write_text(json.dumps({"gauss": {"schema_version": 99}}))
         with pytest.raises(ConfigurationError, match="schema"):
             load_campaigns_json(path)
+
+
+class TestEnsembleRecords:
+    """Schema v2: ensemble member counts and disagreement provenance."""
+
+    def test_v1_records_still_load(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"gauss": {"schema_version": 1, "outcomes": []}}))
+        loaded = load_campaigns_json(path)
+        assert loaded["gauss"]["schema_version"] == 1
+
+    def test_ensemble_fields_round_trip(self, tmp_path):
+        example = AdversarialExample(
+            original=None,
+            adversarial=None,
+            reference_label=2,
+            adversarial_label=7,
+            iterations=0,
+            metrics={"l2": 0.0},
+            strategy="gauss",
+            disagreed_members=(0, 2),
+        )
+        result = CampaignResult(
+            strategy="gauss",
+            outcomes=[
+                InputOutcome(
+                    success=True, iterations=0, reference_label=2, example=example
+                )
+            ],
+            elapsed_seconds=0.5,
+            n_members=3,
+        )
+        path = tmp_path / "ensemble.json"
+        save_campaigns_json(path, {"gauss": result})
+        record = load_campaigns_json(path)["gauss"]
+        assert record["schema_version"] == 2
+        assert record["n_members"] == 3
+        assert record["summary"]["n_members"] == 3
+        stored = record["outcomes"][0]["example"]
+        assert stored["disagreed_members"] == [0, 2]
+        assert stored["iterations"] == 0
+
+    def test_single_model_records_mark_no_members(self, trained_model, test_images, tmp_path):
+        from repro.fuzz import HDTest, HDTestConfig
+
+        result = HDTest(trained_model, "gauss", config=HDTestConfig(iter_times=5),
+                        rng=0).fuzz(list(test_images[:3]))
+        path = tmp_path / "single.json"
+        save_campaigns_json(path, {"gauss": result})
+        record = load_campaigns_json(path)["gauss"]
+        assert record["n_members"] == 1
+        for outcome in record["outcomes"]:
+            if "example" in outcome:
+                assert outcome["example"]["disagreed_members"] is None

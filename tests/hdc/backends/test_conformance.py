@@ -316,3 +316,75 @@ class TestCrossSemanticsDifferential:
         )
         with pytest.raises(ConfigurationError, match="no.*packed"):
             PackedBipolarHDCClassifier.from_dense(dense)
+
+
+class TestWordLevelAMUpdates:
+    """`add`/`subtract` stay word-level (bit-sliced) yet exactly dense.
+
+    Duplicate labels inside one update batch are the sharp edge: the
+    dense memories accumulate them row by row (`np.add.at` semantics),
+    the packed memories now group rows per class and column-sum each
+    group with the bit-sliced carry-save kernel — the results must be
+    identical, including the binary family's clamp at zero.
+    """
+
+    DIMS = (1, 63, 64, 65, 520)
+
+    @pytest.mark.parametrize("dimension", DIMS)
+    def test_packed_binary_matches_dense_updates(self, dimension):
+        from repro.hdc.backends.binary import PackedAssociativeMemory
+        from repro.hdc.backends.packed import pack_bits
+        from repro.hdc.binary_model import BinaryAssociativeMemory
+
+        rng = np.random.default_rng(9)
+        bits = rng.integers(0, 2, size=(12, dimension)).astype(np.int8)
+        labels = rng.integers(0, 3, size=12)
+        packed = PackedAssociativeMemory(3, dimension)
+        dense = BinaryAssociativeMemory(3, dimension)
+        packed.add(pack_bits(bits), labels)
+        dense.add(bits, labels)
+        np.testing.assert_array_equal(
+            packed.state_dict()["ones"], dense.state_dict()["ones"]
+        )
+        # Over-subtract one class so the zero clamp is exercised.
+        packed.subtract(pack_bits(bits), labels)
+        dense.subtract(bits, labels)
+        extra = np.ones((2, dimension), dtype=np.int8)
+        packed.subtract(pack_bits(extra), [0, 0])
+        dense.subtract(extra, [0, 0])
+        np.testing.assert_array_equal(
+            packed.state_dict()["ones"], dense.state_dict()["ones"]
+        )
+        assert packed.state_dict()["ones"].min() >= 0
+
+    @pytest.mark.parametrize("dimension", DIMS)
+    def test_packed_bipolar_matches_dense_updates(self, dimension):
+        from repro.hdc.associative_memory import AssociativeMemory
+        from repro.hdc.backends.packed import pack_signs
+
+        rng = np.random.default_rng(11)
+        signs = (2 * rng.integers(0, 2, size=(12, dimension)) - 1).astype(np.int8)
+        labels = rng.integers(0, 3, size=12)
+        packed = PackedBipolarAssociativeMemory(3, dimension)
+        dense = AssociativeMemory(3, dimension, bipolar=True)
+        packed.add(pack_signs(signs), labels)
+        dense.add(signs, labels)
+        np.testing.assert_array_equal(
+            packed.state_dict()["accumulators"], dense.state_dict()["accumulators"]
+        )
+        packed.subtract(pack_signs(signs[:5]), labels[:5])
+        dense.subtract(signs[:5], labels[:5])
+        np.testing.assert_array_equal(
+            packed.state_dict()["accumulators"], dense.state_dict()["accumulators"]
+        )
+
+    def test_single_row_and_empty_batches(self):
+        from repro.hdc.backends.binary import PackedAssociativeMemory
+        from repro.hdc.backends.packed import pack_bits
+
+        am = PackedAssociativeMemory(2, 70)
+        one = pack_bits(np.ones((1, 70), dtype=np.int8))
+        am.add(one[0], [1])  # 1-D single-vector form
+        assert am.state_dict()["ones"][1].sum() == 70
+        am.add(one[:0], np.zeros(0, dtype=np.int64))  # empty batch no-op
+        assert am.state_dict()["ones"][0].sum() == 0

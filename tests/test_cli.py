@@ -365,3 +365,73 @@ class TestDomainEndToEnd:
                     "--strategies", "gauss",
                 ]
             )
+
+
+class TestEnsembleCLI:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-ensemble") / "model.npz"
+        assert main([
+            "train", "--out", str(path), "--n-train", "300", "--n-test", "60",
+            "--dimension", "1024", "--seed", "7",
+        ]) == 0
+        return path
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz", "--model", "m.npz"])
+        assert args.ensemble == 1
+        assert args.ensemble_train == 500
+        assert args.oracle == "cross-model"
+
+    def test_cross_model_fuzz(self, model_path, capsys):
+        code = main([
+            "fuzz", "--model", str(model_path), "--strategies", "gauss",
+            "--n-images", "5", "--iter-times", "6",
+            "--ensemble", "3", "--ensemble-train", "150",
+            "--executor", "batched", "--seed", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cross-model differential: 3 members" in out
+        assert "Table II" in out
+
+    def test_majority_oracle_and_packed_backend(self, model_path, capsys):
+        code = main([
+            "fuzz", "--model", str(model_path), "--strategies", "gauss",
+            "--n-images", "4", "--iter-times", "6",
+            "--ensemble", "2", "--ensemble-train", "150",
+            "--oracle", "majority", "--backend", "packed-bipolar",
+            "--executor", "batched", "--seed", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "majority oracle" in out
+
+    def test_ensemble_one_is_the_single_model_path(self, model_path, capsys):
+        base = main([
+            "fuzz", "--model", str(model_path), "--strategies", "gauss",
+            "--n-images", "4", "--iter-times", "6", "--seed", "3",
+        ])
+        single_out = capsys.readouterr().out
+        ens = main([
+            "fuzz", "--model", str(model_path), "--strategies", "gauss",
+            "--n-images", "4", "--iter-times", "6", "--seed", "3",
+            "--ensemble", "1",
+        ])
+        ensemble_out = capsys.readouterr().out
+        assert base == ens == 0
+
+        def stable_lines(text):
+            # Everything except the wall-clock row is deterministic.
+            return [l for l in text.splitlines() if "Time Per-1K" not in l]
+
+        assert stable_lines(single_out) == stable_lines(ensemble_out)
+
+    def test_invalid_ensemble_size_rejected(self, model_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--ensemble"):
+            main([
+                "fuzz", "--model", str(model_path), "--ensemble", "0",
+                "--n-images", "2",
+            ])
