@@ -14,6 +14,16 @@ Two claims are pinned at paper scale (D = 10 000):
   ensemble agreement on held-out inputs the original members disagreed
   on: ``resolved_rate ≥ MIN_RESOLVED_RATE``.
 
+It also quantifies the **diversity cost** of shared codebooks: a
+:class:`~repro.fuzz.targets.SharedCodebookEnsembleTarget` (one item
+memory, members bagged) against a
+:class:`~repro.fuzz.targets.ModelEnsembleTarget` (independent item
+memories) at the same K — held-out all-member agreement and the
+cross-model discrepancy yield of an identical campaign.  Sharing the
+codebook buys the encode-once hot path (``bench_shared_codebook.py``)
+but correlates the members; these two numbers, written to the bench's
+JSON record, are the price.
+
 Run under pytest (full scale)::
 
     pytest benchmarks/bench_ensemble_fuzzing.py --benchmark-only -s
@@ -36,6 +46,8 @@ from repro.fuzz import (
     HDTestConfig,
     ModelEnsembleTarget,
 )
+from repro.fuzz.oracle import CrossModelOracle
+from repro.fuzz.targets import SharedCodebookEnsembleTarget
 from repro.utils.rng import spawn
 
 K_MEMBERS = 5
@@ -103,6 +115,80 @@ def _build_ensemble(model, train, k=K_MEMBERS, rng=SEED):
     )
 
 
+def run_diversity_cost(model, train, holdout, fuzz_pool, *, k=3,
+                       iter_times=10, rng=SEED):
+    """Shared-codebook vs independent-codebook diversity, same K.
+
+    Returns per-flavour ``holdout_agreement`` (fraction of held-out
+    inputs every member labels identically — higher means more
+    correlated members) and ``discrepancy_yield`` (fraction of fuzzed
+    seeds on which an identical cross-model campaign surfaces a
+    disagreement).
+    """
+    targets = {
+        "shared": SharedCodebookEnsembleTarget.trained_shared(
+            model, k, train.images, train.labels, rng=rng
+        ),
+        "independent": ModelEnsembleTarget.trained_like(
+            model, k, train.images, train.labels, rng=rng
+        ),
+    }
+    config = HDTestConfig(iter_times=iter_times)
+    out = {}
+    for name, target in targets.items():
+        preds = target.predict(list(holdout))
+        agreement = float(np.mean(np.all(preds == preds[0], axis=0)))
+        outcomes = BatchedHDTest(
+            target, "gauss", config=config, oracle=CrossModelOracle()
+        ).fuzz_outcomes(list(fuzz_pool), generators=spawn(rng, len(fuzz_pool)))
+        yield_rate = float(np.mean([o.success for o in outcomes]))
+        out[name] = {
+            "holdout_agreement": agreement,
+            "discrepancy_yield": yield_rate,
+        }
+    return out
+
+
+def _diversity_report(diversity, k) -> str:
+    lines = [
+        f"[codebook-diversity] K={k}, identical campaigns:",
+        f"{'ensemble':14s} {'holdout agreement':>18s} {'discrepancy yield':>18s}",
+    ]
+    for name, row in diversity.items():
+        lines.append(
+            f"{name:14s} {row['holdout_agreement']:18.3f} "
+            f"{row['discrepancy_yield']:18.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _record_diversity(diversity, k) -> None:
+    from conftest import write_bench_record
+
+    write_bench_record(
+        "bench_ensemble_fuzzing",
+        metrics={
+            f"{name}_{metric}": value
+            for name, row in diversity.items()
+            for metric, value in row.items()
+        },
+        config={"diversity_k": k},
+    )
+
+
+def _check_diversity(diversity) -> None:
+    for row in diversity.values():
+        assert 0.0 <= row["holdout_agreement"] <= 1.0
+        assert 0.0 <= row["discrepancy_yield"] <= 1.0
+    # Bagged members share every codebook row, so they cannot be *more*
+    # diverse than independently-seeded members on the same data; allow
+    # slack for small holdouts rather than asserting strict order.
+    assert (
+        diversity["shared"]["holdout_agreement"]
+        >= diversity["independent"]["holdout_agreement"] - 0.05
+    )
+
+
 def test_lockstep_beats_serial_member_loop(benchmark, paper_model, digit_data,
                                            fuzz_images):
     """Lock-step K=5 fuzzing must clear 2x the serial per-member loop."""
@@ -121,6 +207,18 @@ def test_lockstep_beats_serial_member_loop(benchmark, paper_model, digit_data,
         f"lock-step at {speedup:.2f}x the serial per-member loop is below "
         f"the {MIN_LOCKSTEP_SPEEDUP}x bar"
     )
+
+
+def test_shared_codebook_diversity_cost(paper_model, digit_data, fuzz_images):
+    """Measure (and record) what sharing a codebook costs in diversity."""
+    train, _ = digit_data
+    images = np.asarray(fuzz_images)
+    diversity = run_diversity_cost(
+        paper_model, train, images[:200], images[200:212], k=3, rng=SEED
+    )
+    print("\n" + _diversity_report(diversity, 3))
+    _record_diversity(diversity, 3)
+    _check_diversity(diversity)
 
 
 def test_debugging_loop_resolves_heldout_disagreements(paper_model, digit_data,
@@ -176,6 +274,15 @@ def _smoke_main(argv=None):  # pragma: no cover - exercised by CI, not pytest
           f"loop (smoke bar: {smoke_bar}x; {MIN_LOCKSTEP_SPEEDUP}x at paper "
           "scale)")
     assert speedup >= smoke_bar
+
+    pool_images = test.images.astype(np.float64)
+    diversity = run_diversity_cost(
+        model, train, pool_images[:160], pool_images[160:168],
+        k=3, iter_times=6, rng=SEED,
+    )
+    print(_diversity_report(diversity, 3))
+    _record_diversity(diversity, 3)
+    _check_diversity(diversity)
 
     debug_members = ModelEnsembleTarget.trained_like(
         model, 3, train.images, train.labels, rng=SEED

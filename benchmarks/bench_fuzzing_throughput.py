@@ -125,6 +125,16 @@ def run_throughput_comparison(model, images, *, iter_times=ITER_TIMES,
     return rows
 
 
+def _record_rows(rows, *, n_images, iter_times) -> None:
+    from conftest import write_bench_record
+
+    write_bench_record(
+        "bench_fuzzing_throughput",
+        metrics={f"{name}_inputs_per_s": ips for name, ips, _ in rows},
+        config={"n_images": n_images, "iter_times": iter_times},
+    )
+
+
 def test_engine_speedups(benchmark, paper_model, fuzz_images):
     """Batched AND delta-serial must clear 3× the scratch baseline."""
     from conftest import run_once
@@ -132,6 +142,7 @@ def test_engine_speedups(benchmark, paper_model, fuzz_images):
     images = fuzz_images[:N_IMAGES]
     rows = run_once(benchmark, lambda: run_throughput_comparison(paper_model, images))
     print("\n" + _report(rows))
+    _record_rows(rows, n_images=len(images), iter_times=ITER_TIMES)
     by_name = {name: ips for name, ips, _ in rows}
     baseline = by_name["serial-scratch"]
     for engine in ("batched", "serial"):
@@ -183,6 +194,7 @@ def _smoke_main(argv=None):  # pragma: no cover - exercised by CI, not pytest
     images = test.images[:n_images].astype(np.float64)
     rows = run_throughput_comparison(model, images, iter_times=iter_times)
     print(_report(rows))
+    _record_rows(rows, n_images=n_images, iter_times=iter_times)
     by_name = {name: ips for name, ips, _ in rows}
     baseline = by_name["serial-scratch"]
     print(f"[fuzzing-throughput] vs scratch baseline: "

@@ -147,6 +147,16 @@ def assert_acceptance(result) -> None:
     )
 
 
+def _record(result) -> None:
+    from conftest import write_bench_record
+
+    write_bench_record(
+        "bench_packed_backend",
+        metrics={k: v for k, v in result.items() if k != "dimension"},
+        config={"dimension": result["dimension"]},
+    )
+
+
 def test_packed_backend_speedup_and_memory(benchmark):
     """Packed AM must clear 3× queries/sec and ~8× memory at paper scale."""
     from conftest import run_once
@@ -155,6 +165,7 @@ def test_packed_backend_speedup_and_memory(benchmark):
         benchmark, lambda: run_comparison(PAPER_DIMENSION, N_TRAIN)
     )
     print("\n" + report(result))
+    _record(result)
     assert_acceptance(result)
 
 
@@ -178,6 +189,7 @@ def _smoke_main(argv=None):  # pragma: no cover - exercised by CI, not pytest
     n_train = 120 if args.quick else N_TRAIN
     result = run_comparison(dimension, n_train, fuzz_iters=8 if args.quick else FUZZ_ITERS)
     print(report(result))
+    _record(result)
     assert_acceptance(result)
     print(f"[packed-backend] acceptance OK (bars: {MIN_QUERY_SPEEDUP}x queries, "
           f"~8x memory, bit-identical outcomes)")

@@ -113,6 +113,16 @@ def run_text_throughput_comparison(model, texts, *, iter_times=ITER_TIMES,
     return rows
 
 
+def _record_rows(rows, *, n_texts, iter_times) -> None:
+    from conftest import write_bench_record
+
+    write_bench_record(
+        "bench_text_fuzzing",
+        metrics={f"{name}_inputs_per_s": ips for name, ips, _ in rows},
+        config={"n_texts": n_texts, "iter_times": iter_times},
+    )
+
+
 def test_batched_text_speedup(benchmark, text_model, fuzz_texts):
     """Batched text fuzzing must clear 3x the scratch-encode baseline."""
     from conftest import run_once
@@ -122,6 +132,7 @@ def test_batched_text_speedup(benchmark, text_model, fuzz_texts):
         benchmark, lambda: run_text_throughput_comparison(text_model, texts)
     )
     print("\n" + _report(rows))
+    _record_rows(rows, n_texts=len(texts), iter_times=ITER_TIMES)
     by_name = {name: ips for name, ips, _ in rows}
     baseline = by_name["serial-scratch"]
     assert by_name["batched"] >= MIN_BATCHED_SPEEDUP * baseline, (
@@ -175,6 +186,7 @@ def _smoke_main(argv=None):  # pragma: no cover - exercised by CI, not pytest
     texts = list(test.texts)[:n_texts]
     rows = run_text_throughput_comparison(model, texts, iter_times=iter_times)
     print(_report(rows))
+    _record_rows(rows, n_texts=n_texts, iter_times=iter_times)
     by_name = {name: ips for name, ips, _ in rows}
     baseline = by_name["serial-scratch"]
     print(f"[text-fuzzing] vs scratch baseline: "

@@ -11,6 +11,10 @@ Run with:  pytest benchmarks/ --benchmark-only
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -21,6 +25,81 @@ PAPER_DIMENSION = 10_000
 SEED = 42
 N_TRAIN = 1500
 N_TEST = 300
+
+# -- machine-readable bench records ----------------------------------------
+#: Directory override for the JSON records (CI points this at an
+#: artifact directory); default: ``benchmarks/results/``.
+BENCH_RESULTS_DIR_ENV = "BENCH_RESULTS_DIR"
+
+
+def _bench_results_dir() -> Path:
+    override = os.environ.get(BENCH_RESULTS_DIR_ENV)
+    path = Path(override) if override else Path(__file__).parent / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_bench_record(name, *, metrics, config=None):
+    """Write (or merge into) ``BENCH_<name>.json`` for bench *name*.
+
+    One record per bench module, so the perf trajectory is diffable
+    across PRs from CI artifacts: ``metrics`` maps metric name → value
+    (numbers, bools, strings), ``config`` records the knobs that
+    produced them.  Repeated calls from one module merge keys rather
+    than clobbering the file — explicit domain metrics coexist with the
+    timing stats the pytest session hook appends.  Returns the path.
+    """
+    path = _bench_results_dir() / f"BENCH_{name}.json"
+    record = {"bench": name, "config": {}, "metrics": {}}
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        if isinstance(previous, dict):
+            record.update(previous)
+            record.setdefault("config", {})
+            record.setdefault("metrics", {})
+    record["bench"] = name
+    record["metrics"].update(
+        {k: (v.item() if isinstance(v, np.generic) else v) for k, v in metrics.items()}
+    )
+    if config:
+        record["config"].update(
+            {k: (v.item() if isinstance(v, np.generic) else v) for k, v in config.items()}
+        )
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append each timed bench's stats to its module's JSON record.
+
+    Covers every ``bench_*.py`` automatically under ``pytest
+    benchmarks/ --benchmark-only``; benches with richer domain metrics
+    additionally call :func:`write_bench_record` themselves (from
+    pytest *and* their standalone ``--quick`` smoke entry points).
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    per_module: dict[str, dict] = {}
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        module = Path(str(bench.fullname).split("::")[0]).stem
+        mean = getattr(stats, "mean", None)
+        if mean is None:  # older plugin layout: Metadata.stats.stats
+            mean = getattr(getattr(stats, "stats", None), "mean", None)
+        if mean is None:
+            continue
+        per_module.setdefault(module, {})[f"{bench.name}_mean_s"] = float(mean)
+    for module, timings in per_module.items():
+        try:
+            write_bench_record(module, metrics=timings)
+        except OSError:  # pragma: no cover - records are best-effort
+            pass
 
 
 @pytest.fixture(scope="session")

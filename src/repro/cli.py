@@ -23,7 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.hdc.binary_model import BinaryHDCClassifier, BinaryPixelEncoder
 from repro.hdc.encoders.image import PixelEncoder
 from repro.hdc.encoders.ngram import NgramEncoder
 from repro.hdc.encoders.record import RecordEncoder
+from repro.hdc.item_memory import CODEBOOK_KINDS
 from repro.hdc.model import HDCClassifier
 
 #: CLI domain choices; ``voice`` is the record domain's spoken-feature face.
@@ -75,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "dense-binary (Rahimi-style) family that the packed/"
                             "torch backends accelerate (image domain only; "
                             "default: bipolar)")
+    train.add_argument("--codebook", choices=CODEBOOK_KINDS, default="materialized",
+                       help="item-memory representation: 'materialized' stores "
+                            "the random codebooks as arrays in RAM and in the "
+                            ".npz; 'rematerialized' regenerates rows on demand "
+                            "from a counter-based PRF seed — bit-identical "
+                            "model, near-zero codebook memory, and the saved "
+                            "file stores only the 64-bit seed "
+                            "(default: materialized)")
     train.add_argument("--n-train", type=int, default=2000)
     train.add_argument("--n-test", type=int, default=400)
     train.add_argument("--dimension", type=int, default=10000)
@@ -111,6 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--ensemble-train", type=int, default=500, metavar="N",
                       help="training-pool size for the spawned ensemble "
                            "members (default: 500)")
+    fuzz.add_argument("--shared-codebook", action="store_true",
+                      help="with --ensemble K: members share the loaded "
+                           "model's encoder (one item memory) and diverge "
+                           "through bagged training resamples — the campaign "
+                           "encodes each child once and queries K associative "
+                           "memories, instead of K independent encodes")
+    fuzz.add_argument("--codebook", choices=CODEBOOK_KINDS, default=None,
+                      help="assert the loaded model uses this codebook "
+                           "representation (a materialized model cannot be "
+                           "converted to a seed, so this flag verifies the "
+                           "intended hot path actually runs rather than "
+                           "converting; default: accept either)")
     fuzz.add_argument("--oracle", choices=("cross-model", "majority"),
                       default="cross-model",
                       help="ensemble discrepancy rule: any pairwise member "
@@ -212,7 +233,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         train_texts, test_texts = corpus.split(
             _split_fraction(args.n_train, args.n_test), rng=args.seed
         )
-        encoder = NgramEncoder(n=3, dimension=args.dimension, rng=args.seed)
+        encoder = NgramEncoder(
+            n=3, dimension=args.dimension, rng=args.seed, codebook=args.codebook
+        )
         model = HDCClassifier(encoder, n_classes=corpus.n_classes)
         model.fit(list(train_texts.texts), train_texts.labels)
         accuracy = model.score(list(test_texts.texts), test_texts.labels)
@@ -224,7 +247,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
             _split_fraction(args.n_train, args.n_test), rng=args.seed
         )
         encoder = RecordEncoder(
-            n_features=corpus.n_features, dimension=args.dimension, rng=args.seed
+            n_features=corpus.n_features, dimension=args.dimension, rng=args.seed,
+            codebook=args.codebook,
         )
         model = HDCClassifier(encoder, n_classes=corpus.n_classes)
         model.fit(train_recs.records, train_recs.labels)
@@ -236,11 +260,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
             data_dir=args.data_dir,
         )
         if args.family == "binary":
-            encoder = BinaryPixelEncoder(dimension=args.dimension, rng=args.seed)
+            encoder = BinaryPixelEncoder(
+                dimension=args.dimension, rng=args.seed, codebook=args.codebook
+            )
             model = BinaryHDCClassifier(encoder, n_classes=10)
         else:
             model = HDCClassifier(
-                PixelEncoder(dimension=args.dimension, rng=args.seed), n_classes=10
+                PixelEncoder(
+                    dimension=args.dimension, rng=args.seed, codebook=args.codebook
+                ),
+                n_classes=10,
             )
         model.fit(train_set.images, train_set.labels)
         accuracy = model.score(test_set.images, test_set.labels)
@@ -329,19 +358,32 @@ def _resolve_fuzz_target(args: argparse.Namespace, model):
     ``--ensemble K`` spawns K − 1 architecture-matched members with
     fresh item memories (member seeds derived from ``--seed``), trains
     them on regenerated in-distribution data, and returns the
-    cross-model target plus the matching oracle.
+    cross-model target plus the matching oracle.  With
+    ``--shared-codebook`` the K − 1 members instead reuse the loaded
+    model's encoder object and diverge through bagged resamples of the
+    same pool, so the campaign encodes each child once for all K
+    members.
     """
     from repro.fuzz.oracle import CrossModelOracle, MajorityOracle
-    from repro.fuzz.targets import ModelEnsembleTarget
+    from repro.fuzz.targets import ModelEnsembleTarget, SharedCodebookEnsembleTarget
 
     if args.ensemble < 1:
         raise ConfigurationError(f"--ensemble must be >= 1, got {args.ensemble}")
     if args.ensemble == 1:
+        if args.shared_codebook:
+            raise ConfigurationError(
+                "--shared-codebook needs --ensemble K with K >= 2"
+            )
         return model, None
     inputs, labels = _ensemble_train_pool(args)
-    target = ModelEnsembleTarget.trained_like(
-        model, args.ensemble, inputs, labels, rng=args.seed + 1
-    )
+    if args.shared_codebook:
+        target: Any = SharedCodebookEnsembleTarget.trained_shared(
+            model, args.ensemble, inputs, labels, rng=args.seed + 1
+        )
+    else:
+        target = ModelEnsembleTarget.trained_like(
+            model, args.ensemble, inputs, labels, rng=args.seed + 1
+        )
     oracle = (
         MajorityOracle(model.n_classes)
         if args.oracle == "majority"
@@ -368,6 +410,14 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     executor = _executor_from_args(args)  # reject bad flag combos before loading
     strategies = _resolve_strategies(args)
     model = _load_model(args.model)
+    if args.codebook is not None:
+        actual = model.encoder.codebook
+        if actual != args.codebook:
+            raise ConfigurationError(
+                f"--codebook {args.codebook} requested but {args.model} holds "
+                f"a {actual} model; retrain with "
+                f"`hdtest train --codebook {args.codebook}`"
+            )
     target, oracle = _resolve_fuzz_target(args, model)
     inputs = _fuzz_inputs(args, args.n_images)
     config = HDTestConfig(
@@ -391,7 +441,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         seed_splits = sum(
             len(r.seed_discrepancies) for r in results.values()
         )
-        print(f"cross-model differential: {args.ensemble} members, "
+        flavor = "shared-codebook" if args.shared_codebook else "independent"
+        print(f"cross-model differential: {args.ensemble} {flavor} members, "
               f"{args.oracle} oracle, {seed_splits} seed discrepancies")
     print(table2(results))
     if args.per_class:

@@ -279,12 +279,13 @@ class BatchedHDTest(HDTest):
                     )
                 else:
                     encoded = self._encode_plans_direct(plans, caches, capacity)
-                # One fused prediction per member over every input's
-                # children — the K-model lock-step step.
+                # One fused prediction per encode block over every
+                # input's children — the K-model lock-step step (a
+                # shared-codebook ensemble emits a single block).
                 all_predictions = self._predict_children(
                     tuple(
                         np.concatenate([e[0][m] for e in encoded], axis=0)
-                        for m in range(self._target.n_members)
+                        for m in range(self._target.n_encode_blocks)
                     )
                 )
                 retired: set[int] = set()
@@ -410,9 +411,10 @@ class BatchedHDTest(HDTest):
         lookups and insertions stay in each input's own cache (the same
         pinning discipline as :func:`repro.utils.cache.resolve_with_cache`,
         spread across cache domains).  Cache entries hold one row per
-        member, so mixed-width ensembles share the machinery.
+        encode block, so mixed-width ensembles share the machinery and
+        shared-codebook ensembles cache a single row.
         """
-        k = self._target.n_members
+        k = self._target.n_encode_blocks
         if not self._config.dedupe:
             all_children = np.concatenate([children for _, children, _ in plans])
             all_bundle = self._target.encode_batch(all_children)

@@ -71,12 +71,22 @@ __all__ = [
     "BatchedExecutor",
     "ProcessExecutor",
     "create_executor",
+    "default_pool_policy",
     "default_worker_count",
     "executor_names",
 ]
 
 #: Environment variable overriding the default process-pool size.
 WORKER_COUNT_ENV = "REPRO_FUZZ_WORKERS"
+
+#: Fewest inputs a default-sized worker must amortise the model
+#: broadcast and process start-up over before the policy grants it a
+#: process (``benchmarks/bench_executor_scaling.py`` shows pools sized
+#: past this lose to the batched engine on small campaigns).
+MIN_INPUTS_PER_WORKER = 8
+
+#: Default lock-step chunk size for the batched engine.
+DEFAULT_BATCH_SIZE = 64
 
 
 def default_worker_count() -> int:
@@ -98,6 +108,41 @@ def default_worker_count() -> int:
             ) from None
         return check_positive_int(requested, WORKER_COUNT_ENV)
     return max(1, (os.cpu_count() or 1) - 1)
+
+
+def default_pool_policy(
+    n_inputs: int,
+    *,
+    n_workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
+) -> tuple[int, int]:
+    """Resolve ``(n_workers, batch_size)`` for a campaign of *n_inputs*.
+
+    The repo-wide sizing policy, measured by
+    ``benchmarks/bench_executor_scaling.py``:
+
+    * **workers** — explicit values win; otherwise
+      :func:`default_worker_count` capped so each process amortises its
+      model broadcast and start-up over at least
+      :data:`MIN_INPUTS_PER_WORKER` inputs (small campaigns get small
+      pools rather than a fleet of idle broadcast copies).
+    * **batch size** — explicit values win; otherwise one lock-step
+      chunk per worker shard, capped at :data:`DEFAULT_BATCH_SIZE`
+      (chunks larger than a shard buy nothing, chunks much smaller than
+      64 give up vectorisation).
+
+    Outcomes are invariant to both knobs by the executors' RNG
+    discipline; this policy only sets the performance defaults.
+    """
+    n_inputs = max(int(n_inputs), 1)
+    if n_workers is None:
+        amortised = max(1, n_inputs // MIN_INPUTS_PER_WORKER)
+        n_workers = min(default_worker_count(), amortised)
+    n_workers = check_positive_int(n_workers, "n_workers")
+    if batch_size is None:
+        shard = -(-n_inputs // n_workers)  # ceil
+        batch_size = min(DEFAULT_BATCH_SIZE, shard)
+    return n_workers, check_positive_int(batch_size, "batch_size")
 
 
 class CampaignExecutor(ABC):
@@ -167,7 +212,7 @@ class BatchedExecutor(CampaignExecutor):
     own generator; see the module docstring).
     """
 
-    def __init__(self, batch_size: int = 64) -> None:
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
         self.batch_size = check_positive_int(batch_size, "batch_size")
 
     name = "batched"
@@ -274,16 +319,28 @@ class ProcessExecutor(CampaignExecutor):
         Worker process count.  ``None`` resolves through
         :func:`default_worker_count` — ``max(1, os.cpu_count() − 1)``,
         overridable machine-wide with the ``REPRO_FUZZ_WORKERS``
-        environment variable.
+        environment variable — as the *cap*; each :meth:`run` then
+        sizes its pool through :func:`default_pool_policy`, so small
+        campaigns never pay for broadcast copies they cannot amortise.
+        An explicit count disables the per-run cap.
     batch_size:
-        Lock-step chunk size inside each worker.
+        Lock-step chunk size inside each worker; ``None`` lets
+        :func:`default_pool_policy` match it to the shard size per run.
     """
 
     name = "process"
 
-    def __init__(self, n_workers: Optional[int] = None, batch_size: int = 64) -> None:
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        self._explicit_workers = n_workers is not None
+        self._explicit_batch = batch_size is not None
         if n_workers is None:
             n_workers = default_worker_count()
+        if batch_size is None:
+            batch_size = DEFAULT_BATCH_SIZE
         self.n_workers = check_positive_int(n_workers, "n_workers")
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self._pool = None
@@ -409,7 +466,16 @@ class ProcessExecutor(CampaignExecutor):
         )
         root = ensure_rng(rng)
         seeds = derive_seeds(root, len(inputs))
-        n_shards = min(self.n_workers, max(len(inputs), 1))
+        # Input-aware sizing: explicitly-set knobs pass through, unset
+        # ones resolve against this campaign's size.  Outcomes do not
+        # depend on either (RNG discipline above), only throughput does.
+        pool_workers, batch_size = default_pool_policy(
+            len(inputs),
+            n_workers=self.n_workers if self._explicit_workers else None,
+            batch_size=self.batch_size if self._explicit_batch else None,
+        )
+        pool_workers = min(pool_workers, self.n_workers)
+        n_shards = min(pool_workers, max(len(inputs), 1))
         # Drawn *after* the per-input seeds so the per-input stream stays
         # byte-identical to BatchedExecutor's for the same root.
         shard_seeds = derive_seeds(root, n_shards)
@@ -432,8 +498,8 @@ class ProcessExecutor(CampaignExecutor):
                                    fitness, oracle),
                     (model, strategy, domain, config, constraint, fitness, oracle),
                     (model, probe.strategy, probe.domain, config, constraint,
-                     fitness, oracle, self.batch_size),
-                    min(self.n_workers, len(shards)),
+                     fitness, oracle, batch_size),
+                    min(pool_workers, len(shards)),
                 )
                 for shard_outcomes in pool.map(_process_worker_run, shards):
                     outcomes.extend(shard_outcomes)

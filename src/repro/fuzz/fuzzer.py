@@ -485,7 +485,7 @@ class HDTest:
         rows = resolve_with_cache(cache, keys, encode_missing)
         return tuple(
             np.stack([row[m] for row in rows])
-            for m in range(self._target.n_members)
+            for m in range(self._target.n_encode_blocks)
         )
 
     def _expand(self, seeds, original: np.ndarray, generator: np.random.Generator):

@@ -31,7 +31,8 @@ in :func:`repro.defense.retrain.debug_ensemble`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Optional, Sequence
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
@@ -44,6 +45,7 @@ __all__ = [
     "PredictionTarget",
     "SingleModelTarget",
     "ModelEnsembleTarget",
+    "SharedCodebookEnsembleTarget",
     "resolve_target",
     "vote_counts",
     "majority_vote",
@@ -236,6 +238,17 @@ class PredictionTarget(ABC):
     @property
     def n_members(self) -> int:
         return len(self.members)
+
+    @property
+    def n_encode_blocks(self) -> int:
+        """How many hypervector blocks :meth:`encode_batch` emits.
+
+        One per member by default (independent codebooks encode
+        independently); a shared-codebook ensemble emits a single block
+        that all K associative memories query — the engines size their
+        fused encode work off this, not off ``n_members``.
+        """
+        return self.n_members
 
     @property
     def primary(self) -> Any:
@@ -530,6 +543,243 @@ class ModelEnsembleTarget(PredictionTarget):
             if encoder_handle is None
             else _EnsembleDeltaSurface(encoder_handle)
         )
+
+
+def _fresh_member_like(model: Any) -> Any:
+    """An untrained classifier of *model*'s class sharing its encoder.
+
+    The complement of :func:`clone_architecture`: same family and class
+    count, but the codebooks are *the same object* — only the
+    associative memory is fresh.  Used to build shared-codebook
+    ensemble members that diverge solely through their training splits.
+    """
+    from repro.hdc.backends.binary import PackedBinaryHDCClassifier
+    from repro.hdc.backends.bipolar import PackedBipolarHDCClassifier
+    from repro.hdc.binary_model import BinaryHDCClassifier
+    from repro.hdc.model import HDCClassifier
+
+    encoder = getattr(model, "encoder", None)
+    n_classes = getattr(model, "n_classes", None)
+    if encoder is None or n_classes is None:
+        raise ConfigurationError(
+            f"cannot spawn a shared-codebook member from "
+            f"{type(model).__name__}: no encoder/n_classes surface"
+        )
+    n_classes = int(n_classes)
+    # Packed subclasses first — isinstance also matches their parents.
+    if isinstance(model, PackedBipolarHDCClassifier):
+        return PackedBipolarHDCClassifier(encoder, n_classes, backend=model.backend)
+    if isinstance(model, PackedBinaryHDCClassifier):
+        return PackedBinaryHDCClassifier(encoder, n_classes, backend=model.backend)
+    if isinstance(model, BinaryHDCClassifier):
+        return BinaryHDCClassifier(encoder, n_classes)
+    if isinstance(model, HDCClassifier):
+        return HDCClassifier(
+            encoder, n_classes, bipolar_am=model.associative_memory.bipolar
+        )
+    raise ConfigurationError(
+        f"cannot spawn a shared-codebook member from {type(model).__name__}; "
+        "construct members sharing one encoder explicitly and pass them to "
+        "SharedCodebookEnsembleTarget"
+    )
+
+
+class SharedCodebookEnsembleTarget(ModelEnsembleTarget):
+    """K ≥ 2 members sharing one encoder: encode once, query K memories.
+
+    The per-member cost of :class:`ModelEnsembleTarget` is dominated by
+    its K independent encodes (every member owns its own item memory).
+    When members instead share a single codebook — diverging only
+    through bagged associative-memory training splits — every child
+    block is encoded **once** and all K AMs query the same hypervector
+    block, so encode cost and seed-pool accumulator memory become
+    K-independent (``n_encode_blocks == 1``; the engines' delta side
+    arrays drop their member axis).  ``benchmarks/bench_shared_codebook
+    .py`` pins the speedup; ``bench_ensemble_fuzzing.py`` measures the
+    diversity this trades away.
+
+    Parameters
+    ----------
+    *members:
+        Trained classifiers (or one iterable of them) whose ``encoder``
+        is the *same object*; build them with :meth:`trained_shared`.
+    """
+
+    def __init__(self, *members: Any) -> None:
+        super().__init__(*members)
+        shared = self._members[0].encoder
+        for member in self._members[1:]:
+            if member.encoder is not shared:
+                raise ConfigurationError(
+                    "SharedCodebookEnsembleTarget members must share one "
+                    "encoder object (use trained_shared(), or pass the same "
+                    "encoder instance to every member); got distinct "
+                    f"encoders on {type(member).__name__}"
+                )
+
+    # -- construction helpers ----------------------------------------------
+    @classmethod
+    def trained_shared(
+        cls,
+        model: Any,
+        k: int,
+        inputs: Sequence[Any],
+        labels: Sequence[int],
+        *,
+        rng: RngLike = None,
+        include_base: bool = True,
+    ) -> "SharedCodebookEnsembleTarget":
+        """Spawn K members around *model*'s encoder on bagged splits.
+
+        Each fresh member reuses the base model's encoder (and therefore
+        its codebooks) but trains its associative memory on an
+        independent bootstrap resample of ``(inputs, labels)`` —
+        decision boundaries decorrelate through the data, not the
+        codebooks.  With *include_base* the given (already trained)
+        model is member 0 and ``k − 1`` bagged members join it.
+        """
+        if k < 2:
+            raise ConfigurationError(f"ensemble size must be >= 2, got {k}")
+        labels_arr = np.asarray(labels)
+        n = int(labels_arr.shape[0])
+        if n == 0:
+            raise ConfigurationError("cannot bag an empty training set")
+        n_fresh = k - 1 if include_base else k
+        members: list[Any] = [model] if include_base else []
+        for child_rng in spawn(ensure_rng(rng), n_fresh):
+            bag = child_rng.integers(0, n, size=n)
+            member = _fresh_member_like(model)
+            if isinstance(inputs, np.ndarray):
+                subset: Any = inputs[bag]
+            else:
+                subset = [inputs[int(j)] for j in bag]
+            member.fit(subset, labels_arr[bag])
+            members.append(member)
+        return cls(*members)
+
+    # -- encode-once surface -----------------------------------------------
+    @property
+    def n_encode_blocks(self) -> int:
+        return 1
+
+    def encode_batch(self, children: np.ndarray) -> tuple[np.ndarray, ...]:
+        """One fused encode through the shared encoder → a 1-tuple."""
+        return (self.primary.encode_batch(children),)
+
+    def predict_hvs(self, bundle, *, with_similarities: bool = False):
+        if len(bundle) != 1:
+            raise ConfigurationError(
+                f"{len(bundle)} hypervector blocks for a shared-codebook "
+                "ensemble (expected 1)"
+            )
+        hvs = bundle[0]
+        if with_similarities:
+            sims = np.stack(
+                [m.associative_memory.similarities(hvs) for m in self._members]
+            )
+            return TargetPredictions(sims.argmax(axis=2).astype(np.int64), sims)
+        labels = np.stack([m.predict_hv(hvs) for m in self._members])
+        return TargetPredictions(labels.astype(np.int64))
+
+    # -- convenience (raw inputs): encode once here too ----------------------
+    def predict(self, inputs: Sequence[Any]) -> np.ndarray:
+        hvs = self.primary.encode_batch(inputs)
+        return np.stack(
+            [np.asarray(m.predict_hv(hvs), dtype=np.int64) for m in self._members]
+        )
+
+    def similarities(self, inputs: Sequence[Any]) -> np.ndarray:
+        hvs = self.primary.encode_batch(inputs)
+        return np.stack(
+            [m.associative_memory.similarities(hvs) for m in self._members]
+        )
+
+    # -- incremental encoding: single-surface, no member axis ----------------
+    def delta_encoder(self, domain: Any) -> Any:
+        """The shared encoder's delta handle (one surface for all K)."""
+        return domain.delta_encoder(self.primary)
+
+    def delta_surface(self, encoder_handle: Any):
+        return None if encoder_handle is None else _SingleDeltaSurface(encoder_handle)
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise to one ``.npz`` without duplicating the codebook.
+
+        The file is the primary member's own payload — codebooks stored
+        once, as PRF seeds when rematerialized — extended with the K−1
+        other members' associative-memory arrays under ``member<i>_am_*``
+        keys and an ``ensemble_size`` tag.  Plain single-model loaders
+        ignore the extra keys, so the file doubles as the primary's
+        checkpoint.
+        """
+        payload = self.primary.save_payload()
+        payload["ensemble_size"] = np.asarray(self.n_members)
+        for i, member in enumerate(self._members[1:], start=1):
+            for key, value in member.associative_memory.state_dict().items():
+                payload[f"member{i}_am_{key}"] = np.asarray(value)
+        np.savez_compressed(Path(path), **payload)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SharedCodebookEnsembleTarget":
+        """Inverse of :meth:`save`.
+
+        Members come back in the dense family of the stored ``kind``
+        (the same save-dense/repackage-later contract as the model
+        classes); re-target with :meth:`with_backend` if needed.
+        """
+        from repro.hdc.binary_model import BinaryHDCClassifier
+        from repro.hdc.model import HDCClassifier
+
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as data:
+            if "ensemble_size" not in data:
+                raise ConfigurationError(
+                    f"{path} is a single-model checkpoint, not a "
+                    "shared-codebook ensemble (no ensemble_size tag)"
+                )
+            kind = str(data["kind"])
+            k = int(data["ensemble_size"])
+            member_states = []
+            for i in range(1, k):
+                prefix = f"member{i}_am_"
+                member_states.append(
+                    {
+                        key[len(prefix):]: data[key]
+                        for key in data.files
+                        if key.startswith(prefix)
+                    }
+                )
+        loader = BinaryHDCClassifier if kind == "pixel-binary-hdc" else HDCClassifier
+        primary = loader.load(path)
+        members = [primary]
+        for state in member_states:
+            member = _fresh_member_like(primary)
+            member._am = type(primary.associative_memory).from_state_dict(state)  # noqa: SLF001
+            members.append(member)
+        return cls(*members)
+
+    # -- re-targeting --------------------------------------------------------
+    def copy(self) -> "SharedCodebookEnsembleTarget":
+        """Clone every member's AM; the encoder object stays shared."""
+        return SharedCodebookEnsembleTarget(*[m.copy() for m in self._members])
+
+    def with_backend(self, backend: Optional[str]) -> "SharedCodebookEnsembleTarget":
+        """Re-target for *backend*, re-pointing members at one encoder.
+
+        Per-member conversion would wrap the shared codebooks in K
+        equivalent-but-distinct packed encoders; since all K started
+        from the same object, sharing the first conversion is exact.
+        """
+        if backend is None or backend == "dense":
+            return self
+        from repro.hdc.backends.dispatch import resolve_model_backend
+
+        resolved = [resolve_model_backend(m, backend) for m in self._members]
+        shared = resolved[0].encoder
+        for member in resolved[1:]:
+            member._encoder = shared  # noqa: SLF001 - exact re-share, see docstring
+        return type(self)(*resolved)
 
 
 def resolve_target(model: Any) -> PredictionTarget:

@@ -51,6 +51,7 @@ from repro.hdc.binary_model import (
     BinaryPixelEncoder,
 )
 from repro.hdc.encoders.base import Encoder
+from repro.hdc.item_memory import RematerializedItemMemory
 from repro.hdc.spaces import DEFAULT_DIMENSION, BinarySpace, Space
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_labels, check_positive_int
@@ -137,8 +138,19 @@ class PackedPixelEncoder(BinaryPixelEncoder):
         dimension: int = DEFAULT_DIMENSION,
         rng: RngLike = None,
         backend: BackendLike = None,
+        position_memory=None,
+        value_memory=None,
+        codebook: str = "materialized",
     ) -> None:
-        super().__init__(shape, levels=levels, dimension=dimension, rng=rng)
+        super().__init__(
+            shape,
+            levels=levels,
+            dimension=dimension,
+            rng=rng,
+            position_memory=position_memory,
+            value_memory=value_memory,
+            codebook=codebook,
+        )
         self._packed_space = PackedBinarySpace(dimension)
         self._backend = get_backend(backend)
 
@@ -176,13 +188,23 @@ class PackedPixelEncoder(BinaryPixelEncoder):
         return self._backend
 
     # -- the packed training path ------------------------------------------
-    def _packed_codebooks(self) -> tuple[np.ndarray, np.ndarray]:
-        """Packed words of both codebooks (built once, cached)."""
+    def _packed_codebooks(self) -> tuple:
+        """Word sources for both codebooks (packed once and cached, or
+        the rematerialized memory itself).
+
+        A :class:`~repro.hdc.item_memory.RematerializedItemMemory` in a
+        binary space already *is* a packed word source — its PRF words
+        are the packed bits of its dense rows by construction — so it is
+        returned as-is and the gather kernels generate rows on demand
+        (``take_words``) instead of reading a cached array.
+        """
         cache = getattr(self, "_codebook_words", None)
         if cache is None:
-            cache = (
-                pack_bits(self._position_memory.vectors, validate=False),
-                pack_bits(self._value_memory.vectors, validate=False),
+            cache = tuple(
+                memory
+                if isinstance(memory, RematerializedItemMemory)
+                else pack_bits(memory.vectors, validate=False)
+                for memory in (self._position_memory, self._value_memory)
             )
             self._codebook_words = cache
         return cache

@@ -51,6 +51,7 @@ from repro.hdc.backends.packed import (
     bipolar_cosine_from_counts,
     bit_sliced_counts,
     check_packed,
+    gather_words,
     gathered_xor_counts,
     pack_signs,
     packed_words,
@@ -58,7 +59,7 @@ from repro.hdc.backends.packed import (
 )
 from repro.hdc.encoders.base import Encoder
 from repro.hdc.encoders.image import PixelEncoder
-from repro.hdc.item_memory import ItemMemory
+from repro.hdc.item_memory import ItemMemory, RematerializedItemMemory
 from repro.hdc.model import HDCClassifier
 from repro.hdc.spaces import DEFAULT_DIMENSION, BipolarSpace, Space
 from repro.utils.rng import RngLike, ensure_rng
@@ -152,17 +153,21 @@ class PackedBipolarEncoder(PixelEncoder):
         levels: int = 256,
         dimension: int = DEFAULT_DIMENSION,
         value_memory: Optional[ItemMemory] = None,
+        position_memory: Optional[ItemMemory] = None,
         rng: RngLike = None,
         sparse_background: bool = True,
         backend: BackendLike = None,
+        codebook: str = "materialized",
     ) -> None:
         super().__init__(
             shape,
             levels=levels,
             dimension=dimension,
             value_memory=value_memory,
+            position_memory=position_memory,
             rng=rng,
             sparse_background=sparse_background,
+            codebook=codebook,
         )
         self._packed_space = PackedBipolarSpace(dimension)
         self._backend = get_backend(backend)
@@ -204,13 +209,23 @@ class PackedBipolarEncoder(PixelEncoder):
         return self._backend
 
     # -- the packed training path ------------------------------------------
-    def _sign_codebooks(self) -> tuple[np.ndarray, np.ndarray]:
-        """Packed sign words of both codebooks (built once, cached)."""
+    def _sign_codebooks(self) -> tuple:
+        """Sign-word sources for both codebooks (packed once and cached,
+        or the rematerialized memory itself).
+
+        A bipolar :class:`~repro.hdc.item_memory.RematerializedItemMemory`
+        already *is* a packed sign-word source — its PRF words are the
+        sign bits of its dense rows by construction — so it is returned
+        as-is and the gather kernels generate rows on demand
+        (``take_words``) instead of reading a cached array.
+        """
         cache = getattr(self, "_sign_codebook_words", None)
         if cache is None:
-            cache = (
-                pack_signs(self._position_memory.vectors, validate=False),
-                pack_signs(self._value_memory.vectors, validate=False),
+            cache = tuple(
+                memory
+                if isinstance(memory, RematerializedItemMemory)
+                else pack_signs(memory.vectors, validate=False)
+                for memory in (self._position_memory, self._value_memory)
             )
             self._sign_codebook_words = cache
         return cache
@@ -243,7 +258,8 @@ class PackedBipolarEncoder(PixelEncoder):
         non-background pixels.
         """
         pos_s, val_s = self._sign_codebooks()
-        val0 = self._value_memory.vectors[0].astype(np.int64)
+        val0 = self._value_memory.take(0).astype(np.int64)
+        val0_words = gather_words(val_s, np.asarray([0]))[0]
         base = self._position_sum * val0
         n = flat_levels.shape[0]
         out = np.empty((n, self.dimension), dtype=np.int64)
@@ -252,10 +268,13 @@ class PackedBipolarEncoder(PixelEncoder):
             if nz.size == 0:
                 out[i] = base
                 continue
-            pos_nz = pos_s[nz]
-            c_bg = bit_sliced_counts(np.bitwise_xor(pos_nz, val_s[0]), self.dimension)
+            # gather_words generates rows on demand when a codebook is
+            # rematerialized; it is a plain fancy-index otherwise.
+            pos_nz = gather_words(pos_s, nz)
+            c_bg = bit_sliced_counts(np.bitwise_xor(pos_nz, val0_words), self.dimension)
             c_fg = bit_sliced_counts(
-                np.bitwise_xor(pos_nz, val_s[flat_levels[i][nz]]), self.dimension
+                np.bitwise_xor(pos_nz, gather_words(val_s, flat_levels[i][nz])),
+                self.dimension,
             )
             out[i] = base + 2 * (c_bg - c_fg)
         return out

@@ -52,6 +52,19 @@ packed stack column-wise with carry-save-adder trees over *bit-sliced*
 vertical counters (Schmuck et al.'s combinational bundling, in numpy),
 so majority/threshold bundling — and therefore encoder training — never
 gathers unpacked codebooks per component.
+
+Rematerialized codebooks
+------------------------
+Schmuck et al.'s second memory optimization regenerates item-memory
+rows on the fly instead of storing them.  :func:`prf_words` is that
+generator: a counter-based PRF (SplitMix64's finalizer over the counter
+``row·W + word``) that yields row *i*'s word *w* as a pure function of
+``(seed, i, w)`` — stateless, vectorised, and identical however rows
+are gathered.  The gather kernels here accept *word sources* — either a
+materialised ``(size, W)`` uint64 array or any object exposing
+``take_words(rows)`` (``RematerializedItemMemory``) — so
+:func:`gathered_xor_counts` fuses generate+XOR+count per chunk and the
+codebook is never materialised at once.
 """
 
 from __future__ import annotations
@@ -64,7 +77,11 @@ from repro.errors import ConfigurationError, DimensionMismatchError
 
 __all__ = [
     "WORD_BITS",
+    "SPLITMIX64_GAMMA",
     "packed_words",
+    "prf_words",
+    "materialize_words",
+    "gather_words",
     "pack_bits",
     "unpack_bits",
     "pack_signs",
@@ -118,6 +135,79 @@ def packed_words(dimension: int) -> int:
     if dimension < 1:
         raise ConfigurationError(f"dimension must be positive, got {dimension}")
     return -(-int(dimension) // WORD_BITS)
+
+
+#: SplitMix64's golden-ratio increment (Steele et al., "Fast Splittable
+#: Pseudorandom Number Generators").
+SPLITMIX64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+
+
+def prf_words(seed: int, rows: np.ndarray, dimension: int) -> np.ndarray:
+    """Counter-based-PRF codebook words: index array → ``(..., W)`` uint64.
+
+    Row *i*'s word *w* is output ``i·W + w`` of the SplitMix64 stream
+    seeded with *seed* — a pure function of ``(seed, i, w)``, so any
+    gather of any subset of rows, in any order, on any process, yields
+    identical bits.  This is what lets a codebook be *rematerialized* on
+    the fly (Schmuck et al.'s hardware optimization) instead of stored:
+    the retained state is one 64-bit seed.
+
+    *rows* may be a scalar or any integer array; the result has shape
+    ``rows.shape + (W,)`` with ``W = ceil(dimension / 64)``.  Tail bits
+    of the last word are masked to zero, so the rows are valid packed
+    hypervectors (:func:`check_packed`) and ``pack∘unpack`` round-trips
+    them exactly — the dense and packed views of a rematerialized row
+    are the same bits by construction.
+    """
+    n_words = packed_words(dimension)
+    idx = np.asarray(rows)
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise ConfigurationError(f"rows must be integer(s), got dtype {idx.dtype}")
+    counters = idx.astype(np.uint64)[..., None] * np.uint64(n_words) + np.arange(
+        n_words, dtype=np.uint64
+    )
+    # SplitMix64: the k-th output is the finalizer applied to
+    # seed + (k+1)·GAMMA; vectorised here over the whole counter block.
+    z = np.uint64(seed) + (counters + np.uint64(1)) * SPLITMIX64_GAMMA
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    words = z ^ (z >> np.uint64(31))
+    tail = dimension % WORD_BITS
+    if tail:
+        words[..., -1] &= np.uint64((1 << tail) - 1)
+    return words
+
+
+def materialize_words(source, name: str = "words") -> np.ndarray:
+    """Resolve a *word source* into its full ``(size, W)`` uint64 array.
+
+    A word source is either an already-packed uint64 array (returned
+    unchanged) or an object exposing ``take_words(rows)`` and ``size``
+    (a :class:`~repro.hdc.item_memory.RematerializedItemMemory`), whose
+    rows are generated transiently here.
+    """
+    if hasattr(source, "take_words"):
+        return source.take_words(np.arange(len(source)))
+    return _as_words(source, name)
+
+
+def gather_words(source, rows: np.ndarray, name: str = "words") -> np.ndarray:
+    """Gather codebook word rows from a word source → ``rows.shape + (W,)``.
+
+    Materialised sources index; rematerialized sources generate exactly
+    the requested rows — the fused-generate half of the packed gather
+    kernels.
+    """
+    if hasattr(source, "take_words"):
+        return source.take_words(rows)
+    return _as_words(source, name)[np.asarray(rows)]
+
+
+def _source_rows(source, name: str) -> int:
+    """Row count of a word source (array rows or codebook size)."""
+    if hasattr(source, "take_words"):
+        return len(source)
+    return _as_words(source, name).shape[0]
 
 
 def pack_bits(bits: np.ndarray, *, validate: bool = True) -> np.ndarray:
@@ -405,21 +495,30 @@ def gathered_xor_counts(
     so the binary encoder uses them directly and the bipolar encoder
     maps them through ``m − 2·counts`` — both bit-identical to their
     dense gathers.
+
+    Both codebooks may be *word sources* (see :func:`gather_words`):
+    with a rematerialized value memory, each chunk's value rows are
+    generated, XORed, counted, and freed — a fused generate+XOR+count
+    kernel that never materialises the codebook.
     """
-    pos = _as_words(pos_words, "pos_words")
-    val = _as_words(val_words, "val_words")
+    pos = materialize_words(pos_words, "pos_words")
     levels = np.asarray(level_rows)
     if levels.ndim != 2 or pos.ndim != 2 or pos.shape[0] != levels.shape[1]:
         raise DimensionMismatchError(
             f"level rows {levels.shape} must be (n, m) with m matching "
             f"pos_words rows {pos.shape}"
         )
+    val_remat = hasattr(val_words, "take_words")
+    val = val_words if val_remat else _as_words(val_words, "val_words")
     n, m = levels.shape
     out = np.empty((n, int(dimension)), dtype=np.int64)
     chunk = max(1, chunk_bytes // max(1, m * pos.shape[-1] * 8))
     for start in range(0, n, chunk):
         stop = min(n, start + chunk)
-        block = np.bitwise_xor(pos[None, :, :], val[levels[start:stop]])
+        gathered = (
+            val.take_words(levels[start:stop]) if val_remat else val[levels[start:stop]]
+        )
+        block = np.bitwise_xor(pos[None, :, :], gathered)
         out[start:stop] = bit_sliced_counts(block, dimension)
     return out
 

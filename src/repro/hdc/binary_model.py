@@ -33,7 +33,14 @@ from repro.errors import (
     NotTrainedError,
 )
 from repro.hdc.encoders.base import Encoder
-from repro.hdc.item_memory import ItemMemory
+from repro.hdc.item_memory import (
+    ItemMemory,
+    check_codebook_kind,
+    codebook_kind,
+    make_item_memory,
+    memory_from_payload,
+    memory_payload,
+)
 from repro.hdc.spaces import DEFAULT_DIMENSION, BinarySpace
 from repro.utils.rng import RngLike, ensure_rng, spawn
 from repro.utils.validation import as_image_batch, check_labels, check_positive_int
@@ -56,17 +63,42 @@ class BinaryPixelEncoder(Encoder):
         levels: int = 256,
         dimension: int = DEFAULT_DIMENSION,
         rng: RngLike = None,
+        position_memory: Optional[ItemMemory] = None,
+        value_memory: Optional[ItemMemory] = None,
+        codebook: str = "materialized",
     ) -> None:
         if len(shape) != 2:
             raise ConfigurationError(f"shape must be (H, W), got {shape}")
         self._shape = (check_positive_int(shape[0], "H"), check_positive_int(shape[1], "W"))
         self._levels = check_positive_int(levels, "levels")
         self._space = BinarySpace(dimension)
+        check_codebook_kind(codebook)
         pos_rng, val_rng = spawn(ensure_rng(rng), 2)
         n_pixels = self._shape[0] * self._shape[1]
-        self._position_memory = ItemMemory(n_pixels, self._space, rng=pos_rng)
-        self._value_memory = ItemMemory(self._levels, self._space, rng=val_rng)
+        if position_memory is not None:
+            self._check_memory(position_memory, n_pixels, "position_memory")
+            self._position_memory = position_memory
+        else:
+            self._position_memory = make_item_memory(
+                codebook, n_pixels, self._space, rng=pos_rng
+            )
+        if value_memory is not None:
+            self._check_memory(value_memory, self._levels, "value_memory")
+            self._value_memory = value_memory
+        else:
+            self._value_memory = make_item_memory(
+                codebook, self._levels, self._space, rng=val_rng
+            )
         self._majority_threshold = n_pixels / 2.0
+
+    def _check_memory(self, memory: ItemMemory, size: int, name: str) -> None:
+        if memory.size != size:
+            raise ConfigurationError(f"{name} has {memory.size} rows, expected {size}")
+        if memory.dimension != self.dimension:
+            raise ConfigurationError(
+                f"{name} dimension {memory.dimension} != encoder dimension "
+                f"{self.dimension}"
+            )
 
     @property
     def dimension(self) -> int:
@@ -91,6 +123,11 @@ class BinaryPixelEncoder(Encoder):
     def value_memory(self) -> ItemMemory:
         """Per-grey-level binary value codebook."""
         return self._value_memory
+
+    @property
+    def codebook(self) -> str:
+        """Codebook storage kind (by the position memory's storage)."""
+        return codebook_kind(self._position_memory)
 
     def quantize(self, images: np.ndarray) -> np.ndarray:
         """Map grey values to level indices."""
@@ -165,8 +202,8 @@ class BinaryPixelEncoder(Encoder):
                 f"parent_accumulators {accs.shape} must be "
                 f"(n={levels.shape[0]}, D={self.dimension})"
             )
-        pos = self._position_memory.vectors
-        val = self._value_memory.vectors
+        pos = self._position_memory
+        val = self._value_memory
         out = accs.astype(np.int64, copy=True)
         # Correction components are in {-1, 0, 1}, so int16 partial sums
         # are exact up to 32767 changed pixels; wider shapes widen.
@@ -175,9 +212,10 @@ class BinaryPixelEncoder(Encoder):
             changed = np.flatnonzero(levels[i] != parents[i])
             if changed.size == 0:
                 continue
-            pos_changed = pos[changed]
-            delta = np.bitwise_xor(pos_changed, val[levels[i, changed]]).astype(np.int8)
-            delta -= np.bitwise_xor(pos_changed, val[parents[i, changed]])
+            # take() gathers (or regenerates) only the changed rows.
+            pos_changed = pos.take(changed)
+            delta = np.bitwise_xor(pos_changed, val.take(levels[i, changed])).astype(np.int8)
+            delta -= np.bitwise_xor(pos_changed, val.take(parents[i, changed]))
             sum_dtype = np.int16 if changed.size <= int16_safe else np.int64
             out[i] += delta.sum(axis=0, dtype=sum_dtype)
         return out
@@ -432,13 +470,12 @@ class BinaryHDCClassifier:
         return self._am.reference_hv(label)
 
     # -- persistence ---------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
-        """Serialise model (codebooks + bit counters) to a ``.npz`` file.
+    def save_payload(self) -> dict:
+        """The ``.npz`` key/value payload :meth:`save` writes.
 
-        Only :class:`BinaryPixelEncoder` models are serialisable (the
-        same restriction as :meth:`repro.hdc.model.HDCClassifier.save`).
-        The file is tagged ``kind="pixel-binary-hdc"`` so loaders can
-        dispatch between model families.
+        Same extension hook as
+        :meth:`repro.hdc.model.HDCClassifier.save_payload` (shared-
+        codebook ensemble serialisation appends per-member AM arrays).
         """
         if not isinstance(self._encoder, BinaryPixelEncoder):
             raise ConfigurationError(
@@ -446,18 +483,29 @@ class BinaryHDCClassifier:
             )
         enc = self._encoder
         state = self._am.state_dict()
-        np.savez_compressed(
-            Path(path),
+        return dict(
             kind=np.asarray("pixel-binary-hdc"),
+            codebook=np.asarray(enc.codebook),
             shape=np.asarray(enc.shape),
             levels=np.asarray(enc.levels),
             dimension=np.asarray(enc.dimension),
-            position_vectors=enc.position_memory.vectors,
-            value_vectors=enc.value_memory.vectors,
+            **memory_payload("position", enc.position_memory),
+            **memory_payload("value", enc.value_memory),
             am_ones=state["ones"],
             am_counts=state["counts"],
             n_classes=np.asarray(self._n_classes),
         )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise model (codebooks + bit counters) to a ``.npz`` file.
+
+        Only :class:`BinaryPixelEncoder` models are serialisable (the
+        same restriction as :meth:`repro.hdc.model.HDCClassifier.save`).
+        The file is tagged ``kind="pixel-binary-hdc"`` so loaders can
+        dispatch between model families; rematerialized codebooks
+        persist as their 64-bit PRF seeds only.
+        """
+        np.savez_compressed(Path(path), **self.save_payload())
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "BinaryHDCClassifier":
@@ -470,16 +518,19 @@ class BinaryHDCClassifier:
             space = BinarySpace(dimension)
             encoder = BinaryPixelEncoder.__new__(BinaryPixelEncoder)
             # Rebuild around the stored codebooks, no fresh randomness.
+            # Rematerialized payloads carry only the PRF seeds
+            # (<name>_seed keys); memory_from_payload dispatches.
             encoder._shape = shape  # noqa: SLF001 - controlled reconstruction
             encoder._levels = int(data["levels"])
             encoder._space = space
-            encoder._position_memory = ItemMemory.from_vectors(
-                data["position_vectors"], space
+            n_pixels = shape[0] * shape[1]
+            encoder._position_memory = memory_from_payload(
+                "position", data, n_pixels, space
             )
-            encoder._value_memory = ItemMemory.from_vectors(
-                data["value_vectors"], space
+            encoder._value_memory = memory_from_payload(
+                "value", data, encoder._levels, space
             )
-            encoder._majority_threshold = (shape[0] * shape[1]) / 2.0
+            encoder._majority_threshold = n_pixels / 2.0
             model = cls(encoder, int(data["n_classes"]))
             model._am = BinaryAssociativeMemory.from_state_dict(
                 {"ones": data["am_ones"], "counts": data["am_counts"]}

@@ -35,7 +35,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError, EncodingError
 from repro.hdc.encoders.base import Encoder
-from repro.hdc.item_memory import ItemMemory
+from repro.hdc.item_memory import (
+    ItemMemory,
+    check_codebook_kind,
+    codebook_kind,
+    make_item_memory,
+)
 from repro.hdc.ops import bipolarize
 from repro.hdc.spaces import DEFAULT_DIMENSION, BipolarSpace
 from repro.utils.rng import RngLike, ensure_rng, spawn
@@ -62,11 +67,24 @@ class PixelEncoder(Encoder):
     value_memory:
         Optional pre-built value codebook (e.g. a
         :class:`~repro.hdc.item_memory.LevelMemory` for the ordinal
-        ablation).  Must have ``levels`` rows.
+        ablation, or a shared codebook reused across ensemble members).
+        Must have ``levels`` rows.
+    position_memory:
+        Optional pre-built position codebook (``H·W`` rows) — the
+        injection point for shared-codebook ensembles and for
+        materialising a rematerialized twin.
     rng:
         Seed/generator for the random codebooks.
     sparse_background:
         Use the sparse-background fast path (identical results).
+    codebook:
+        ``"materialized"`` (default) stores the codebooks as ``(n, D)``
+        arrays; ``"rematerialized"`` draws
+        :class:`~repro.hdc.item_memory.RematerializedItemMemory`
+        codebooks whose rows are regenerated on demand from one 64-bit
+        seed each — near-zero retained encoder state, bit-identical to
+        their :meth:`~repro.hdc.item_memory.RematerializedItemMemory.materialize`-d
+        twins.  Explicitly injected memories take precedence.
     """
 
     def __init__(
@@ -76,8 +94,10 @@ class PixelEncoder(Encoder):
         levels: int = 256,
         dimension: int = DEFAULT_DIMENSION,
         value_memory: Optional[ItemMemory] = None,
+        position_memory: Optional[ItemMemory] = None,
         rng: RngLike = None,
         sparse_background: bool = True,
+        codebook: str = "materialized",
     ) -> None:
         if len(shape) != 2:
             raise ConfigurationError(f"shape must be (H, W), got {shape}")
@@ -85,12 +105,30 @@ class PixelEncoder(Encoder):
         self._levels = check_positive_int(levels, "levels")
         self._space = BipolarSpace(dimension)
         self._sparse_background = bool(sparse_background)
+        check_codebook_kind(codebook)
 
         pos_rng, val_rng = spawn(ensure_rng(rng), 2)
         n_pixels = self._shape[0] * self._shape[1]
-        self._position_memory = ItemMemory(n_pixels, self._space, rng=pos_rng)
+        if position_memory is not None:
+            if position_memory.size != n_pixels:
+                raise ConfigurationError(
+                    f"position_memory has {position_memory.size} rows, "
+                    f"expected H*W={n_pixels}"
+                )
+            if position_memory.dimension != dimension:
+                raise ConfigurationError(
+                    f"position_memory dimension {position_memory.dimension} != "
+                    f"encoder dimension {dimension}"
+                )
+            self._position_memory = position_memory
+        else:
+            self._position_memory = make_item_memory(
+                codebook, n_pixels, self._space, rng=pos_rng
+            )
         if value_memory is None:
-            value_memory = ItemMemory(self._levels, self._space, rng=val_rng)
+            value_memory = make_item_memory(
+                codebook, self._levels, self._space, rng=val_rng
+            )
         if value_memory.size != self._levels:
             raise ConfigurationError(
                 f"value_memory has {value_memory.size} rows, expected levels={self._levels}"
@@ -100,7 +138,8 @@ class PixelEncoder(Encoder):
                 f"value_memory dimension {value_memory.dimension} != encoder dimension {dimension}"
             )
         self._value_memory = value_memory
-        # Cached for the sparse path: Σ_p pos_p, an integer accumulator.
+        # Cached for the sparse path: Σ_p pos_p, an integer accumulator
+        # (computed from a transient materialisation when rematerialized).
         self._position_sum = self._position_memory.vectors.sum(axis=0, dtype=np.int64)
 
     # -- introspection ---------------------------------------------------
@@ -127,6 +166,11 @@ class PixelEncoder(Encoder):
     def value_memory(self) -> ItemMemory:
         """Codebook of per-grey-level value hypervectors."""
         return self._value_memory
+
+    @property
+    def codebook(self) -> str:
+        """Codebook storage kind: ``"materialized"`` or ``"rematerialized"``."""
+        return codebook_kind(self._position_memory)
 
     # -- quantisation ------------------------------------------------------
     def quantize(self, images: np.ndarray) -> np.ndarray:
@@ -230,8 +274,7 @@ class PixelEncoder(Encoder):
                 f"parent_accumulators {accs.shape} must be "
                 f"(n={levels.shape[0]}, D={self.dimension})"
             )
-        pos = self._position_memory.vectors
-        val = self._value_memory.vectors
+        pos, val = self._position_memory, self._value_memory
         out = accs.astype(np.int64, copy=True)
         # |each correction term| <= 2, so int16 partial sums are exact up
         # to 16383 changed pixels; larger encoder shapes fall back to a
@@ -242,9 +285,11 @@ class PixelEncoder(Encoder):
             if changed.size == 0:
                 continue
             # val entries are ±1, so the difference fits int8 ({-2, 0, 2})
-            # and so does the product with the ±1 position rows.
-            dval = val[levels[i, changed]] - val[parents[i, changed]]
-            np.multiply(pos[changed], dval, out=dval)
+            # and so does the product with the ±1 position rows.  take()
+            # gathers stored rows or rematerializes exactly the changed
+            # ones — only the touched pixels' codebook rows ever exist.
+            dval = val.take(levels[i, changed]) - val.take(parents[i, changed])
+            np.multiply(pos.take(changed), dval, out=dval)
             sum_dtype = np.int16 if changed.size <= int16_safe else np.int64
             out[i] += dval.sum(axis=0, dtype=sum_dtype)
         return out

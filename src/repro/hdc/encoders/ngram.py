@@ -31,7 +31,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError, EncodingError
 from repro.hdc.encoders.base import Encoder
-from repro.hdc.item_memory import ItemMemory
+from repro.hdc.item_memory import (
+    ItemMemory,
+    check_codebook_kind,
+    codebook_kind,
+    make_item_memory,
+)
 from repro.hdc.ops import permute
 from repro.hdc.spaces import DEFAULT_DIMENSION, BipolarSpace
 from repro.utils.rng import RngLike, ensure_rng
@@ -60,6 +65,15 @@ class NgramEncoder(Encoder):
         Hypervector dimensionality.
     rng:
         Seed/generator for the character codebook.
+    item_memory:
+        Optional pre-built character codebook (shared-codebook
+        ensembles, materialised twins); must have one row per alphabet
+        symbol.
+    codebook:
+        ``"materialized"`` (default) stores the codebook — and ``n``
+        pre-permuted copies of it — as arrays; ``"rematerialized"``
+        regenerates rows (and their permutations) on demand from one
+        64-bit seed, shrinking retained encoder state to near zero.
     """
 
     def __init__(
@@ -70,6 +84,8 @@ class NgramEncoder(Encoder):
         dimension: int = DEFAULT_DIMENSION,
         rng: RngLike = None,
         unknown_policy: str = "raise",
+        item_memory: Optional[ItemMemory] = None,
+        codebook: str = "materialized",
     ) -> None:
         self._n = check_positive_int(n, "n")
         if not alphabet:
@@ -84,11 +100,43 @@ class NgramEncoder(Encoder):
         self._char_to_idx = {ch: i for i, ch in enumerate(alphabet)}
         self._unknown_policy = unknown_policy
         self._space = BipolarSpace(dimension)
-        self._item_memory = ItemMemory(len(alphabet), self._space, rng=ensure_rng(rng))
+        check_codebook_kind(codebook)
+        if item_memory is not None:
+            if item_memory.size != len(alphabet):
+                raise ConfigurationError(
+                    f"item_memory has {item_memory.size} rows, expected "
+                    f"{len(alphabet)} (one per alphabet symbol)"
+                )
+            if item_memory.dimension != dimension:
+                raise ConfigurationError(
+                    f"item_memory dimension {item_memory.dimension} != "
+                    f"encoder dimension {dimension}"
+                )
+            self._item_memory = item_memory
+        else:
+            self._item_memory = make_item_memory(
+                codebook, len(alphabet), self._space, rng=ensure_rng(rng)
+            )
+        self._build_shifted()
+
+    def _build_shifted(self) -> None:
         # Pre-permuted codebooks: row r of _shifted[k] is ρ^k(item_r).
-        self._shifted = [
-            np.roll(self._item_memory.vectors, self._n - 1 - k, axis=1) for k in range(self._n)
-        ]
+        # A rematerialized codebook stores nothing, so its permuted
+        # copies aren't cached either — _shifted_take rolls regenerated
+        # rows on demand instead.
+        if self.codebook == "rematerialized":
+            self._shifted = None
+        else:
+            self._shifted = [
+                np.roll(self._item_memory.vectors, self._n - 1 - k, axis=1)
+                for k in range(self._n)
+            ]
+
+    def _shifted_take(self, k: int, rows: np.ndarray) -> np.ndarray:
+        """Gather ρ^{n-1-k}-permuted codebook rows (generated if remat)."""
+        if self._shifted is not None:
+            return self._shifted[k][rows]
+        return np.roll(self._item_memory.take(rows), self._n - 1 - k, axis=-1)
 
     # -- introspection ---------------------------------------------------
     @property
@@ -119,6 +167,11 @@ class NgramEncoder(Encoder):
     def item_memory(self) -> ItemMemory:
         """Per-character codebook."""
         return self._item_memory
+
+    @property
+    def codebook(self) -> str:
+        """Codebook storage kind (by the item memory's actual storage)."""
+        return codebook_kind(self._item_memory)
 
     # -- encoding ----------------------------------------------------------
     def indices(self, text: Union[str, np.ndarray]) -> np.ndarray:
@@ -191,7 +244,7 @@ class NgramEncoder(Encoder):
         n_grams = idx.size - self._n + 1
         acc = np.ones((n_grams, self.dimension), dtype=np.int64)
         for k in range(self._n):
-            acc *= self._shifted[k][idx[k : k + n_grams]]
+            acc *= self._shifted_take(k, idx[k : k + n_grams])
         return acc.sum(axis=0, dtype=np.int64)
 
     def accumulate_batch(self, items: Union[np.ndarray, Sequence[str]]) -> np.ndarray:
@@ -271,8 +324,8 @@ class NgramEncoder(Encoder):
             child_idx = levels[i].astype(np.int64, copy=False)
             parent_idx = parents[i].astype(np.int64, copy=False)
             for k in range(self._n):
-                old *= self._shifted[k][parent_idx[starts + k]]
-                new *= self._shifted[k][child_idx[starts + k]]
+                old *= self._shifted_take(k, parent_idx[starts + k])
+                new *= self._shifted_take(k, child_idx[starts + k])
             new -= old
             out[i] += new.sum(axis=0, dtype=np.int64)
         return out

@@ -26,7 +26,13 @@ import numpy as np
 
 from repro.errors import ConfigurationError, EncodingError
 from repro.hdc.encoders.base import Encoder
-from repro.hdc.item_memory import ItemMemory, LevelMemory
+from repro.hdc.item_memory import (
+    ItemMemory,
+    LevelMemory,
+    check_codebook_kind,
+    codebook_kind,
+    make_item_memory,
+)
 from repro.hdc.spaces import DEFAULT_DIMENSION, BipolarSpace
 from repro.utils.rng import RngLike, ensure_rng, spawn
 from repro.utils.validation import check_positive_int
@@ -54,6 +60,15 @@ class RecordEncoder(Encoder):
         Hypervector dimensionality.
     rng:
         Seed/generator for the codebooks.
+    id_memory / value_memory:
+        Optional pre-built codebooks (shared-codebook ensembles,
+        materialised twins); sizes must match ``n_features`` / ``levels``.
+    codebook:
+        ``"materialized"`` (default) stores both codebooks as arrays;
+        ``"rematerialized"`` regenerates rows on demand from 64-bit
+        seeds.  Rematerialization draws i.i.d. rows, so it requires
+        ``level_encoding="random"`` — a :class:`LevelMemory`'s rows are
+        sequentially constructed and cannot be regenerated row-wise.
     """
 
     def __init__(
@@ -65,6 +80,9 @@ class RecordEncoder(Encoder):
         level_encoding: str = "linear",
         dimension: int = DEFAULT_DIMENSION,
         rng: RngLike = None,
+        id_memory: Optional[ItemMemory] = None,
+        value_memory: Optional[ItemMemory] = None,
+        codebook: str = "materialized",
     ) -> None:
         self._n_features = check_positive_int(n_features, "n_features")
         self._levels = check_positive_int(levels, "levels")
@@ -73,11 +91,29 @@ class RecordEncoder(Encoder):
             raise ConfigurationError(f"value_range must satisfy low < high, got {value_range}")
         self._value_range = (low, high)
         self._space = BipolarSpace(dimension)
+        check_codebook_kind(codebook)
+        if codebook == "rematerialized" and level_encoding != "random":
+            raise ConfigurationError(
+                "codebook='rematerialized' requires level_encoding='random' "
+                "(LevelMemory rows are sequentially constructed and cannot "
+                "be regenerated row-wise)"
+            )
 
         id_rng, val_rng = spawn(ensure_rng(rng), 2)
-        self._id_memory = ItemMemory(self._n_features, self._space, rng=id_rng)
-        if level_encoding == "random":
-            self._value_memory: ItemMemory = ItemMemory(self._levels, self._space, rng=val_rng)
+        if id_memory is not None:
+            self._check_memory(id_memory, self._n_features, "id_memory")
+            self._id_memory = id_memory
+        else:
+            self._id_memory = make_item_memory(
+                codebook, self._n_features, self._space, rng=id_rng
+            )
+        if value_memory is not None:
+            self._check_memory(value_memory, self._levels, "value_memory")
+            self._value_memory: ItemMemory = value_memory
+        elif level_encoding == "random":
+            self._value_memory = make_item_memory(
+                codebook, self._levels, self._space, rng=val_rng
+            )
         elif level_encoding == "linear":
             self._value_memory = LevelMemory(self._levels, self._space, rng=val_rng)
         else:
@@ -85,6 +121,17 @@ class RecordEncoder(Encoder):
                 f"level_encoding must be 'random' or 'linear', got {level_encoding!r}"
             )
         self._level_encoding = level_encoding
+
+    def _check_memory(self, memory: ItemMemory, size: int, name: str) -> None:
+        if memory.size != size:
+            raise ConfigurationError(
+                f"{name} has {memory.size} rows, expected {size}"
+            )
+        if memory.dimension != self.dimension:
+            raise ConfigurationError(
+                f"{name} dimension {memory.dimension} != encoder dimension "
+                f"{self.dimension}"
+            )
 
     # -- introspection ---------------------------------------------------
     @property
@@ -115,6 +162,11 @@ class RecordEncoder(Encoder):
     def value_memory(self) -> ItemMemory:
         """Per-level value codebook."""
         return self._value_memory
+
+    @property
+    def codebook(self) -> str:
+        """Codebook storage kind (by the ID memory's actual storage)."""
+        return codebook_kind(self._id_memory)
 
     # -- quantisation ------------------------------------------------------
     def quantize(self, records: np.ndarray) -> np.ndarray:
@@ -204,8 +256,8 @@ class RecordEncoder(Encoder):
                 f"parent_accumulators {accs.shape} must be "
                 f"(n={levels.shape[0]}, D={self.dimension})"
             )
-        ids = self._id_memory.vectors
-        vals = self._value_memory.vectors
+        ids = self._id_memory
+        vals = self._value_memory
         out = accs.astype(np.int64, copy=True)
         # |each correction term| <= 2, so int16 partial sums are exact up
         # to 16383 changed slots; wider records widen the accumulator
@@ -216,9 +268,10 @@ class RecordEncoder(Encoder):
             if changed.size == 0:
                 continue
             # val entries are ±1, so the difference fits int8 ({-2, 0, 2})
-            # and so does the product with the ±1 ID rows.
-            dval = vals[levels[i, changed]] - vals[parents[i, changed]]
-            np.multiply(ids[changed], dval, out=dval)
+            # and so does the product with the ±1 ID rows.  take() gathers
+            # only the changed rows (generated on demand if rematerialized).
+            dval = vals.take(levels[i, changed]) - vals.take(parents[i, changed])
+            np.multiply(ids.take(changed), dval, out=dval)
             sum_dtype = np.int16 if changed.size <= int16_safe else np.int64
             out[i] += dval.sum(axis=0, dtype=sum_dtype)
         return out

@@ -14,6 +14,15 @@ linearly with level distance).  The paper generates its value memory
 randomly, so `ItemMemory` is the default everywhere; `LevelMemory`
 exists for the ablation bench that shows how the choice changes the
 fuzzer's behaviour.
+
+:class:`RematerializedItemMemory` is the near-zero-memory variant
+(Schmuck et al.'s *rematerialization*): rows are regenerated on demand
+from a counter-based PRF (:func:`repro.hdc.backends.packed.prf_words`)
+instead of stored, so the retained state is one 64-bit seed however
+large ``size × D`` grows.  It is a drop-in replacement wherever an
+:class:`ItemMemory` is gathered — :meth:`ItemMemory.take` is the shared
+hot-path gather both implement — and :meth:`materialize` recovers an
+ordinary stored codebook with bit-identical rows.
 """
 
 from __future__ import annotations
@@ -23,11 +32,85 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, DimensionMismatchError
-from repro.hdc.spaces import BipolarSpace, Space
+from repro.hdc.spaces import BinarySpace, BipolarSpace, Space
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ItemMemory", "LevelMemory"]
+__all__ = [
+    "ItemMemory",
+    "LevelMemory",
+    "RematerializedItemMemory",
+    "CODEBOOK_KINDS",
+    "check_codebook_kind",
+    "codebook_kind",
+    "codebook_seed",
+    "make_item_memory",
+    "memory_payload",
+    "memory_from_payload",
+]
+
+#: Encoder ``codebook=`` vocabulary (also the CLI ``--codebook`` choices).
+CODEBOOK_KINDS = ("materialized", "rematerialized")
+
+
+def check_codebook_kind(codebook: str) -> str:
+    """Validate a ``codebook=`` argument against :data:`CODEBOOK_KINDS`."""
+    if codebook not in CODEBOOK_KINDS:
+        raise ConfigurationError(
+            f"codebook must be one of {CODEBOOK_KINDS}, got {codebook!r}"
+        )
+    return codebook
+
+
+def codebook_kind(memory: "ItemMemory") -> str:
+    """Which :data:`CODEBOOK_KINDS` entry *memory* is (by storage)."""
+    return (
+        "rematerialized"
+        if isinstance(memory, RematerializedItemMemory)
+        else "materialized"
+    )
+
+
+def codebook_seed(rng: RngLike) -> int:
+    """Draw a 64-bit PRF seed for a rematerialized codebook from *rng*.
+
+    One draw from the generator, so seed derivation composes with the
+    encoders' existing ``spawn`` discipline (position and value memories
+    get independent seeds from independent child generators).
+    """
+    return int(ensure_rng(rng).integers(0, 2**64, dtype=np.uint64))
+
+
+def make_item_memory(
+    codebook: str, size: int, space: Optional[Space], *, rng: RngLike
+) -> "ItemMemory":
+    """Draw a fresh i.i.d. codebook of the requested storage *codebook* kind."""
+    check_codebook_kind(codebook)
+    if codebook == "rematerialized":
+        return RematerializedItemMemory(size, space, seed=codebook_seed(rng))
+    return ItemMemory(size, space, rng=rng)
+
+
+def memory_payload(name: str, memory: "ItemMemory") -> dict:
+    """``.npz`` key/value pairs persisting *memory* under prefix *name*.
+
+    Materialised codebooks store their ``(n, D)`` rows under
+    ``<name>_vectors``; rematerialized codebooks store only the 64-bit
+    PRF seed under ``<name>_seed`` — the whole point of the scheme is
+    that the seed *is* the codebook.  :func:`memory_from_payload`
+    branches on which key is present, so files saved before the seed
+    schema existed keep loading unchanged.
+    """
+    if isinstance(memory, RematerializedItemMemory):
+        return {f"{name}_seed": np.asarray(memory.seed, dtype=np.uint64)}
+    return {f"{name}_vectors": memory.vectors}
+
+
+def memory_from_payload(name: str, data, size: int, space: Space) -> "ItemMemory":
+    """Inverse of :func:`memory_payload` (*data* is an open ``.npz``)."""
+    if f"{name}_seed" in data:
+        return RematerializedItemMemory(size, space, seed=int(data[f"{name}_seed"]))
+    return ItemMemory.from_vectors(data[f"{name}_vectors"], space)
 
 
 class ItemMemory:
@@ -115,6 +198,17 @@ class ItemMemory:
             )
         return self._vectors[idx]
 
+    def take(self, index) -> np.ndarray:
+        """Unvalidated row gather — the encoders' hot-path lookup.
+
+        Same semantics as :meth:`lookup` minus the dtype/bounds checks
+        (callers' indices are valid by construction: quantised levels,
+        pixel positions).  Subclasses that do not store their rows
+        (:class:`RematerializedItemMemory`) generate exactly the
+        requested ones here.
+        """
+        return self._vectors[index]
+
     def __getitem__(self, index) -> np.ndarray:
         return self.lookup(index)
 
@@ -166,3 +260,107 @@ class LevelMemory(ItemMemory):
         self._space = space
         self._size = size
         self._vectors = vectors
+
+
+class RematerializedItemMemory(ItemMemory):
+    """A codebook whose rows are regenerated from a seed, never stored.
+
+    Row *i*, word *w* is a pure function of ``(seed, i, w)`` — the
+    SplitMix64 counter PRF of
+    :func:`repro.hdc.backends.packed.prf_words` — so gathers are
+    deterministic and order-independent, and the retained state is one
+    64-bit integer regardless of ``size × D``.  Dense rows come from
+    :meth:`take` (bipolar spaces unpack the words as sign bits, binary
+    spaces as plain bits); packed consumers take the uint64 words
+    directly via :meth:`take_words`, which makes the dense and packed
+    views of a row the same bits by construction (``pack ∘ unpack`` is
+    the identity on tail-masked words).
+
+    Only i.i.d. random codebooks rematerialize — a
+    :class:`LevelMemory`'s rows are sequentially constructed, so the
+    linear-level ablation keeps its stored form.
+
+    Parameters
+    ----------
+    size:
+        Number of items (rows).
+    space:
+        :class:`~repro.hdc.spaces.BipolarSpace` (default) or
+        :class:`~repro.hdc.spaces.BinarySpace`.
+    seed:
+        64-bit PRF seed; see :func:`codebook_seed` to derive one from
+        the encoders' rng discipline.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        space: Optional[Space] = None,
+        *,
+        seed: int,
+    ) -> None:
+        space = space if space is not None else BipolarSpace()
+        if isinstance(space, BipolarSpace):
+            self._signed = True
+        elif isinstance(space, BinarySpace):
+            self._signed = False
+        else:
+            raise ConfigurationError(
+                f"rematerialized codebooks support bipolar and binary spaces, "
+                f"got {type(space).__name__}"
+            )
+        self._space = space
+        self._size = check_positive_int(size, "size")
+        self._seed = int(seed) % (2**64)
+
+    @property
+    def seed(self) -> int:
+        """The 64-bit PRF seed — the codebook's entire retained state."""
+        return self._seed
+
+    # -- generation --------------------------------------------------------
+    def take_words(self, rows) -> np.ndarray:
+        """Packed uint64 words of *rows* → ``rows.shape + (W,)``."""
+        from repro.hdc.backends.packed import prf_words
+
+        return prf_words(self._seed, rows, self.dimension)
+
+    def take(self, index) -> np.ndarray:
+        """Generate the dense int8 rows for *index* on demand."""
+        from repro.hdc.backends.packed import unpack_bits, unpack_signs
+
+        words = self.take_words(index)
+        if self._signed:
+            return unpack_signs(words, self.dimension)
+        return unpack_bits(words, self.dimension)
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The full codebook, generated transiently (not cached).
+
+        Exists so batch-level consumers that hoist the whole codebook
+        before a loop (the dense encode paths, ``Σ_p pos_p`` caches)
+        stay drop-in; per-row consumers should gather with :meth:`take`
+        or :meth:`take_words` instead.
+        """
+        return self.take(np.arange(self._size))
+
+    def lookup(self, index) -> np.ndarray:
+        idx = np.asarray(index)
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise ConfigurationError(f"index must be integer(s), got dtype {idx.dtype}")
+        if idx.size and (idx.min() < 0 or idx.max() >= self._size):
+            raise ConfigurationError(
+                f"index out of range [0, {self._size}): [{idx.min()}, {idx.max()}]"
+            )
+        return self.take(idx)
+
+    def materialize(self) -> ItemMemory:
+        """An ordinary stored :class:`ItemMemory` with identical rows."""
+        return ItemMemory.from_vectors(self.vectors, self._space)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={self._size}, "
+            f"dimension={self.dimension}, seed={self._seed})"
+        )

@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError, NotTrainedError
 from repro.hdc.associative_memory import AssociativeMemory
 from repro.hdc.encoders.base import Encoder
 from repro.hdc.encoders.image import PixelEncoder
-from repro.hdc.item_memory import ItemMemory
+from repro.hdc.item_memory import memory_from_payload, memory_payload
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_labels, check_positive_int
 
@@ -260,14 +260,13 @@ class HDCClassifier:
         return clone
 
     # -- persistence ---------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
-        """Serialise model (codebooks + AM) to a ``.npz`` file.
+    def save_payload(self) -> dict:
+        """The ``.npz`` key/value payload :meth:`save` writes.
 
-        Three encoder families are serialisable — the pixel encoder
-        (kind ``pixel-hdc``), the character n-gram encoder
-        (``ngram-hdc``), and the record encoder (``record-hdc``) — so
-        every fuzzing domain's model round-trips through the CLI.
-        Other encoders raise :class:`~repro.errors.ConfigurationError`.
+        Exposed separately so wrappers that persist *extra* arrays next
+        to one model — a shared-codebook ensemble storing K associative
+        memories around a single codebook — can extend the payload
+        rather than duplicate the serialisation logic.
         """
         from repro.hdc.encoders.ngram import NgramEncoder
         from repro.hdc.encoders.record import RecordEncoder
@@ -281,50 +280,63 @@ class HDCClassifier:
             n_classes=np.asarray(self._n_classes),
         )
         if isinstance(enc, PixelEncoder):
-            np.savez_compressed(
-                Path(path),
+            return dict(
                 kind=np.asarray("pixel-hdc"),
+                codebook=np.asarray(enc.codebook),
                 shape=np.asarray(enc.shape),
                 levels=np.asarray(enc.levels),
                 dimension=np.asarray(enc.dimension),
-                position_vectors=enc.position_memory.vectors,
-                value_vectors=enc.value_memory.vectors,
+                **memory_payload("position", enc.position_memory),
+                **memory_payload("value", enc.value_memory),
                 **am_fields,
             )
-        elif isinstance(enc, NgramEncoder):
-            np.savez_compressed(
-                Path(path),
+        if isinstance(enc, NgramEncoder):
+            return dict(
                 kind=np.asarray("ngram-hdc"),
+                codebook=np.asarray(enc.codebook),
                 n=np.asarray(enc.n),
                 alphabet=np.asarray(enc.alphabet),
                 unknown_policy=np.asarray(enc.unknown_policy),
                 dimension=np.asarray(enc.dimension),
-                item_vectors=enc.item_memory.vectors,
+                **memory_payload("item", enc.item_memory),
                 **am_fields,
             )
-        elif isinstance(enc, RecordEncoder):
+        if isinstance(enc, RecordEncoder):
             from repro.hdc.item_memory import LevelMemory
 
             level_encoding = (
                 "linear" if isinstance(enc.value_memory, LevelMemory) else "random"
             )
-            np.savez_compressed(
-                Path(path),
+            return dict(
                 kind=np.asarray("record-hdc"),
+                codebook=np.asarray(enc.codebook),
                 n_features=np.asarray(enc.n_features),
                 levels=np.asarray(enc.levels),
                 value_range=np.asarray(enc.value_range),
                 level_encoding=np.asarray(level_encoding),
                 dimension=np.asarray(enc.dimension),
-                id_vectors=enc.id_memory.vectors,
-                value_vectors=enc.value_memory.vectors,
+                **memory_payload("id", enc.id_memory),
+                **memory_payload("value", enc.value_memory),
                 **am_fields,
             )
-        else:
-            raise ConfigurationError(
-                f"save() supports PixelEncoder, NgramEncoder and RecordEncoder "
-                f"models, not {type(enc).__name__}"
-            )
+        raise ConfigurationError(
+            f"save() supports PixelEncoder, NgramEncoder and RecordEncoder "
+            f"models, not {type(enc).__name__}"
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise model (codebooks + AM) to a ``.npz`` file.
+
+        Three encoder families are serialisable — the pixel encoder
+        (kind ``pixel-hdc``), the character n-gram encoder
+        (``ngram-hdc``), and the record encoder (``record-hdc``) — so
+        every fuzzing domain's model round-trips through the CLI.
+        Other encoders raise :class:`~repro.errors.ConfigurationError`.
+        Rematerialized codebooks persist as their 64-bit PRF seeds only
+        (``codebook`` tag + ``<name>_seed`` keys); stored-codebook files
+        from before the tag existed keep loading.
+        """
+        np.savez_compressed(Path(path), **self.save_payload())
 
     @staticmethod
     def _load_pixel_encoder(data) -> "PixelEncoder":
@@ -332,16 +344,19 @@ class HDCClassifier:
 
         encoder = PixelEncoder.__new__(PixelEncoder)
         # Rebuild the encoder around the stored codebooks without
-        # re-drawing randomness.
+        # re-drawing randomness.  Rematerialized payloads store only
+        # PRF seeds (<name>_seed keys); memory_from_payload dispatches,
+        # so pre-codebook-tag files keep loading unchanged.
         encoder._shape = tuple(int(v) for v in data["shape"])  # noqa: SLF001
         encoder._levels = int(data["levels"])
         encoder._space = BipolarSpace(int(data["dimension"]))
         encoder._sparse_background = True
-        encoder._position_memory = ItemMemory.from_vectors(
-            data["position_vectors"], encoder._space
+        n_pixels = encoder._shape[0] * encoder._shape[1]
+        encoder._position_memory = memory_from_payload(
+            "position", data, n_pixels, encoder._space
         )
-        encoder._value_memory = ItemMemory.from_vectors(
-            data["value_vectors"], encoder._space
+        encoder._value_memory = memory_from_payload(
+            "value", data, encoder._levels, encoder._space
         )
         encoder._position_sum = encoder._position_memory.vectors.sum(
             axis=0, dtype=np.int64
@@ -360,13 +375,10 @@ class HDCClassifier:
         encoder._char_to_idx = {ch: i for i, ch in enumerate(alphabet)}
         encoder._unknown_policy = str(data["unknown_policy"])
         encoder._space = BipolarSpace(int(data["dimension"]))
-        encoder._item_memory = ItemMemory.from_vectors(
-            data["item_vectors"], encoder._space
+        encoder._item_memory = memory_from_payload(
+            "item", data, len(alphabet), encoder._space
         )
-        encoder._shifted = [
-            np.roll(encoder._item_memory.vectors, encoder._n - 1 - k, axis=1)
-            for k in range(encoder._n)
-        ]
+        encoder._build_shifted()
         return encoder
 
     @staticmethod
@@ -381,13 +393,17 @@ class HDCClassifier:
         encoder._value_range = tuple(float(v) for v in data["value_range"])
         encoder._level_encoding = str(data["level_encoding"])
         encoder._space = BipolarSpace(int(data["dimension"]))
-        encoder._id_memory = ItemMemory.from_vectors(
-            data["id_vectors"], encoder._space
+        encoder._id_memory = memory_from_payload(
+            "id", data, encoder._n_features, encoder._space
         )
-        value_cls = LevelMemory if encoder._level_encoding == "linear" else ItemMemory
-        encoder._value_memory = value_cls.from_vectors(
-            data["value_vectors"], encoder._space
-        )
+        if encoder._level_encoding == "linear" and "value_vectors" in data:
+            encoder._value_memory = LevelMemory.from_vectors(
+                data["value_vectors"], encoder._space
+            )
+        else:
+            encoder._value_memory = memory_from_payload(
+                "value", data, encoder._levels, encoder._space
+            )
         return encoder
 
     @classmethod

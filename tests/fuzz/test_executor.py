@@ -353,3 +353,76 @@ class TestDefaultWorkerPolicy:
         monkeypatch.setenv(executor_module.WORKER_COUNT_ENV, "0")
         with pytest.raises(ConfigurationError):
             executor_module.default_worker_count()
+
+
+class TestDefaultPoolPolicy:
+    """Input-aware (n_workers, batch_size) sizing for process campaigns."""
+
+    def test_small_campaigns_get_small_pools(self, monkeypatch):
+        import repro.fuzz.executor as executor_module
+
+        monkeypatch.delenv(executor_module.WORKER_COUNT_ENV, raising=False)
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 17)
+        min_per = executor_module.MIN_INPUTS_PER_WORKER
+        # Below one worker's amortisation floor: a single process.
+        workers, batch = executor_module.default_pool_policy(min_per - 1)
+        assert workers == 1
+        assert batch == min_per - 1  # one lock-step chunk for the lot
+        # Exactly two floors' worth: two processes.
+        workers, _ = executor_module.default_pool_policy(2 * min_per)
+        assert workers == 2
+
+    def test_large_campaigns_cap_at_core_default(self, monkeypatch):
+        import repro.fuzz.executor as executor_module
+
+        monkeypatch.delenv(executor_module.WORKER_COUNT_ENV, raising=False)
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 9)
+        workers, batch = executor_module.default_pool_policy(10_000)
+        assert workers == 8  # cores − 1, not 10_000 // MIN_INPUTS_PER_WORKER
+        assert batch == executor_module.DEFAULT_BATCH_SIZE
+
+    def test_explicit_knobs_pass_through(self):
+        import repro.fuzz.executor as executor_module
+
+        workers, batch = executor_module.default_pool_policy(
+            4, n_workers=6, batch_size=128
+        )
+        assert (workers, batch) == (6, 128)
+
+    def test_batch_never_exceeds_shard(self, monkeypatch):
+        import repro.fuzz.executor as executor_module
+
+        monkeypatch.delenv(executor_module.WORKER_COUNT_ENV, raising=False)
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 3)
+        # 20 inputs over 2 workers → 10-input shards → 10-input chunks.
+        workers, batch = executor_module.default_pool_policy(20)
+        assert workers == 2
+        assert batch == 10
+
+    def test_degenerate_inputs_floor_at_one(self):
+        import repro.fuzz.executor as executor_module
+
+        workers, batch = executor_module.default_pool_policy(0)
+        assert workers >= 1 and batch >= 1
+
+    def test_invalid_explicit_values_rejected(self):
+        import repro.fuzz.executor as executor_module
+
+        with pytest.raises(ConfigurationError):
+            executor_module.default_pool_policy(10, n_workers=0)
+        with pytest.raises(ConfigurationError):
+            executor_module.default_pool_policy(10, batch_size=-1)
+
+    def test_process_outcomes_invariant_to_policy(
+        self, trained_model, test_images, monkeypatch
+    ):
+        """The policy tunes throughput only: a policy-sized run equals an
+        explicitly-sized run input for input."""
+        inputs = list(test_images[:5])
+        policy_sized = ProcessExecutor().run(
+            trained_model, "gauss", inputs, config=CFG, rng=11
+        )
+        explicit = ProcessExecutor(n_workers=2, batch_size=2).run(
+            trained_model, "gauss", inputs, config=CFG, rng=11
+        )
+        assert _outcome_key(policy_sized) == _outcome_key(explicit)

@@ -1,0 +1,174 @@
+"""SharedCodebookEnsembleTarget: construction, persistence, equivalence.
+
+The encode-once target's unit surface; the conformance suite
+(tests/hdc/backends/test_conformance.py) covers the rematerialized
+codebook semantics themselves, and bench_shared_codebook.py pins the
+performance bars.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_digits
+from repro.errors import ConfigurationError
+from repro.fuzz import (
+    BatchedHDTest,
+    CrossModelOracle,
+    HDTestConfig,
+    ModelEnsembleTarget,
+    SharedCodebookEnsembleTarget,
+)
+from repro.hdc import (
+    BinaryHDCClassifier,
+    BinaryPixelEncoder,
+    HDCClassifier,
+    PixelEncoder,
+)
+
+DIM = 768
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def data():
+    return load_digits(n_train=150, n_test=12, seed=SEED)
+
+
+@pytest.fixture(scope="module", params=["materialized", "rematerialized"])
+def shared(request, data):
+    train, _ = data
+    model = HDCClassifier(
+        PixelEncoder(dimension=DIM, rng=SEED, codebook=request.param), 10
+    ).fit(train.images, train.labels)
+    return SharedCodebookEnsembleTarget.trained_shared(
+        model, 3, train.images, train.labels, rng=SEED + 1
+    )
+
+
+class TestConstruction:
+    def test_members_share_one_encoder_object(self, shared):
+        encoders = {id(m.encoder) for m in shared.members}
+        assert len(encoders) == 1
+        assert shared.n_members == 3
+        assert shared.n_encode_blocks == 1
+
+    def test_distinct_encoders_rejected(self, data):
+        train, _ = data
+        members = [
+            HDCClassifier(PixelEncoder(dimension=DIM, rng=s), 10).fit(
+                train.images, train.labels
+            )
+            for s in (0, 0)  # same seed, still distinct objects
+        ]
+        with pytest.raises(ConfigurationError, match="share one"):
+            SharedCodebookEnsembleTarget(*members)
+
+    def test_bagged_members_diverge_from_primary(self, shared):
+        primary_am = shared.primary.associative_memory.state_dict()
+        bagged_am = shared.members[1].associative_memory.state_dict()
+        assert any(
+            not np.array_equal(primary_am[k], bagged_am[k]) for k in primary_am
+        )
+
+    def test_copy_keeps_the_shared_encoder(self, shared, data):
+        _, test = data
+        clone = shared.copy()
+        assert clone.primary.encoder is clone.members[1].encoder
+        np.testing.assert_array_equal(
+            clone.predict(list(test.images)), shared.predict(list(test.images))
+        )
+
+
+class TestEncodeOnceEquivalence:
+    """Encode-once is a pure optimisation of the independent target."""
+
+    def test_predict_and_similarities(self, shared, data):
+        _, test = data
+        independent = ModelEnsembleTarget(*shared.members)
+        inputs = list(test.images)
+        np.testing.assert_array_equal(
+            shared.predict(inputs), independent.predict(inputs)
+        )
+        np.testing.assert_array_equal(
+            shared.similarities(inputs), independent.similarities(inputs)
+        )
+
+    def test_campaign_outcomes(self, shared, data):
+        _, test = data
+        independent = ModelEnsembleTarget(*shared.members)
+        inputs = list(test.images[:4])
+        config = HDTestConfig(iter_times=6)
+        keys = {}
+        for name, target in (("shared", shared), ("independent", independent)):
+            outcomes = BatchedHDTest(
+                target, "gauss", config=config, oracle=CrossModelOracle()
+            ).fuzz_outcomes(inputs, rng=2)
+            keys[name] = [
+                (o.success, o.iterations, o.reference_label) for o in outcomes
+            ]
+        assert keys["shared"] == keys["independent"]
+
+
+class TestPersistence:
+    def test_round_trip(self, shared, data, tmp_path):
+        _, test = data
+        path = tmp_path / "ensemble.npz"
+        shared.save(path)
+        loaded = SharedCodebookEnsembleTarget.load(path)
+        assert loaded.n_members == shared.n_members
+        assert loaded.primary.encoder is loaded.members[1].encoder
+        assert loaded.primary.encoder.codebook == shared.primary.encoder.codebook
+        np.testing.assert_array_equal(
+            loaded.predict(list(test.images)), shared.predict(list(test.images))
+        )
+
+    def test_file_doubles_as_primary_checkpoint(self, shared, data, tmp_path):
+        _, test = data
+        path = tmp_path / "ensemble.npz"
+        shared.save(path)
+        single = HDCClassifier.load(path)
+        np.testing.assert_array_equal(
+            single.predict(test.images), shared.primary.predict(test.images)
+        )
+
+    def test_codebook_stored_once(self, shared, tmp_path):
+        path = tmp_path / "ensemble.npz"
+        shared.save(path)
+        single_path = tmp_path / "single.npz"
+        shared.primary.save(single_path)
+        with np.load(path) as data:
+            # One codebook (or seed) regardless of K: exactly the keys a
+            # single model stores, plus AM deltas and the size tag.
+            codebook_keys = [
+                k for k in data.files if "position" in k or "value" in k
+            ]
+            with np.load(single_path) as single:
+                single_codebook = [
+                    k for k in single.files if "position" in k or "value" in k
+                ]
+            assert sorted(codebook_keys) == sorted(single_codebook)
+        # K-1 AMs' worth of arrays, never K full checkpoints.
+        assert path.stat().st_size < shared.n_members * single_path.stat().st_size
+
+    def test_single_model_file_rejected(self, shared, tmp_path):
+        path = tmp_path / "single.npz"
+        shared.primary.save(path)
+        with pytest.raises(ConfigurationError, match="ensemble"):
+            SharedCodebookEnsembleTarget.load(path)
+
+    def test_binary_family_round_trip(self, data, tmp_path):
+        train, test = data
+        model = BinaryHDCClassifier(
+            BinaryPixelEncoder(dimension=DIM, rng=SEED, codebook="rematerialized"),
+            10,
+        ).fit(train.images, train.labels)
+        target = SharedCodebookEnsembleTarget.trained_shared(
+            model, 3, train.images, train.labels, rng=1
+        )
+        path = tmp_path / "binary-ensemble.npz"
+        target.save(path)
+        loaded = SharedCodebookEnsembleTarget.load(path)
+        assert isinstance(loaded.primary, BinaryHDCClassifier)
+        np.testing.assert_array_equal(
+            loaded.predict(list(test.images)), target.predict(list(test.images))
+        )

@@ -1,8 +1,9 @@
 """Cross-family differential conformance suite (HDXplore on ourselves).
 
 One parametrized matrix runs the model/AM/encoder equivalence
-properties across *all four* model families — dense bipolar, dense
-binary, packed binary, packed bipolar.  Two kinds of checks:
+properties across *all* model families — dense bipolar, dense binary,
+packed binary, packed bipolar, each with materialized and
+rematerialized (seed-only) codebooks.  Two kinds of checks:
 
 * **pairwise equivalence** — each packed family against its dense
   counterpart, built from the same seed: encodings, class HVs,
@@ -47,31 +48,44 @@ SEED = 4
 N_CLASSES = 3
 
 
-def _dense_bipolar():
+def _dense_bipolar(codebook="materialized"):
     return HDCClassifier(
-        PixelEncoder(shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED), N_CLASSES
+        PixelEncoder(
+            shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED, codebook=codebook
+        ),
+        N_CLASSES,
     )
 
 
-def _packed_bipolar():
+def _packed_bipolar(codebook="materialized"):
     return PackedBipolarHDCClassifier(
-        PackedBipolarEncoder(shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED),
+        PackedBipolarEncoder(
+            shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED, codebook=codebook
+        ),
         N_CLASSES,
     )
 
 
-def _dense_binary():
+def _dense_binary(codebook="materialized"):
     return BinaryHDCClassifier(
-        BinaryPixelEncoder(shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED),
+        BinaryPixelEncoder(
+            shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED, codebook=codebook
+        ),
         N_CLASSES,
     )
 
 
-def _packed_binary():
+def _packed_binary(codebook="materialized"):
     return PackedBinaryHDCClassifier(
-        PackedPixelEncoder(shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED),
+        PackedPixelEncoder(
+            shape=SHAPE, levels=LEVELS, dimension=DIM, rng=SEED, codebook=codebook
+        ),
         N_CLASSES,
     )
+
+
+def _remat(builder):
+    return lambda: builder(codebook="rematerialized")
 
 
 def _identity(model, hvs):
@@ -83,6 +97,14 @@ def _unpack_encoder(model, hvs):
 
 
 #: name → (builder, hvs-to-dense canonicaliser, semantic class, loader)
+#:
+#: The ``remat-*`` rows run the whole matrix again with rematerialized
+#: (seed-only, PRF-backed) codebooks.  At a shared ``rng`` the dense and
+#: packed remat encoders draw the *same* codebook seeds, so each remat
+#: pair is bit-identical exactly like the materialized pairs — but a
+#: remat family's codebook *content* differs from its materialized
+#: sibling's (a 64-bit seed draw replaces the space's row draws), which
+#: is why the cross-semantics check groups by codebook kind too.
 FAMILIES = {
     "dense-bipolar": (_dense_bipolar, _identity, "bipolar", HDCClassifier.load),
     "packed-bipolar": (_packed_bipolar, _unpack_encoder, "bipolar", HDCClassifier.load),
@@ -93,10 +115,39 @@ FAMILIES = {
         "binary",
         BinaryHDCClassifier.load,
     ),
+    "remat-bipolar": (
+        _remat(_dense_bipolar),
+        _identity,
+        "bipolar",
+        HDCClassifier.load,
+    ),
+    "remat-packed-bipolar": (
+        _remat(_packed_bipolar),
+        _unpack_encoder,
+        "bipolar",
+        HDCClassifier.load,
+    ),
+    "remat-binary": (
+        _remat(_dense_binary),
+        _identity,
+        "binary",
+        BinaryHDCClassifier.load,
+    ),
+    "remat-packed-binary": (
+        _remat(_packed_binary),
+        _unpack_encoder,
+        "binary",
+        BinaryHDCClassifier.load,
+    ),
 }
 
 #: (dense, packed) pairs sharing one semantic class — the equivalence axes.
-PAIRS = [("dense-bipolar", "packed-bipolar"), ("dense-binary", "packed-binary")]
+PAIRS = [
+    ("dense-bipolar", "packed-bipolar"),
+    ("dense-binary", "packed-binary"),
+    ("remat-bipolar", "remat-packed-bipolar"),
+    ("remat-binary", "remat-packed-binary"),
+]
 
 
 @pytest.fixture(scope="module")
@@ -286,14 +337,19 @@ class TestCrossSemanticsDifferential:
     """HDXplore-style: compare the two semantic classes on shared inputs."""
 
     def test_semantic_classes_agree_internally(self, trained, images):
-        by_class = {"bipolar": [], "binary": []}
+        # Group by (semantic class, codebook kind): remat and materialized
+        # codebooks hold *different* random rows at the same rng, so only
+        # families sharing both axes are predicted to agree bit for bit.
+        by_class = {}
         for name, model in trained.items():
-            by_class[FAMILIES[name][2]].append(model.predict(images))
-        for semantic, predictions in by_class.items():
+            key = (FAMILIES[name][2], model.encoder.codebook)
+            by_class.setdefault(key, []).append(model.predict(images))
+        assert len(by_class) == 4  # {bipolar, binary} × {materialized, remat}
+        for (semantic, kind), predictions in by_class.items():
             assert len(predictions) == 2
             np.testing.assert_array_equal(
                 predictions[0], predictions[1],
-                err_msg=f"{semantic} families diverged on identical seeds",
+                err_msg=f"{semantic}/{kind} families diverged on identical seeds",
             )
 
     def test_all_families_clear_the_training_floor(self, trained, images, labels):
@@ -388,3 +444,133 @@ class TestWordLevelAMUpdates:
         assert am.state_dict()["ones"][1].sum() == 70
         am.add(one[:0], np.zeros(0, dtype=np.int64))  # empty batch no-op
         assert am.state_dict()["ones"][0].sum() == 0
+
+
+REMAT_NAMES = sorted(name for name in FAMILIES if name.startswith("remat-"))
+
+#: remat family → its materialized sibling (same semantics and packing).
+REMAT_SIBLING = {
+    "remat-bipolar": "dense-bipolar",
+    "remat-packed-bipolar": "packed-bipolar",
+    "remat-binary": "dense-binary",
+    "remat-packed-binary": "packed-binary",
+}
+
+
+class TestRematerializedCodebooks:
+    """Seed-only codebooks: rows from a PRF, behaviour from nowhere else.
+
+    The remat rows already run the full matrix above; these tests pin
+    the properties unique to rematerialization — a ``materialize()``d
+    twin is bit-identical, persistence stores the 64-bit seed instead of
+    ``(n, D)`` rows, the PRF's packed words *are* the packed dense rows,
+    and the shared-codebook ensemble target is a pure optimisation of
+    the independent one over the same members.
+    """
+
+    @pytest.mark.parametrize("name", REMAT_NAMES)
+    def test_materialize_twin_is_bit_identical(self, trained, images, labels, name):
+        """Injecting materialize()d memories reproduces the remat model."""
+        model = trained[name]
+        enc = model.encoder
+        assert enc.codebook == "rematerialized"
+        twin_encoder = type(enc)(
+            shape=SHAPE,
+            levels=LEVELS,
+            dimension=DIM,
+            rng=SEED,
+            position_memory=enc.position_memory.materialize(),
+            value_memory=enc.value_memory.materialize(),
+        )
+        assert twin_encoder.codebook == "materialized"
+        twin = type(model)(twin_encoder, N_CLASSES).fit(images, labels)
+        np.testing.assert_array_equal(
+            twin.encode_batch(images), model.encode_batch(images)
+        )
+        np.testing.assert_array_equal(
+            twin.similarities(images), model.similarities(images)
+        )
+        np.testing.assert_array_equal(twin.predict(images), model.predict(images))
+
+    @pytest.mark.parametrize("name", REMAT_NAMES)
+    def test_persistence_stores_only_the_seed(self, trained, images, tmp_path, name):
+        from repro.hdc.item_memory import RematerializedItemMemory
+
+        model = trained[name]
+        path = tmp_path / f"{name}.npz"
+        model.save(path)
+        with np.load(path) as data:
+            assert "position_seed" in data.files
+            assert "value_seed" in data.files
+            assert "position_vectors" not in data.files
+            assert "value_vectors" not in data.files
+        sibling_path = tmp_path / f"{name}-sibling.npz"
+        trained[REMAT_SIBLING[name]].save(sibling_path)
+        assert path.stat().st_size < sibling_path.stat().st_size
+
+        loaded = FAMILIES[name][3](path)
+        assert isinstance(
+            loaded.encoder.position_memory, RematerializedItemMemory
+        )
+        assert loaded.encoder.codebook == "rematerialized"
+        np.testing.assert_array_equal(
+            loaded.predict(images), model.predict(images)
+        )
+
+    def test_prf_words_are_the_packed_dense_rows(self, trained):
+        """``take_words`` must equal packing ``take``'s dense rows."""
+        from repro.hdc.backends.packed import pack_bits, pack_signs
+
+        idx = np.arange(SHAPE[0] * SHAPE[1])
+        bipolar = trained["remat-packed-bipolar"].encoder.position_memory
+        np.testing.assert_array_equal(
+            bipolar.take_words(idx), pack_signs(bipolar.take(idx))
+        )
+        binary = trained["remat-packed-binary"].encoder.position_memory
+        np.testing.assert_array_equal(
+            binary.take_words(idx), pack_bits(binary.take(idx))
+        )
+
+    def test_remat_encoder_state_is_near_zero(self, trained):
+        """No (n, D) arrays hide inside a remat model's encoder."""
+        for name in REMAT_NAMES:
+            enc = trained[name].encoder
+            for memory in (enc.position_memory, enc.value_memory):
+                retained = sum(
+                    v.nbytes
+                    for v in vars(memory).values()
+                    if isinstance(v, np.ndarray)
+                )
+                assert retained == 0, f"{name} retains {retained} codebook bytes"
+
+    @pytest.mark.parametrize("name", ["remat-bipolar", "remat-packed-binary"])
+    def test_shared_ensemble_is_pure_optimisation(self, trained, images, labels, name):
+        """Shared-codebook target == independent target over the same members."""
+        from repro.fuzz import (
+            BatchedHDTest,
+            CrossModelOracle,
+            HDTestConfig,
+            ModelEnsembleTarget,
+            SharedCodebookEnsembleTarget,
+        )
+
+        shared = SharedCodebookEnsembleTarget.trained_shared(
+            trained[name], 3, images, labels, rng=7
+        )
+        independent = ModelEnsembleTarget(*shared.members)
+        inputs = list(images[:4])
+        np.testing.assert_array_equal(
+            shared.predict(inputs), independent.predict(inputs)
+        )
+
+        config = HDTestConfig(iter_times=8)
+        outcomes = {}
+        for label, target in (("shared", shared), ("independent", independent)):
+            engine = BatchedHDTest(
+                target, "gauss", config=config, oracle=CrossModelOracle()
+            )
+            outcomes[label] = [
+                (o.success, o.iterations, o.reference_label)
+                for o in engine.fuzz_outcomes(inputs, rng=11)
+            ]
+        assert outcomes["shared"] == outcomes["independent"]

@@ -392,7 +392,7 @@ class TestEnsembleCLI:
         ])
         out = capsys.readouterr().out
         assert code == 0
-        assert "cross-model differential: 3 members" in out
+        assert "cross-model differential: 3 independent members" in out
         assert "Table II" in out
 
     def test_majority_oracle_and_packed_backend(self, model_path, capsys):
@@ -434,4 +434,53 @@ class TestEnsembleCLI:
             main([
                 "fuzz", "--model", str(model_path), "--ensemble", "0",
                 "--n-images", "2",
+            ])
+
+
+class TestCodebookCLI:
+    @pytest.fixture(scope="class")
+    def remat_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-codebook") / "remat.npz"
+        assert main([
+            "train", "--out", str(path), "--n-train", "300", "--n-test", "60",
+            "--dimension", "1024", "--seed", "7", "--codebook", "rematerialized",
+        ]) == 0
+        return path
+
+    def test_train_stores_only_seeds(self, remat_path):
+        import numpy as np
+
+        with np.load(remat_path) as data:
+            assert "position_seed" in data.files
+            assert "value_seed" in data.files
+            assert not any(k.endswith("_vectors") for k in data.files)
+
+    def test_shared_codebook_fuzz(self, remat_path, capsys):
+        code = main([
+            "fuzz", "--model", str(remat_path), "--strategies", "gauss",
+            "--n-images", "4", "--iter-times", "6",
+            "--ensemble", "3", "--ensemble-train", "150",
+            "--executor", "batched", "--seed", "0",
+            "--codebook", "rematerialized", "--shared-codebook",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 shared-codebook members" in out
+
+    def test_codebook_mismatch_rejected(self, remat_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="rematerialized model"):
+            main([
+                "fuzz", "--model", str(remat_path), "--n-images", "2",
+                "--codebook", "materialized",
+            ])
+
+    def test_shared_codebook_needs_an_ensemble(self, remat_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--shared-codebook"):
+            main([
+                "fuzz", "--model", str(remat_path), "--n-images", "2",
+                "--shared-codebook",
             ])
