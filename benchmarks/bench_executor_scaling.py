@@ -42,6 +42,7 @@ from repro.fuzz.executor import (
     default_pool_policy,
 )
 from repro.fuzz.oracle import CrossModelOracle
+from repro.obs import CampaignTelemetry
 
 PAPER_DIMENSION = 10_000
 SEED = 42
@@ -82,7 +83,8 @@ def run_scaling(dimension, n_train, *, fuzz_iters=FUZZ_ITERS,
 
     start = time.perf_counter()
     batched = BatchedExecutor().run(
-        remat, "gauss", inputs, config=cfg, oracle=oracle, rng=seed
+        remat, "gauss", inputs, config=cfg, oracle=oracle, rng=seed,
+        telemetry=CampaignTelemetry(),
     )
     timings["batched"] = time.perf_counter() - start
     keys["batched"] = _outcome_key(batched)
@@ -99,16 +101,32 @@ def run_scaling(dimension, n_train, *, fuzz_iters=FUZZ_ITERS,
     # Policy-sized pool: whatever default_pool_policy grants this campaign.
     with ProcessExecutor() as pool:
         start = time.perf_counter()
-        result = pool.run(remat, "gauss", inputs, config=cfg, oracle=oracle, rng=seed)
+        result = pool.run(
+            remat, "gauss", inputs, config=cfg, oracle=oracle, rng=seed,
+            telemetry=CampaignTelemetry(),
+        )
         timings["process_policy"] = time.perf_counter() - start
         keys["process_policy"] = _outcome_key(result)
     policy_workers, policy_batch = default_pool_policy(len(inputs))
+
+    # The crossover, re-derived from phase telemetry rather than bare
+    # wall clocks: the process pool wins only once the engine-phase work
+    # (worker busy_seconds, parallelisable) dominates the schedule
+    # overhead (parent elapsed − busy/workers: broadcast, pickling, IPC).
+    batched_phases = batched.telemetry["phase_seconds"]
+    process_phases = result.telemetry["phase_seconds"]
+    busy = result.telemetry["busy_seconds"]
+    overhead = max(timings["process_policy"] - busy / max(policy_workers, 1), 0.0)
 
     return {
         "dimension": dimension,
         "k": K_MEMBERS,
         "n_inputs": len(inputs),
         "timings_s": timings,
+        "batched_phase_seconds": batched_phases,
+        "process_phase_seconds": process_phases,
+        "process_busy_s": busy,
+        "process_overhead_s": overhead,
         "outcomes_agree": all(k == keys["batched"] for k in keys.values()),
         "policy_workers": policy_workers,
         "policy_batch": policy_batch,
@@ -129,6 +147,20 @@ def report(result) -> str:
         lines.append(
             f"{name:18s} {seconds:10.2f} {result['n_inputs'] / seconds:12.2f}"
         )
+    for label, phases in (
+        ("batched phases", result["batched_phase_seconds"]),
+        ("process phases", result["process_phase_seconds"]),
+    ):
+        split = "  ".join(
+            f"{name} {seconds:.2f}s" for name, seconds in phases.items() if seconds
+        )
+        lines.append(f"{label:18s} {split or '-'}")
+    lines.append(
+        f"{'process crossover':18s} busy {result['process_busy_s']:.2f}s "
+        f"across {result['policy_workers']} workers + "
+        f"~{result['process_overhead_s']:.2f}s schedule overhead "
+        f"= {result['timings_s']['process_policy']:.2f}s wall"
+    )
     lines.append(
         f"{'broadcast bytes':18s} "
         f"remat {result['remat_broadcast_bytes']:,} vs materialized "
@@ -158,6 +190,16 @@ def _record(result) -> None:
         "bench_executor_scaling",
         metrics={
             **{f"{k}_s": v for k, v in result["timings_s"].items()},
+            **{
+                f"batched_phase_{k}_s": round(v, 4)
+                for k, v in result["batched_phase_seconds"].items()
+            },
+            **{
+                f"process_phase_{k}_s": round(v, 4)
+                for k, v in result["process_phase_seconds"].items()
+            },
+            "process_busy_s": result["process_busy_s"],
+            "process_overhead_s": result["process_overhead_s"],
             "outcomes_agree": result["outcomes_agree"],
             "remat_broadcast_bytes": result["remat_broadcast_bytes"],
             "materialized_broadcast_bytes": result["materialized_broadcast_bytes"],

@@ -59,6 +59,12 @@ SEED = 29
 #: baseline's inputs/sec.
 MIN_BATCHED_SPEEDUP = 3.0
 
+#: Telemetry acceptance bar: instrumented batched campaign may cost at
+#: most this fraction over the uninstrumented one (min-of-N, interleaved
+#: so thermal/cache drift hits both arms equally).
+MAX_TELEMETRY_OVERHEAD = 0.05
+TELEMETRY_TIMING_REPEATS = 3
+
 
 class _ScratchSerialExecutor(SerialExecutor):
     """The pre-delta sequential engine: every child encoded from scratch.
@@ -70,11 +76,12 @@ class _ScratchSerialExecutor(SerialExecutor):
     """
 
     def run(self, model, strategy, inputs, *, domain=None, config=None,
-            constraint=None, fitness=None, oracle=None, rng=None):
+            constraint=None, fitness=None, oracle=None, rng=None,
+            telemetry=None):
         fuzzer = HDTest(
             model, strategy, domain=domain,
             config=config, constraint=constraint,
-            fitness=fitness, oracle=oracle, rng=rng,
+            fitness=fitness, oracle=oracle, rng=rng, telemetry=telemetry,
         )
         fuzzer._delta_encoder = lambda: None  # noqa: SLF001 - bench baseline
         result = fuzzer.fuzz(inputs)
@@ -125,6 +132,40 @@ def run_throughput_comparison(model, images, *, iter_times=ITER_TIMES,
     return rows
 
 
+def run_telemetry_overhead(model, images, *, iter_times=ITER_TIMES,
+                           batch_size=64, repeats=TELEMETRY_TIMING_REPEATS):
+    """Relative cost of telemetry on the batched paper-scale campaign.
+
+    Times the four-strategy batched campaign with telemetry off and on,
+    interleaved, and compares the min-of-*repeats* wall clocks (min is
+    the standard noise-robust estimator for same-work timing).  Returns
+    ``(overhead_fraction, off_seconds, on_seconds, counters)``.
+    """
+    from repro.obs import CampaignTelemetry
+
+    config = HDTestConfig(iter_times=iter_times)
+    off_times, on_times = [], []
+    counters = {}
+    executor = BatchedExecutor(batch_size=batch_size)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        compare_strategies(
+            model, images, STRATEGIES, config=config, rng=SEED,
+            executor=executor,
+        )
+        off_times.append(time.perf_counter() - start)
+        obs = CampaignTelemetry()
+        start = time.perf_counter()
+        compare_strategies(
+            model, images, STRATEGIES, config=config, rng=SEED,
+            executor=executor, telemetry=obs,
+        )
+        on_times.append(time.perf_counter() - start)
+        counters = dict(obs.counters)
+    off, on = min(off_times), min(on_times)
+    return (on - off) / off, off, on, counters
+
+
 def _record_rows(rows, *, n_images, iter_times) -> None:
     from conftest import write_bench_record
 
@@ -150,6 +191,31 @@ def test_engine_speedups(benchmark, paper_model, fuzz_images):
             f"{engine} executor {by_name[engine]:.2f} in/s is below "
             f"{MIN_BATCHED_SPEEDUP}x the scratch baseline ({baseline:.2f} in/s)"
         )
+
+
+def test_telemetry_overhead_within_budget(paper_model, fuzz_images):
+    """Instrumentation must cost ≤ 5% on the paper-scale batched campaign."""
+    from conftest import write_bench_record
+
+    images = fuzz_images[:N_IMAGES]
+    overhead, off, on, counters = run_telemetry_overhead(paper_model, images)
+    print(f"\n[fuzzing-throughput] telemetry overhead: off {off:.2f}s, "
+          f"on {on:.2f}s -> {100 * overhead:+.1f}% "
+          f"(bar: {100 * MAX_TELEMETRY_OVERHEAD:.0f}%)")
+    write_bench_record(
+        "bench_fuzzing_throughput",
+        metrics={
+            "telemetry_overhead_frac": overhead,
+            "telemetry_encodes": counters.get("encodes", 0),
+            "telemetry_encode_requests": counters.get("encode_requests", 0),
+            "telemetry_retired": counters.get("retired", 0),
+        },
+        config={"telemetry_repeats": TELEMETRY_TIMING_REPEATS},
+    )
+    assert overhead <= MAX_TELEMETRY_OVERHEAD, (
+        f"telemetry costs {100 * overhead:.1f}% on the batched campaign, "
+        f"over the {100 * MAX_TELEMETRY_OVERHEAD:.0f}% budget"
+    )
 
 
 def test_batched_outcomes_match_serial_shape(paper_model, fuzz_images):
@@ -201,6 +267,14 @@ def _smoke_main(argv=None):  # pragma: no cover - exercised by CI, not pytest
           f"batched {by_name['batched'] / baseline:.2f}x, "
           f"delta-serial {by_name['serial'] / baseline:.2f}x "
           f"(bar: {MIN_BATCHED_SPEEDUP}x at paper scale)")
+    overhead, off, on, _ = run_telemetry_overhead(
+        model, images, iter_times=iter_times,
+        repeats=1 if args.quick else TELEMETRY_TIMING_REPEATS,
+    )
+    print(f"[fuzzing-throughput] telemetry overhead: off {off:.2f}s, "
+          f"on {on:.2f}s -> {100 * overhead:+.1f}% "
+          f"(assertion bar at paper scale: "
+          f"{100 * MAX_TELEMETRY_OVERHEAD:.0f}%)")
     return 0
 
 

@@ -60,11 +60,12 @@ class _ScratchSerialExecutor(SerialExecutor):
     """
 
     def run(self, model, strategy, inputs, *, domain=None, config=None,
-            constraint=None, fitness=None, oracle=None, rng=None):
+            constraint=None, fitness=None, oracle=None, rng=None,
+            telemetry=None):
         fuzzer = HDTest(
             model, strategy, domain=domain,
             config=config, constraint=constraint,
-            fitness=fitness, oracle=oracle, rng=rng,
+            fitness=fitness, oracle=oracle, rng=rng, telemetry=telemetry,
         )
         fuzzer._delta_encoder = lambda: None  # noqa: SLF001 - bench baseline
         result = fuzzer.fuzz(inputs)

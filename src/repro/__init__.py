@@ -11,6 +11,8 @@ DAC 2021), comprising:
 * :mod:`repro.fuzz` — the HDTest guided differential fuzzer (mutation
   strategies, distance-guided fitness, constraints, oracle, campaigns);
 * :mod:`repro.defense` — the adversarial-retraining defense;
+* :mod:`repro.obs` — campaign observability (structured counters,
+  phase timings, JSONL event streams, live progress, reports);
 * :mod:`repro.metrics` / :mod:`repro.analysis` — evaluation metrics and
   table/figure reproduction.
 
@@ -73,6 +75,7 @@ from repro.fuzz import (
     generate_adversarial_set,
     strategy_names,
 )
+from repro.obs import CampaignTelemetry, TelemetrySession
 from repro.hdc import (
     AssociativeMemory,
     BinaryHDCClassifier,
@@ -94,6 +97,7 @@ __all__ = [
     "BinaryHDCClassifier",
     "BinaryPixelEncoder",
     "CampaignResult",
+    "CampaignTelemetry",
     "ConfigurationError",
     "ConstraintError",
     "CrossModelOracle",
@@ -123,6 +127,7 @@ __all__ = [
     "SerialExecutor",
     "SingleModelTarget",
     "SyntheticDigitGenerator",
+    "TelemetrySession",
     "attack_success_rate",
     "debug_ensemble",
     "ensemble_agreement",

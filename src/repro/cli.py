@@ -146,6 +146,19 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--per-class", action="store_true", help="print Fig. 7 table")
     fuzz.add_argument("--show-example", action="store_true",
                       help="render one adversarial triptych as ASCII")
+    fuzz.add_argument("--telemetry", type=Path, default=None, metavar="PATH",
+                      help="write a structured JSONL telemetry stream "
+                           "(campaign headers, periodic snapshots, final "
+                           "summaries) to PATH; render it afterwards with "
+                           "`hdtest report PATH`")
+    fuzz.add_argument("--progress", action="store_true",
+                      help="live single-line campaign progress on stderr "
+                           "(inputs, discrepancies, encodes, cache hits, "
+                           "throughput)")
+    fuzz.add_argument("--profile", action="store_true",
+                      help="run the campaign under cProfile and print the "
+                           "top hotspots by cumulative time (recorded in "
+                           "the --telemetry stream as a 'profile' event)")
     fuzz.add_argument("--data-dir", type=Path, default=None)
 
     defend = sub.add_parser("defend", help="retraining defense (Sec. V-D)")
@@ -157,9 +170,20 @@ def build_parser() -> argparse.ArgumentParser:
     defend.add_argument("--data-dir", type=Path, default=None)
 
     report = sub.add_parser(
-        "report", help="run the full scaled-down evaluation suite → markdown"
+        "report",
+        help="render a campaign report from telemetry JSONL / saved "
+             "campaigns JSON, or run the full evaluation suite (--model)",
     )
-    report.add_argument("--model", type=Path, required=True)
+    report.add_argument("source", type=Path, nargs="?", default=None,
+                        help="telemetry .jsonl (from `hdtest fuzz "
+                             "--telemetry`) or campaigns .json (from "
+                             "save_campaigns_json) to render as a campaign "
+                             "report; omit and pass --model to run the "
+                             "evaluation suite instead")
+    report.add_argument("--model", type=Path, default=None,
+                        help="model .npz: run the scaled-down experiment "
+                             "suite and render its markdown report "
+                             "(mutually exclusive with a telemetry source)")
     report.add_argument("--out", type=Path, default=None,
                         help="write markdown here (default: stdout)")
     report.add_argument("--n-fuzz", type=int, default=20)
@@ -426,17 +450,43 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         children_per_seed=args.children,
         guided=not args.unguided,
     )
-    results = compare_strategies(
-        target,
-        inputs,
-        strategies,
-        domain=create_domain(args.domain, model=model),
-        config=config,
-        oracle=oracle,
-        rng=args.seed,
-        executor=executor,
-        backend=args.backend,
-    )
+    session = None
+    if args.telemetry is not None or args.progress or args.profile:
+        from repro.obs.events import TelemetrySession
+
+        session = TelemetrySession(args.telemetry, progress=args.progress)
+
+    def _run_campaigns():
+        return compare_strategies(
+            target,
+            inputs,
+            strategies,
+            domain=create_domain(args.domain, model=model),
+            config=config,
+            oracle=oracle,
+            rng=args.seed,
+            executor=executor,
+            backend=args.backend,
+            telemetry=session,
+        )
+
+    try:
+        if args.profile:
+            import time as _time
+
+            from repro.obs.profiling import format_hotspots, profile_call
+
+            results, hotspots = profile_call(_run_campaigns)
+            session.emit(
+                {"event": "profile", "hotspots": hotspots, "time": _time.time()}
+            )
+            print(format_hotspots(hotspots))
+            print()
+        else:
+            results = _run_campaigns()
+    finally:
+        if session is not None:
+            session.close()
     if args.ensemble > 1:
         seed_splits = sum(
             len(r.seed_discrepancies) for r in results.values()
@@ -466,6 +516,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                     print(f"label {ex.reference_label} -> {ex.adversarial_label} "
                           f"({ex.metrics})")
                     break
+    if args.telemetry is not None:
+        print(f"telemetry stream written to {args.telemetry} "
+              f"({session.events_emitted} events) — render with "
+              f"`hdtest report {args.telemetry}`")
     return 0
 
 
@@ -503,6 +557,22 @@ def _cmd_defend(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if (args.source is None) == (args.model is None):
+        raise ConfigurationError(
+            "report needs exactly one of: a telemetry/campaigns source "
+            "path (positional), or --model for the evaluation suite"
+        )
+    if args.source is not None:
+        from repro.obs.report import render_report as render_campaign_report
+
+        markdown = render_campaign_report(args.source)
+        if args.out is None:
+            print(markdown)
+        else:
+            args.out.write_text(markdown)
+            print(f"report written to {args.out}")
+        return 0
+
     from repro.analysis.experiments import render_report, run_experiment_suite
 
     model, test_set = _load_model_and_images(args, args.n_images)

@@ -177,6 +177,7 @@ class BatchedHDTest(HDTest):
         generator spawned from *rng*, so outcomes match per-input
         :meth:`HDTest.fuzz_one` calls under the same spawning.
         """
+        mark = self._obs.marker()
         with Stopwatch() as sw:
             outcomes = self.fuzz_outcomes(inputs, rng=rng)
         return CampaignResult(
@@ -186,6 +187,7 @@ class BatchedHDTest(HDTest):
             guided=self._fitness.guided,
             executor="batched",
             n_members=self._target.n_members,
+            telemetry=self._obs.since(mark),
         )
 
     def fuzz_outcomes(
@@ -220,20 +222,26 @@ class BatchedHDTest(HDTest):
             )
         originals = self._stack_inputs(inputs)
         cfg = self._config
+        obs = self._obs
+        obs.count("inputs", n)
 
         # One fused encode + predict per member for every reference
         # (Alg. 1 line 1, "y = HDC(t)", across the whole batch).
         surface = self._target.delta_surface(self._delta_encoder())
-        if surface is not None:
-            ref_accs, ref_levels = surface.seed_side_data(originals)
-            ref_bundle = surface.hvs_from_accumulators(ref_accs)
-            pool = SeedPoolBatch(
-                originals, cfg.top_n, accumulators=ref_accs, levels=ref_levels
-            )
-        else:
-            ref_bundle = self._target.encode_batch(originals)
-            pool = SeedPoolBatch(originals, cfg.top_n)
-        ref_predictions = self._target.predict_hvs(ref_bundle)
+        with obs.phase("encode"):
+            if surface is not None:
+                ref_accs, ref_levels = surface.seed_side_data(originals)
+                ref_bundle = surface.hvs_from_accumulators(ref_accs)
+                pool = SeedPoolBatch(
+                    originals, cfg.top_n, accumulators=ref_accs, levels=ref_levels
+                )
+            else:
+                ref_bundle = self._target.encode_batch(originals)
+                pool = SeedPoolBatch(originals, cfg.top_n)
+        obs.count("seed_encodes", n)
+        with obs.phase("query"):
+            ref_predictions = self._target.predict_hvs(ref_bundle)
+        obs.count("am_queries", n * self._target.n_members)
 
         active = []
         outcomes: list[Optional[InputOutcome]] = [None] * n
@@ -242,13 +250,13 @@ class BatchedHDTest(HDTest):
             if self._oracle.reference_discrepancy(reference.votes):
                 # HDXplore-style seed discrepancy: members already
                 # disagree on the unmutated input — retire immediately.
+                example = self._seed_discrepancy_example(originals[i], reference)
+                obs.record_success(0, example.disagreed_members)
                 outcomes[i] = InputOutcome(
                     success=True,
                     iterations=0,
                     reference_label=reference.label,
-                    example=self._seed_discrepancy_example(
-                        originals[i], reference
-                    ),
+                    example=example,
                 )
                 continue
             active.append(
@@ -271,14 +279,22 @@ class BatchedHDTest(HDTest):
         for iteration in range(1, cfg.iter_times + 1):
             if not active:
                 break
-            plans = self._mutation_plans(active, pool)
+            obs.count("iterations", len(active))
+            obs.heartbeat()
+            with obs.phase("mutate"):
+                plans = self._mutation_plans(active, pool)
             if plans:
-                if surface is not None:
-                    encoded = self._encode_plans_delta(
-                        surface, plans, pool, caches, capacity
-                    )
-                else:
-                    encoded = self._encode_plans_direct(plans, caches, capacity)
+                obs.count(
+                    "encode_requests",
+                    sum(len(children) for _, children, _ in plans),
+                )
+                with obs.phase("encode"):
+                    if surface is not None:
+                        encoded = self._encode_plans_delta(
+                            surface, plans, pool, caches, capacity
+                        )
+                    else:
+                        encoded = self._encode_plans_direct(plans, caches, capacity)
                 # One fused prediction per encode block over every
                 # input's children — the K-model lock-step step (a
                 # shared-codebook ensemble emits a single block).
@@ -303,6 +319,7 @@ class BatchedHDTest(HDTest):
                             state.original, children, predictions.labels, flips,
                             state.reference, iteration,
                         )
+                        obs.record_success(iteration, example.disagreed_members)
                         outcomes[state.index] = InputOutcome(
                             success=True,
                             iterations=iteration,
@@ -321,6 +338,8 @@ class BatchedHDTest(HDTest):
                 if retired:
                     active = [s for s in active if s.index not in retired]
 
+        if active:
+            obs.count("exhausted", len(active))
         for state in active:
             outcomes[state.index] = InputOutcome(
                 success=False,
@@ -357,8 +376,11 @@ class BatchedHDTest(HDTest):
                     "strategies must stay in the domain's internal representation"
                 )
             children = np.concatenate(batches, axis=0)
+            self._obs.count("children", len(children))
+            self._obs.count_strategy(self._strategy.name, len(children))
             children = self._constraint.clip(children)
             keep = self._constraint.accept(state.original, children)
+            self._obs.count("children_in_budget", int(keep.sum()))
             if not keep.any():
                 continue
             # Derived from actual batch lengths, not children_per_seed,
@@ -387,6 +409,7 @@ class BatchedHDTest(HDTest):
             parent_accs_all = pool.accumulators(state.index)
 
             def delta_missing(positions: list[int]) -> np.ndarray:
+                self._count_encodes(len(positions))
                 parent_levels = pool.levels(state.index)[parent_ids[positions]]
                 parent_accs = parent_accs_all[parent_ids[positions]]
                 return surface.accumulate_delta(
@@ -417,6 +440,7 @@ class BatchedHDTest(HDTest):
         k = self._target.n_encode_blocks
         if not self._config.dedupe:
             all_children = np.concatenate([children for _, children, _ in plans])
+            self._count_encodes(len(all_children))
             all_bundle = self._target.encode_batch(all_children)
             encoded, offset = [], 0
             for _, children, _ in plans:
@@ -444,6 +468,7 @@ class BatchedHDTest(HDTest):
                         slots.append((p, key))
             resolved.append((keys, local, cache))
         if to_encode:
+            self._count_encodes(len(to_encode))
             fresh = self._target.encode_batch(np.stack(to_encode))
             for j, (p, key) in enumerate(slots):
                 _, local, cache = resolved[p]

@@ -38,7 +38,8 @@ from repro.fuzz.results import AdversarialExample, CampaignResult
 from repro.fuzz.targets import PredictionTarget
 from repro.hdc.backends.dispatch import resolve_model_backend
 from repro.hdc.model import HDCClassifier
-from repro.metrics.timing import Stopwatch
+from repro.obs.events import TelemetrySession
+from repro.obs.recorder import CampaignTelemetry, Stopwatch
 from repro.utils.rng import RngLike, ensure_rng, spawn
 from repro.utils.validation import check_positive_int
 
@@ -48,6 +49,33 @@ __all__ = ["compare_strategies", "generate_adversarial_set"]
 TABLE2_STRATEGIES = ("gauss", "rand", "row_col_rand", "shift")
 
 ExecutorLike = Union[None, str, CampaignExecutor]
+
+#: A telemetry sink for campaign runners: a bare recorder (caller owns
+#: campaign boundaries) or a session (per-campaign events are emitted).
+TelemetryLike = Union[None, CampaignTelemetry, TelemetrySession]
+
+
+def _campaign_telemetry(
+    telemetry: TelemetryLike, label: str, **meta
+) -> tuple[Optional[CampaignTelemetry], Optional[TelemetrySession]]:
+    """Resolve the per-campaign recorder (and owning session, if any).
+
+    A :class:`~repro.obs.events.TelemetrySession` mints a fresh recorder
+    per campaign (emitting the ``campaign_start`` header; callers emit
+    ``campaign_end`` through the returned session); a bare
+    :class:`~repro.obs.recorder.CampaignTelemetry` records everything
+    into the caller's one stream without event boundaries.
+    """
+    if telemetry is None:
+        return None, None
+    if isinstance(telemetry, TelemetrySession):
+        return telemetry.campaign(label, **meta), telemetry
+    if isinstance(telemetry, CampaignTelemetry):
+        return telemetry, None
+    raise ConfigurationError(
+        f"telemetry must be a CampaignTelemetry or TelemetrySession, "
+        f"got {type(telemetry).__name__}"
+    )
 
 
 def _resolve_executor(executor: ExecutorLike) -> tuple[Optional[CampaignExecutor], bool]:
@@ -92,6 +120,7 @@ def compare_strategies(
     rng: RngLike = None,
     executor: ExecutorLike = None,
     backend: Optional[str] = None,
+    telemetry: TelemetryLike = None,
 ) -> dict[str, CampaignResult]:
     """Fuzz the same inputs under each strategy (Table II's experiment).
 
@@ -125,6 +154,13 @@ def compare_strategies(
         and ``"packed-bipolar"`` the paper's bipolar model onto
         bit-packed popcount kernels (exact — see
         :func:`repro.hdc.backends.dispatch.resolve_model_backend`).
+    telemetry:
+        Optional instrumentation sink.  A
+        :class:`~repro.obs.events.TelemetrySession` gets one campaign
+        (header + snapshots + final summary) per strategy; a bare
+        :class:`~repro.obs.recorder.CampaignTelemetry` accumulates all
+        strategies into the caller's recorder.  Telemetry never touches
+        the RNG, so results are bit-identical with it on or off.
     """
     generator = ensure_rng(rng)
     model = _resolve_backend(model, backend)
@@ -151,18 +187,29 @@ def compare_strategies(
     try:
         for strategy in strategy_objs:
             strategy_rng = children[rank[strategy.name]]
+            obs, session = _campaign_telemetry(
+                telemetry,
+                strategy.name,
+                strategy=strategy.name,
+                oracle=type(oracle).__name__ if oracle is not None else None,
+                executor=getattr(exec_obj, "name", None),
+                n_inputs=len(inputs),
+            )
             if exec_obj is None:
                 fuzzer = HDTest(
                     model, strategy, domain=domain, config=config,
                     constraint=constraint, oracle=oracle, rng=strategy_rng,
+                    telemetry=obs,
                 )
                 results[strategy.name] = fuzzer.fuzz(inputs)
             else:
                 results[strategy.name] = exec_obj.run(
                     model, strategy, inputs, domain=domain,
                     config=config, constraint=constraint, oracle=oracle,
-                    rng=strategy_rng,
+                    rng=strategy_rng, telemetry=obs,
                 )
+            if session is not None:
+                session.finish(obs, summary=results[strategy.name].summary())
     finally:
         if owns_executor and exec_obj is not None:
             exec_obj.close()
@@ -183,6 +230,7 @@ def generate_adversarial_set(
     max_attempts_factor: int = 20,
     executor: ExecutorLike = None,
     backend: Optional[str] = None,
+    telemetry: TelemetryLike = None,
 ) -> tuple[list[AdversarialExample], float]:
     """Fuzz until *n_target* adversarial examples are collected.
 
@@ -211,6 +259,9 @@ def generate_adversarial_set(
         return when it was created here from a name.
     backend:
         Compute backend for the model (see :func:`compare_strategies`).
+    telemetry:
+        Optional instrumentation sink (see :func:`compare_strategies`);
+        one campaign spans the whole generation run, waves included.
 
     Returns
     -------
@@ -228,21 +279,44 @@ def generate_adversarial_set(
     model = _resolve_backend(model, backend)
     exec_obj, owns_executor = _resolve_executor(executor)
     max_attempts = max_attempts_factor * n_target
+    strategy_name = (
+        strategy if isinstance(strategy, str) else strategy.name
+    )
+    obs, session = _campaign_telemetry(
+        telemetry,
+        f"generate[{strategy_name}]",
+        strategy=strategy_name,
+        n_target=n_target,
+        executor=getattr(exec_obj, "name", None),
+    )
+
+    def _finish(examples: list, elapsed: float, attempts: int) -> None:
+        if session is not None:
+            session.finish(
+                obs,
+                summary={
+                    "n_examples": len(examples),
+                    "attempts": attempts,
+                    "elapsed_seconds": elapsed,
+                },
+            )
 
     if exec_obj is not None:
         try:
-            return _generate_with_executor(
+            examples, elapsed, attempts = _generate_with_executor(
                 exec_obj, model, inputs, n_target,
                 strategy=strategy, domain=domain, true_labels=true_labels,
                 config=config, constraint=constraint, generator=generator,
-                max_attempts=max_attempts,
+                max_attempts=max_attempts, obs=obs,
             )
+            _finish(examples, elapsed, attempts)
+            return examples, elapsed
         finally:
             if owns_executor:
                 exec_obj.close()
 
     fuzzer = HDTest(model, strategy, domain=domain, config=config,
-                    constraint=constraint, rng=generator)
+                    constraint=constraint, rng=generator, telemetry=obs)
     examples: list[AdversarialExample] = []
     attempts = 0
     with Stopwatch() as sw:
@@ -259,6 +333,7 @@ def generate_adversarial_set(
                     f"only {len(examples)}/{n_target} adversarials after "
                     f"{attempts} attempts — raise the budget or weaken the model"
                 )
+    _finish(examples, sw.elapsed, attempts)
     return examples, sw.elapsed
 
 
@@ -316,7 +391,8 @@ def _generate_with_executor(
     constraint,
     generator: np.random.Generator,
     max_attempts: int,
-) -> tuple[list[AdversarialExample], float]:
+    obs: Optional[CampaignTelemetry] = None,
+) -> tuple[list[AdversarialExample], float, int]:
     """Wave-mode generation: fuzz the cycled pool in adaptive waves."""
     examples: list[AdversarialExample] = []
     attempts = 0
@@ -332,6 +408,7 @@ def _generate_with_executor(
             result = exec_obj.run(
                 model, strategy, [inputs[i] for i in indices], domain=domain,
                 config=config, constraint=constraint, rng=generator,
+                telemetry=obs,
             )
             attempts += wave_size
             for position, outcome in enumerate(result.outcomes):
@@ -349,4 +426,4 @@ def _generate_with_executor(
                     f"only {len(examples)}/{n_target} adversarials after "
                     f"{attempts} attempts — raise the budget or weaken the model"
                 )
-    return examples, sw.elapsed
+    return examples, sw.elapsed, attempts

@@ -61,7 +61,7 @@ from repro.fuzz.fuzzer import HDTest, HDTestConfig
 from repro.fuzz.mutations import MutationStrategy
 from repro.fuzz.oracle import DifferentialOracle
 from repro.fuzz.results import CampaignResult, InputOutcome
-from repro.metrics.timing import Stopwatch
+from repro.obs.recorder import NULL_TELEMETRY, CampaignTelemetry, Stopwatch
 from repro.utils.rng import RngLike, derive_seeds, ensure_rng, spawn
 from repro.utils.validation import check_positive_int
 
@@ -164,12 +164,17 @@ class CampaignExecutor(ABC):
         fitness: Optional[FitnessFunction] = None,
         oracle: Optional[DifferentialOracle] = None,
         rng: RngLike = None,
+        telemetry: Optional[CampaignTelemetry] = None,
     ) -> CampaignResult:
         """Fuzz *inputs* and return the aggregated campaign result.
 
         *domain* selects the input modality (name, instance, or ``None``
         to derive it from the strategy's namespace tag) and is passed
-        through to the underlying engines unchanged.
+        through to the underlying engines unchanged.  *telemetry* is an
+        optional :class:`~repro.obs.recorder.CampaignTelemetry` the
+        engines record into; the produced result carries the campaign's
+        telemetry delta.  Process pools record per worker and reduce the
+        per-worker streams into *telemetry* order-invariantly.
         """
 
     def close(self) -> None:
@@ -192,11 +197,12 @@ class SerialExecutor(CampaignExecutor):
 
     def run(self, model, strategy, inputs, *, domain=None, config=None,
             constraint=None, fitness=None, oracle=None,
-            rng: RngLike = None) -> CampaignResult:
+            rng: RngLike = None,
+            telemetry: Optional[CampaignTelemetry] = None) -> CampaignResult:
         fuzzer = HDTest(
             model, strategy, domain=domain,
             config=config, constraint=constraint,
-            fitness=fitness, oracle=oracle, rng=rng,
+            fitness=fitness, oracle=oracle, rng=rng, telemetry=telemetry,
         )
         result = fuzzer.fuzz(inputs)
         result.executor = self.name
@@ -219,12 +225,15 @@ class BatchedExecutor(CampaignExecutor):
 
     def run(self, model, strategy, inputs, *, domain=None, config=None,
             constraint=None, fitness=None, oracle=None,
-            rng: RngLike = None) -> CampaignResult:
+            rng: RngLike = None,
+            telemetry: Optional[CampaignTelemetry] = None) -> CampaignResult:
         fuzzer = BatchedHDTest(
             model, strategy, domain=domain,
             config=config, constraint=constraint,
-            fitness=fitness, oracle=oracle, rng=rng,
+            fitness=fitness, oracle=oracle, rng=rng, telemetry=telemetry,
         )
+        obs = fuzzer.telemetry
+        mark = obs.marker()
         generators = spawn(rng, len(inputs))
         outcomes: list[InputOutcome] = []
         with Stopwatch() as sw:
@@ -242,6 +251,7 @@ class BatchedExecutor(CampaignExecutor):
             guided=fuzzer._fitness.guided,  # noqa: SLF001 - same-module family
             executor=self.name,
             n_members=fuzzer.target.n_members,
+            telemetry=obs.since(mark),
         )
 
     def __repr__(self) -> str:
@@ -253,19 +263,19 @@ _WORKER: dict[str, Any] = {}
 
 
 def _process_worker_init(model, strategy, domain, config, constraint, fitness,
-                         oracle, batch_size) -> None:
+                         oracle, batch_size, telemetry_on=False) -> None:
     """Pool initializer: broadcast the campaign spec to this worker once."""
     _WORKER.clear()
     _WORKER.update(
         model=model, strategy=strategy, domain=domain, config=config,
         constraint=constraint, fitness=fitness, oracle=oracle,
-        batch_size=batch_size,
+        batch_size=batch_size, telemetry_on=telemetry_on,
     )
 
 
 def _process_worker_run(
     shard: tuple[list[Any], list[int], int]
-) -> list[InputOutcome]:
+) -> tuple[list[InputOutcome], Optional[dict]]:
     """Fuzz one contiguous input shard with its per-input seeds.
 
     The engine is built once per worker (from the broadcast spec, with
@@ -275,6 +285,12 @@ def _process_worker_run(
     too, which keeps its content-keyed dedupe caches warm for recycled
     inputs.  Outcomes are engine-state independent: per-input
     generators arrive explicitly, and the fitness draws from them.
+
+    Returns the shard's outcomes plus, for instrumented campaigns, the
+    shard's local telemetry *delta* (a snapshot dict) — the worker's
+    long-lived recorder is cumulative across shards and waves, so each
+    shard reports only what it added and the parent reduction stays
+    order-invariant and double-count-free.
     """
     inputs, seeds, shard_seed = shard
     fuzzer = _WORKER.get("fuzzer")
@@ -283,8 +299,13 @@ def _process_worker_run(
             _WORKER["model"], _WORKER["strategy"], domain=_WORKER["domain"],
             config=_WORKER["config"], constraint=_WORKER["constraint"],
             fitness=_WORKER["fitness"], oracle=_WORKER["oracle"], rng=shard_seed,
+            telemetry=(
+                CampaignTelemetry() if _WORKER.get("telemetry_on") else None
+            ),
         )
     batch_size: int = _WORKER["batch_size"]
+    obs = fuzzer.telemetry
+    mark = obs.marker()
     generators = [np.random.default_rng(int(s)) for s in seeds]
     outcomes: list[InputOutcome] = []
     for lo in range(0, len(inputs), batch_size):
@@ -292,7 +313,7 @@ def _process_worker_run(
         outcomes.extend(
             fuzzer.fuzz_outcomes(inputs[lo:hi], generators=generators[lo:hi])
         )
-    return outcomes
+    return outcomes, obs.since(mark)
 
 
 class ProcessExecutor(CampaignExecutor):
@@ -352,7 +373,8 @@ class ProcessExecutor(CampaignExecutor):
         self._pool_processes = 0
 
     @staticmethod
-    def _spec_key(model, strategy, domain, config, constraint, fitness, oracle):
+    def _spec_key(model, strategy, domain, config, constraint, fitness, oracle,
+                  telemetry_on=False):
         """Identity of the broadcast campaign spec, or None if not reusable.
 
         Object identities plus the model's training counts: every
@@ -405,9 +427,12 @@ class ProcessExecutor(CampaignExecutor):
             counts = am.counts.tobytes() if am is not None else b""
         strategy_key = strategy if isinstance(strategy, str) else id(strategy)
         domain_key = domain if isinstance(domain, str) else id(domain)
+        # telemetry_on is part of the broadcast (workers build their
+        # recorder at engine construction), so toggling it rebuilds.
         return (
             id(model), counts, strategy_key, domain_key,
             id(config), id(constraint), id(fitness), id(oracle),
+            bool(telemetry_on),
         )
 
     def _ensure_pool(self, spec_key: tuple, spec_refs: tuple, initargs: tuple,
@@ -457,7 +482,8 @@ class ProcessExecutor(CampaignExecutor):
 
     def run(self, model, strategy, inputs, *, domain=None, config=None,
             constraint=None, fitness=None, oracle=None,
-            rng: RngLike = None) -> CampaignResult:
+            rng: RngLike = None,
+            telemetry: Optional[CampaignTelemetry] = None) -> CampaignResult:
         # Validate the spec (and resolve the strategy name) up front, in
         # the parent, where errors are debuggable.
         probe = BatchedHDTest(
@@ -490,19 +516,29 @@ class ProcessExecutor(CampaignExecutor):
                         int(shard_seeds[shard_id]),
                     )
                 )
+        obs = telemetry if telemetry is not None else NULL_TELEMETRY
+        telemetry_on = telemetry is not None
+        mark = obs.marker()
         outcomes: list[InputOutcome] = []
         with Stopwatch() as sw:
             if shards:
                 pool = self._ensure_pool(
                     self._spec_key(model, strategy, domain, config, constraint,
-                                   fitness, oracle),
+                                   fitness, oracle, telemetry_on),
                     (model, strategy, domain, config, constraint, fitness, oracle),
                     (model, probe.strategy, probe.domain, config, constraint,
-                     fitness, oracle, batch_size),
+                     fitness, oracle, batch_size, telemetry_on),
                     min(pool_workers, len(shards)),
                 )
-                for shard_outcomes in pool.map(_process_worker_run, shards):
+                for shard_outcomes, shard_telemetry in pool.map(
+                    _process_worker_run, shards
+                ):
                     outcomes.extend(shard_outcomes)
+                    if telemetry_on and shard_telemetry is not None:
+                        # Spec-keyed, order-invariant reduction of the
+                        # per-worker streams into the parent recorder.
+                        obs.merge(shard_telemetry)
+                obs.heartbeat()
         return CampaignResult(
             strategy=probe.strategy.name,
             outcomes=outcomes,
@@ -510,6 +546,7 @@ class ProcessExecutor(CampaignExecutor):
             guided=probe._fitness.guided,  # noqa: SLF001 - same-module family
             executor=self.name,
             n_members=probe.target.n_members,
+            telemetry=obs.since(mark),
         )
 
     def __repr__(self) -> str:

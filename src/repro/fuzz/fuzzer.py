@@ -85,7 +85,7 @@ from repro.fuzz.targets import (
     vote_counts,
 )
 from repro.hdc.model import HDCClassifier
-from repro.metrics.timing import Stopwatch
+from repro.obs.recorder import NULL_TELEMETRY, CampaignTelemetry, Stopwatch
 from repro.utils.cache import LRUCache, resolve_with_cache
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int
@@ -186,6 +186,12 @@ class HDTest:
         ensembles.
     rng:
         Root seed/generator for mutation randomness.
+    telemetry:
+        Optional :class:`~repro.obs.recorder.CampaignTelemetry` the
+        engine records counters and phase timings into.  ``None`` (the
+        default) installs the no-op :data:`~repro.obs.recorder.NULL_TELEMETRY`;
+        telemetry never touches the RNG, so enabling it cannot change
+        campaign outcomes.
 
     Examples
     --------
@@ -211,7 +217,9 @@ class HDTest:
         fitness: Optional[FitnessFunction] = None,
         oracle: Optional[DifferentialOracle] = None,
         rng: RngLike = None,
+        telemetry: Optional[CampaignTelemetry] = None,
     ) -> None:
+        self._obs = telemetry if telemetry is not None else NULL_TELEMETRY
         # Duck-typed grey-box check (Sec. IV): the fuzzer needs
         # predictions for the oracle plus query/reference HVs for the
         # fitness — any model exposing those is fuzzable, including the
@@ -350,58 +358,77 @@ class HDTest:
         """The engine's input modality."""
         return self._domain
 
+    @property
+    def telemetry(self) -> Any:
+        """The active recorder (:data:`NULL_TELEMETRY` when disabled)."""
+        return self._obs
+
     # -- single input ------------------------------------------------------
     def fuzz_one(self, original: Any, *, rng: RngLike = None) -> InputOutcome:
         """Run Alg. 1 on one input; returns its :class:`InputOutcome`."""
         generator = ensure_rng(rng) if rng is not None else self._rng
         cfg = self._config
+        obs = self._obs
+        obs.count("inputs")
 
         internal = self._domain.to_internal(original)
         pool: SeedPool = SeedPool(cfg.top_n)
         surface = self._target.delta_surface(self._delta_encoder())
-        if surface is not None:
-            # One scratch encode serves both the reference query and the
-            # generation-0 delta side data (Alg. 1 line 1, "y = HDC(t)").
-            stacked = internal[None]
-            acc0, levels0 = surface.seed_side_data(stacked)
-            reference_query = surface.hvs_from_accumulators(acc0)
-            pool.reset(internal, accumulator=acc0[0], levels=levels0[0])
-        else:
-            reference_query = self._target.encode_batch(internal[None])
-            pool.reset(internal)
-        ref = self._target.reference(self._target.predict_hvs(reference_query))
+        with obs.phase("encode"):
+            if surface is not None:
+                # One scratch encode serves both the reference query and the
+                # generation-0 delta side data (Alg. 1 line 1, "y = HDC(t)").
+                stacked = internal[None]
+                acc0, levels0 = surface.seed_side_data(stacked)
+                reference_query = surface.hvs_from_accumulators(acc0)
+                pool.reset(internal, accumulator=acc0[0], levels=levels0[0])
+            else:
+                reference_query = self._target.encode_batch(internal[None])
+                pool.reset(internal)
+        obs.count("seed_encodes")
+        with obs.phase("query"):
+            ref = self._target.reference(self._target.predict_hvs(reference_query))
+        obs.count("am_queries", self._target.n_members)
         if self._oracle.reference_discrepancy(ref.votes):
             # HDXplore-style seed discrepancy: the members disagree
             # before any mutation — report it without spending budget.
+            example = self._seed_discrepancy_example(internal, ref)
+            obs.record_success(0, example.disagreed_members)
             return InputOutcome(
                 success=True,
                 iterations=0,
                 reference_label=ref.label,
-                example=self._seed_discrepancy_example(internal, ref),
+                example=example,
             )
         encode_cache: LRUCache[bytes, Any] = LRUCache(cfg.cache_max_entries)
 
         for iteration in range(1, cfg.iter_times + 1):
+            obs.count("iterations")
+            obs.heartbeat()
             seeds = pool.seeds
-            children, parent_ids = self._expand(seeds, internal, generator)
+            with obs.phase("mutate"):
+                children, parent_ids = self._expand(seeds, internal, generator)
             if len(children) == 0:
                 # Every child blew the budget; iteration still counts
                 # (seed generation + check happened), seeds are retained.
                 continue
 
             accs = levels = None
-            if surface is not None:
-                bundle, accs, levels = self._encode_children_delta(
-                    surface, children, parent_ids, seeds, encode_cache
-                )
-            else:
-                bundle = self._encode_children(children, encode_cache)
+            obs.count("encode_requests", len(children))
+            with obs.phase("encode"):
+                if surface is not None:
+                    bundle, accs, levels = self._encode_children_delta(
+                        surface, children, parent_ids, seeds, encode_cache
+                    )
+                else:
+                    bundle = self._encode_children(children, encode_cache)
             predictions = self._predict_children(bundle)
             flips = self._discrepancies(ref, predictions)
             if flips.any():
                 example = self._pick_success(
                     internal, children, predictions.labels, flips, ref, iteration
                 )
+                obs.record_success(iteration, example.disagreed_members)
                 return InputOutcome(
                     success=True,
                     iterations=iteration,
@@ -415,6 +442,7 @@ class HDTest:
                 accumulators=accs, levels=levels,
             )
 
+        obs.count("exhausted")
         return InputOutcome(
             success=False,
             iterations=cfg.iter_times,
@@ -423,31 +451,40 @@ class HDTest:
 
     # -- target dispatch ---------------------------------------------------
     def _predict_children(self, bundle) -> TargetPredictions:
-        """Lock-step member predictions over one child bundle."""
-        return self._target.predict_hvs(
-            bundle,
-            with_similarities=(
-                self._target.n_members > 1 and self._fitness.needs_similarities
-            ),
-        )
+        """Lock-step member predictions over one child bundle.
+
+        Shared by both engines, so instrumenting here covers the
+        ``query`` phase and AM-query counting everywhere.
+        """
+        self._obs.count("am_queries", len(bundle[0]) * self._target.n_members)
+        with self._obs.phase("query"):
+            return self._target.predict_hvs(
+                bundle,
+                with_similarities=(
+                    self._target.n_members > 1 and self._fitness.needs_similarities
+                ),
+            )
 
     def _discrepancies(self, ref: TargetReference, predictions: TargetPredictions):
         """The oracle's flip mask, in single or cross-model form."""
-        if self._target.n_members == 1:
-            return self._oracle.discrepancies(ref.label, predictions.labels[0])
-        return self._oracle.discrepancies_ensemble(ref.votes, predictions.labels)
+        with self._obs.phase("oracle"):
+            if self._target.n_members == 1:
+                return self._oracle.discrepancies(ref.label, predictions.labels[0])
+            return self._oracle.discrepancies_ensemble(ref.votes, predictions.labels)
 
     def _score_children(self, ref, predictions, bundle, generator) -> np.ndarray:
         """Fitness of the iteration's children (Alg. 1's survival scores)."""
-        if self._target.n_members == 1:
-            return self._fitness.scores(ref.fitness_hv, bundle[0], rng=generator)
-        return self._fitness.scores_ensemble(predictions, rng=generator)
+        with self._obs.phase("fitness"):
+            if self._target.n_members == 1:
+                return self._fitness.scores(ref.fitness_hv, bundle[0], rng=generator)
+            return self._fitness.scores_ensemble(predictions, rng=generator)
 
     # -- batches -----------------------------------------------------------
     def fuzz(self, inputs: Sequence[Any], *, rng: RngLike = None) -> CampaignResult:
         """Fuzz every input; returns the aggregated :class:`CampaignResult`."""
         generator = ensure_rng(rng) if rng is not None else self._rng
         outcomes: list[InputOutcome] = []
+        mark = self._obs.marker()
         with Stopwatch() as sw:
             for original in inputs:
                 outcomes.append(self.fuzz_one(original, rng=generator))
@@ -457,9 +494,15 @@ class HDTest:
             elapsed_seconds=sw.elapsed,
             guided=self._fitness.guided,
             n_members=self._target.n_members,
+            telemetry=self._obs.since(mark),
         )
 
     # -- internals -----------------------------------------------------
+    def _count_encodes(self, n_children: int) -> None:
+        """Count *n_children* actually-encoded rows (cache misses)."""
+        self._obs.count("encoded_children", n_children)
+        self._obs.count("encodes", n_children * self._target.n_encode_blocks)
+
     @staticmethod
     def _child_key(child) -> bytes:
         """Dedupe-cache key of one child (raw bytes of its internal form)."""
@@ -473,9 +516,11 @@ class HDTest:
         through the same cache.
         """
         if not self._config.dedupe:
+            self._count_encodes(len(children))
             return self._target.encode_batch(children)
 
         def encode_missing(positions: list[int]) -> list[tuple]:
+            self._count_encodes(len(positions))
             fresh = self._target.encode_batch(
                 np.stack([children[p] for p in positions])
             )
@@ -509,12 +554,16 @@ class HDTest:
                 "strategies must stay in the domain's internal representation"
             )
         children = np.concatenate(batches, axis=0)
+        self._obs.count("children", len(children))
+        self._obs.count_strategy(self._strategy.name, len(children))
         children = self._constraint.clip(children)
         keep = self._constraint.accept(original, children)
         parent_ids = np.repeat(
             np.arange(len(batches)), [len(batch) for batch in batches]
         )[keep]
-        return children[keep], parent_ids
+        kept = children[keep]
+        self._obs.count("children_in_budget", len(kept))
+        return kept, parent_ids
 
     # -- incremental (delta) encoding --------------------------------------
     def _delta_encoder(self):
@@ -542,6 +591,7 @@ class HDTest:
         parent_levels_all = np.stack([seed.levels for seed in seeds])
 
         def delta_missing(positions: list) -> np.ndarray:
+            self._count_encodes(len(positions))
             rows = parent_ids[positions]
             return surface.accumulate_delta(
                 levels[positions], parent_levels_all[rows], parent_accs_all[rows]

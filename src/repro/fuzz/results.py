@@ -100,7 +100,11 @@ class CampaignResult:
     (``"serial"``, ``"batched"``, ``"process"``); ``None`` means a direct
     :meth:`~repro.fuzz.fuzzer.HDTest.fuzz` call.  ``n_members`` is the
     prediction target's size: 1 for the paper's self-differential
-    setting, K for cross-model ensemble campaigns.
+    setting, K for cross-model ensemble campaigns.  ``telemetry`` is the
+    campaign's :class:`~repro.obs.recorder.CampaignTelemetry` snapshot
+    dict (counters, phase timings, retirement log) when the run was
+    instrumented — ``None`` otherwise; process-pool campaigns carry the
+    merged per-worker stream.
     """
 
     strategy: str
@@ -109,6 +113,7 @@ class CampaignResult:
     guided: bool = True
     executor: Optional[str] = None
     n_members: int = 1
+    telemetry: Optional[dict] = None
 
     # -- counts ------------------------------------------------------------
     @property

@@ -23,10 +23,13 @@ __all__ = ["campaign_to_dict", "save_campaigns_json", "load_campaigns_json"]
 
 #: Version 2 added ensemble campaigns: a top-level ``n_members`` count
 #: and per-example ``disagreed_members`` (which ensemble members left
-#: the reference label; ``null`` for single-model campaigns).  Version-1
-#: records load unchanged — the new keys are simply absent.
-_SCHEMA_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+#: the reference label; ``null`` for single-model campaigns).  Version 3
+#: added the optional top-level ``telemetry`` snapshot (counters, phase
+#: timings, retirement log — see :mod:`repro.obs.recorder`) from
+#: instrumented campaigns; ``null`` for uninstrumented runs.  Version-1
+#: and -2 records load unchanged — the new keys are simply absent.
+_SCHEMA_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 def campaign_to_dict(result: CampaignResult) -> dict:
@@ -59,6 +62,7 @@ def campaign_to_dict(result: CampaignResult) -> dict:
         "strategy": result.strategy,
         "guided": result.guided,
         "n_members": result.n_members,
+        "telemetry": result.telemetry,
         "elapsed_seconds": result.elapsed_seconds,
         "summary": {
             k: (None if isinstance(v, float) and np.isnan(v) else v)

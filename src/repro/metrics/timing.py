@@ -2,43 +2,21 @@
 
 Sec. V-A reports "execution time to successfully generate 1000
 adversarial images"; the abstract quotes "around 400 adversarial inputs
-within one minute".  :class:`Stopwatch` measures elapsed time and
-:func:`per_thousand` / :func:`per_minute` extrapolate a measured run to
-those two reporting conventions.
+within one minute".  :func:`per_thousand` / :func:`per_minute`
+extrapolate a measured run to those two reporting conventions.
+
+The repo's single stopwatch primitive lives with the rest of the
+instrumentation in :mod:`repro.obs.recorder`; :class:`Stopwatch` is
+re-exported here so existing ``repro.metrics.timing`` imports keep
+working — new code should import it from :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Optional
-
 from repro.errors import ConfigurationError
+from repro.obs.recorder import Stopwatch
 
 __all__ = ["Stopwatch", "per_thousand", "per_minute"]
-
-
-class Stopwatch:
-    """A context-manager stopwatch: ``with Stopwatch() as sw: ...``."""
-
-    def __init__(self) -> None:
-        self._start: Optional[float] = None
-        self._elapsed: float = 0.0
-
-    def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        assert self._start is not None
-        self._elapsed = time.perf_counter() - self._start
-        self._start = None
-
-    @property
-    def elapsed(self) -> float:
-        """Elapsed seconds (live while running, frozen after exit)."""
-        if self._start is not None:
-            return time.perf_counter() - self._start
-        return self._elapsed
 
 
 def per_thousand(elapsed_seconds: float, n_generated: int) -> float:

@@ -1,0 +1,184 @@
+"""JSONL telemetry event stream: the session, writer, and reader.
+
+A :class:`TelemetrySession` owns the sinks for one CLI run or test: an
+optional JSONL file receiving structured event records and an optional
+live single-line progress renderer.  Campaign recorders are minted via
+:meth:`TelemetrySession.campaign`, which emits the campaign header;
+their :meth:`~repro.obs.recorder.CampaignTelemetry.heartbeat` calls
+land here and are rate-limited into periodic ``snapshot`` events;
+:meth:`TelemetrySession.finish` emits the final summary.
+
+Event records (one JSON object per line)::
+
+    {"event": "campaign_start", "label": ..., "meta": {...}, "time": ...}
+    {"event": "snapshot", "label": ..., "elapsed_seconds": ...,
+     "counters": {...}, "phase_seconds": {...}, ...}
+    {"event": "campaign_end", "label": ..., "telemetry": {...},
+     "summary": {...}, "time": ...}
+    {"event": "profile", "hotspots": [...], "time": ...}
+
+``hdtest report`` re-renders a campaign report from exactly this
+stream (see :mod:`repro.obs.report`); :func:`read_events` is the
+matching reader.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.progress import ProgressRenderer
+from repro.obs.recorder import CampaignTelemetry
+
+__all__ = ["TelemetrySession", "read_events"]
+
+#: Default minimum seconds between emitted snapshot events.
+DEFAULT_SNAPSHOT_INTERVAL = 0.5
+
+
+class TelemetrySession:
+    """Sink owner for telemetry: JSONL event file and/or live progress.
+
+    Parameters
+    ----------
+    jsonl_path:
+        Path for the JSONL event stream, or ``None`` for no file.  The
+        file is created lazily on the first event and truncated (one
+        session = one stream).
+    progress:
+        ``True`` renders a live single-line status to *stream*
+        (default ``sys.stderr``) on each snapshot.
+    snapshot_interval:
+        Minimum seconds between snapshot emissions; heartbeats arriving
+        faster are dropped, keeping per-iteration cost O(1).
+
+    Examples
+    --------
+    >>> with TelemetrySession("events.jsonl") as session:  # doctest: +SKIP
+    ...     telemetry = session.campaign("gauss", oracle="cross-model")
+    ...     ...  # run the campaign with this recorder
+    ...     session.finish(telemetry, summary=result.summary())
+    """
+
+    def __init__(
+        self,
+        jsonl_path: Optional[Union[str, Path]] = None,
+        *,
+        progress: bool = False,
+        stream: Optional[IO[str]] = None,
+        snapshot_interval: float = DEFAULT_SNAPSHOT_INTERVAL,
+    ) -> None:
+        if snapshot_interval < 0:
+            raise ConfigurationError(
+                f"snapshot_interval must be >= 0, got {snapshot_interval}"
+            )
+        self._path = Path(jsonl_path) if jsonl_path is not None else None
+        self._file: Optional[IO[str]] = None
+        self._renderer = ProgressRenderer(stream) if progress else None
+        self.snapshot_interval = float(snapshot_interval)
+        self._last_snapshot = float("-inf")
+        self.events_emitted = 0
+
+    # -- campaign lifecycle -------------------------------------------------
+    def campaign(self, label: str, **meta) -> CampaignTelemetry:
+        """Mint a recorder for one campaign and emit its header event."""
+        self.emit(
+            {
+                "event": "campaign_start",
+                "label": label,
+                "meta": meta,
+                "time": time.time(),
+            }
+        )
+        self._last_snapshot = float("-inf")
+        return CampaignTelemetry(self, label=label, meta=meta)
+
+    def maybe_snapshot(self, telemetry: CampaignTelemetry) -> None:
+        """Rate-limited snapshot: emit if the interval has elapsed."""
+        now = time.perf_counter()
+        if now - self._last_snapshot < self.snapshot_interval:
+            return
+        self._last_snapshot = now
+        record = telemetry.snapshot()
+        record.pop("meta", None)
+        record["event"] = "snapshot"
+        self.emit(record)
+        if self._renderer is not None:
+            self._renderer.render(record)
+
+    def finish(
+        self,
+        telemetry: CampaignTelemetry,
+        summary: Optional[dict] = None,
+    ) -> None:
+        """Emit the campaign's final ``campaign_end`` record."""
+        if self._renderer is not None:
+            self._renderer.finish()
+        if summary is not None:
+            # Campaign summaries carry NaNs (e.g. avg_l1 with no
+            # successes); JSONL records must stay strict JSON.
+            summary = {
+                k: (None if isinstance(v, float) and v != v else v)
+                for k, v in summary.items()
+            }
+        self.emit(
+            {
+                "event": "campaign_end",
+                "label": telemetry.label,
+                "telemetry": telemetry.snapshot(),
+                "summary": summary,
+                "time": time.time(),
+            }
+        )
+
+    # -- plumbing ------------------------------------------------------------
+    def emit(self, record: dict) -> None:
+        """Append one event record to the JSONL stream (if any)."""
+        self.events_emitted += 1
+        if self._path is None:
+            return
+        if self._file is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self._path.open("w", encoding="utf-8")
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the sinks (idempotent)."""
+        if self._renderer is not None:
+            self._renderer.finish()
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TelemetrySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> list[dict]:
+    """Read a telemetry JSONL stream back into a list of event dicts."""
+    events = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: not a JSONL telemetry record: {exc}"
+                ) from exc
+            if not isinstance(record, dict) or "event" not in record:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: telemetry records must be objects "
+                    "with an 'event' key"
+                )
+            events.append(record)
+    return events

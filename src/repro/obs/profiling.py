@@ -1,0 +1,64 @@
+"""cProfile wrapper for ``hdtest fuzz --profile``.
+
+Wraps a campaign callable in the deterministic ``cProfile`` profiler
+and distils the result into the top-N cumulative-time hotspots as
+JSON-ready records, so the hotspot list can ride along in the
+telemetry stream (``{"event": "profile", ...}``) and the CLI can print
+it.  Profiling is off by default: cProfile instruments every Python
+call and typically adds tens of percent of wall-clock overhead, so it
+must never be conflated with the always-cheap telemetry counters.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Callable, Tuple
+
+__all__ = ["profile_call", "format_hotspots"]
+
+#: Default number of hotspot rows reported.
+DEFAULT_TOP_N = 15
+
+
+def profile_call(
+    fn: Callable[[], Any], *, top_n: int = DEFAULT_TOP_N
+) -> Tuple[Any, list[dict]]:
+    """Run *fn* under cProfile; return ``(result, hotspots)``.
+
+    Hotspots are the *top_n* entries by cumulative time, each a dict
+    with ``function`` (``file:line(name)``), ``calls``, ``tottime``
+    and ``cumtime`` seconds.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    hotspots = []
+    for func in stats.fcn_list[:top_n]:  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        hotspots.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "calls": int(nc),
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    return result, hotspots
+
+
+def format_hotspots(hotspots: list[dict]) -> str:
+    """Render the hotspot records as an aligned plain-text table."""
+    lines = [f"{'cumtime':>10}  {'tottime':>10}  {'calls':>9}  function"]
+    for spot in hotspots:
+        lines.append(
+            f"{spot['cumtime']:>10.4f}  {spot['tottime']:>10.4f}  "
+            f"{spot['calls']:>9d}  {spot['function']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Live single-line campaign progress for TTY runs (``--progress``).
+
+Renders snapshot records from the telemetry stream as one
+carriage-return-overwritten status line on stderr, e.g.::
+
+    [gauss] it 412 | live 9/16 | disc 7 | enc 38.2k (hit 41%) | 18.4k enc/s
+
+The renderer is a dumb sink: it never touches the engines or RNG, so
+enabling it cannot perturb campaign outcomes.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+__all__ = ["ProgressRenderer"]
+
+#: Maximum rendered line width (avoids wrapping on narrow terminals).
+LINE_WIDTH = 110
+
+
+def _compact(value: float) -> str:
+    """Format a count compactly: 950 -> '950', 38200 -> '38.2k'."""
+    if value >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if value >= 1e4:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.0f}"
+
+
+class ProgressRenderer:
+    """Single-line ``\\r`` status renderer fed by snapshot records."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._last_width = 0
+
+    def render(self, snapshot: dict) -> None:
+        """Overwrite the status line with the state in *snapshot*."""
+        counters = snapshot.get("counters", {})
+        elapsed = snapshot.get("elapsed_seconds", 0.0) or 0.0
+        inputs = counters.get("inputs", 0)
+        done = counters.get("retired", 0) + counters.get("exhausted", 0)
+        encodes = counters.get("encodes", 0)
+        requests = counters.get("encode_requests", 0)
+        hits = snapshot.get("cache_hits", 0)
+        parts = [
+            f"[{snapshot.get('label') or 'campaign'}]",
+            f"it {_compact(counters.get('iterations', 0))}",
+            f"live {inputs - done}/{inputs}",
+            f"disc {counters.get('retired', 0)}",
+            f"enc {_compact(encodes)}"
+            + (f" (hit {100.0 * hits / requests:.0f}%)" if requests else ""),
+        ]
+        if elapsed > 0:
+            parts.append(f"{_compact(encodes / elapsed)} enc/s")
+        line = " | ".join(parts)[:LINE_WIDTH]
+        pad = " " * max(0, self._last_width - len(line))
+        self._stream.write("\r" + line + pad)
+        self._stream.flush()
+        self._last_width = len(line)
+
+    def finish(self) -> None:
+        """Terminate the status line (newline) if anything was rendered."""
+        if self._last_width:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._last_width = 0

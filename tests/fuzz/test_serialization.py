@@ -116,7 +116,7 @@ class TestEnsembleRecords:
         path = tmp_path / "ensemble.json"
         save_campaigns_json(path, {"gauss": result})
         record = load_campaigns_json(path)["gauss"]
-        assert record["schema_version"] == 2
+        assert record["schema_version"] == 3
         assert record["n_members"] == 3
         assert record["summary"]["n_members"] == 3
         stored = record["outcomes"][0]["example"]

@@ -1,0 +1,173 @@
+"""End-to-end CLI observability: `hdtest fuzz --telemetry` → `hdtest report`.
+
+The acceptance workflow from the ISSUE: an instrumented ensemble
+campaign writes a JSONL stream, and ``hdtest report`` renders the
+HDXplore-style discrepancies-over-iterations and per-member
+disagreement views from it — no re-running the fuzzer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+from repro.obs import read_events
+
+
+class TestParser:
+    def test_fuzz_obs_flags(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--model", "m.npz", "--telemetry", "t.jsonl",
+             "--progress", "--profile"]
+        )
+        assert str(args.telemetry) == "t.jsonl"
+        assert args.progress is True
+        assert args.profile is True
+
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args(["fuzz", "--model", "m.npz"])
+        assert args.telemetry is None
+        assert args.progress is False
+        assert args.profile is False
+
+    def test_report_takes_optional_source(self):
+        args = build_parser().parse_args(["report", "t.jsonl"])
+        assert str(args.source) == "t.jsonl"
+        assert args.model is None
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-obs") / "model.npz"
+        code = main(
+            [
+                "train",
+                "--out", str(path),
+                "--n-train", "300",
+                "--n-test", "60",
+                "--dimension", "1024",
+                "--seed", "7",
+            ]
+        )
+        assert code == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def telemetry_path(self, model_path, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-obs-stream") / "telemetry.jsonl"
+        code = main(
+            [
+                "fuzz",
+                "--model", str(model_path),
+                "--strategies", "gauss",
+                "--n-images", "4",
+                "--iter-times", "8",
+                "--ensemble", "3",
+                "--ensemble-train", "200",
+                "--executor", "batched",
+                "--telemetry", str(path),
+                "--seed", "7",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_fuzz_writes_event_stream(self, telemetry_path):
+        events = read_events(telemetry_path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "campaign_start"
+        assert kinds[-1] == "campaign_end"
+        end = events[-1]
+        telemetry = end["telemetry"]
+        assert telemetry["counters"]["inputs"] == 4
+        # Ensemble accounting: 3 independent members -> 3 HV blocks per child.
+        assert (
+            telemetry["counters"]["encodes"]
+            == telemetry["counters"]["encoded_children"] * 3
+        )
+        assert end["summary"]["n_inputs"] == 4
+
+    def test_report_renders_hdxplore_views(self, telemetry_path, capsys):
+        assert main(["report", str(telemetry_path)]) == 0
+        out = capsys.readouterr().out
+        assert "## Cumulative discrepancies over iterations" in out
+        assert "## Per-member disagreements" in out
+        assert "## Phase time split" in out
+        assert "CrossModelOracle" in out
+
+    def test_report_out_file(self, telemetry_path, tmp_path):
+        out = tmp_path / "report.md"
+        assert main(["report", str(telemetry_path), "--out", str(out)]) == 0
+        assert "## Yield" in out.read_text()
+
+    def test_progress_line_on_stderr(self, model_path, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--model", str(model_path),
+                "--strategies", "gauss",
+                "--n-images", "2",
+                "--iter-times", "4",
+                "--progress",
+                "--seed", "7",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[gauss]" in err
+
+    def test_profile_prints_hotspots(self, model_path, tmp_path, capsys):
+        stream = tmp_path / "profiled.jsonl"
+        code = main(
+            [
+                "fuzz",
+                "--model", str(model_path),
+                "--strategies", "gauss",
+                "--n-images", "2",
+                "--iter-times", "4",
+                "--profile",
+                "--telemetry", str(stream),
+                "--seed", "7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cumtime" in out
+        profile_events = [
+            e for e in read_events(stream) if e["event"] == "profile"
+        ]
+        assert len(profile_events) == 1
+        assert profile_events[0]["hotspots"]
+
+    def test_report_requires_exactly_one_source(self, telemetry_path, model_path):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            main(["report"])
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            main(["report", str(telemetry_path), "--model", str(model_path)])
+
+    def test_telemetry_does_not_change_table2(self, model_path, tmp_path, capsys):
+        base_args = [
+            "fuzz",
+            "--model", str(model_path),
+            "--strategies", "gauss",
+            "--n-images", "3",
+            "--iter-times", "6",
+            "--seed", "7",
+        ]
+        assert main(base_args) == 0
+        plain = capsys.readouterr().out
+        stream = tmp_path / "t.jsonl"
+        assert main(base_args + ["--telemetry", str(stream)]) == 0
+        instrumented = capsys.readouterr().out
+
+        def _stable(text):
+            # Drop the wall-clock row; everything else must match exactly.
+            return [
+                line for line in text.splitlines()
+                if not line.startswith(("Time Per-1K", "telemetry stream"))
+            ]
+
+        assert _stable(plain) == _stable(instrumented)
+        assert "telemetry stream written to" in instrumented

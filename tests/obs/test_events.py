@@ -1,0 +1,102 @@
+"""JSONL event stream: session emission, rate limiting, and the reader."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import CampaignTelemetry, TelemetrySession, read_events
+
+
+class TestSessionStream:
+    def test_campaign_lifecycle_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetrySession(path) as session:
+            obs = session.campaign("gauss", oracle="CrossModelOracle", n_inputs=4)
+            obs.count("encodes", 10)
+            obs.record_success(2, (0,))
+            session.finish(obs, summary={"success_rate": 0.5})
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["campaign_start", "campaign_end"]
+        start, end = events
+        assert start["label"] == "gauss"
+        assert start["meta"] == {"oracle": "CrossModelOracle", "n_inputs": 4}
+        assert end["summary"] == {"success_rate": 0.5}
+        assert end["telemetry"]["counters"]["encodes"] == 10
+        assert end["telemetry"]["retired_at"] == [2]
+
+    def test_heartbeat_rate_limited(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetrySession(path, snapshot_interval=3600.0) as session:
+            obs = session.campaign("gauss")
+            for _ in range(50):
+                obs.heartbeat()
+            session.finish(obs)
+        snapshots = [e for e in read_events(path) if e["event"] == "snapshot"]
+        assert len(snapshots) == 1  # first fires, the rest are dropped
+
+    def test_zero_interval_emits_every_heartbeat(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetrySession(path, snapshot_interval=0.0) as session:
+            obs = session.campaign("gauss")
+            for _ in range(5):
+                obs.heartbeat()
+            session.finish(obs)
+        snapshots = [e for e in read_events(path) if e["event"] == "snapshot"]
+        assert len(snapshots) == 5
+
+    def test_nan_summary_sanitized(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetrySession(path) as session:
+            obs = session.campaign("gauss")
+            session.finish(obs, summary={"avg_l1": float("nan"), "n": 3})
+        end = read_events(path)[-1]
+        assert end["summary"] == {"avg_l1": None, "n": 3}
+
+    def test_no_file_counts_events(self):
+        session = TelemetrySession(None)
+        obs = session.campaign("gauss")
+        session.finish(obs)
+        assert session.events_emitted == 2
+
+    def test_progress_renders_to_stream(self, tmp_path):
+        stream = io.StringIO()
+        with TelemetrySession(
+            tmp_path / "e.jsonl", progress=True, stream=stream,
+            snapshot_interval=0.0,
+        ) as session:
+            obs = session.campaign("gauss", n_inputs=4)
+            obs.count("inputs", 4)
+            obs.count("encodes", 38200)
+            obs.record_success(1, None)
+            obs.heartbeat()
+        text = stream.getvalue()
+        assert "gauss" in text
+        assert "disc 1" in text
+        assert "38.2k" in text
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetrySession(snapshot_interval=-1.0)
+
+
+class TestReadEvents:
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"event":"campaign_start"}\n\n{"event":"campaign_end"}\n')
+        assert len(read_events(path)) == 2
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError, match="lineno|:1:"):
+            read_events(path)
+
+    def test_rejects_records_without_event_key(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text(json.dumps({"label": "gauss"}) + "\n")
+        with pytest.raises(ConfigurationError, match="event"):
+            read_events(path)

@@ -1,0 +1,180 @@
+"""Unit tests for the telemetry recorder core (`repro.obs.recorder`)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import NULL_TELEMETRY, PHASES, CampaignTelemetry, NullTelemetry, Stopwatch
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.01
+
+    def test_reexported_from_metrics(self):
+        from repro.metrics.timing import Stopwatch as MetricsStopwatch
+
+        assert MetricsStopwatch is Stopwatch
+
+
+class TestNullTelemetry:
+    def test_disabled_and_inert(self):
+        null = NULL_TELEMETRY
+        assert isinstance(null, NullTelemetry)
+        assert null.enabled is False
+        null.count("encodes", 5)
+        null.count_strategy("gauss", 3)
+        null.record_success(4, (0, 1))
+        null.heartbeat()
+        with null.phase("encode"):
+            pass
+        assert null.marker() is None
+        assert null.since(None) is None
+
+    def test_phase_context_is_shared_singleton(self):
+        # The disabled hot path must not allocate per call.
+        assert NULL_TELEMETRY.phase("encode") is NULL_TELEMETRY.phase("query")
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        obs = CampaignTelemetry()
+        obs.count("encodes", 3)
+        obs.count("encodes")
+        assert obs.counters["encodes"] == 4
+
+    def test_strategy_breakdown(self):
+        obs = CampaignTelemetry()
+        obs.count_strategy("gauss", 8)
+        obs.count_strategy("shift", 2)
+        obs.count_strategy("gauss", 1)
+        assert obs.by_strategy == {"gauss": 9, "shift": 2}
+
+    def test_record_success_attributes_members_and_iteration(self):
+        obs = CampaignTelemetry()
+        obs.record_success(0, (0, 2))
+        obs.record_success(5, (2,))
+        obs.record_success(3, None)
+        assert obs.counters["retired"] == 3
+        assert obs.counters["seed_discrepancies"] == 1
+        assert obs.retired_at == [0, 5, 3]
+        assert obs.by_member == {0: 1, 2: 2}
+
+    def test_cache_hits_derived(self):
+        obs = CampaignTelemetry()
+        obs.count("encode_requests", 10)
+        obs.count("encoded_children", 7)
+        assert obs.cache_hits == 3
+        assert obs.cache_hit_rate == pytest.approx(0.3)
+
+    def test_cache_hit_rate_nan_before_requests(self):
+        import math
+
+        assert math.isnan(CampaignTelemetry().cache_hit_rate)
+
+
+class TestPhases:
+    def test_phase_accumulates_time(self):
+        obs = CampaignTelemetry()
+        with obs.phase("encode"):
+            time.sleep(0.005)
+        with obs.phase("encode"):
+            time.sleep(0.005)
+        assert obs.phase_seconds["encode"] >= 0.01
+        assert set(obs.phase_seconds) <= set(PHASES) | {"encode"}
+
+    def test_phase_timer_cached_per_name(self):
+        obs = CampaignTelemetry()
+        assert obs.phase("query") is obs.phase("query")
+        assert obs.phase("query") is not obs.phase("mutate")
+
+
+class TestSnapshotMarkerSince:
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        obs = CampaignTelemetry(label="gauss", meta={"oracle": "CrossModelOracle"})
+        obs.count("encodes", 4)
+        obs.record_success(2, (1,))
+        snap = obs.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["label"] == "gauss"
+        assert snap["counters"]["encodes"] == 4
+        assert snap["by_member"] == {"1": 1}
+
+    def test_since_subtracts_marker(self):
+        obs = CampaignTelemetry()
+        obs.count("encodes", 10)
+        obs.record_success(1, None)
+        mark = obs.marker()
+        obs.count("encodes", 5)
+        obs.record_success(3, (0,))
+        delta = obs.since(mark)
+        assert delta["counters"]["encodes"] == 5
+        assert delta["counters"]["retired"] == 1
+        assert delta["retired_at"] == [3]
+        assert delta["by_member"] == {"0": 1}
+
+    def test_since_drops_zero_counters(self):
+        obs = CampaignTelemetry()
+        obs.count("encodes", 10)
+        mark = obs.marker()
+        obs.count("am_queries", 2)
+        delta = obs.since(mark)
+        assert "encodes" not in delta["counters"]
+        assert delta["counters"]["am_queries"] == 2
+
+
+class TestMerge:
+    def _worker(self, encodes, retired_at, members):
+        obs = CampaignTelemetry()
+        obs.count("encodes", encodes)
+        obs.count("encode_requests", encodes)
+        obs.count("encoded_children", encodes)
+        for iteration, member in zip(retired_at, members):
+            obs.record_success(iteration, (member,))
+        return obs
+
+    def test_merge_sums_everything(self):
+        parent = CampaignTelemetry()
+        parent.merge(self._worker(10, [2, 4], [0, 1]).snapshot())
+        parent.merge(self._worker(5, [1], [0]).snapshot())
+        assert parent.counters["encodes"] == 15
+        assert parent.counters["retired"] == 3
+        assert parent.retired_at == [1, 2, 4]  # merged sorted
+        assert parent.by_member == {0: 2, 1: 1}
+
+    def test_merge_is_order_invariant(self):
+        shards = [
+            self._worker(7, [3], [2]).snapshot(),
+            self._worker(2, [0, 5], [1, 2]).snapshot(),
+            self._worker(4, [], []).snapshot(),
+        ]
+        forward = CampaignTelemetry()
+        for shard in shards:
+            forward.merge(shard)
+        backward = CampaignTelemetry()
+        for shard in reversed(shards):
+            backward.merge(shard)
+        assert forward.counters == backward.counters
+        assert forward.retired_at == backward.retired_at
+        assert forward.by_member == backward.by_member
+        assert forward.by_strategy == backward.by_strategy
+
+    def test_merge_rejects_non_snapshots(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CampaignTelemetry().merge(None)
+
+    def test_merge_accumulates_busy_seconds(self):
+        worker = CampaignTelemetry()
+        with worker.phase("encode"):
+            time.sleep(0.005)
+        parent = CampaignTelemetry()
+        parent.merge(worker.snapshot())
+        assert parent.busy_seconds > 0

@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.fuzz.domains",
     "repro.fuzz.mutations",
     "repro.defense",
+    "repro.obs",
     "repro.metrics",
     "repro.analysis",
     "repro.baselines",
