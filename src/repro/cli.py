@@ -202,7 +202,9 @@ def _add_executor_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--executor", choices=executor_names(), default="serial",
         help="campaign schedule: paper-literal serial loop, lock-step "
-             "batched engine, or a process pool (default: serial)",
+             "batched engine, a process pool sharded by input, or one "
+             "worker per ensemble member (member-sharded; K >= 2 "
+             "ensembles only) — all bit-identical (default: serial)",
     )
     command.add_argument(
         "--batch-size", type=int, default=None,

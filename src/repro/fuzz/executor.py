@@ -63,6 +63,7 @@ from repro.fuzz.oracle import DifferentialOracle
 from repro.fuzz.results import CampaignResult, InputOutcome
 from repro.obs.recorder import NULL_TELEMETRY, CampaignTelemetry, Stopwatch
 from repro.utils.rng import RngLike, derive_seeds, ensure_rng, spawn
+from repro.utils.shm import payload_nbytes
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -70,8 +71,10 @@ __all__ = [
     "SerialExecutor",
     "BatchedExecutor",
     "ProcessExecutor",
+    "MemberShardedExecutor",
     "create_executor",
     "default_pool_policy",
+    "default_schedule_policy",
     "default_worker_count",
     "executor_names",
 ]
@@ -143,6 +146,65 @@ def default_pool_policy(
         shard = -(-n_inputs // n_workers)  # ceil
         batch_size = min(DEFAULT_BATCH_SIZE, shard)
     return n_workers, check_positive_int(batch_size, "batch_size")
+
+
+#: Broadcast-everything footprint above which the schedule policy
+#: prefers member sharding: K × member bytes replicated to every
+#: input-shard worker starts to dominate pool start-up well before this,
+#: but below it the batched engine's fused kernels usually win anyway.
+MEMBER_FOOTPRINT_LIMIT = 256 * 2**20
+
+
+def default_schedule_policy(
+    n_inputs: int,
+    *,
+    n_members: int = 1,
+    member_nbytes: int = 0,
+    telemetry: Optional[Any] = None,
+) -> str:
+    """Pick an execution schedule: ``batched``/``process``/``member-sharded``.
+
+    Layered on :func:`default_pool_policy` (which still sizes whatever
+    schedule is chosen), using three signals:
+
+    * **Campaign shape** — single models always shard by input; K ≥ 2
+      ensembles shard by member when there are too few inputs to fill
+      two input shards (each member still gets a whole worker) or when
+      replicating all K members into every input-shard worker would
+      exceed :data:`MEMBER_FOOTPRINT_LIMIT` bytes.
+    * **Phase telemetry** — a recorder (or snapshot dict) from a prior
+      comparable campaign: when its IPC phases (``broadcast`` +
+      ``gather``) outweigh the member-compute phases (``encode`` +
+      ``query``), sharding by member pays more in traffic than it wins
+      in parallelism, so the policy falls back to input sharding.
+    * **Hardware** — one usable core means no process schedule at all.
+
+    Outcomes never depend on the choice (all schedules are bit-identical
+    by the executors' RNG discipline); only throughput does.
+    """
+    n_inputs = max(int(n_inputs), 1)
+    if default_worker_count() <= 1:
+        return "batched"
+    input_shards = n_inputs // MIN_INPUTS_PER_WORKER
+    if n_members >= 2:
+        if telemetry is not None:
+            snap = (
+                telemetry.snapshot()
+                if isinstance(telemetry, CampaignTelemetry)
+                else dict(telemetry)
+            )
+            phases = snap.get("phase_seconds", {})
+            ipc = phases.get("broadcast", 0.0) + phases.get("gather", 0.0)
+            member_compute = phases.get("encode", 0.0) + phases.get("query", 0.0)
+            if member_compute > 0.0 and ipc <= member_compute:
+                return "member-sharded"
+            if ipc > member_compute > 0.0:
+                return "process" if input_shards >= 2 else "batched"
+        if input_shards < 2:
+            return "member-sharded"
+        if member_nbytes and member_nbytes * n_members > MEMBER_FOOTPRINT_LIMIT:
+            return "member-sharded"
+    return "process" if input_shards >= 2 else "batched"
 
 
 class CampaignExecutor(ABC):
@@ -465,10 +527,19 @@ class ProcessExecutor(CampaignExecutor):
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (next :meth:`run` rebuilds it)."""
+        """Shut the worker pool down (next :meth:`run` rebuilds it).
+
+        Graceful first: ``close()`` lets idle workers drain and exit 0
+        (so coverage/atexit hooks inside workers run), ``join()`` reaps
+        them, and only a pool that fails to wind down is terminated.
+        """
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            try:
+                self._pool.close()
+                self._pool.join()
+            except Exception:  # pragma: no cover - wedged pool
+                self._pool.terminate()
+                self._pool.join()
             self._pool = None
             self._pool_spec = None
             self._pool_spec_refs = None
@@ -522,14 +593,28 @@ class ProcessExecutor(CampaignExecutor):
         outcomes: list[InputOutcome] = []
         with Stopwatch() as sw:
             if shards:
-                pool = self._ensure_pool(
-                    self._spec_key(model, strategy, domain, config, constraint,
-                                   fitness, oracle, telemetry_on),
-                    (model, strategy, domain, config, constraint, fitness, oracle),
-                    (model, probe.strategy, probe.domain, config, constraint,
-                     fitness, oracle, batch_size, telemetry_on),
-                    min(pool_workers, len(shards)),
-                )
+                n_processes = min(pool_workers, len(shards))
+                initargs = (model, probe.strategy, probe.domain, config,
+                            constraint, fitness, oracle, batch_size, telemetry_on)
+                previous_pool = self._pool
+                with obs.phase("broadcast"):
+                    pool = self._ensure_pool(
+                        self._spec_key(model, strategy, domain, config, constraint,
+                                       fitness, oracle, telemetry_on),
+                        (model, strategy, domain, config, constraint, fitness,
+                         oracle),
+                        initargs,
+                        n_processes,
+                    )
+                if telemetry_on:
+                    # What this run shipped to the pool: the spec once per
+                    # worker when (re)built, plus every shard's inputs.
+                    if pool is not previous_pool:
+                        obs.count(
+                            "broadcast_bytes",
+                            payload_nbytes(initargs) * n_processes,
+                        )
+                    obs.count("broadcast_bytes", payload_nbytes(shards))
                 for shard_outcomes, shard_telemetry in pool.map(
                     _process_worker_run, shards
                 ):
@@ -553,8 +638,181 @@ class ProcessExecutor(CampaignExecutor):
         return f"ProcessExecutor(n_workers={self.n_workers}, batch_size={self.batch_size})"
 
 
+class MemberShardedExecutor(CampaignExecutor):
+    """One persistent worker per ensemble member (K ≥ 2 targets only).
+
+    The inverse sharding of :class:`ProcessExecutor`: instead of every
+    worker holding all K members and a slice of the inputs, worker *m*
+    holds exactly member *m* (its model — or just its associative
+    memory for shared-codebook ensembles — plus that member's dedupe
+    caches and survivor side arrays) and sees every input.  The parent
+    runs mutation, oracle, fitness, and pool survival, so campaign
+    outcomes are bit-identical to the serial / batched / process
+    schedules; per-iteration traffic is one broadcast child block (a
+    shared-memory handle by default) against K vote rows coming back.
+
+    Choose it for *member-bound* campaigns — few inputs, many or large
+    members — where input sharding can't fill two workers or would
+    replicate a huge ensemble into each of them;
+    :func:`default_schedule_policy` encodes that rule.
+
+    The worker group persists across :meth:`run` calls with an
+    unchanged campaign spec (same reuse key as the process pool), so
+    wave-mode callers broadcast each member once.
+
+    Parameters
+    ----------
+    batch_size:
+        Parent-side lock-step chunk size; ``None`` matches the campaign
+        size per run (capped at :data:`DEFAULT_BATCH_SIZE`).
+    transport:
+        ``"shm"`` (default) broadcasts arrays through shared-memory
+        segments; ``"pickle"`` ships them through the worker queues
+        (the comparison baseline in
+        ``benchmarks/bench_member_sharding.py``).
+    """
+
+    name = "member-sharded"
+
+    def __init__(
+        self,
+        batch_size: Optional[int] = None,
+        transport: str = "shm",
+    ) -> None:
+        self._explicit_batch = batch_size is not None
+        if batch_size is None:
+            batch_size = DEFAULT_BATCH_SIZE
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.transport = transport
+        self._group = None
+        self._group_spec: Optional[tuple] = None
+        self._group_spec_refs: Optional[tuple] = None
+
+    def _ensure_group(self, spec_key, spec_refs, probe):
+        """The live worker group for *spec_key*, rebuilt on spec change."""
+        from repro.fuzz.member_sharded import MemberWorkerGroup
+
+        if (
+            spec_key is not None
+            and self._group is not None
+            and self._group_spec == spec_key
+            and self._group.alive
+        ):
+            return self._group, False
+        self.close()
+        self._group = MemberWorkerGroup(
+            probe.target.member_shards(), probe.domain, probe.config,
+            transport=self.transport,
+        )
+        self._group_spec = spec_key
+        self._group_spec_refs = spec_refs
+        return self._group, True
+
+    def close(self) -> None:
+        """Stop and join the member workers (next :meth:`run` rebuilds)."""
+        if self._group is not None:
+            self._group.close()
+            self._group = None
+            self._group_spec = None
+            self._group_spec_refs = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def run(self, model, strategy, inputs, *, domain=None, config=None,
+            constraint=None, fitness=None, oracle=None,
+            rng: RngLike = None,
+            telemetry: Optional[CampaignTelemetry] = None) -> CampaignResult:
+        from repro.fuzz.member_sharded import create_member_engine
+
+        # Validate the spec in the parent (and resolve strategy/domain/
+        # config defaults the worker group needs).
+        probe = BatchedHDTest(
+            model, strategy, domain=domain,
+            config=config, constraint=constraint, fitness=fitness, oracle=oracle,
+        )
+        if probe.target.n_members < 2:
+            raise ConfigurationError(
+                "the member-sharded executor shards one worker per ensemble "
+                "member and needs >= 2 members; use the batched or process "
+                "executor for single models"
+            )
+        obs = telemetry if telemetry is not None else NULL_TELEMETRY
+        telemetry_on = telemetry is not None
+        mark = obs.marker()
+        # Same reuse key as the process pool — but telemetry never
+        # crosses into member workers (the parent records), so toggling
+        # it must not rebuild the group.
+        spec_key = ProcessExecutor._spec_key(
+            model, strategy, domain, config, constraint, fitness, oracle
+        )
+        with obs.phase("broadcast"):
+            group, built = self._ensure_group(
+                spec_key,
+                (model, strategy, domain, config, constraint, fitness, oracle),
+                probe,
+            )
+        if telemetry_on and built:
+            # The one-off member broadcast: each worker receives its own
+            # shard only — 1/K of a broadcast-everything initializer.
+            obs.count(
+                "broadcast_bytes",
+                sum(payload_nbytes(s) for s in probe.target.member_shards()),
+            )
+        engine = create_member_engine(
+            group, model, strategy, domain=domain, config=config,
+            constraint=constraint, fitness=fitness, oracle=oracle, rng=rng,
+            telemetry=telemetry,
+        )
+        batch_size = (
+            self.batch_size
+            if self._explicit_batch
+            else min(DEFAULT_BATCH_SIZE, max(len(inputs), 1))
+        )
+        generators = spawn(rng, len(inputs))
+        outcomes: list[InputOutcome] = []
+        with Stopwatch() as sw:
+            for lo in range(0, len(inputs), batch_size):
+                hi = min(lo + batch_size, len(inputs))
+                outcomes.extend(
+                    engine.fuzz_outcomes(
+                        inputs[lo:hi], generators=generators[lo:hi]
+                    )
+                )
+            if telemetry_on and not group.encodes_locally:
+                # Shared-codebook mode: the stock engine never drains the
+                # group, so fold the workers' AM-query wall-clock here
+                # (independent mode folds inside the engine per chunk).
+                stats = group.drain_stats()
+                obs.merge({
+                    "phase_seconds": {"query": stats["query_seconds"]},
+                    "busy_seconds": stats["busy_seconds"],
+                })
+        return CampaignResult(
+            strategy=engine.strategy.name,
+            outcomes=outcomes,
+            elapsed_seconds=sw.elapsed,
+            guided=engine._fitness.guided,  # noqa: SLF001 - same-module family
+            executor=self.name,
+            n_members=probe.target.n_members,
+            telemetry=obs.since(mark),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MemberShardedExecutor(batch_size={self.batch_size}, "
+            f"transport={self.transport!r})"
+        )
+
+
 _EXECUTORS: dict[str, type[CampaignExecutor]] = {
-    cls.name: cls for cls in (SerialExecutor, BatchedExecutor, ProcessExecutor)
+    cls.name: cls
+    for cls in (
+        SerialExecutor, BatchedExecutor, ProcessExecutor, MemberShardedExecutor
+    )
 }
 
 
@@ -582,6 +840,8 @@ def create_executor(name: str, **params: Any) -> CampaignExecutor:
         SerialExecutor: (),
         BatchedExecutor: ("batch_size",),
         ProcessExecutor: ("batch_size", "n_workers"),
+        # One worker per member by definition: n_workers does not apply.
+        MemberShardedExecutor: ("batch_size",),
     }[cls]
     for key in list(params):
         if params[key] is None:

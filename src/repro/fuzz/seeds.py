@@ -169,6 +169,12 @@ class SeedPoolBatch:
     levels:
         Optional ``(n_inputs, P)`` (or per-member ``(n_inputs, K, P)``)
         quantised levels of the originals, idem.
+    allocator:
+        Optional ``(shape, dtype) -> ndarray`` factory for the stacked
+        seed-data block (and side blocks).  The member-sharded executor
+        passes a :meth:`repro.utils.shm.ShmArena.allocator` here so the
+        pool's arrays live in shared memory — survivors are then
+        readable by worker processes without any per-iteration pickling.
     """
 
     def __init__(
@@ -178,15 +184,19 @@ class SeedPoolBatch:
         *,
         accumulators: np.ndarray | None = None,
         levels: np.ndarray | None = None,
+        allocator=None,
     ) -> None:
         self._top_n = check_positive_int(top_n, "top_n")
+        self._allocate = allocator if allocator is not None else np.zeros
         originals = np.asarray(originals)
         if originals.ndim < 2:
             raise FuzzingError(
                 f"originals must be a stacked (n_inputs, …) batch, got {originals.shape}"
             )
         n = originals.shape[0]
-        self._data = np.zeros((n, self._top_n) + originals.shape[1:], originals.dtype)
+        self._data = self._allocate(
+            (n, self._top_n) + originals.shape[1:], originals.dtype
+        )
         self._data[:, 0] = originals
         self._fitness = np.full((n, self._top_n), -np.inf)
         self._generations = np.zeros((n, self._top_n), dtype=np.int64)
@@ -203,7 +213,7 @@ class SeedPoolBatch:
                 f"{name} must be (n_inputs, …) with one row per input, "
                 f"got {values.shape}"
             )
-        block = np.zeros((n, self._top_n) + values.shape[1:], dtype=values.dtype)
+        block = self._allocate((n, self._top_n) + values.shape[1:], values.dtype)
         block[:, 0] = values
         return block
 
@@ -256,13 +266,19 @@ class SeedPoolBatch:
         generation: int,
         accumulators: np.ndarray | None = None,
         levels: np.ndarray | None = None,
-    ) -> None:
+    ) -> np.ndarray | None:
         """Replace input *i*'s pool with the top-N of *children*.
 
         Selection matches :meth:`SeedPool.update` exactly (stable
         descending sort, children fully replace parents); an empty
         candidate set keeps the current seeds, mirroring the sequential
         loop's "nothing survived the constraint" path.
+
+        Returns the survivor selection — child indices, fittest first —
+        or ``None`` when the pool was left untouched.  Member-sharded
+        workers replay this order against their own per-member side
+        arrays, so selection is computed once (parent-side, from the
+        fitness scores) and survives identically in every process.
         """
         scores = np.asarray(scores, dtype=np.float64)
         if len(children) != scores.shape[0]:
@@ -270,7 +286,7 @@ class SeedPoolBatch:
                 f"{len(children)} candidates but {scores.shape[0]} fitness scores"
             )
         if len(children) == 0:
-            return
+            return None
         order = np.argsort(-scores, kind="stable")[: self._top_n]
         k = order.shape[0]
         self._data[i, :k] = children[order]
@@ -285,6 +301,7 @@ class SeedPoolBatch:
             if levels is None:
                 raise FuzzingError("pool stores levels; update must supply them")
             self._levels[i, :k] = levels[order]
+        return order
 
     def __repr__(self) -> str:
         return (

@@ -19,6 +19,7 @@ from repro.obs.events import TelemetrySession, read_events
 from repro.obs.profiling import format_hotspots, profile_call
 from repro.obs.progress import ProgressRenderer
 from repro.obs.recorder import (
+    IPC_PHASES,
     NULL_TELEMETRY,
     PHASES,
     CampaignTelemetry,
@@ -29,6 +30,7 @@ from repro.obs.report import load_campaign_records, render_report
 
 __all__ = [
     "CampaignTelemetry",
+    "IPC_PHASES",
     "NULL_TELEMETRY",
     "NullTelemetry",
     "PHASES",

@@ -45,11 +45,20 @@ Counter vocabulary (all monotonic, order-invariant under merge):
     ``seed_discrepancies`` — the iteration-0 pre-mutation splits).
 ``exhausted``
     Inputs that ran out of iteration budget.
+``broadcast_bytes``
+    Approximate bytes shipped from the campaign parent to worker
+    processes (multi-process executors only; see
+    :func:`repro.utils.shm.payload_nbytes`).  Shared-memory transports
+    count handle sizes, not array bytes — the counter measures what
+    actually crosses the pipes.
 
 Phase wall-timings accumulate under the five :data:`PHASES` keys via
 ``with telemetry.phase("encode"): ...``; the phase timers are cached
 per name so the steady-state cost of a timed block is two
-``perf_counter`` calls.
+``perf_counter`` calls.  Multi-process executors additionally time the
+:data:`IPC_PHASES` — ``broadcast`` (shipping inputs / encoded blocks to
+workers) and ``gather`` (collecting their votes) — which
+``hdtest report`` surfaces next to the engine phases.
 
 Merging (:meth:`CampaignTelemetry.merge`) sums counters, phase
 timings, and the per-strategy / per-member breakdowns, and concatenates
@@ -68,6 +77,7 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "PHASES",
+    "IPC_PHASES",
     "Stopwatch",
     "CampaignTelemetry",
     "NullTelemetry",
@@ -76,6 +86,10 @@ __all__ = [
 
 #: The engine phases whose wall-clock split telemetry records.
 PHASES = ("encode", "query", "mutate", "fitness", "oracle")
+
+#: IPC phases the multi-process executors add on top of :data:`PHASES`.
+#: Created lazily on first use (single-process snapshots stay five-key).
+IPC_PHASES = ("broadcast", "gather")
 
 
 class Stopwatch:

@@ -20,9 +20,13 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
-from repro.obs.recorder import PHASES
+from repro.obs.recorder import IPC_PHASES, PHASES
 
 __all__ = ["load_campaign_records", "render_report"]
+
+#: Phase-table columns: engine phases plus the executors' IPC phases.
+#: Single-process campaigns show 0.000s in the IPC columns.
+_REPORT_PHASES = tuple(PHASES) + tuple(IPC_PHASES)
 
 
 def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -182,14 +186,17 @@ def _phase_rows(records: list[dict]) -> list[list[str]]:
     for record in records:
         telemetry = record.get("telemetry") or {}
         phases = telemetry.get("phase_seconds", {})
+        counters = telemetry.get("counters", {})
         elapsed = telemetry.get("elapsed_seconds") or 0.0
-        timed = sum(phases.get(name, 0.0) for name in PHASES)
+        timed = sum(phases.get(name, 0.0) for name in _REPORT_PHASES)
         row = [record["label"]]
-        for name in PHASES:
+        for name in _REPORT_PHASES:
             seconds = phases.get(name, 0.0)
             share = 100.0 * seconds / elapsed if elapsed > 0 else 0.0
             row.append(f"{seconds:.3f}s ({share:.0f}%)")
         row.append(f"{max(elapsed - timed, 0.0):.3f}s")
+        nbytes = counters.get("broadcast_bytes", 0)
+        row.append(f"{nbytes / 1e6:.2f}" if nbytes else "-")
         rows.append(row)
     return rows
 
@@ -304,7 +311,8 @@ def render_report(source: Union[str, Path]) -> str:
         "",
         "## Phase time split",
         _format_table(
-            ["campaign"] + list(PHASES) + ["other"], _phase_rows(records)
+            ["campaign"] + list(_REPORT_PHASES) + ["other", "ipc-MB"],
+            _phase_rows(records),
         ),
         "",
         "## Yield",

@@ -1,6 +1,7 @@
-"""Shared utilities: RNG plumbing, argument validation, and caching."""
+"""Shared utilities: RNG plumbing, validation, caching, shared memory."""
 
 from repro.utils.cache import LRUCache
+from repro.utils.shm import ShmArena, ShmRef, attach_array, payload_nbytes
 from repro.utils.rng import (
     RngLike,
     SeedSequenceFactory,
@@ -23,6 +24,10 @@ from repro.utils.validation import (
 
 __all__ = [
     "LRUCache",
+    "ShmArena",
+    "ShmRef",
+    "attach_array",
+    "payload_nbytes",
     "RngLike",
     "SeedSequenceFactory",
     "derive_seed",

@@ -1,0 +1,375 @@
+"""Refcounted shared-memory arena: zero-copy ndarray broadcast for pools.
+
+The process executors ship ndarrays between the campaign parent and its
+workers.  Pickling those arrays through multiprocessing pipes copies
+every byte twice (serialise + deserialise) per worker per message; for
+the member-sharded executor — which broadcasts one child block to K
+workers *every iteration* — that cost scales with K while the payload
+is identical for every worker.  :class:`ShmArena` instead places each
+broadcast array in a named ``multiprocessing.shared_memory`` segment
+once and ships a tiny picklable :class:`ShmRef` handle; workers map the
+segment and read the bytes in place, so per-iteration IPC carries only
+handles, shard indices, and vote arrays.
+
+Design notes
+------------
+* **Refcounted lifecycle** — the arena owns its segments.  ``share``
+  creates a segment with refcount 1; :meth:`ShmArena.retain` /
+  :meth:`ShmArena.release` move the count and the segment is unlinked
+  at zero.  :meth:`ShmArena.close` (also run by the GC finalizer)
+  unlinks everything still live, so a dropped arena never leaks
+  ``/dev/shm`` entries (tested in ``tests/utils/test_shm.py``).
+* **Scratch segments** — per-iteration payloads reuse one named slot
+  per logical *key* (``scratch_write``), growing geometrically instead
+  of allocating a fresh segment per message.
+* **Fork/spawn-safe attach** — :func:`attach_array` maps a ref in any
+  process.  CPython ≤ 3.12 registers *attaching* processes with the
+  resource tracker too, which makes the tracker unlink segments that
+  the creator still owns (python/cpython#82300); the attach path
+  suppresses that registration, leaving exactly one owner — the arena.
+  A forked child that inherits an arena object must never unlink the
+  parent's segments, so ownership is pinned to the creating PID.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import weakref
+from multiprocessing import shared_memory
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SHM_REF_NBYTES",
+    "ShmArena",
+    "ShmRef",
+    "attach_array",
+    "detach_all",
+    "payload_nbytes",
+]
+
+#: Approximate pickled size of one :class:`ShmRef` handle — what a
+#: shared array actually costs on the wire (telemetry uses this).
+SHM_REF_NBYTES = 96
+
+
+class ShmRef:
+    """A picklable handle to one array living in a shared segment.
+
+    Attributes
+    ----------
+    key:
+        Logical slot name (``"children"``, ``"hvs"``, …).  Attach-side
+        caching is keyed by it: when a scratch slot grows into a new
+        segment, the next attach under the same key drops the stale
+        mapping automatically.
+    name:
+        The OS-level shared-memory segment name.
+    shape / dtype:
+        How to view the segment's leading bytes as an ndarray.
+    """
+
+    __slots__ = ("key", "name", "shape", "dtype")
+
+    def __init__(self, key: str, name: str, shape: tuple, dtype: str) -> None:
+        self.key = key
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = str(dtype)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the viewed array (not the — possibly larger — segment)."""
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+    def __getstate__(self):
+        return (self.key, self.name, self.shape, self.dtype)
+
+    def __setstate__(self, state):
+        self.key, self.name, self.shape, self.dtype = state
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmRef(key={self.key!r}, name={self.name!r}, "
+            f"shape={self.shape}, dtype={self.dtype!r})"
+        )
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without resource-tracker registration.
+
+    On CPython ≤ 3.12 ``SharedMemory(name=...)`` registers even pure
+    *attaches* with the resource tracker, so a worker exiting (or the
+    tracker shutting down) can unlink a segment its parent still owns
+    and spam "leaked shared_memory" warnings (python/cpython#82300;
+    3.13 grew ``track=False`` for exactly this).  Suppressing the
+    registration during attach keeps ownership where it belongs: the
+    creating arena registers once and unlinks once.
+    """
+    if sys.platform == "win32":  # pragma: no cover - windows has no tracker
+        return shared_memory.SharedMemory(name=name)
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+# -- worker-side attach cache ------------------------------------------------
+# One mapping per logical key (stale segment names are unmapped when a
+# grown scratch slot arrives) plus the PID that owns the cache: a forked
+# child inherits the dict but must not reuse the parent's mappings.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+_ATTACHED_PID: Optional[int] = None
+
+
+def attach_array(ref: ShmRef) -> np.ndarray:
+    """View *ref*'s array inside the current process (read-only).
+
+    Mappings are cached per logical key, so the steady-state cost of a
+    reused scratch slot is a dict lookup.  The returned view aliases
+    the shared bytes — callers that retain data across messages must
+    copy (scratch slots are rewritten by the next broadcast).
+    """
+    global _ATTACHED_PID
+    if _ATTACHED_PID != os.getpid():
+        # Forked child: parent's mmap handles are unusable state here.
+        _ATTACHED.clear()
+        _ATTACHED_PID = os.getpid()
+    segment = _ATTACHED.get(ref.key)
+    if segment is None or segment.name.lstrip("/") != ref.name.lstrip("/"):
+        if segment is not None:
+            segment.close()
+        segment = _ATTACHED[ref.key] = _attach_segment(ref.name)
+    view = np.ndarray(ref.shape, dtype=ref.dtype, buffer=segment.buf)
+    view.flags.writeable = False
+    return view
+
+
+def detach_all() -> None:
+    """Unmap every cached attachment (worker shutdown hygiene)."""
+    for segment in _ATTACHED.values():
+        segment.close()
+    _ATTACHED.clear()
+
+
+class ShmArena:
+    """Owner of a set of shared segments with refcounted lifecycle.
+
+    The creating process is the sole owner: only it unlinks.  Segments
+    are created by :meth:`share` (one-shot payloads, refcount 1) or
+    :meth:`scratch_write` (reusable per-key slots, alive until
+    :meth:`close`).  The arena is a context manager and also cleans up
+    from a GC finalizer, so no code path leaks ``/dev/shm`` entries.
+    """
+
+    def __init__(self) -> None:
+        self._owner_pid = os.getpid()
+        # name → [SharedMemory, refcount]; scratch slots carry refcount
+        # None (immortal until close).
+        self._segments: dict[str, list] = {}
+        self._scratch: dict[str, str] = {}  # key → segment name
+        self._shared_bytes = 0
+        self._finalizer = weakref.finalize(
+            self, ShmArena._finalize, self._owner_pid, self._segments
+        )
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def open_segments(self) -> int:
+        """Live segment count (tests assert this reaches 0 after close)."""
+        return len(self._segments)
+
+    @property
+    def shared_bytes(self) -> int:
+        """Total bytes ever copied into this arena's segments."""
+        return self._shared_bytes
+
+    # -- allocation ----------------------------------------------------------
+    def _create(self, nbytes: int) -> shared_memory.SharedMemory:
+        if self._owner_pid != os.getpid():
+            raise ConfigurationError(
+                "ShmArena segments must be created by the owning process "
+                f"(owner pid {self._owner_pid}, current {os.getpid()})"
+            )
+        return shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+
+    def share(self, array: np.ndarray, *, key: str = "") -> ShmRef:
+        """Copy *array* into a fresh segment (refcount 1) → its ref."""
+        array = np.ascontiguousarray(array)
+        segment = self._create(array.nbytes)
+        self._segments[segment.name] = [segment, 1]
+        self._write(segment, array)
+        return ShmRef(key or segment.name, segment.name, array.shape, array.dtype.str)
+
+    def scratch_write(self, key: str, array: np.ndarray) -> ShmRef:
+        """Write *array* into the reusable slot *key* → a ref to read it.
+
+        The slot's segment is grown (1.5× geometric headroom) when the
+        payload outgrows it; the previous segment is unlinked and the
+        returned ref's fresh name tells attached readers to remap.
+        """
+        array = np.ascontiguousarray(array)
+        name = self._scratch.get(key)
+        entry = self._segments.get(name) if name is not None else None
+        if entry is None or entry[0].size < array.nbytes:
+            if entry is not None:
+                self._unlink(name)
+            segment = self._create(max(array.nbytes, int(array.nbytes * 1.5)))
+            self._segments[segment.name] = [segment, None]
+            self._scratch[key] = segment.name
+            entry = self._segments[segment.name]
+        self._write(entry[0], array)
+        return ShmRef(key, entry[0].name, array.shape, array.dtype.str)
+
+    def allocator(self, key: str):
+        """An ``(shape, dtype) -> ndarray`` allocator over slot *key*.
+
+        Lets array containers (e.g. :class:`~repro.fuzz.seeds.SeedPoolBatch`)
+        place their backing blocks directly in shared memory; the
+        matching ref for readers is ``ref_for(key, shape, dtype)``.
+
+        The closure hands out rotating sub-slots (``key.0``, ``key.1``,
+        …): the *n*-th allocation of a fresh ``allocator(key)`` replaces
+        the *n*-th allocation of the previous one, so containers rebuilt
+        every run (one pool per chunk) reuse segment slots instead of
+        accumulating segments until :meth:`close`.
+        """
+        counter = [0]
+
+        def allocate(shape: tuple, dtype: Any) -> np.ndarray:
+            slot = f"{key}.{counter[0]}"
+            counter[0] += 1
+            prior = self._scratch.pop(slot, None)
+            if prior is not None:
+                self._unlink(prior)
+            nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+            segment = self._create(nbytes)
+            self._segments[segment.name] = [segment, None]
+            self._scratch[slot] = segment.name
+            block = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+            block[...] = np.zeros((), dtype=dtype)
+            return block
+
+        return allocate
+
+    def ref_for(self, key: str, shape: tuple, dtype: Any) -> ShmRef:
+        """The ref of slot *key* viewed as ``(shape, dtype)``."""
+        name = self._scratch.get(key)
+        if name is None:
+            raise ConfigurationError(f"arena has no scratch slot {key!r}")
+        return ShmRef(key, name, tuple(shape), np.dtype(dtype).str)
+
+    def _write(self, segment: shared_memory.SharedMemory, array: np.ndarray) -> None:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        self._shared_bytes += array.nbytes
+
+    # -- refcounting ---------------------------------------------------------
+    def retain(self, ref: ShmRef) -> ShmRef:
+        """Bump a shared segment's refcount (one more release required)."""
+        entry = self._segments.get(ref.name)
+        if entry is None:
+            raise ConfigurationError(f"{ref!r} does not belong to this arena")
+        if entry[1] is not None:
+            entry[1] += 1
+        return ref
+
+    def release(self, ref: ShmRef) -> None:
+        """Drop one reference; the segment is unlinked at refcount 0."""
+        entry = self._segments.get(ref.name)
+        if entry is None:
+            return  # already unlinked — release is idempotent by design
+        if entry[1] is not None:
+            entry[1] -= 1
+            if entry[1] <= 0:
+                self._unlink(ref.name)
+
+    def _unlink(self, name: str) -> None:
+        entry = self._segments.pop(name, None)
+        if entry is None:
+            return
+        segment = entry[0]
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a live view still maps it
+            # unlink below still removes the name; the pages are freed
+            # when the last mapping (the straggler view) dies.
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - external cleanup won
+            pass
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every live segment (no-op in forked children)."""
+        if self._owner_pid != os.getpid():
+            return
+        for name in list(self._segments):
+            self._unlink(name)
+        self._scratch.clear()
+
+    @staticmethod
+    def _finalize(owner_pid: int, segments: dict) -> None:
+        if owner_pid != os.getpid():
+            return
+        for entry in list(segments.values()):
+            segment = entry[0]
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - live view at GC time
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        segments.clear()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmArena(segments={self.open_segments}, "
+            f"shared_bytes={self._shared_bytes})"
+        )
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate bytes *obj* costs when pickled through an IPC channel.
+
+    The telemetry layer's ``broadcast_bytes`` counter uses this instead
+    of ``len(pickle.dumps(...))`` so instrumented runs never pay a
+    second serialisation of large arrays: ndarrays count their buffer,
+    shm refs count their handle size (:data:`SHM_REF_NBYTES` — the
+    whole point of the zero-copy path), containers recurse, and only
+    unknown leaves (models at pool-build time) fall back to a real
+    pickle measurement.
+    """
+    if obj is None or isinstance(obj, (bool, int, float)):
+        return 8
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes) + 16
+    if isinstance(obj, ShmRef):
+        return SHM_REF_NBYTES
+    if isinstance(obj, (bytes, bytearray, str)):
+        return len(obj) + 8
+    if isinstance(obj, dict):
+        return 16 + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    if isinstance(obj, (list, tuple, set)):
+        return 16 + sum(payload_nbytes(item) for item in obj)
+    return len(pickle.dumps(obj))

@@ -29,7 +29,9 @@ def _outcome_key(result):
 
 class TestRegistry:
     def test_names(self):
-        assert executor_names() == ["batched", "process", "serial"]
+        assert executor_names() == [
+            "batched", "member-sharded", "process", "serial"
+        ]
 
     def test_create_each(self):
         assert isinstance(create_executor("serial"), SerialExecutor)
@@ -426,3 +428,97 @@ class TestDefaultPoolPolicy:
             trained_model, "gauss", inputs, config=CFG, rng=11
         )
         assert _outcome_key(policy_sized) == _outcome_key(explicit)
+
+
+class TestGracefulShutdown:
+    """Satellite: close() drains the pool with close+join, not SIGTERM.
+
+    Terminating mid-flush can lose worker-side atexit handlers and —
+    on slow filesystems — interleave badly with the resource tracker;
+    a drained pool exits every worker with code 0.
+    """
+
+    def test_process_pool_workers_exit_cleanly(self, trained_model, test_images):
+        executor = ProcessExecutor(n_workers=2, batch_size=2)
+        try:
+            executor.run(
+                trained_model, "gauss", list(test_images[:4]), config=CFG, rng=1
+            )
+            workers = list(executor._pool._pool)  # noqa: SLF001
+            assert all(process.is_alive() for process in workers)
+        finally:
+            executor.close()
+        assert [process.exitcode for process in workers] == [0, 0]
+
+    def test_close_without_pool_is_a_noop(self):
+        ProcessExecutor(n_workers=2).close()  # nothing to drain
+
+
+class TestScheduleSelectionPolicy:
+    """default_schedule_policy: batched vs process vs member-sharded."""
+
+    def _policy(self, monkeypatch, cores):
+        import repro.fuzz.executor as executor_module
+
+        monkeypatch.delenv(executor_module.WORKER_COUNT_ENV, raising=False)
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: cores)
+        return executor_module.default_schedule_policy
+
+    def test_single_core_always_batched(self, monkeypatch):
+        policy = self._policy(monkeypatch, 1)
+        assert policy(1000) == "batched"
+        assert policy(4, n_members=8, member_nbytes=2**30) == "batched"
+
+    def test_single_models_shard_by_input(self, monkeypatch):
+        policy = self._policy(monkeypatch, 8)
+        assert policy(64) == "process"
+        assert policy(8) == "batched"  # one shard: pool start-up wasted
+
+    def test_small_ensemble_campaigns_shard_by_member(self, monkeypatch):
+        policy = self._policy(monkeypatch, 8)
+        # Too few inputs for two input shards, but K workers still help.
+        assert policy(8, n_members=5) == "member-sharded"
+        assert policy(64, n_members=5) == "process"
+
+    def test_heavy_members_shard_by_member(self, monkeypatch):
+        import repro.fuzz.executor as executor_module
+
+        policy = self._policy(monkeypatch, 8)
+        heavy = executor_module.MEMBER_FOOTPRINT_LIMIT // 4
+        assert policy(64, n_members=5, member_nbytes=heavy) == "member-sharded"
+        assert policy(64, n_members=5, member_nbytes=1024) == "process"
+
+    def test_telemetry_compute_bound_prefers_member_sharding(self, monkeypatch):
+        policy = self._policy(monkeypatch, 8)
+        compute_bound = {
+            "phase_seconds": {
+                "encode": 4.0, "query": 2.0, "broadcast": 0.5, "gather": 0.5,
+            }
+        }
+        assert policy(64, n_members=3, telemetry=compute_bound) == "member-sharded"
+
+    def test_telemetry_ipc_bound_falls_back_to_input_sharding(self, monkeypatch):
+        policy = self._policy(monkeypatch, 8)
+        ipc_bound = {
+            "phase_seconds": {
+                "encode": 0.2, "query": 0.2, "broadcast": 3.0, "gather": 2.0,
+            }
+        }
+        assert policy(64, n_members=3, telemetry=ipc_bound) == "process"
+        assert policy(8, n_members=3, telemetry=ipc_bound) == "batched"
+
+    def test_telemetry_recorder_accepted(self, monkeypatch):
+        import time
+
+        from repro.obs import CampaignTelemetry
+
+        policy = self._policy(monkeypatch, 8)
+        obs = CampaignTelemetry()
+        with obs.phase("encode"):
+            time.sleep(0.002)
+        assert policy(64, n_members=3, telemetry=obs) == "member-sharded"
+
+    def test_empty_telemetry_falls_back_to_shape_rules(self, monkeypatch):
+        policy = self._policy(monkeypatch, 8)
+        assert policy(64, n_members=3, telemetry={}) == "process"
+        assert policy(8, n_members=3, telemetry={}) == "member-sharded"

@@ -163,7 +163,11 @@ class TestCounterConservation:
             )
         finally:
             executor.close()
-        merged = result.telemetry["counters"]
+        merged = dict(result.telemetry["counters"])
+        # The executor adds its own IPC accounting on top of the engine
+        # counters; those never appear in a single-process run.
+        broadcast_bytes = merged.pop("broadcast_bytes", 0)
+        assert broadcast_bytes > 0
         assert merged == serial
         assert result.telemetry["busy_seconds"] > 0
         assert result.telemetry["retired_at"] == sorted(result.telemetry["retired_at"])

@@ -1,0 +1,238 @@
+"""ShmArena lifecycle: refcounts, scratch slots, cross-process attach.
+
+The zero-copy broadcast layer under the member-sharded executor.  The
+load-bearing properties: no ``/dev/shm`` entry outlives its arena
+(close, GC, or refcount-zero all unlink), scratch slots grow by remap
+instead of accumulating segments, and attaching from another process —
+forked or freshly spawned — reads the same bytes without stealing
+ownership (the attach suppresses CPython's resource-tracker
+registration, python/cpython#82300).
+"""
+
+import multiprocessing as mp
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.shm import (
+    SHM_REF_NBYTES,
+    ShmArena,
+    ShmRef,
+    attach_array,
+    detach_all,
+    payload_nbytes,
+)
+
+SHM_DIR = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="no /dev/shm on this platform"
+)
+
+
+def _shm_entries() -> set:
+    return {p.name for p in SHM_DIR.iterdir()}
+
+
+@pytest.fixture()
+def leak_check():
+    """Assert the test leaves /dev/shm exactly as it found it."""
+    before = _shm_entries()
+    yield
+    detach_all()
+    assert _shm_entries() == before, "leaked shared-memory segments"
+
+
+class TestShmRef:
+    def test_roundtrips_through_pickle(self):
+        ref = ShmRef("children", "psm_abc", (4, 8), "<f8")
+        clone = pickle.loads(pickle.dumps(ref))
+        assert (clone.key, clone.name, clone.shape, clone.dtype) == (
+            "children", "psm_abc", (4, 8), "<f8"
+        )
+        assert clone.nbytes == 4 * 8 * 8
+
+    def test_pickled_size_within_budget(self):
+        ref = ShmRef("children", "psm_" + "x" * 12, (64, 28, 28), "<f8")
+        assert len(pickle.dumps(ref)) <= SHM_REF_NBYTES
+
+
+class TestArenaLifecycle:
+    def test_share_and_attach_roundtrip(self, leak_check):
+        with ShmArena() as arena:
+            data = np.arange(24, dtype=np.float64).reshape(4, 6)
+            ref = arena.share(data, key="block")
+            view = attach_array(ref)
+            np.testing.assert_array_equal(view, data)
+            assert not view.flags.writeable
+            assert arena.open_segments == 1
+
+    def test_close_unlinks_everything(self, leak_check):
+        arena = ShmArena()
+        arena.share(np.zeros(16), key="a")
+        arena.scratch_write("b", np.ones(16))
+        assert arena.open_segments == 2
+        arena.close()
+        assert arena.open_segments == 0
+
+    def test_gc_finalizer_unlinks(self, leak_check):
+        arena = ShmArena()
+        arena.share(np.zeros(512), key="a")
+        del arena  # leak_check asserts the finalizer cleaned up
+
+    def test_refcount_release_unlinks_at_zero(self, leak_check):
+        with ShmArena() as arena:
+            ref = arena.share(np.zeros(8), key="a")
+            arena.retain(ref)
+            arena.release(ref)
+            assert arena.open_segments == 1  # one reference still held
+            arena.release(ref)
+            assert arena.open_segments == 0
+            arena.release(ref)  # idempotent past zero
+
+    def test_retain_foreign_ref_rejected(self, leak_check):
+        with ShmArena() as arena:
+            with pytest.raises(ConfigurationError, match="does not belong"):
+                arena.retain(ShmRef("x", "psm_nonexistent", (1,), "<f8"))
+
+
+class TestScratchSlots:
+    def test_slot_reuse_keeps_one_segment(self, leak_check):
+        with ShmArena() as arena:
+            for value in range(5):
+                ref = arena.scratch_write("children", np.full(32, value))
+                np.testing.assert_array_equal(attach_array(ref), np.full(32, value))
+            assert arena.open_segments == 1
+
+    def test_growth_remaps_and_unlinks_old(self, leak_check):
+        with ShmArena() as arena:
+            small = arena.scratch_write("children", np.zeros(8))
+            big = arena.scratch_write("children", np.arange(4096, dtype=np.float64))
+            assert big.name != small.name
+            assert arena.open_segments == 1  # old segment gone
+            # A cached attach under the same key remaps transparently.
+            np.testing.assert_array_equal(
+                attach_array(big), np.arange(4096, dtype=np.float64)
+            )
+
+    def test_shrinking_payload_reuses_segment(self, leak_check):
+        with ShmArena() as arena:
+            big = arena.scratch_write("children", np.zeros(4096))
+            small = arena.scratch_write("children", np.ones(8))
+            assert small.name == big.name  # headroom reused, no new segment
+            np.testing.assert_array_equal(attach_array(small), np.ones(8))
+
+    def test_ref_for_names_the_live_slot(self, leak_check):
+        with ShmArena() as arena:
+            written = arena.scratch_write("hvs", np.zeros((3, 5)))
+            ref = arena.ref_for("hvs", (3, 5), np.float64)
+            assert ref.name == written.name
+            with pytest.raises(ConfigurationError, match="no scratch slot"):
+                arena.ref_for("missing", (1,), np.float64)
+
+
+class TestAllocator:
+    def test_pool_blocks_live_in_the_arena(self, leak_check):
+        with ShmArena() as arena:
+            allocate = arena.allocator("pool")
+            block = allocate((4, 3, 8, 8), np.float64)
+            assert block.shape == (4, 3, 8, 8)
+            block[1, 0] = 7.0
+            ref = arena.ref_for("pool.0", (4, 3, 8, 8), np.float64)
+            np.testing.assert_array_equal(attach_array(ref)[1, 0], np.full((8, 8), 7.0))
+
+    def test_fresh_allocators_rotate_slots(self, leak_check):
+        """Per-run pool rebuilds replace segments instead of accumulating."""
+        with ShmArena() as arena:
+            for _ in range(4):  # four runs, two pool blocks each
+                allocate = arena.allocator("pool")
+                allocate((2, 2), np.float64)
+                allocate((2, 4), np.int64)
+                assert arena.open_segments == 2
+
+
+class TestCrossProcessAttach:
+    def test_forked_child_reads_without_unlinking(self, leak_check):
+        with ShmArena() as arena:
+            ref = arena.scratch_write("block", np.arange(64, dtype=np.int64))
+            ctx = mp.get_context("fork")
+            queue = ctx.Queue()
+            process = ctx.Process(target=_fork_reader, args=(ref, queue))
+            process.start()
+            assert queue.get(timeout=30) == 2016  # sum(range(64))
+            process.join(timeout=30)
+            assert process.exitcode == 0
+            # The child's exit must not have unlinked the parent's segment.
+            np.testing.assert_array_equal(
+                attach_array(ref), np.arange(64, dtype=np.int64)
+            )
+
+    def test_spawned_interpreter_reads_without_unlinking(self, leak_check):
+        """A fresh interpreter (the spawn case) attaches by ref fields."""
+        with ShmArena() as arena:
+            ref = arena.scratch_write("block", np.arange(32, dtype=np.int64))
+            script = (
+                "import numpy as np\n"
+                "from repro.utils.shm import ShmRef, attach_array\n"
+                f"ref = ShmRef({ref.key!r}, {ref.name!r}, {ref.shape!r}, "
+                f"{ref.dtype!r})\n"
+                "print(int(attach_array(ref).sum()))\n"
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, timeout=60,
+                env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+                cwd=str(Path(__file__).resolve().parents[2]),
+            )
+            assert out.returncode == 0, out.stderr
+            assert out.stdout.strip() == "496"  # sum(range(32))
+            # Still mapped and intact after the attacher exited.
+            np.testing.assert_array_equal(
+                attach_array(ref), np.arange(32, dtype=np.int64)
+            )
+
+    def test_forked_child_cannot_create(self, leak_check):
+        with ShmArena() as arena:
+            ctx = mp.get_context("fork")
+            queue = ctx.Queue()
+            process = ctx.Process(target=_fork_creator, args=(arena, queue))
+            process.start()
+            assert queue.get(timeout=30) == "ConfigurationError"
+            process.join(timeout=30)
+
+
+def _fork_reader(ref, queue):
+    queue.put(int(attach_array(ref).sum()))
+    detach_all()
+
+
+def _fork_creator(arena, queue):
+    try:
+        arena.share(np.zeros(4))
+    except ConfigurationError:
+        queue.put("ConfigurationError")
+    else:  # pragma: no cover - failure path
+        queue.put("created")
+
+
+class TestPayloadNbytes:
+    def test_arrays_count_buffers_refs_count_handles(self):
+        array = np.zeros((64, 28, 28))
+        assert payload_nbytes(array) == array.nbytes + 16
+        assert payload_nbytes(ShmRef("k", "n", (64, 28, 28), "<f8")) == SHM_REF_NBYTES
+
+    def test_containers_recurse(self):
+        msg = ("predict", np.zeros(8), ((0, np.arange(3), 3),), True)
+        total = payload_nbytes(msg)
+        assert total > payload_nbytes(np.zeros(8))
+        assert payload_nbytes(b"abcd") == 12
+        assert payload_nbytes({"a": 1}) == 16 + (1 + 8) + 8
+
+    def test_unknown_leaves_fall_back_to_pickle(self):
+        leaf = complex(1.0, 2.0)  # no fast path — measured by pickling
+        assert payload_nbytes(leaf) == len(pickle.dumps(leaf))
