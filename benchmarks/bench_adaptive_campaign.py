@@ -1,0 +1,250 @@
+"""Adaptive campaigns vs fixed strategies: discrepancies per encode.
+
+The adaptive driver (``repro.fuzz.adaptive``) claims two compounding
+wins over the fixed campaigns, both measured here at paper scale
+(D = 10 000) on the yield metric the bandit optimises —
+discrepancies per encode:
+
+* vs the *best fixed strategy*: the evolving corpus re-enters retired
+  adversarials as boundary-hugging seeds whose mutants flip almost
+  immediately, beating even the arm an oracle would have picked
+  (bar: ``MIN_VS_BEST_FIXED``);
+* vs the *uniform mix* a strategy-agnostic user runs: Thompson
+  sampling demotes encode-hungry arms (``rand``) and yield-less arms
+  (``shift``) after a one-input probe each, so almost the whole budget
+  lands on the productive arm (bar: ``MIN_VS_UNIFORM``).
+
+The regime is the paper's budgeted attack setting
+(``ImageConstraint(max_l2 = L2_BUDGET)``): under a tight budget the
+strategies separate sharply — gauss partially succeeds, rand pays two
+orders of magnitude more encodes per discrepancy, shift never gets a
+child inside the budget — which is exactly where scheduling matters.
+Unconstrained, this model retires nearly every input in about one
+iteration for every arm and no scheduler can beat the floor.
+
+Every variant runs through ``run_adaptive_campaign`` itself (fixed
+arm = single strategy + uniform schedule + static corpus), so all
+five campaigns share one accounting: engine encodes + seed encodes +
+minimisation probes.
+
+Run:    pytest benchmarks/bench_adaptive_campaign.py --benchmark-only -s
+Smoke:  python benchmarks/bench_adaptive_campaign.py --quick
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import run_once, write_bench_record
+
+from repro.fuzz import HDTestConfig, ImageConstraint, run_adaptive_campaign
+
+ARMS = ("gauss", "rand", "shift")
+N_POOL = 32
+N_TARGET = 200
+ITER_TIMES = 30
+L2_BUDGET = 0.25
+BLOCK_SIZE = 16
+SEED = 7
+
+#: Adaptive must beat the best fixed strategy by this factor …
+MIN_VS_BEST_FIXED = 1.2
+#: … and the uniform strategy mix by this one (paper-scale bars).
+MIN_VS_UNIFORM = 1.5
+
+
+def _campaign(model, images, labels, *, arms, schedule, evolve, n_target,
+              iter_times, budget_factor=20):
+    return run_adaptive_campaign(
+        model,
+        images,
+        n_target,
+        strategies=arms,
+        schedule=schedule,
+        evolve_corpus=evolve,
+        minimize=evolve,
+        true_labels=labels,
+        config=HDTestConfig(iter_times=iter_times),
+        constraint=ImageConstraint(max_l2=L2_BUDGET),
+        block_size=BLOCK_SIZE,
+        max_attempts_factor=budget_factor,
+        rng=SEED,
+        executor="batched",
+        strict=False,
+    )
+
+
+def run_matrix(model, images, labels, *, n_target=N_TARGET,
+               iter_times=ITER_TIMES):
+    """All five campaigns: fixed per arm, uniform mix, adaptive."""
+    results = {}
+    for arm in ARMS:
+        results[f"fixed:{arm}"] = _campaign(
+            model, images, labels, arms=(arm,), schedule="uniform",
+            evolve=False, n_target=n_target, iter_times=iter_times,
+        )
+    results["uniform"] = _campaign(
+        model, images, labels, arms=ARMS, schedule="uniform",
+        evolve=False, n_target=n_target, iter_times=iter_times,
+    )
+    results["adaptive"] = _campaign(
+        model, images, labels, arms=ARMS, schedule="thompson",
+        evolve=True, n_target=n_target, iter_times=iter_times,
+    )
+    return results
+
+
+def _dpe(result) -> float:
+    value = result.discrepancies_per_encode
+    return 0.0 if value != value else value  # NaN -> no yield at all
+
+
+def _report(results, *, dimension=10_000, n_target=N_TARGET,
+            iter_times=ITER_TIMES) -> str:
+    lines = [
+        f"[adaptive-campaign] D={dimension} pool={N_POOL} target={n_target} "
+        f"iter_times={iter_times} max_l2={L2_BUDGET}",
+        f"  {'campaign':14s} {'found':>6s} {'attempts':>9s} "
+        f"{'encodes':>9s} {'disc/encode':>12s}",
+    ]
+    for name, r in results.items():
+        lines.append(
+            f"  {name:14s} {r.n_found:6d} {r.attempts:9d} "
+            f"{r.encodes:9d} {_dpe(r):12.5f}"
+        )
+    return "\n".join(lines)
+
+
+def _record(results) -> None:
+    adaptive = results["adaptive"]
+    best_fixed = max(_dpe(results[f"fixed:{arm}"]) for arm in ARMS)
+    write_bench_record(
+        "bench_adaptive_campaign",
+        metrics={
+            **{f"dpe_{k.replace(':', '_')}": _dpe(r) for k, r in results.items()},
+            "adaptive_vs_best_fixed": _dpe(adaptive) / best_fixed,
+            "adaptive_vs_uniform": _dpe(adaptive) / _dpe(results["uniform"]),
+            "adaptive_found": adaptive.n_found,
+            "adaptive_encodes": adaptive.encodes,
+            "adaptive_best_arm": adaptive.best_arm(),
+            "adaptive_allocation": adaptive.allocation,
+            "adaptive_bandit": adaptive.bandit,
+            "adaptive_corpus": adaptive.corpus,
+        },
+        config={
+            "arms": list(ARMS),
+            "n_pool": N_POOL,
+            "n_target": N_TARGET,
+            "iter_times": ITER_TIMES,
+            "max_l2": L2_BUDGET,
+            "block_size": BLOCK_SIZE,
+            "seed": SEED,
+            "min_vs_best_fixed": MIN_VS_BEST_FIXED,
+            "min_vs_uniform": MIN_VS_UNIFORM,
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def matrix(paper_model, fuzz_images, digit_data):
+    _, test = digit_data
+    images = [fuzz_images[i] for i in range(N_POOL)]
+    labels = [int(test.labels[i]) for i in range(N_POOL)]
+    results = run_matrix(paper_model, images, labels)
+    print("\n" + _report(results))
+    _record(results)
+    return results
+
+
+def test_adaptive_beats_best_fixed_strategy(benchmark, matrix):
+    results = run_once(benchmark, lambda: matrix)
+    best_fixed = max(_dpe(results[f"fixed:{arm}"]) for arm in ARMS)
+    ratio = _dpe(results["adaptive"]) / best_fixed
+    print(f"\n[adaptive-campaign] adaptive/best-fixed = {ratio:.2f}x "
+          f"(bar: {MIN_VS_BEST_FIXED}x)")
+    assert ratio >= MIN_VS_BEST_FIXED
+
+
+def test_adaptive_beats_uniform_mix(benchmark, matrix):
+    results = run_once(benchmark, lambda: matrix)
+    ratio = _dpe(results["adaptive"]) / _dpe(results["uniform"])
+    print(f"\n[adaptive-campaign] adaptive/uniform-mix = {ratio:.2f}x "
+          f"(bar: {MIN_VS_UNIFORM}x)")
+    assert ratio >= MIN_VS_UNIFORM
+
+
+def test_bandit_demotes_hopeless_and_expensive_arms(benchmark, matrix):
+    results = run_once(benchmark, lambda: matrix)
+    adaptive = matrix["adaptive"]
+    scheduled = {arm: 0 for arm in ARMS}
+    for wave in adaptive.allocation:
+        for arm, n in wave["scheduled"].items():
+            scheduled[arm] += n
+    # The productive arm must dominate the allocation…
+    assert adaptive.best_arm() == "gauss"
+    assert scheduled["gauss"] > 2 * (scheduled["rand"] + scheduled["shift"])
+    # …and the encode-hungry arm must be starved after its probe.
+    assert scheduled["rand"] <= 2 * BLOCK_SIZE
+    assert results is matrix
+
+
+def test_evolving_corpus_reenters_boundary_seeds(benchmark, matrix):
+    results = run_once(benchmark, lambda: matrix)
+    corpus = results["adaptive"].corpus
+    assert corpus["adversarial"] >= N_TARGET // 2
+    assert corpus["near_miss"] > 0
+    # Re-entered boundary seeds retire almost immediately.
+    iterations = [e.iterations for e in results["adaptive"].examples]
+    assert float(np.mean(iterations)) < 3
+
+
+def _smoke_main(argv=None):  # pragma: no cover - exercised by CI, not pytest
+    """Standalone entry point: small-scale smoke without plugins."""
+    import argparse
+
+    from repro.datasets import load_digits
+    from repro.hdc import HDCClassifier, PixelEncoder
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny model + short campaigns (CI smoke)")
+    args = parser.parse_args(argv)
+
+    dimension = 2048 if args.quick else 10_000
+    n_train = 400 if args.quick else 1500
+    n_target = 40 if args.quick else N_TARGET
+    iter_times = 10 if args.quick else ITER_TIMES
+
+    train, test = load_digits(n_train=n_train, n_test=300, seed=42)
+    model = HDCClassifier(PixelEncoder(dimension=dimension, rng=42), 10).fit(
+        train.images, train.labels
+    )
+    images = [test.images[i].astype(np.float64) for i in range(N_POOL)]
+    labels = [int(test.labels[i]) for i in range(N_POOL)]
+    results = run_matrix(model, images, labels, n_target=n_target,
+                         iter_times=iter_times)
+    print(_report(results, dimension=dimension, n_target=n_target,
+                  iter_times=iter_times))
+    _record(results)
+    best_fixed = max(_dpe(results[f"fixed:{arm}"]) for arm in ARMS)
+    vs_fixed = _dpe(results["adaptive"]) / best_fixed
+    vs_uniform = _dpe(results["adaptive"]) / _dpe(results["uniform"])
+    # The quick model is weak enough that fixed gauss already sits at
+    # the physical floor (~1 iteration per find), leaving the corpus no
+    # headroom, and the probes amortise over far fewer finds — so the
+    # smoke pins a sanity floor and the real bars are asserted at paper
+    # scale (pytest leg), where the budgeted regime separates the arms.
+    fixed_bar = 0.5 if args.quick else MIN_VS_BEST_FIXED
+    uniform_bar = 1.2 if args.quick else MIN_VS_UNIFORM
+    print(f"[adaptive-campaign] adaptive/best-fixed {vs_fixed:.2f}x "
+          f"(smoke bar {fixed_bar}x; {MIN_VS_BEST_FIXED}x at paper scale); "
+          f"adaptive/uniform {vs_uniform:.2f}x "
+          f"(smoke bar {uniform_bar}x; {MIN_VS_UNIFORM}x at paper scale)")
+    assert vs_fixed >= fixed_bar
+    assert vs_uniform >= uniform_bar
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_smoke_main())

@@ -138,6 +138,32 @@ def build_parser() -> argparse.ArgumentParser:
                            "disagreement (cross-model) or a flip of the "
                            "ensemble's majority vote (majority); ignored "
                            "without --ensemble (default: cross-model)")
+    fuzz.add_argument("--adaptive", action="store_true",
+                      help="adaptive campaign (repro.fuzz.adaptive): a "
+                           "Thompson-sampling bandit splits each wave's "
+                           "iteration blocks across --strategies, and retired "
+                           "adversarials re-enter the evolving seed corpus "
+                           "(deduped + L1-minimised); fuzzes until "
+                           "--n-adversarial discrepancies instead of one "
+                           "pass over the pool")
+    fuzz.add_argument("--n-adversarial", type=int, default=20,
+                      help="with --adaptive: discrepancies to collect "
+                           "(default: 20)")
+    fuzz.add_argument("--schedule", choices=("thompson", "uniform"),
+                      default="thompson",
+                      help="with --adaptive: block allocation rule — "
+                           "Thompson sampling on observed retirement rates, "
+                           "or a uniform round-robin baseline "
+                           "(default: thompson)")
+    fuzz.add_argument("--block-size", type=int, default=16,
+                      help="with --adaptive: inputs per scheduled block, the "
+                           "bandit's decision granularity (default: 16)")
+    fuzz.add_argument("--static-corpus", action="store_true",
+                      help="with --adaptive: keep the seed pool static "
+                           "(disable adversarial re-entry)")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="with --adaptive: re-enter adversarials without "
+                           "greedy L1-minimisation")
     _add_executor_flags(fuzz)
     fuzz.add_argument("--seed", type=int, default=0,
                       help="root seed; for --domain text/voice use the same "
@@ -422,7 +448,18 @@ def _resolve_strategies(args: argparse.Namespace) -> list[str]:
     """``--strategies`` validated against the domain's namespace."""
     domain_cls = get_domain_class(args.domain)
     available = strategy_names(domain_cls.name)
-    strategies = args.strategies or [domain_cls.default_strategy]
+    # An adaptive campaign's point is choosing between arms, so its
+    # default is the whole domain namespace, not the single default.
+    if args.strategies:
+        strategies = args.strategies
+    elif getattr(args, "adaptive", False):
+        strategies = list(available)
+    else:
+        strategies = [domain_cls.default_strategy]
+    # Accept both `--strategies gauss rand` and `--strategies gauss,rand`.
+    strategies = [
+        token for item in strategies for token in item.split(",") if token
+    ]
     unknown = [s for s in strategies if s not in available]
     if unknown:
         raise ConfigurationError(
@@ -457,6 +494,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         from repro.obs.events import TelemetrySession
 
         session = TelemetrySession(args.telemetry, progress=args.progress)
+
+    if args.adaptive:
+        return _adaptive_fuzz(
+            args, model, target, oracle, inputs, config, session,
+            executor, strategies,
+        )
 
     def _run_campaigns():
         return compare_strategies(
@@ -518,6 +561,81 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                     print(f"label {ex.reference_label} -> {ex.adversarial_label} "
                           f"({ex.metrics})")
                     break
+    if args.telemetry is not None:
+        print(f"telemetry stream written to {args.telemetry} "
+              f"({session.events_emitted} events) — render with "
+              f"`hdtest report {args.telemetry}`")
+    return 0
+
+
+def _adaptive_fuzz(args, model, target, oracle, inputs, config, session,
+                   executor, strategies) -> int:
+    """``hdtest fuzz --adaptive``: corpus + bandit campaign and summary."""
+    from repro.fuzz.adaptive import run_adaptive_campaign
+
+    def _run():
+        return run_adaptive_campaign(
+            target, inputs, args.n_adversarial,
+            strategies=strategies,
+            schedule=args.schedule,
+            evolve_corpus=not args.static_corpus,
+            minimize=not args.no_minimize,
+            block_size=args.block_size,
+            domain=create_domain(args.domain, model=model),
+            config=config,
+            oracle=oracle,
+            rng=args.seed,
+            # _executor_from_args returns None for the historical serial
+            # path; the adaptive driver has no such legacy mode, so pass
+            # the requested name through rather than its "batched" default.
+            executor=executor if executor is not None else args.executor,
+            backend=args.backend,
+            telemetry=session,
+        )
+
+    try:
+        if args.profile:
+            import time as _time
+
+            from repro.obs.profiling import format_hotspots, profile_call
+
+            result, hotspots = profile_call(_run)
+            session.emit(
+                {"event": "profile", "hotspots": hotspots, "time": _time.time()}
+            )
+            print(format_hotspots(hotspots))
+            print()
+        else:
+            result = _run()
+    finally:
+        if session is not None:
+            session.close()
+    print(f"adaptive campaign: schedule={result.schedule} "
+          f"executor={result.executor} arms={','.join(result.arms)}")
+    print(f"  discrepancies   {result.n_examples}/{args.n_adversarial} "
+          f"({result.n_found} found incl. surplus)")
+    print(f"  attempts        {result.attempts} over {len(result.allocation)} waves")
+    print(f"  encodes         {result.encodes}")
+    dpe = result.discrepancies_per_encode
+    print(f"  disc/encode     {dpe:.5f}" if dpe == dpe else
+          "  disc/encode     -")
+    print(f"  best arm        {result.best_arm()}")
+    by_arm = (result.telemetry or {}).get("by_arm", {})
+    if by_arm:
+        print(f"  {'arm':16s} {'blocks':>7s} {'scheduled':>10s} "
+              f"{'retired':>8s} {'yield':>7s}")
+        for arm in sorted(by_arm):
+            stats = by_arm[arm]
+            scheduled = stats.get("scheduled", 0)
+            retired = stats.get("retired", 0)
+            rate = retired / scheduled if scheduled else float("nan")
+            print(f"  {arm:16s} {stats.get('blocks', 0):7d} {scheduled:10d} "
+                  f"{retired:8d} {rate:7.3f}")
+    corpus = result.corpus
+    print(f"corpus: {corpus['size']} seeds "
+          f"({corpus['seeds']} original, {corpus['adversarial']} adversarial, "
+          f"{corpus['near_miss']} near-miss; "
+          f"{corpus['duplicates_rejected']} duplicates rejected)")
     if args.telemetry is not None:
         print(f"telemetry stream written to {args.telemetry} "
               f"({session.events_emitted} events) — render with "

@@ -1,0 +1,56 @@
+"""Adaptive campaigns: an evolving corpus + a strategy bandit.
+
+The fixed campaigns in :mod:`repro.fuzz.campaign` spend a fixed budget
+on one hand-picked mutation strategy over a static input pool — yet
+Table II shows discrepancy yield varies wildly across strategies and
+models, and every retired adversarial is a boundary-hugging seed the
+static pool throws away.  This package closes both loops:
+
+* :class:`~repro.fuzz.adaptive.corpus.Corpus` — the seed pool as
+  evolving state: retired adversarials (greedily L1-minimised) and
+  their near-miss midpoints re-enter as seeds, content-hash
+  deduplicated.
+* :class:`~repro.fuzz.adaptive.bandit.ThompsonBandit` — Beta-Bernoulli
+  Thompson sampling over mutation strategies, rewarded by retirements
+  per unit of requested encode work — the free signal every block
+  already produces, and the one that actually prices an arm (a
+  strategy that retires often but floods the encoder is a bad deal).
+* :func:`~repro.fuzz.adaptive.driver.run_adaptive_campaign` — the wave
+  driver wiring both through any
+  :class:`~repro.fuzz.executor.CampaignExecutor`.
+
+Design lineage: this is HypoFuzz's corpus/bayes split transplanted onto
+HDTest.  HypoFuzz keeps a content-addressed ``corpus.py`` pool of
+minimal covering examples — every newly-covering input is shrunk, keyed
+by a stable hash, and becomes a mutation seed — while ``bayes.py``
+treats "which target do I fuzz next" as a Bayesian decision problem,
+scoring each candidate by its estimated marginal payoff and spending
+the next block of iterations where the posterior says it pays.  Our
+:class:`Corpus` plays the first role with discrepancies standing in for
+coverage (admission = retired a discrepancy, shrinking = greedy
+L1-minimisation, identity = content hash); our
+:class:`ThompsonBandit` plays the second with mutation strategies as
+the candidates and retirement-per-encode as the payoff, sampled rather
+than point-estimated so exploration never fully stops.
+"""
+
+from repro.fuzz.adaptive.bandit import ThompsonBandit
+from repro.fuzz.adaptive.corpus import Corpus, CorpusEntry, content_key, minimize_l1
+from repro.fuzz.adaptive.driver import (
+    DEFAULT_ARMS,
+    SCHEDULES,
+    AdaptiveCampaignResult,
+    run_adaptive_campaign,
+)
+
+__all__ = [
+    "AdaptiveCampaignResult",
+    "Corpus",
+    "CorpusEntry",
+    "DEFAULT_ARMS",
+    "SCHEDULES",
+    "ThompsonBandit",
+    "content_key",
+    "minimize_l1",
+    "run_adaptive_campaign",
+]

@@ -1,0 +1,287 @@
+"""The evolving seed corpus: dedup, re-entry, and L1-minimisation.
+
+A fixed-pool campaign cycles the same originals forever; the corpus
+instead treats the seed population as *state*.  Retired adversarials
+(and their near-miss midpoints) re-enter as first-class seeds: they sit
+on the decision boundary, so their mutants flip in very few iterations
+— the main lever behind the adaptive campaign's
+discrepancies-per-encode advantage (pinned by
+``benchmarks/bench_adaptive_campaign.py``).  Content-hash dedup keeps
+re-entry from flooding the pool with byte-identical payloads, and
+:func:`minimize_l1` greedily shrinks a new adversarial's perturbation
+before it is admitted, so the corpus stays close to the boundary
+instead of drifting outward.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Corpus", "CorpusEntry", "content_key", "minimize_l1"]
+
+#: Re-entry origins a corpus entry can carry.
+ORIGINS = ("seed", "adversarial", "near_miss")
+
+
+def content_key(payload: Any) -> bytes:
+    """A content hash identifying *payload* for dedup purposes.
+
+    Arrays hash their dtype, shape, and raw bytes (two float images
+    differing only in shape collide on neither); strings and bytes hash
+    their encoded content.  Anything else falls back to ``repr`` —
+    stable enough for the record-domain dicts the fuzzer feeds through.
+    """
+    h = hashlib.sha1()
+    if isinstance(payload, np.ndarray):
+        arr = np.ascontiguousarray(payload)
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(payload, str):
+        h.update(b"str:")
+        h.update(payload.encode("utf-8"))
+    elif isinstance(payload, bytes):
+        h.update(b"bytes:")
+        h.update(payload)
+    else:
+        h.update(repr(payload).encode("utf-8"))
+    return h.digest()
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One seed in the evolving corpus.
+
+    ``origin`` records how the payload got here: an original campaign
+    input (``"seed"``), a retired adversarial re-entering
+    (``"adversarial"``), or the midpoint between an adversarial and its
+    original (``"near_miss"``).  ``true_label`` is inherited from the
+    originating seed — the standard adversarial-example assumption that
+    a budget-bounded perturbation preserves the ground truth.
+    """
+
+    payload: Any
+    origin: str
+    true_label: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.origin not in ORIGINS:
+            raise ConfigurationError(
+                f"origin must be one of {ORIGINS}, got {self.origin!r}"
+            )
+
+
+class Corpus:
+    """An evolving, content-deduplicated seed pool.
+
+    Seeded from the campaign's original inputs; :meth:`absorb` re-enters
+    retired adversarials (optionally minimised, plus a near-miss
+    midpoint).  :meth:`batch` serves cycling windows in insertion order,
+    so two runs that absorb the same payloads in the same order schedule
+    identical batches — the determinism the cross-executor
+    reproducibility property rests on.
+
+    Examples
+    --------
+    >>> corpus = Corpus([np.zeros(4), np.ones(4)])
+    >>> len(corpus)
+    2
+    >>> corpus.add(np.zeros(4), origin="seed")  # byte-identical: rejected
+    False
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[Any],
+        true_labels: Optional[Sequence[int]] = None,
+    ) -> None:
+        if len(inputs) == 0:
+            raise ConfigurationError("inputs is empty")
+        if true_labels is not None and len(true_labels) != len(inputs):
+            raise ConfigurationError(
+                f"{len(true_labels)} true_labels for {len(inputs)} inputs"
+            )
+        self._entries: list[CorpusEntry] = []
+        self._keys: set[bytes] = set()
+        self._cursor = 0
+        self.n_duplicates = 0  # payloads rejected by dedup
+        for index, payload in enumerate(inputs):
+            label = int(true_labels[index]) if true_labels is not None else None
+            self.add(payload, origin="seed", true_label=label)
+
+    # -- growth --------------------------------------------------------------
+    def add(
+        self,
+        payload: Any,
+        *,
+        origin: str,
+        true_label: Optional[int] = None,
+    ) -> bool:
+        """Admit *payload* unless a byte-identical entry already exists."""
+        key = content_key(payload)
+        if key in self._keys:
+            self.n_duplicates += 1
+            return False
+        self._keys.add(key)
+        self._entries.append(
+            CorpusEntry(payload=payload, origin=origin, true_label=true_label)
+        )
+        return True
+
+    def absorb(
+        self,
+        example: Any,
+        *,
+        predicate: Optional[Callable[[Any], bool]] = None,
+        max_queries: int = 16,
+    ) -> int:
+        """Re-enter a retired adversarial (and its near-miss) as seeds.
+
+        *example* is an
+        :class:`~repro.fuzz.results.AdversarialExample`.  With a
+        *predicate* (``candidate -> still a discrepancy``) the
+        adversarial payload is first greedily L1-minimised against it;
+        array domains additionally admit the original↔adversarial
+        midpoint as a ``near_miss`` seed.  Returns the number of entries
+        actually admitted (dedup may reject both).
+        """
+        payload = example.adversarial
+        is_array = isinstance(payload, np.ndarray) and isinstance(
+            example.original, np.ndarray
+        )
+        if is_array and predicate is not None:
+            payload, _ = minimize_l1(
+                example.original, payload, predicate, max_queries=max_queries
+            )
+        admitted = int(
+            self.add(payload, origin="adversarial", true_label=example.true_label)
+        )
+        if is_array:
+            near_miss = example.original + 0.5 * (payload - example.original)
+            admitted += int(
+                self.add(near_miss, origin="near_miss", true_label=example.true_label)
+            )
+        return admitted
+
+    # -- scheduling ----------------------------------------------------------
+    def batch(self, size: int) -> list[CorpusEntry]:
+        """The next *size* entries, cycling in insertion order.
+
+        Entries absorbed mid-campaign join the rotation the next time
+        the cursor wraps past them; the cursor advances monotonically so
+        every entry keeps getting scheduled.
+        """
+        size = check_positive_int(size, "size")
+        picked = [
+            self._entries[(self._cursor + j) % len(self._entries)]
+            for j in range(size)
+        ]
+        self._cursor = (self._cursor + size) % len(self._entries)
+        return picked
+
+    # -- reading -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[CorpusEntry]:
+        """All entries, in insertion order (a copy)."""
+        return list(self._entries)
+
+    def count(self, origin: str) -> int:
+        """Number of entries with the given *origin*."""
+        if origin not in ORIGINS:
+            raise ConfigurationError(
+                f"origin must be one of {ORIGINS}, got {origin!r}"
+            )
+        return sum(1 for entry in self._entries if entry.origin == origin)
+
+    def snapshot(self) -> dict:
+        """Corpus composition as a JSON-ready dict."""
+        return {
+            "size": len(self._entries),
+            "seeds": self.count("seed"),
+            "adversarial": self.count("adversarial"),
+            "near_miss": self.count("near_miss"),
+            "duplicates_rejected": self.n_duplicates,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Corpus(size={len(self._entries)}, "
+            f"adversarial={self.count('adversarial')}, "
+            f"near_miss={self.count('near_miss')})"
+        )
+
+
+def minimize_l1(
+    original: np.ndarray,
+    adversarial: np.ndarray,
+    predicate: Callable[[np.ndarray], bool],
+    *,
+    max_queries: int = 16,
+    n_blocks: int = 8,
+) -> tuple[np.ndarray, int]:
+    """Greedily shrink an adversarial perturbation's L1 norm.
+
+    Two deterministic phases, both keeping ``predicate(candidate)``
+    true throughout (the candidate must *stay* a discrepancy):
+
+    1. binary search on a global scale of the perturbation — the
+       cheapest big win, since discrepancies usually survive well below
+       the mutation budget that found them;
+    2. greedy zeroing of coordinate blocks, smallest |delta| first —
+       trimming incidental noise the scale search cannot reach.
+
+    Returns ``(minimised_payload, n_queries)``; at most *max_queries*
+    predicate calls are spent, and the input *adversarial* is returned
+    unchanged when nothing smaller survives.  No randomness — repeated
+    calls are bit-identical, preserving campaign reproducibility.
+    """
+    check_positive_int(n_blocks, "n_blocks")
+    if max_queries < 0:
+        raise ConfigurationError(f"max_queries must be >= 0, got {max_queries}")
+    delta = adversarial.astype(np.float64, copy=True) - original
+    if not np.any(delta) or max_queries == 0:
+        return adversarial, 0
+    queries = 0
+    best = adversarial
+    # Phase 1: global scale. Half the query budget, at most 6 halvings
+    # (resolution 1/64 of the original perturbation is plenty).
+    lo, hi = 0.0, 1.0
+    for _ in range(min(6, max_queries // 2)):
+        mid = (lo + hi) / 2.0
+        candidate = (original + mid * delta).astype(adversarial.dtype, copy=False)
+        queries += 1
+        if predicate(candidate):
+            hi = mid
+            best = candidate
+        else:
+            lo = mid
+    # Phase 2: zero blocks of the surviving delta, smallest first.
+    current = best.astype(np.float64, copy=True) - original
+    flat = current.ravel()
+    nonzero = np.flatnonzero(flat)
+    order = nonzero[np.argsort(np.abs(flat[nonzero]), kind="stable")]
+    for block in np.array_split(order, min(n_blocks, len(order)) or 1):
+        if queries >= max_queries or len(block) == 0:
+            break
+        trial = flat.copy()
+        trial[block] = 0.0
+        if not np.any(trial):
+            break  # zeroing everything is the original, never a discrepancy
+        candidate = (original + trial.reshape(current.shape)).astype(
+            adversarial.dtype, copy=False
+        )
+        queries += 1
+        if predicate(candidate):
+            flat = trial
+            best = candidate
+    return best, queries

@@ -411,6 +411,11 @@ def _generate_with_executor(
                 telemetry=obs,
             )
             attempts += wave_size
+            # Tally *every* success — surplus ones in the final wave are
+            # already-paid-for adversarials, and skipping them would both
+            # discard them and bias the observed rate `_wave_size` sizes
+            # the next campaign's waves from.  Only the returned list is
+            # truncated to the requested count.
             for position, outcome in enumerate(result.outcomes):
                 if outcome.success:
                     successes += 1
@@ -419,11 +424,9 @@ def _generate_with_executor(
                             outcome.example, true_labels, indices[position]
                         )
                     )
-                    if len(examples) == n_target:
-                        break
             if len(examples) < n_target and attempts >= max_attempts:
                 raise FuzzingError(
                     f"only {len(examples)}/{n_target} adversarials after "
                     f"{attempts} attempts — raise the budget or weaken the model"
                 )
-    return examples, sw.elapsed, attempts
+    return examples[:n_target], sw.elapsed, attempts

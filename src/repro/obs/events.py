@@ -25,6 +25,7 @@ matching reader.
 from __future__ import annotations
 
 import json
+import math
 import time
 from pathlib import Path
 from typing import IO, Optional, Union
@@ -37,6 +38,25 @@ __all__ = ["TelemetrySession", "read_events"]
 
 #: Default minimum seconds between emitted snapshot events.
 DEFAULT_SNAPSHOT_INTERVAL = 0.5
+
+
+def _sanitize(value):
+    """*value* with every non-finite float replaced by ``None``, recursively.
+
+    Telemetry payloads routinely carry NaN (``avg_l1`` with no
+    successes) and occasionally Inf — nested arbitrarily deep in
+    summary dicts, per-member breakdowns, or snapshot lists.
+    ``json.dumps`` would emit the bare ``NaN``/``Infinity`` literals,
+    which are not JSON; every record is scrubbed here so the stream
+    keeps its strict-JSON contract for external consumers.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    return value
 
 
 class TelemetrySession:
@@ -77,6 +97,7 @@ class TelemetrySession:
             )
         self._path = Path(jsonl_path) if jsonl_path is not None else None
         self._file: Optional[IO[str]] = None
+        self._open_mode = "w"
         self._renderer = ProgressRenderer(stream) if progress else None
         self.snapshot_interval = float(snapshot_interval)
         self._last_snapshot = float("-inf")
@@ -117,13 +138,6 @@ class TelemetrySession:
         """Emit the campaign's final ``campaign_end`` record."""
         if self._renderer is not None:
             self._renderer.finish()
-        if summary is not None:
-            # Campaign summaries carry NaNs (e.g. avg_l1 with no
-            # successes); JSONL records must stay strict JSON.
-            summary = {
-                k: (None if isinstance(v, float) and v != v else v)
-                for k, v in summary.items()
-            }
         self.emit(
             {
                 "event": "campaign_end",
@@ -136,14 +150,27 @@ class TelemetrySession:
 
     # -- plumbing ------------------------------------------------------------
     def emit(self, record: dict) -> None:
-        """Append one event record to the JSONL stream (if any)."""
+        """Append one event record to the JSONL stream (if any).
+
+        Records are sanitised recursively (non-finite floats become
+        ``null`` at any nesting depth) and serialised with
+        ``allow_nan=False``, so a value the sanitiser cannot reach fails
+        loudly here instead of corrupting the stream downstream.
+        """
         self.events_emitted += 1
         if self._path is None:
             return
         if self._file is None:
             self._path.parent.mkdir(parents=True, exist_ok=True)
-            self._file = self._path.open("w", encoding="utf-8")
-        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+            # The first open of a session truncates (one session = one
+            # stream); any later lazy reopen — e.g. an emit after
+            # close() — must append, not destroy the flushed events.
+            self._file = self._path.open(self._open_mode, encoding="utf-8")
+            self._open_mode = "a"
+        self._file.write(
+            json.dumps(_sanitize(record), separators=(",", ":"), allow_nan=False)
+            + "\n"
+        )
         self._file.flush()
 
     def close(self) -> None:

@@ -162,6 +162,9 @@ class NullTelemetry:
     def record_success(self, iteration, disagreed_members=None) -> None:
         """Discard a retirement record."""
 
+    def record_arm_block(self, arm: str, *, scheduled: int, retired: int) -> None:
+        """Discard an adaptive-scheduler block record."""
+
     def heartbeat(self) -> None:
         """Discard a liveness tick."""
 
@@ -239,6 +242,9 @@ class CampaignTelemetry:
         self.phase_seconds: dict[str, float] = {name: 0.0 for name in PHASES}
         self.by_strategy: dict[str, int] = {}
         self.by_member: dict[int, int] = {}
+        #: Adaptive-scheduler accounting: per bandit arm, the number of
+        #: scheduled blocks, inputs scheduled, and inputs retired.
+        self.by_arm: dict[str, dict[str, int]] = {}
         #: Iteration at which each retirement happened (0 = seed
         #: discrepancy) — the HDXplore discrepancies-over-iterations log.
         self.retired_at: list[int] = []
@@ -285,6 +291,17 @@ class CampaignTelemetry:
                 member = int(member)
                 self.by_member[member] = self.by_member.get(member, 0) + 1
 
+    def record_arm_block(self, arm: str, *, scheduled: int, retired: int) -> None:
+        """Record one adaptive-scheduler block: *scheduled* inputs were
+        allocated to bandit arm *arm* and *retired* of them produced a
+        discrepancy (see :mod:`repro.fuzz.adaptive`)."""
+        stats = self.by_arm.setdefault(
+            arm, {"blocks": 0, "scheduled": 0, "retired": 0}
+        )
+        stats["blocks"] += 1
+        stats["scheduled"] += int(scheduled)
+        stats["retired"] += int(retired)
+
     def heartbeat(self) -> None:
         """Liveness tick from the engine loop (rate-limited downstream).
 
@@ -326,6 +343,7 @@ class CampaignTelemetry:
             "phase_seconds": dict(self.phase_seconds),
             "by_strategy": dict(self.by_strategy),
             "by_member": {str(k): v for k, v in self.by_member.items()},
+            "by_arm": {arm: dict(stats) for arm, stats in self.by_arm.items()},
             "retired_at": list(self.retired_at),
         }
 
@@ -354,6 +372,21 @@ class CampaignTelemetry:
                 for name, value in now[key].items()
             }
             now[key] = {k: v for k, v in now[key].items() if v}
+        # by_arm nests one stats dict per arm; delta each arm field-wise
+        # and drop arms the window never touched.
+        base_arms = marker.get("by_arm", {})
+        now["by_arm"] = {
+            arm: delta
+            for arm, stats in now.get("by_arm", {}).items()
+            for delta in [
+                {
+                    field: value - base_arms.get(arm, {}).get(field, 0)
+                    for field, value in stats.items()
+                    if value - base_arms.get(arm, {}).get(field, 0)
+                }
+            ]
+            if delta
+        }
         now["cache_hits"] = now["counters"].get(
             "encode_requests", 0
         ) - now["counters"].get("encoded_children", 0)
@@ -388,6 +421,10 @@ class CampaignTelemetry:
         for member, value in state.get("by_member", {}).items():
             member = int(member)
             self.by_member[member] = self.by_member.get(member, 0) + int(value)
+        for arm, stats in state.get("by_arm", {}).items():
+            mine = self.by_arm.setdefault(arm, {})
+            for field, value in stats.items():
+                mine[field] = mine.get(field, 0) + int(value)
         self.retired_at = sorted(self.retired_at + list(state.get("retired_at", [])))
         self.busy_seconds += state.get("busy_seconds", 0.0) + state.get(
             "elapsed_seconds", 0.0

@@ -264,6 +264,41 @@ def _member_table(records: list[dict]) -> Optional[str]:
     return _format_table(["member"] + list(by_label), rows)
 
 
+def _arm_table(records: list[dict]) -> Optional[str]:
+    """Adaptive-scheduler allocation and yield per bandit arm.
+
+    Present only for campaigns driven by
+    :func:`repro.fuzz.adaptive.run_adaptive_campaign` (their telemetry
+    carries ``by_arm``); fixed campaigns render no section.
+    """
+    rows = []
+    for record in records:
+        by_arm = (record.get("telemetry") or {}).get("by_arm", {})
+        total_scheduled = sum(s.get("scheduled", 0) for s in by_arm.values())
+        for arm in sorted(by_arm):
+            stats = by_arm[arm]
+            scheduled = stats.get("scheduled", 0)
+            retired = stats.get("retired", 0)
+            share = 100.0 * scheduled / total_scheduled if total_scheduled else 0.0
+            rows.append(
+                [
+                    record["label"],
+                    arm,
+                    _num(stats.get("blocks", 0)),
+                    _num(scheduled),
+                    f"{share:.0f}%",
+                    _num(retired),
+                    _num(retired / scheduled if scheduled else None, 3),
+                ]
+            )
+    if not rows:
+        return None
+    return _format_table(
+        ["campaign", "arm", "blocks", "scheduled", "share", "retired", "yield"],
+        rows,
+    )
+
+
 def _throughput_table(records: list[dict]) -> Optional[str]:
     """Encode throughput between successive snapshots (JSONL only)."""
     rows = []
@@ -331,6 +366,9 @@ def render_report(source: Union[str, Path]) -> str:
     iterations = _iterations_table(records)
     if iterations is not None:
         sections += ["", "## Cumulative discrepancies over iterations", iterations]
+    arms = _arm_table(records)
+    if arms is not None:
+        sections += ["", "## Adaptive allocation by arm", arms]
     members = _member_table(records)
     if members is not None:
         sections += ["", "## Per-member disagreements", members]

@@ -1,0 +1,168 @@
+"""Corpus dedup, cycling, absorption, and L1-minimisation units."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fuzz.adaptive import Corpus, CorpusEntry, content_key, minimize_l1
+from repro.fuzz.results import AdversarialExample
+
+
+def _example(original, adversarial, *, true_label=None, iterations=3):
+    return AdversarialExample(
+        original=original,
+        adversarial=adversarial,
+        reference_label=0,
+        adversarial_label=1,
+        iterations=iterations,
+        metrics={},
+        strategy="gauss",
+        true_label=true_label,
+    )
+
+
+class TestContentKey:
+    def test_identical_arrays_collide(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert content_key(a) == content_key(a.copy())
+
+    def test_dtype_and_shape_distinguish(self):
+        a = np.zeros(6, dtype=np.float64)
+        assert content_key(a) != content_key(a.astype(np.float32))
+        assert content_key(a) != content_key(a.reshape(2, 3))
+
+    def test_value_changes_distinguish(self):
+        a = np.zeros(6)
+        b = a.copy()
+        b[3] = 1e-12
+        assert content_key(a) != content_key(b)
+
+    def test_non_array_payloads(self):
+        assert content_key("abc") == content_key("abc")
+        assert content_key("abc") != content_key(b"abc")
+        assert content_key({"f": 1}) == content_key({"f": 1})
+
+
+class TestCorpusDedup:
+    def test_seed_duplicates_rejected_at_init(self):
+        img = np.ones((4, 4))
+        corpus = Corpus([img, img.copy(), np.zeros((4, 4))])
+        assert len(corpus) == 2
+        assert corpus.n_duplicates == 1
+
+    def test_add_rejects_byte_identical(self):
+        corpus = Corpus([np.zeros(4)])
+        assert corpus.add(np.ones(4), origin="adversarial") is True
+        assert corpus.add(np.ones(4), origin="adversarial") is False
+        assert corpus.snapshot()["duplicates_rejected"] == 1
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Corpus([])
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Corpus([np.zeros(4)], true_labels=[1, 2])
+
+    def test_bad_origin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorpusEntry(payload=np.zeros(2), origin="mystery")
+
+
+class TestBatchCycling:
+    def test_cycles_in_insertion_order(self):
+        corpus = Corpus([np.full(2, v) for v in (0.0, 1.0, 2.0)])
+        values = [e.payload[0] for e in corpus.batch(5)]
+        assert values == [0.0, 1.0, 2.0, 0.0, 1.0]
+        assert [e.payload[0] for e in corpus.batch(2)] == [2.0, 0.0]
+
+    def test_absorbed_entries_join_rotation(self):
+        corpus = Corpus([np.zeros(2)])
+        corpus.add(np.ones(2), origin="adversarial")
+        values = [e.payload[0] for e in corpus.batch(4)]
+        assert values == [0.0, 1.0, 0.0, 1.0]
+
+
+class TestAbsorb:
+    def test_admits_adversarial_and_near_miss(self):
+        original = np.zeros(4)
+        adversarial = np.full(4, 8.0)
+        corpus = Corpus([original])
+        admitted = corpus.absorb(_example(original, adversarial, true_label=7))
+        assert admitted == 2
+        snap = corpus.snapshot()
+        assert snap["adversarial"] == 1 and snap["near_miss"] == 1
+        near = [e for e in corpus.entries if e.origin == "near_miss"][0]
+        np.testing.assert_allclose(near.payload, np.full(4, 4.0))
+        assert all(
+            e.true_label == 7 for e in corpus.entries if e.origin != "seed"
+        )
+
+    def test_minimises_through_predicate(self):
+        original = np.zeros(8)
+        adversarial = np.full(8, 16.0)
+        corpus = Corpus([original])
+        # Any perturbation with L1 >= 8 is "still a discrepancy".
+        predicate = lambda c: float(np.abs(c - original).sum()) >= 8.0
+        corpus.absorb(_example(original, adversarial), predicate=predicate)
+        entry = [e for e in corpus.entries if e.origin == "adversarial"][0]
+        minimised_l1 = float(np.abs(entry.payload - original).sum())
+        assert minimised_l1 < np.abs(adversarial - original).sum()
+        assert minimised_l1 >= 8.0
+
+
+class TestMinimizeL1:
+    def test_deterministic_and_shrinking(self):
+        rng = np.random.default_rng(0)
+        original = rng.uniform(0, 255, size=64)
+        adversarial = original + rng.uniform(-30, 30, size=64)
+        predicate = lambda c: float(np.abs(c - original).sum()) >= 100.0
+        first, q1 = minimize_l1(original, adversarial, predicate)
+        second, q2 = minimize_l1(original, adversarial, predicate)
+        np.testing.assert_array_equal(first, second)
+        assert q1 == q2 <= 16
+        assert np.abs(first - original).sum() < np.abs(adversarial - original).sum()
+        assert predicate(first)
+
+    def test_never_returns_non_discrepancy(self):
+        original = np.zeros(16)
+        adversarial = np.full(16, 4.0)
+        calls = []
+
+        def predicate(candidate):
+            ok = float(np.abs(candidate).sum()) >= 20.0
+            calls.append(ok)
+            return ok
+
+        best, queries = minimize_l1(original, adversarial, predicate)
+        assert predicate(best)
+        assert queries == len(calls) - 1  # the assert above re-queried
+
+    def test_query_budget_respected(self):
+        original = np.zeros(32)
+        adversarial = np.ones(32)
+        counter = {"n": 0}
+
+        def predicate(candidate):
+            counter["n"] += 1
+            return bool(np.any(candidate))
+
+        minimize_l1(original, adversarial, predicate, max_queries=5)
+        assert counter["n"] <= 5
+
+    def test_zero_delta_short_circuits(self):
+        original = np.ones(4)
+        best, queries = minimize_l1(original, original.copy(), lambda c: True)
+        assert queries == 0
+        np.testing.assert_array_equal(best, original)
+
+    def test_irreducible_adversarial_returned_unchanged(self):
+        original = np.zeros(8)
+        adversarial = np.full(8, 2.0)
+        exact = adversarial.tobytes()
+        best, _ = minimize_l1(
+            original, adversarial, lambda c: c.tobytes() == exact
+        )
+        np.testing.assert_array_equal(best, adversarial)

@@ -6,7 +6,9 @@ import pytest
 from repro.errors import ConfigurationError, FuzzingError
 from repro.fuzz.campaign import compare_strategies, generate_adversarial_set
 from repro.fuzz.constraints import ImageConstraint
+from repro.fuzz.executor import CampaignExecutor
 from repro.fuzz.fuzzer import HDTestConfig
+from repro.fuzz.results import AdversarialExample, CampaignResult
 
 
 class TestCompareStrategies:
@@ -133,6 +135,76 @@ class TestGenerateAdversarialSet:
                 max_attempts_factor=2,
                 rng=0,
             )
+
+
+class _ScannedOutcome:
+    """``InputOutcome`` stand-in that records reads of its success flag."""
+
+    def __init__(self, example):
+        self.example = example
+        self.iterations = 1
+        self.reference_label = 0
+        self.success_reads = 0
+
+    @property
+    def success(self):
+        self.success_reads += 1
+        return True
+
+
+class _CannedExecutor(CampaignExecutor):
+    """Executor returning pre-fabricated all-success waves."""
+
+    name = "canned"
+
+    def __init__(self):
+        self.waves: list[list[_ScannedOutcome]] = []
+
+    def run(self, model, strategy, inputs, *, domain=None, config=None,
+            constraint=None, fitness=None, oracle=None, rng=None,
+            telemetry=None):
+        wave = [
+            _ScannedOutcome(
+                AdversarialExample(
+                    original=np.zeros(4),
+                    adversarial=np.full(4, float(len(self.waves) * 100 + j)),
+                    reference_label=0, adversarial_label=1, iterations=1,
+                    metrics={"l1": float(len(self.waves) * 100 + j)},
+                    strategy="gauss",
+                )
+            )
+            for j in range(len(inputs))
+        ]
+        self.waves.append(wave)
+        return CampaignResult(strategy="gauss", outcomes=wave, elapsed_seconds=0.0)
+
+
+class TestSurplusSuccessTally:
+    """Regression: the outcome scan must not stop at ``n_target``.
+
+    Surplus successes in the final wave used to be skipped entirely —
+    discarded *and* excluded from the ``successes`` tally that
+    ``_wave_size`` uses as the observed rate.  Every outcome must be
+    scanned; only the returned list is truncated.
+    """
+
+    def test_every_outcome_scanned_and_list_truncated(
+        self, trained_model, test_images
+    ):
+        executor = _CannedExecutor()
+        examples, _ = generate_adversarial_set(
+            trained_model, test_images[:8], 4,
+            strategy="gauss", executor=executor,
+            true_labels=np.arange(8), rng=0,
+        )
+        # One wave of 8 (pool-clamped), all successful: 4 surplus.
+        assert [len(w) for w in executor.waves] == [8]
+        assert len(examples) == 4
+        # The returned list is the *first* n_target in wave order...
+        assert [e.metrics["l1"] for e in examples] == [0.0, 1.0, 2.0, 3.0]
+        assert [e.true_label for e in examples] == [0, 1, 2, 3]
+        # ...but every outcome — surplus included — was tallied.
+        assert all(o.success_reads >= 1 for o in executor.waves[0])
 
 
 class TestAdaptiveWaveSizing:

@@ -83,6 +83,81 @@ class TestSessionStream:
             TelemetrySession(snapshot_interval=-1.0)
 
 
+def _reject_constants(name):
+    raise AssertionError(f"bare JSON constant {name!r} leaked into the stream")
+
+
+class TestStrictJsonStream:
+    """Regression: the stream must stay strict JSON at every depth."""
+
+    def test_nested_non_finite_sanitized(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetrySession(path) as session:
+            obs = session.campaign("gauss")
+            session.finish(
+                obs,
+                summary={
+                    "avg_l1": float("nan"),
+                    "per_member": {"0": float("inf"), "1": 3.0},
+                    "series": [1.0, float("-inf"), {"deep": float("nan")}],
+                },
+            )
+        # parse_constant fires on NaN/Infinity literals; a strict stream
+        # never reaches it.
+        for line in path.read_text().splitlines():
+            record = json.loads(line, parse_constant=_reject_constants)
+            assert isinstance(record, dict)
+        end = read_events(path)[-1]
+        assert end["summary"] == {
+            "avg_l1": None,
+            "per_member": {"0": None, "1": 3.0},
+            "series": [1.0, None, {"deep": None}],
+        }
+
+    def test_non_finite_in_any_event_kind(self, tmp_path):
+        # emit() is the single chokepoint: arbitrary records (snapshots,
+        # profile events, custom emits) are sanitised too.
+        path = tmp_path / "events.jsonl"
+        with TelemetrySession(path) as session:
+            session.emit(
+                {"event": "profile", "hotspots": [{"cum": float("inf")}]}
+            )
+        record = json.loads(
+            path.read_text().splitlines()[0], parse_constant=_reject_constants
+        )
+        assert record["hotspots"] == [{"cum": None}]
+
+
+class TestReuseAfterClose:
+    """Regression: a post-close emit must append, not truncate."""
+
+    def test_close_emit_round_trip_keeps_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        session = TelemetrySession(path)
+        obs = session.campaign("gauss")
+        obs.count("encodes", 5)
+        session.finish(obs, summary={"n": 1})
+        session.close()
+        # A late consumer (e.g. a profile event emitted after the
+        # campaign block closed the session) reopens the stream lazily —
+        # previously in "w" mode, destroying every flushed event.
+        session.emit({"event": "profile", "hotspots": []})
+        session.close()
+        events = read_events(path)
+        assert [e["event"] for e in events] == [
+            "campaign_start", "campaign_end", "profile",
+        ]
+        assert events[1]["telemetry"]["counters"]["encodes"] == 5
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        session = TelemetrySession(path)
+        session.emit({"event": "profile"})
+        session.close()
+        session.close()
+        assert len(read_events(path)) == 1
+
+
 class TestReadEvents:
     def test_skips_blank_lines(self, tmp_path):
         path = tmp_path / "e.jsonl"

@@ -178,3 +178,50 @@ class TestMerge:
         parent = CampaignTelemetry()
         parent.merge(worker.snapshot())
         assert parent.busy_seconds > 0
+
+
+class TestByArm:
+    def test_record_arm_block_accumulates(self):
+        obs = CampaignTelemetry()
+        obs.record_arm_block("gauss", scheduled=16, retired=5)
+        obs.record_arm_block("gauss", scheduled=16, retired=3)
+        obs.record_arm_block("shift", scheduled=8, retired=0)
+        snap = obs.snapshot()
+        assert snap["by_arm"]["gauss"] == {
+            "blocks": 2,
+            "scheduled": 32,
+            "retired": 8,
+        }
+        assert snap["by_arm"]["shift"]["blocks"] == 1
+
+    def test_since_deltas_by_arm_and_drops_untouched(self):
+        obs = CampaignTelemetry()
+        obs.record_arm_block("gauss", scheduled=16, retired=5)
+        obs.record_arm_block("rand", scheduled=16, retired=1)
+        mark = obs.marker()
+        obs.record_arm_block("gauss", scheduled=4, retired=2)
+        delta = obs.since(mark)
+        assert delta["by_arm"] == {
+            "gauss": {"blocks": 1, "scheduled": 4, "retired": 2}
+        }
+
+    def test_merge_sums_by_arm(self):
+        left = CampaignTelemetry()
+        left.record_arm_block("gauss", scheduled=16, retired=4)
+        right = CampaignTelemetry()
+        right.record_arm_block("gauss", scheduled=8, retired=1)
+        right.record_arm_block("rand", scheduled=8, retired=0)
+        parent = CampaignTelemetry()
+        parent.merge(left.snapshot())
+        parent.merge(right.snapshot())
+        assert parent.by_arm["gauss"] == {
+            "blocks": 2,
+            "scheduled": 24,
+            "retired": 5,
+        }
+        assert parent.by_arm["rand"]["scheduled"] == 8
+
+    def test_null_telemetry_accepts_arm_blocks(self):
+        from repro.obs import NULL_TELEMETRY
+
+        NULL_TELEMETRY.record_arm_block("gauss", scheduled=4, retired=1)

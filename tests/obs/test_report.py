@@ -148,3 +148,30 @@ class TestRenderFromCampaignsJson:
         assert telemetry["by_member"] == {"0": 1, "1": 1}
         report = render_report(path)
         assert "## Per-member disagreements" in report
+
+
+class TestArmTable:
+    def _write_adaptive_stream(self, path):
+        with TelemetrySession(path, snapshot_interval=0.0) as session:
+            obs = session.campaign("adaptive", schedule="thompson")
+            obs.count("encodes", 500)
+            obs.record_arm_block("gauss", scheduled=48, retired=24)
+            obs.record_arm_block("rand", scheduled=16, retired=1)
+            session.finish(obs, summary={})
+
+    def test_arm_section_rendered_with_share_and_yield(self, tmp_path):
+        path = tmp_path / "adaptive.jsonl"
+        self._write_adaptive_stream(path)
+        report = render_report(path)
+        assert "## Adaptive allocation by arm" in report
+        lines = [line for line in report.splitlines() if " gauss " in line]
+        assert len(lines) == 1
+        assert "75%" in lines[0]  # 48 of 64 scheduled
+        assert "0.500" in lines[0]  # 24 / 48 retired
+        rand_line = [line for line in report.splitlines() if " rand " in line][0]
+        assert "25%" in rand_line and "0.062" in rand_line
+
+    def test_fixed_campaigns_render_no_arm_section(self, tmp_path):
+        path = tmp_path / "fixed.jsonl"
+        _write_stream(path)
+        assert "Adaptive allocation" not in render_report(path)

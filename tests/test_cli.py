@@ -367,6 +367,113 @@ class TestDomainEndToEnd:
             )
 
 
+class TestAdaptiveCLI:
+    """`hdtest fuzz --adaptive` end to end, plus its parser surface."""
+
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-adaptive") / "model.npz"
+        code = main(
+            [
+                "train",
+                "--out", str(path),
+                "--n-train", "300",
+                "--n-test", "60",
+                "--dimension", "1024",
+                "--seed", "7",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--model", "m.npz", "--adaptive"]
+        )
+        assert args.adaptive is True
+        assert args.n_adversarial == 20
+        assert args.schedule == "thompson"
+        assert args.block_size == 16
+        assert args.static_corpus is False
+        assert args.no_minimize is False
+
+    def test_comma_separated_strategies(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--model", "m.npz", "--adaptive",
+             "--strategies", "gauss,rand,shift"]
+        )
+        assert args.strategies == ["gauss,rand,shift"]
+
+    def test_adaptive_fuzz_end_to_end(self, model_path, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "fuzz",
+                "--model", str(model_path),
+                "--adaptive",
+                "--strategies", "gauss,shift",
+                "--n-images", "10",
+                "--n-adversarial", "8",
+                "--iter-times", "6",
+                "--seed", "3",
+                "--executor", "batched",
+                "--telemetry", str(stream),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive campaign: schedule=thompson" in out
+        assert "arms=gauss,shift" in out
+        assert "discrepancies" in out and "best arm" in out
+        assert "corpus:" in out
+        # The stream renders the per-arm allocation table.
+        report = main(["report", str(stream)])
+        assert report == 0
+        rendered = capsys.readouterr().out
+        assert "Adaptive allocation by arm" in rendered
+
+    def test_adaptive_uniform_static(self, model_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--model", str(model_path),
+                "--adaptive",
+                "--strategies", "gauss",
+                "--schedule", "uniform",
+                "--static-corpus",
+                "--no-minimize",
+                "--n-images", "10",
+                "--n-adversarial", "6",
+                "--iter-times", "6",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schedule=uniform" in out
+        assert "0 adversarial" in out  # static corpus never grew
+
+    def test_executor_flag_honoured(self, model_path, capsys):
+        # _executor_from_args returns None for the plain serial path;
+        # the adaptive driver must still run the requested executor
+        # rather than falling back to its own "batched" default.
+        code = main(
+            [
+                "fuzz",
+                "--model", str(model_path),
+                "--adaptive",
+                "--strategies", "gauss",
+                "--n-images", "6",
+                "--n-adversarial", "4",
+                "--iter-times", "6",
+                "--seed", "3",
+                "--executor", "serial",
+            ]
+        )
+        assert code == 0
+        assert "executor=serial" in capsys.readouterr().out
+
+
 class TestEnsembleCLI:
     @pytest.fixture(scope="class")
     def model_path(self, tmp_path_factory):
