@@ -237,14 +237,20 @@ def assert_acceptance(result) -> None:
         f"over pickle (bar: {IPC_RATIO_BAR}x)"
     )
     # The schedule policy routes this exact shape to member sharding
-    # (pinned worker count: the policy must not depend on this host).
+    # (pinned worker count *and* core count: the policy must not depend
+    # on this host — a real one-core host would be routed to `batched`
+    # unconditionally, which is the policy's own 1-core guard, not what
+    # this bar measures).
     os.environ[WORKER_COUNT_ENV] = "8"
+    real_cpu_count = os.cpu_count
+    os.cpu_count = lambda: 8
     try:
         assert default_schedule_policy(
             result["n_inputs"], n_members=result["k"]
         ) == "member-sharded"
         assert default_schedule_policy(64 * result["k"]) == "process"
     finally:
+        os.cpu_count = real_cpu_count
         del os.environ[WORKER_COUNT_ENV]
     # Wall clock needs real cores; single-core hosts report, multi-core
     # hosts (CI) enforce the bar.

@@ -52,6 +52,24 @@ Two encode paths are used, picked automatically:
   children of every input are stacked into a single ``encode_batch``
   call.
 
+**How the fused encode path works.**  Per-child Python work is what a
+profile of the old engine showed dominating the encode phase, so both
+paths hoist every per-child step to the iteration's *concatenated*
+child block.  The plans' children are concatenated once; quantisation
+(``child_levels``) runs once over the block; cache keys come from a
+single ``tobytes`` of the block sliced per row; the cache-missing rows
+of *all* inputs are gathered into one ragged ``accumulate_delta`` (or
+one ``encode_batch``) call; and one ``hvs_from_accumulators`` converts
+the assembled accumulator block before per-plan slices are handed back.
+Inside the encoders the same discipline continues: the delta kernels in
+:mod:`repro.hdc.encoders._blocked` scatter all children's changed
+(pixel, level) pairs as one flat COO block with segment sums, so an
+engine iteration issues O(1) kernel calls *per member* regardless of
+how many inputs, seeds, or children are in flight.  The algebra is
+exact in integers throughout, so fusion changes no outcome bit
+(equivalence-tested against the sequential engine and the per-child
+reference loops).
+
 Both paths dedupe through per-input bounded LRU caches keyed by child
 bytes — each input gets a share of ``HDTestConfig.cache_max_entries``
 (floored at 32 entries) so the aggregate memory bound is independent of
@@ -75,7 +93,7 @@ from repro.fuzz.fuzzer import HDTest
 from repro.fuzz.results import CampaignResult, InputOutcome
 from repro.fuzz.seeds import SeedPoolBatch
 from repro.metrics.timing import Stopwatch
-from repro.utils.cache import LRUCache, resolve_with_cache
+from repro.utils.cache import LRUCache
 from repro.utils.rng import RngLike, ensure_rng, spawn
 
 __all__ = ["BatchedHDTest"]
@@ -397,33 +415,98 @@ class BatchedHDTest(HDTest):
 
         Cache entries hold compact integer accumulators (they are
         exact — the hypervector is a deterministic function of them),
-        so a hit skips even the delta work.  With an ensemble target
-        the accumulator rows carry a leading member axis: each member
-        delta-encodes every child from *its own* parent accumulator,
-        still one vectorised call per member per iteration.
+        so a hit skips even the delta work.
+
+        Every per-child step is hoisted to the iteration's concatenated
+        child block: quantisation, cache-key hashing (one ``tobytes``
+        sliced per row), the ragged delta scatter, and the final
+        accumulator → hypervector conversion each run **once** per
+        iteration, regardless of how many inputs are active.  Lookups
+        and insertions stay in each input's own LRU cache (the
+        :func:`repro.utils.cache.resolve_with_cache` pinning discipline,
+        spread across cache domains; duplicate inputs sharing a cache
+        also share the pinned working dict, preserving their cross-plan
+        dedupe).  With an ensemble target the accumulator rows carry a
+        leading member axis: each member delta-encodes every child from
+        *its own* parent accumulator, still one vectorised call per
+        member per iteration.
         """
-        dedupe = self._config.dedupe
-        encoded = []
-        for state, children, parent_ids in plans:
-            levels = surface.child_levels(children)
-            parent_accs_all = pool.accumulators(state.index)
+        bounds = np.concatenate(
+            ([0], np.cumsum([len(children) for _, children, _ in plans]))
+        )
+        all_children = np.concatenate([children for _, children, _ in plans])
+        all_levels = surface.child_levels(all_children)
 
-            def delta_missing(positions: list[int]) -> np.ndarray:
-                self._count_encodes(len(positions))
-                parent_levels = pool.levels(state.index)[parent_ids[positions]]
-                parent_accs = parent_accs_all[parent_ids[positions]]
-                return surface.accumulate_delta(
-                    levels[positions], parent_levels, parent_accs
-                )
+        def fused_delta(positions_by_plan) -> np.ndarray:
+            """One ``accumulate_delta`` over every plan's listed rows."""
+            rows = [
+                bounds[p] + np.asarray(pos, dtype=np.int64)
+                for p, pos in enumerate(positions_by_plan)
+                if len(pos)
+            ]
+            global_rows = np.concatenate(rows)
+            self._count_encodes(len(global_rows))
+            parent_levels, parent_accs = [], []
+            for p, pos in enumerate(positions_by_plan):
+                if not len(pos):
+                    continue
+                state, _, parent_ids = plans[p]
+                parents = parent_ids[np.asarray(pos, dtype=np.int64)]
+                parent_levels.append(pool.levels(state.index)[parents])
+                parent_accs.append(pool.accumulators(state.index)[parents])
+            return surface.accumulate_delta(
+                all_levels[global_rows],
+                np.concatenate(parent_levels),
+                np.concatenate(parent_accs),
+            )
 
-            if dedupe:
-                keys = [self._child_key(children[j]) for j in range(len(children))]
+        if self._config.dedupe:
+            all_keys = self._child_keys(all_children)
+            pinned: dict[int, dict[bytes, Any]] = {}  # shared per cache object
+            plan_ctx = []  # (keys, local) per plan
+            miss_by_plan: list[list[int]] = []
+            miss_slots: list[tuple[dict, Any, bytes]] = []
+            for p, (state, children, _) in enumerate(plans):
                 cache = caches.get(state.cache_key, capacity)
-                accs = np.stack(resolve_with_cache(cache, keys, delta_missing))
+                local = pinned.setdefault(id(cache), {})
+                keys = all_keys[int(bounds[p]) : int(bounds[p + 1])]
+                misses: list[int] = []
+                for j, key in enumerate(keys):
+                    if key not in local:
+                        local[key] = cache.get(key)
+                        if local[key] is None:
+                            misses.append(j)
+                            miss_slots.append((local, cache, key))
+                plan_ctx.append((keys, local))
+                miss_by_plan.append(misses)
+            if miss_slots:
+                fresh = fused_delta(miss_by_plan)
+                for row, (local, cache, key) in zip(fresh, miss_slots):
+                    local[key] = row
+                    cache.put(key, row)
+            if len(miss_slots) == len(all_keys):
+                # Every child missed and no key repeated, so ``fresh``
+                # already holds the rows in global order — skip the
+                # per-row re-assembly stack (the common case early in a
+                # campaign, when the caches are cold).
+                all_accs = fresh
             else:
-                accs = delta_missing(list(range(len(children))))
-            bundle = surface.hvs_from_accumulators(accs)
-            encoded.append((bundle, accs, levels))
+                all_accs = np.stack(
+                    [local[key] for keys, local in plan_ctx for key in keys]
+                )
+        else:
+            all_accs = fused_delta(
+                [range(len(children)) for _, children, _ in plans]
+            )
+        all_bundle = surface.hvs_from_accumulators(all_accs)
+        encoded = []
+        for p in range(len(plans)):
+            s, e = int(bounds[p]), int(bounds[p + 1])
+            encoded.append((
+                tuple(block[s:e] for block in all_bundle),
+                all_accs[s:e],
+                all_levels[s:e],
+            ))
         return encoded
 
     def _encode_plans_direct(self, plans, caches, capacity):
@@ -438,49 +521,58 @@ class BatchedHDTest(HDTest):
         shared-codebook ensembles cache a single row.
         """
         k = self._target.n_encode_blocks
+        bounds = np.concatenate(
+            ([0], np.cumsum([len(children) for _, children, _ in plans]))
+        )
+        all_children = np.concatenate([children for _, children, _ in plans])
         if not self._config.dedupe:
-            all_children = np.concatenate([children for _, children, _ in plans])
             self._count_encodes(len(all_children))
             all_bundle = self._target.encode_batch(all_children)
-            encoded, offset = [], 0
-            for _, children, _ in plans:
-                encoded.append((
+            return [
+                (
                     tuple(
-                        block[offset : offset + len(children)]
+                        block[int(bounds[p]) : int(bounds[p + 1])]
                         for block in all_bundle
                     ),
                     None, None,
-                ))
-                offset += len(children)
-            return encoded
-        resolved = []  # (keys, local, cache) per plan
-        to_encode: list[np.ndarray] = []
-        slots: list[tuple[int, bytes]] = []  # (plan position, key) per miss
+                )
+                for p in range(len(plans))
+            ]
+        all_keys = self._child_keys(all_children)
+        resolved = []  # (keys, local) per plan
+        miss_rows: list[int] = []
+        slots: list[tuple[dict, Any, bytes]] = []  # (local, cache, key) per miss
         for p, (state, children, _) in enumerate(plans):
             cache = caches.get(state.cache_key, capacity)
-            keys = [self._child_key(children[j]) for j in range(len(children))]
+            keys = all_keys[int(bounds[p]) : int(bounds[p + 1])]
             local: dict[bytes, Optional[tuple]] = {}
             for j, key in enumerate(keys):
                 if key not in local:
                     local[key] = cache.get(key)
                     if local[key] is None:
-                        to_encode.append(children[j])
-                        slots.append((p, key))
-            resolved.append((keys, local, cache))
-        if to_encode:
-            self._count_encodes(len(to_encode))
-            fresh = self._target.encode_batch(np.stack(to_encode))
-            for j, (p, key) in enumerate(slots):
-                _, local, cache = resolved[p]
+                        miss_rows.append(int(bounds[p]) + j)
+                        slots.append((local, cache, key))
+            resolved.append((keys, local))
+        if miss_rows:
+            self._count_encodes(len(miss_rows))
+            fresh = self._target.encode_batch(
+                all_children[np.asarray(miss_rows, dtype=np.int64)]
+            )
+            for j, (local, cache, key) in enumerate(slots):
                 row = tuple(block[j] for block in fresh)
                 local[key] = row
                 cache.put(key, row)
+        # One stack per encode block over every plan's rows, sliced back
+        # per plan — not one stack per plan.
+        rows = [local[key] for keys, local in resolved for key in keys]
+        stacked = tuple(np.stack([row[m] for row in rows]) for m in range(k))
         return [
             (
                 tuple(
-                    np.stack([local[key][m] for key in keys]) for m in range(k)
+                    block[int(bounds[p]) : int(bounds[p + 1])]
+                    for block in stacked
                 ),
                 None, None,
             )
-            for keys, local, _ in resolved
+            for p in range(len(plans))
         ]

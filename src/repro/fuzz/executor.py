@@ -183,7 +183,12 @@ def default_schedule_policy(
     by the executors' RNG discipline); only throughput does.
     """
     n_inputs = max(int(n_inputs), 1)
-    if default_worker_count() <= 1:
+    # Guard on the *hardware* core count as well as the resolved worker
+    # count: REPRO_FUZZ_WORKERS can request a pool, but on a one-core
+    # host every process schedule only adds broadcast/IPC overhead on
+    # top of the same serial compute, so the in-process engine wins
+    # unconditionally.
+    if default_worker_count() <= 1 or (os.cpu_count() or 1) <= 1:
         return "batched"
     input_shards = n_inputs // MIN_INPUTS_PER_WORKER
     if n_members >= 2:

@@ -171,9 +171,13 @@ class _SingleDeltaSurface:
         return accs, self.child_levels(stacked)
 
     def accumulate_delta(self, child_levels, parent_levels, parent_accs):
+        # Children obey the same |acc| ≤ component-count bound as the
+        # parents, so the pool's compact dtype is exact end-to-end — no
+        # int64 round-trip (~4× less memory traffic per block).
         return self._encoder.accumulate_delta(
-            child_levels, parent_levels, parent_accs
-        ).astype(parent_accs.dtype)
+            child_levels, parent_levels, parent_accs,
+            result_dtype=parent_accs.dtype,
+        )
 
     def hvs_from_accumulators(self, accs: np.ndarray) -> tuple[np.ndarray, ...]:
         return (self._encoder.hvs_from_accumulators(accs),)

@@ -263,21 +263,65 @@ class PackedBipolarEncoder(PixelEncoder):
         base = self._position_sum * val0
         n = flat_levels.shape[0]
         out = np.empty((n, self.dimension), dtype=np.int64)
-        for i in range(n):
-            nz = np.nonzero(flat_levels[i])[0]
-            if nz.size == 0:
-                out[i] = base
-                continue
-            # gather_words generates rows on demand when a codebook is
-            # rematerialized; it is a plain fancy-index otherwise.
-            pos_nz = gather_words(pos_s, nz)
-            c_bg = bit_sliced_counts(np.bitwise_xor(pos_nz, val0_words), self.dimension)
-            c_fg = bit_sliced_counts(
-                np.bitwise_xor(pos_nz, gather_words(val_s, flat_levels[i][nz])),
-                self.dimension,
+        out[:] = base
+        rows, cols = np.nonzero(flat_levels)
+        if rows.size == 0:
+            return out
+        # One fused gather+XOR+bit_sliced_counts over the concatenated
+        # child block instead of two word kernels per image: children
+        # are ordered by foreground size and padded to rectangular
+        # (c, k, W) stacks per chunk (pad rows XOR to all-zero words,
+        # contributing identically to both counts), so the carry-save
+        # column counter runs batched over its leading axis.  Codebook
+        # rows are gathered once per distinct index, which also dedupes
+        # rematerialized row generation across children.
+        lv = flat_levels[rows, cols]
+        counts = np.count_nonzero(flat_levels, axis=1)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        order = np.argsort(counts, kind="stable")
+        order = order[counts[order] > 0]
+        n_words = val0_words.shape[-1]
+        budget = max(1, (1 << 21) // n_words)  # padded rows per chunk
+        a = 0
+        while a < order.size:
+            b = a + 1
+            while (
+                b < order.size
+                and (b + 1 - a) * int(counts[order[b]]) <= budget
+            ):
+                b += 1
+            ids = order[a:b]
+            a = b
+            sel_counts = counts[ids]
+            kmax = int(sel_counts[-1])
+            pix = np.zeros((ids.size, kmax), dtype=np.int64)
+            val_idx = np.zeros((ids.size, kmax), dtype=np.int64)
+            child_of = np.repeat(np.arange(ids.size), sel_counts)
+            offsets = np.concatenate(([0], np.cumsum(sel_counts[:-1])))
+            within = np.arange(child_of.size) - np.repeat(offsets, sel_counts)
+            src = np.repeat(bounds[ids], sel_counts) + within
+            pix[child_of, within] = cols[src]
+            val_idx[child_of, within] = lv[src]
+            pos_words = self._gather_words_deduped(pos_s, pix)
+            xor_bg = np.bitwise_xor(pos_words, val0_words)
+            xor_fg = np.bitwise_xor(
+                pos_words, self._gather_words_deduped(val_s, val_idx)
             )
-            out[i] = base + 2 * (c_bg - c_fg)
+            pad = np.arange(kmax)[None, :] >= sel_counts[:, None]
+            xor_bg[pad] = 0
+            xor_fg[pad] = 0
+            c_bg = bit_sliced_counts(xor_bg, self.dimension)
+            c_fg = bit_sliced_counts(xor_fg, self.dimension)
+            out[ids] += 2 * (c_bg - c_fg)
         return out
+
+    @staticmethod
+    def _gather_words_deduped(source, rows: np.ndarray) -> np.ndarray:
+        """``gather_words`` generating each distinct row once per block."""
+        if isinstance(source, np.ndarray):
+            return gather_words(source, rows)
+        uniq, inv = np.unique(rows, return_inverse=True)
+        return gather_words(source, uniq)[inv.reshape(rows.shape)]
 
     # -- the packed quantisation step --------------------------------------
     def hvs_from_accumulators(self, accumulators: np.ndarray) -> np.ndarray:

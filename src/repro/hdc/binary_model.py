@@ -32,6 +32,11 @@ from repro.errors import (
     EncodingError,
     NotTrainedError,
 )
+from repro.hdc.encoders._blocked import (
+    fused_delta_into,
+    grouped_products,
+    level_histogram,
+)
 from repro.hdc.encoders.base import Encoder
 from repro.hdc.item_memory import (
     ItemMemory,
@@ -159,20 +164,29 @@ class BinaryPixelEncoder(Encoder):
         by the pixel count, so compact integer storage is exact.
         """
         levels = self.quantize(items)
-        n = levels.shape[0]
-        flat = levels.reshape(n, -1)
+        flat = levels.reshape(levels.shape[0], -1)
         pos = self._position_memory.vectors
         val = self._value_memory.vectors
-        out = np.empty((n, self.dimension), dtype=np.int64)
-        for i in range(n):
-            out[i] = np.bitwise_xor(pos, val[flat[i]]).sum(axis=0, dtype=np.int64)
-        return out
+        # Blocked via the exact {0,1} identity p ⊕ v = p + v − 2·p·v:
+        #   Σ_p (pos_p ⊕ val[x_p]) = Σ_p pos_p + hist·val − 2·Σ_p pos_p·val[x_p]
+        # — a cached-free column sum, one histogram matmul, and the same
+        # level-grouped product kernel the bipolar encoders use, instead
+        # of one P×D XOR + reduction per image.
+        pos_sum = pos.sum(axis=0, dtype=np.int64)
+        hist = level_histogram(flat, self._levels)
+        return (
+            pos_sum[None, :]
+            + hist @ val.astype(np.int64)
+            - 2 * grouped_products(pos, val, flat)
+        )
 
     def accumulate_delta(
         self,
         level_batch: np.ndarray,
         parent_levels: np.ndarray,
         parent_accumulators: np.ndarray,
+        *,
+        result_dtype: Optional[type] = None,
     ) -> np.ndarray:
         """Children's ones counts from their parents' — changed pixels only.
 
@@ -180,9 +194,10 @@ class BinaryPixelEncoder(Encoder):
         count is a plain sum over pixels, so only changed pixels
         contribute a ``{-1, 0, 1}`` correction); same parameter
         conventions as
-        :meth:`repro.hdc.encoders.image.PixelEncoder.accumulate_delta`.
-        This is what lets the fuzzing engines run their incremental
-        encode path on the dense-binary family too.
+        :meth:`repro.hdc.encoders.image.PixelEncoder.accumulate_delta`
+        (including the compact *result_dtype* fast path).  This is what
+        lets the fuzzing engines run their incremental encode path on
+        the dense-binary family too.
         """
         levels = np.asarray(level_batch)
         parents = np.asarray(parent_levels)
@@ -202,23 +217,19 @@ class BinaryPixelEncoder(Encoder):
                 f"parent_accumulators {accs.shape} must be "
                 f"(n={levels.shape[0]}, D={self.dimension})"
             )
-        pos = self._position_memory
-        val = self._value_memory
-        out = accs.astype(np.int64, copy=True)
-        # Correction components are in {-1, 0, 1}, so int16 partial sums
-        # are exact up to 32767 changed pixels; wider shapes widen.
-        int16_safe = np.iinfo(np.int16).max
-        for i in range(levels.shape[0]):
-            changed = np.flatnonzero(levels[i] != parents[i])
-            if changed.size == 0:
-                continue
-            # take() gathers (or regenerates) only the changed rows.
-            pos_changed = pos.take(changed)
-            delta = np.bitwise_xor(pos_changed, val.take(levels[i, changed])).astype(np.int8)
-            delta -= np.bitwise_xor(pos_changed, val.take(parents[i, changed]))
-            sum_dtype = np.int16 if changed.size <= int16_safe else np.int64
-            out[i] += delta.sum(axis=0, dtype=sum_dtype)
-        return out
+        # One fused ragged scatter over the whole block (see
+        # PixelEncoder.accumulate_delta).  Correction components are in
+        # {-1, 0, 1}, so int16 partial sums are exact up to 32767
+        # changed pixels; wider blocks widen to int64.
+        return fused_delta_into(
+            accs.astype(result_dtype or np.int64, copy=True),
+            self._position_memory,
+            self._value_memory,
+            levels,
+            parents,
+            int16_safe=np.iinfo(np.int16).max,
+            binary=True,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -34,6 +34,11 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, EncodingError
+from repro.hdc.encoders._blocked import (
+    bipolar_sign,
+    fused_delta_into,
+    grouped_products,
+)
 from repro.hdc.encoders.base import Encoder
 from repro.hdc.item_memory import (
     ItemMemory,
@@ -209,7 +214,7 @@ class PixelEncoder(Encoder):
         fuzzing engine) apply exactly this tie-breaking, rather than
         re-implementing it.
         """
-        return np.where(np.asarray(accumulators) >= 0, 1, -1).astype(np.int8)
+        return bipolar_sign(accumulators)
 
     def accumulate_batch(self, items: np.ndarray) -> np.ndarray:
         """Return raw integer accumulators ``(n, D)`` (pre-Eq.-1 sums)."""
@@ -226,6 +231,8 @@ class PixelEncoder(Encoder):
         level_batch: np.ndarray,
         parent_levels: np.ndarray,
         parent_accumulators: np.ndarray,
+        *,
+        result_dtype: Optional[type] = None,
     ) -> np.ndarray:
         """Accumulators of children given their parents' accumulators.
 
@@ -250,10 +257,17 @@ class PixelEncoder(Encoder):
             ``(n, H*W)`` quantised levels of each child's parent.
         parent_accumulators:
             ``(n, D)`` integer accumulators of the parents.
+        result_dtype:
+            Output dtype; default int64 (the public contract).  Callers
+            whose accumulator storage is already exact — any dtype that
+            can hold ``±H·W``, like the engine seed pool's compact
+            int16 — may pass it to keep the whole delta in that dtype,
+            which cuts the block's memory traffic ~4× with bit-equal
+            results (the algebra is exact in any sufficient dtype).
 
         Returns
         -------
-        ``(n, D)`` int64 accumulators, elementwise equal to
+        ``(n, D)`` accumulators in *result_dtype*, elementwise equal to
         ``accumulate_batch`` applied to the children directly.
         """
         levels = np.asarray(level_batch)
@@ -274,57 +288,47 @@ class PixelEncoder(Encoder):
                 f"parent_accumulators {accs.shape} must be "
                 f"(n={levels.shape[0]}, D={self.dimension})"
             )
-        pos, val = self._position_memory, self._value_memory
-        out = accs.astype(np.int64, copy=True)
-        # |each correction term| <= 2, so int16 partial sums are exact up
-        # to 16383 changed pixels; larger encoder shapes fall back to a
-        # wider accumulator rather than silently wrapping.
-        int16_safe = np.iinfo(np.int16).max // 2
-        for i in range(levels.shape[0]):
-            changed = np.flatnonzero(levels[i] != parents[i])
-            if changed.size == 0:
-                continue
-            # val entries are ±1, so the difference fits int8 ({-2, 0, 2})
-            # and so does the product with the ±1 position rows.  take()
-            # gathers stored rows or rematerializes exactly the changed
-            # ones — only the touched pixels' codebook rows ever exist.
-            dval = val.take(levels[i, changed]) - val.take(parents[i, changed])
-            np.multiply(pos.take(changed), dval, out=dval)
-            sum_dtype = np.int16 if changed.size <= int16_safe else np.int64
-            out[i] += dval.sum(axis=0, dtype=sum_dtype)
-        return out
+        # One fused ragged scatter over the whole block: the changed
+        # (child, pixel) pairs become flat COO indices, codebook rows
+        # are gathered once (deduped when rematerialized), and the
+        # ±2-bounded corrections are segment-summed per child.  |each
+        # correction term| <= 2, so int16 partial sums are exact up to
+        # 16383 changed pixels; larger blocks widen to int64 rather
+        # than silently wrapping.
+        return fused_delta_into(
+            accs.astype(result_dtype or np.int64, copy=True),
+            self._position_memory,
+            self._value_memory,
+            levels,
+            parents,
+            int16_safe=np.iinfo(np.int16).max // 2,
+        )
 
     # -- internals -----------------------------------------------------
     def _accumulate_dense(self, flat_levels: np.ndarray) -> np.ndarray:
-        pos = self._position_memory.vectors  # (P, D) int8
-        val = self._value_memory.vectors  # (L, D) int8
-        n = flat_levels.shape[0]
-        out = np.empty((n, self.dimension), dtype=np.int64)
-        for i in range(n):
-            pixel_vals = val[flat_levels[i]]  # (P, D) gather
-            out[i] = np.einsum(
-                "pd,pd->d", pos, pixel_vals, dtype=np.int64, casting="unsafe"
-            )
-        return out
+        # Level-grouped blocked kernel: one call for the whole batch
+        # instead of one P×D einsum per image.
+        return grouped_products(
+            self._position_memory.vectors, self._value_memory.vectors, flat_levels
+        )
 
     def _accumulate_sparse(self, flat_levels: np.ndarray) -> np.ndarray:
-        pos = self._position_memory.vectors
-        val = self._value_memory.vectors
-        val0 = val[0].astype(np.int64)
+        # The sparse rewrite *is* a delta from the all-background image:
+        # acc = base + Σ_{p∉bg} pos_p ⊛ (val_{x_p} − val_0), so the same
+        # fused correction kernel covers it — only the non-background
+        # (child, pixel) pairs are ever gathered.
+        val0 = self._value_memory.take(0).astype(np.int64)
         base = self._position_sum * val0  # Σ_p pos_p ⊛ val_0
-        n = flat_levels.shape[0]
-        out = np.empty((n, self.dimension), dtype=np.int64)
-        for i in range(n):
-            nz = np.nonzero(flat_levels[i])[0]
-            if nz.size == 0:
-                out[i] = base
-                continue
-            pos_nz = pos[nz]  # (k, D)
-            val_nz = val[flat_levels[i][nz]]  # (k, D)
-            fg = np.einsum("pd,pd->d", pos_nz, val_nz, dtype=np.int64, casting="unsafe")
-            pos_nz_sum = pos_nz.sum(axis=0, dtype=np.int64)
-            out[i] = base + fg - pos_nz_sum * val0
-        return out
+        out = np.empty((flat_levels.shape[0], self.dimension), dtype=np.int64)
+        out[:] = base
+        return fused_delta_into(
+            out,
+            self._position_memory,
+            self._value_memory,
+            flat_levels,
+            np.zeros_like(flat_levels),
+            int16_safe=np.iinfo(np.int16).max // 2,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -30,6 +30,13 @@ from typing import Iterable, Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import ConfigurationError, EncodingError
+from repro.hdc.encoders._blocked import (
+    BLOCK_ELEMS,
+    _child_chunks,
+    _segment_breaks,
+    bipolar_sign,
+    segment_reduce,
+)
 from repro.hdc.encoders.base import Encoder
 from repro.hdc.item_memory import (
     ItemMemory,
@@ -137,6 +144,20 @@ class NgramEncoder(Encoder):
         if self._shifted is not None:
             return self._shifted[k][rows]
         return np.roll(self._item_memory.take(rows), self._n - 1 - k, axis=-1)
+
+    def _shifted_gather(self, k: int, rows: np.ndarray) -> np.ndarray:
+        """:meth:`_shifted_take` generating each distinct row at most once.
+
+        The fused delta path gathers one row per affected n-gram slot
+        across a whole child block; with a rematerialized codebook the
+        alphabet is tiny compared to the block, so regenerating (and
+        rolling) only the unique rows makes each character's permuted
+        HV exist once per block instead of once per occurrence.
+        """
+        if self._shifted is not None:
+            return self._shifted[k][rows]
+        uniq, inv = np.unique(rows, return_inverse=True)
+        return np.roll(self._item_memory.take(uniq), self._n - 1 - k, axis=-1)[inv]
 
     # -- introspection ---------------------------------------------------
     @property
@@ -266,6 +287,8 @@ class NgramEncoder(Encoder):
         level_batch: np.ndarray,
         parent_levels: np.ndarray,
         parent_accumulators: np.ndarray,
+        *,
+        result_dtype: Optional[type] = None,
     ) -> np.ndarray:
         """Accumulators of children given their parents' accumulators.
 
@@ -288,6 +311,10 @@ class NgramEncoder(Encoder):
             ``(n, L)`` code rows of each child's parent.
         parent_accumulators:
             ``(n, D)`` integer accumulators of the parents.
+        result_dtype:
+            Output dtype; default int64.  Callers whose accumulator
+            storage is already exact (it can hold ``±(L−n+1)``) may
+            pass it to keep the whole delta in that compact dtype.
         """
         levels = np.asarray(level_batch)
         parents = np.asarray(parent_levels)
@@ -307,32 +334,51 @@ class NgramEncoder(Encoder):
                 f"(n={levels.shape[0]}, D={self.dimension})"
             )
         n_grams = levels.shape[1] - self._n + 1
-        offsets = np.arange(self._n, dtype=np.int64)
-        out = accs.astype(np.int64, copy=True)
-        for i in range(levels.shape[0]):
-            changed = np.flatnonzero(levels[i] != parents[i])
-            if changed.size == 0:
+        out = accs.astype(result_dtype or np.int64, copy=True)
+        changed = levels != parents
+        if not changed.any():
+            return out
+        # Affected n-gram starts for every child at once: gram t covers
+        # positions [t, t+n−1], so its "affected" bit is the windowed OR
+        # of the changed mask over those n positions (exactly the
+        # clipped [q−n+1, q] start sets of the per-row formulation).
+        affected = np.array(changed[:, :n_grams])
+        for k in range(1, self._n):
+            np.logical_or(affected, changed[:, k : k + n_grams], out=affected)
+        rows, starts = np.nonzero(affected)
+        counts = np.count_nonzero(affected, axis=1)
+        child_idx = levels.astype(np.int64, copy=False)
+        parent_idx = parents.astype(np.int64, copy=False)
+        # Gram products stay in {-1, +1} (products of ±1 rows), so the
+        # replaced-gram corrections are ±2-bounded int8 rows; int16
+        # segment sums are exact up to 16383 affected grams per child.
+        sum_dtype = (
+            np.int16
+            if int(counts.max()) <= np.iinfo(np.int16).max // 2
+            else np.int64
+        )
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        for lo, hi in _child_chunks(
+            bounds, counts.shape[0], max(1, BLOCK_ELEMS // (2 * self.dimension))
+        ):
+            s, e = int(bounds[lo]), int(bounds[hi])
+            if s == e:
                 continue
-            # Affected n-gram starts: [q−n+1, q] per changed q, clipped
-            # into the valid start range (the clipped boundary grams do
-            # cover the out-of-range positions, so no false positives).
-            starts = np.unique(
-                np.clip(changed[:, None] - offsets[None, :], 0, n_grams - 1)
-            )
-            old = np.ones((starts.size, self.dimension), dtype=np.int64)
-            new = np.ones((starts.size, self.dimension), dtype=np.int64)
-            child_idx = levels[i].astype(np.int64, copy=False)
-            parent_idx = parents[i].astype(np.int64, copy=False)
+            r = rows[s:e]
+            t = starts[s:e]
+            old = np.ones((e - s, self.dimension), dtype=np.int8)
+            new = np.ones((e - s, self.dimension), dtype=np.int8)
             for k in range(self._n):
-                old *= self._shifted_take(k, parent_idx[starts + k])
-                new *= self._shifted_take(k, child_idx[starts + k])
+                old *= self._shifted_gather(k, parent_idx[r, t + k])
+                new *= self._shifted_gather(k, child_idx[r, t + k])
             new -= old
-            out[i] += new.sum(axis=0, dtype=np.int64)
+            seg_starts = np.flatnonzero(_segment_breaks(r))
+            out[r[seg_starts]] += segment_reduce(new, seg_starts, sum_dtype)
         return out
 
     def hvs_from_accumulators(self, accumulators: np.ndarray) -> np.ndarray:
         """Binarization of raw accumulators (:meth:`encode`'s exact rule)."""
-        return np.where(np.asarray(accumulators) >= 0, 1, -1).astype(np.int8)
+        return bipolar_sign(accumulators)
 
     def encode(self, item: Union[str, np.ndarray]) -> np.ndarray:
         return self.hvs_from_accumulators(self._gram_accumulate(self.indices(item)))

@@ -25,6 +25,11 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, EncodingError
+from repro.hdc.encoders._blocked import (
+    bipolar_sign,
+    fused_delta_into,
+    grouped_products,
+)
 from repro.hdc.encoders.base import Encoder
 from repro.hdc.item_memory import (
     ItemMemory,
@@ -194,7 +199,7 @@ class RecordEncoder(Encoder):
         — the same tie policy as the pixel encoder, for the same reason
         (the differential oracle re-encodes unchanged inputs).
         """
-        return np.where(np.asarray(accumulators) >= 0, 1, -1).astype(np.int8)
+        return bipolar_sign(accumulators)
 
     def accumulate_batch(self, items: np.ndarray) -> np.ndarray:
         """Raw integer accumulators ``(n, D)`` (pre-Eq.-1 feature sums)."""
@@ -208,20 +213,19 @@ class RecordEncoder(Encoder):
         if np.isnan(arr).any():
             raise EncodingError("records contain NaN values")
         levels = self.quantize(arr)
-        ids = self._id_memory.vectors
-        vals = self._value_memory.vectors
-        out = np.empty((arr.shape[0], self.dimension), dtype=np.int64)
-        for i in range(arr.shape[0]):
-            out[i] = np.einsum(
-                "fd,fd->d", ids, vals[levels[i]], dtype=np.int64, casting="unsafe"
-            )
-        return out
+        # Level-grouped blocked kernel: one call for the whole batch
+        # instead of one F×D einsum per record.
+        return grouped_products(
+            self._id_memory.vectors, self._value_memory.vectors, levels
+        )
 
     def accumulate_delta(
         self,
         level_batch: np.ndarray,
         parent_levels: np.ndarray,
         parent_accumulators: np.ndarray,
+        *,
+        result_dtype: Optional[type] = None,
     ) -> np.ndarray:
         """Accumulators of children given their parents' accumulators.
 
@@ -236,7 +240,9 @@ class RecordEncoder(Encoder):
         the features; ``record_gauss`` leaves the quantised level of
         many slots untouched).  Same parameter conventions as
         :meth:`repro.hdc.encoders.image.PixelEncoder.accumulate_delta`
-        with feature slots in place of pixels.
+        with feature slots in place of pixels (including the compact
+        *result_dtype* fast path for callers whose accumulator storage
+        is already exact).
         """
         levels = np.asarray(level_batch)
         parents = np.asarray(parent_levels)
@@ -256,25 +262,19 @@ class RecordEncoder(Encoder):
                 f"parent_accumulators {accs.shape} must be "
                 f"(n={levels.shape[0]}, D={self.dimension})"
             )
-        ids = self._id_memory
-        vals = self._value_memory
-        out = accs.astype(np.int64, copy=True)
-        # |each correction term| <= 2, so int16 partial sums are exact up
-        # to 16383 changed slots; wider records widen the accumulator
-        # rather than silently wrapping.
-        int16_safe = np.iinfo(np.int16).max // 2
-        for i in range(levels.shape[0]):
-            changed = np.flatnonzero(levels[i] != parents[i])
-            if changed.size == 0:
-                continue
-            # val entries are ±1, so the difference fits int8 ({-2, 0, 2})
-            # and so does the product with the ±1 ID rows.  take() gathers
-            # only the changed rows (generated on demand if rematerialized).
-            dval = vals.take(levels[i, changed]) - vals.take(parents[i, changed])
-            np.multiply(ids.take(changed), dval, out=dval)
-            sum_dtype = np.int16 if changed.size <= int16_safe else np.int64
-            out[i] += dval.sum(axis=0, dtype=sum_dtype)
-        return out
+        # One fused ragged scatter over the whole block (see
+        # PixelEncoder.accumulate_delta): changed (child, slot) pairs as
+        # flat COO indices, codebook rows gathered once, ±2-bounded
+        # corrections segment-summed per child.  int16 partial sums are
+        # exact up to 16383 changed slots; wider blocks widen to int64.
+        return fused_delta_into(
+            accs.astype(result_dtype or np.int64, copy=True),
+            self._id_memory,
+            self._value_memory,
+            levels,
+            parents,
+            int16_safe=np.iinfo(np.int16).max // 2,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -37,6 +37,28 @@ def _as_2d(x: np.ndarray) -> tuple[np.ndarray, bool]:
     raise DimensionMismatchError(f"expected 1-D or 2-D array, got ndim={arr.ndim}")
 
 
+def _row_norms(original: np.ndarray, cast: np.ndarray) -> np.ndarray:
+    """Row 2-norms of *cast*, skipping the squared float copy when exact.
+
+    For int8/int16 rows every partial sum of squares is an exact
+    integer below 2**53 (int16 needs D ≤ 8e6), so an int64 einsum and
+    ``np.linalg.norm`` on the float64 cast see the *same* integer and
+    take the same square root — bit-identical, without materialising
+    the ``(n, D)`` float64 squares.  This is the hot norm in
+    :func:`cosine_matrix`: query blocks are int8 hypervectors.
+    """
+    arr = np.asarray(original)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim == 2 and (
+        arr.dtype == np.int8
+        or (arr.dtype == np.int16 and arr.shape[1] <= 8_000_000)
+    ):
+        squares = np.einsum("ij,ij->i", arr, arr, dtype=np.int64)
+        return np.sqrt(squares.astype(np.float64))
+    return np.linalg.norm(cast, axis=1)
+
+
 def cosine(a: np.ndarray, b: np.ndarray) -> float:
     """Cosine similarity between two hypervectors.
 
@@ -79,8 +101,8 @@ def cosine_matrix(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
         raise DimensionMismatchError(
             f"queries have dimension {q.shape[1]}, references {r.shape[1]}"
         )
-    qn = np.linalg.norm(q, axis=1)
-    rn = np.linalg.norm(r, axis=1)
+    qn = _row_norms(queries, q)
+    rn = _row_norms(references, r)
     denom = np.outer(qn, rn)
     sims = q @ r.T
     np.divide(sims, denom, out=sims, where=denom > 0)

@@ -167,6 +167,12 @@ def _overview_rows(records: list[dict]) -> list[list[str]]:
         counters = telemetry.get("counters", {})
         meta = record.get("meta", {})
         summary = record.get("summary") or {}
+        elapsed = telemetry.get("elapsed_seconds") or 0.0
+        encodes = counters.get("encodes", 0)
+        # Encode health at a glance: the encode phase is the campaign
+        # hot path, so its throughput and wall-clock share are overview
+        # columns (derived from existing counters — no schema change).
+        encode_seconds = telemetry.get("phase_seconds", {}).get("encode", 0.0)
         rows.append(
             [
                 record["label"],
@@ -176,6 +182,8 @@ def _overview_rows(records: list[dict]) -> list[list[str]]:
                 _num(counters.get("retired", summary.get("n_success", 0))),
                 _num(counters.get("seed_discrepancies", 0)),
                 _num(telemetry.get("elapsed_seconds"), 2),
+                _num(encodes / elapsed if encodes and elapsed > 0 else None, 0),
+                f"{100.0 * encode_seconds / elapsed:.0f}%" if elapsed > 0 else "-",
             ]
         )
     return rows
@@ -340,6 +348,8 @@ def render_report(source: Union[str, Path]) -> str:
                 "discrepancies",
                 "seed-disc",
                 "elapsed (s)",
+                "enc/s",
+                "encode%",
             ],
             _overview_rows(records),
         ),

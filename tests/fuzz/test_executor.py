@@ -469,6 +469,21 @@ class TestScheduleSelectionPolicy:
         assert policy(1000) == "batched"
         assert policy(4, n_members=8, member_nbytes=2**30) == "batched"
 
+    def test_worker_env_cannot_force_processes_on_one_core(self, monkeypatch):
+        # REPRO_FUZZ_WORKERS requests a pool, but a one-core host has
+        # nothing to run it on: every schedule must stay in-process.
+        import repro.fuzz.executor as executor_module
+
+        monkeypatch.setenv(executor_module.WORKER_COUNT_ENV, "8")
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 1)
+        policy = executor_module.default_schedule_policy
+        assert policy(1000) == "batched"
+        assert policy(8, n_members=5) == "batched"
+        assert policy(64, n_members=5, member_nbytes=2**30) == "batched"
+        # The env override still sizes pools on real multi-core hosts.
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+        assert policy(1000) == "process"
+
     def test_single_models_shard_by_input(self, monkeypatch):
         policy = self._policy(monkeypatch, 8)
         assert policy(64) == "process"

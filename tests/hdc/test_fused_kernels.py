@@ -1,0 +1,215 @@
+"""Property tests at the fused encode kernels' exactness boundaries.
+
+The blocked kernels in :mod:`repro.hdc.encoders._blocked` (and the
+encoder methods built on them) pick compact ``int16`` partial-sum
+dtypes whenever the block-wide change count guarantees exactness, and
+widen to ``int64`` otherwise.  These tests pin the contract that makes
+that choice invisible: on *any* block — empty deltas, everything
+changed, blocks straddling the int16 safety bound, randomized mutation
+chains — the fused result is bit-identical to the pre-fusion
+one-``accumulate_delta``-call-per-child loop and to scratch
+``accumulate_batch`` encoding, for every delta family and both
+codebook kinds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hdc.binary_model import BinaryPixelEncoder
+from repro.hdc.encoders.image import PixelEncoder
+from repro.hdc.encoders.ngram import NgramEncoder
+from repro.hdc.encoders.record import RecordEncoder
+
+DIM = 96
+CODEBOOKS = ["materialized", "rematerialized"]
+
+# Largest per-child change count with exact int16 partial sums:
+# bipolar corrections are ±2-bounded, binary corrections ±1-bounded.
+BIPOLAR_INT16_SAFE = np.iinfo(np.int16).max // 2  # 16383
+BINARY_INT16_SAFE = np.iinfo(np.int16).max  # 32767
+
+
+def per_row_delta(encoder, levels, parents, accs):
+    """The pre-fusion reference: one ``accumulate_delta`` call per child."""
+    return np.concatenate(
+        [
+            encoder.accumulate_delta(
+                levels[i : i + 1], parents[i : i + 1], accs[i : i + 1]
+            )
+            for i in range(levels.shape[0])
+        ]
+    )
+
+
+def assert_delta_exact(encoder, levels, parents, parent_accs, scratch):
+    fused = encoder.accumulate_delta(levels, parents, parent_accs)
+    looped = per_row_delta(encoder, levels, parents, parent_accs)
+    np.testing.assert_array_equal(fused, looped)
+    np.testing.assert_array_equal(fused, scratch)
+    return fused
+
+
+# -- randomized mutation chains (engine-shaped workloads) -------------------
+@pytest.mark.parametrize("codebook", CODEBOOKS)
+@pytest.mark.parametrize("family", ["pixel", "binary"])
+def test_image_families_fused_chain(family, codebook):
+    cls = PixelEncoder if family == "pixel" else BinaryPixelEncoder
+    enc = cls(shape=(9, 7), levels=16, dimension=DIM, rng=11, codebook=codebook)
+    rng = np.random.default_rng(5)
+    images = rng.integers(0, 256, (6, 9, 7)).astype(np.float64)
+    accs = enc.accumulate_batch(images)
+    for frac in (0.05, 0.4, 1.0):
+        children = images.copy().reshape(6, -1)
+        for i in range(6):
+            k = max(1, int(frac * children.shape[1]))
+            idx = rng.choice(children.shape[1], size=k, replace=False)
+            children[i, idx] = rng.integers(0, 256, k)
+        children = children.reshape(6, 9, 7)
+        accs = assert_delta_exact(
+            enc,
+            enc.quantize(children).reshape(6, -1),
+            enc.quantize(images).reshape(6, -1),
+            accs,
+            enc.accumulate_batch(children),
+        )
+        images = children
+
+
+@pytest.mark.parametrize("codebook", CODEBOOKS)
+def test_ngram_fused_chain(codebook):
+    enc = NgramEncoder(
+        3, alphabet="abcdefgh", dimension=DIM, rng=13, codebook=codebook
+    )
+    rng = np.random.default_rng(17)
+    codes = rng.integers(0, 8, (5, 14))
+    accs = enc.accumulate_batch(codes)
+    for n_mut in (1, 4, 14):
+        children = codes.copy()
+        for i in range(5):
+            idx = rng.choice(14, size=n_mut, replace=False)
+            children[i, idx] = rng.integers(0, 8, n_mut)
+        accs = assert_delta_exact(
+            enc,
+            enc.quantize(children),
+            enc.quantize(codes),
+            accs,
+            enc.accumulate_batch(children),
+        )
+        codes = children
+
+
+@pytest.mark.parametrize(
+    "codebook,level_encoding",
+    [("materialized", "linear"), ("rematerialized", "random")],
+)
+def test_record_fused_chain(codebook, level_encoding):
+    enc = RecordEncoder(
+        20,
+        levels=12,
+        level_encoding=level_encoding,
+        dimension=DIM,
+        rng=19,
+        codebook=codebook,
+    )
+    rng = np.random.default_rng(23)
+    records = rng.random((6, 20))
+    accs = enc.accumulate_batch(records)
+    for n_mut in (2, 20):
+        children = records.copy()
+        for i in range(6):
+            idx = rng.choice(20, size=n_mut, replace=False)
+            children[i, idx] = rng.random(n_mut)
+        accs = assert_delta_exact(
+            enc,
+            enc.quantize(children),
+            enc.quantize(records),
+            accs,
+            enc.accumulate_batch(children),
+        )
+        records = children
+
+
+# -- degenerate blocks ------------------------------------------------------
+@pytest.mark.parametrize("family", ["pixel", "binary"])
+def test_empty_delta_block_returns_parent_accumulators(family):
+    cls = PixelEncoder if family == "pixel" else BinaryPixelEncoder
+    enc = cls(shape=(5, 5), levels=8, dimension=DIM, rng=3)
+    rng = np.random.default_rng(29)
+    images = rng.integers(0, 256, (4, 5, 5)).astype(np.float64)
+    accs = enc.accumulate_batch(images)
+    levels = enc.quantize(images).reshape(4, -1)
+    fused = enc.accumulate_delta(levels, levels, accs)
+    np.testing.assert_array_equal(fused, accs)
+    assert fused is not accs  # fresh block, parents untouched
+
+
+def test_mixed_empty_and_full_rows_in_one_block():
+    enc = PixelEncoder(shape=(6, 6), levels=8, dimension=DIM, rng=7)
+    rng = np.random.default_rng(31)
+    images = rng.integers(0, 256, (3, 6, 6)).astype(np.float64)
+    accs = enc.accumulate_batch(images)
+    children = images.copy()
+    # row 0: unchanged; row 1: one pixel; row 2: every pixel changed
+    children[1, 2, 3] = (children[1, 2, 3] + 128.0) % 256.0
+    children[2] = (children[2] + 64.0) % 256.0
+    assert_delta_exact(
+        enc,
+        enc.quantize(children).reshape(3, -1),
+        enc.quantize(images).reshape(3, -1),
+        accs,
+        enc.accumulate_batch(children),
+    )
+
+
+# -- int16 / int64 partial-sum crossover ------------------------------------
+def _boundary_images(shape, ks):
+    """All-zero parents plus children with exactly ``k`` changed pixels."""
+    n_pixels = shape[0] * shape[1]
+    parents = np.zeros((len(ks), n_pixels), dtype=np.float64)
+    children = parents.copy()
+    for i, k in enumerate(ks):
+        children[i, :k] = 255.0
+    return (
+        parents.reshape(len(ks), *shape),
+        children.reshape(len(ks), *shape),
+    )
+
+
+@pytest.mark.parametrize(
+    "ks",
+    [
+        [BIPOLAR_INT16_SAFE - 1, BIPOLAR_INT16_SAFE],  # stays int16
+        [BIPOLAR_INT16_SAFE, BIPOLAR_INT16_SAFE + 1],  # widens to int64
+    ],
+)
+def test_bipolar_int16_crossover(ks):
+    shape = (129, 128)  # 16512 pixels > int16-safe bound
+    enc = PixelEncoder(shape=shape, levels=4, dimension=32, rng=41)
+    parents, children = _boundary_images(shape, ks)
+    assert_delta_exact(
+        enc,
+        enc.quantize(children).reshape(len(ks), -1),
+        enc.quantize(parents).reshape(len(ks), -1),
+        enc.accumulate_batch(parents),
+        enc.accumulate_batch(children),
+    )
+
+
+@pytest.mark.parametrize(
+    "ks",
+    [
+        [1, BINARY_INT16_SAFE],  # stays int16
+        [1, BINARY_INT16_SAFE + 1],  # widens to int64
+    ],
+)
+def test_binary_int16_crossover(ks):
+    shape = (256, 129)  # 33024 pixels > int16-safe bound
+    enc = BinaryPixelEncoder(shape=shape, levels=4, dimension=32, rng=43)
+    parents, children = _boundary_images(shape, ks)
+    assert_delta_exact(
+        enc,
+        enc.quantize(children).reshape(len(ks), -1),
+        enc.quantize(parents).reshape(len(ks), -1),
+        enc.accumulate_batch(parents),
+        enc.accumulate_batch(children),
+    )
